@@ -1,0 +1,53 @@
+//! Cache policy overhead: one full decode iteration of cache maintenance
+//! (routing note + lookups + demand inserts) for each replacement policy.
+//! MRS must stay within the same order of magnitude as LRU/LFU for its
+//! hit-rate gains to be free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrimoe_cache::{CachePolicy, ExpertCache, Lfu, Lru, Mrs};
+use hybrimoe_model::{ExpertKey, ModelConfig};
+use hybrimoe_trace::TraceGenerator;
+
+type PolicyFactory = fn() -> Box<dyn CachePolicy>;
+
+fn bench_policies(c: &mut Criterion) {
+    let model = ModelConfig::deepseek();
+    let trace = TraceGenerator::new(model.clone(), 7).decode_trace(8);
+    let mut group = c.benchmark_group("cache_decode_iteration");
+
+    let make: [(&str, PolicyFactory); 3] = [
+        ("lru", || Box::new(Lru::new())),
+        ("lfu", || Box::new(Lfu::new())),
+        ("mrs", || Box::new(Mrs::new(0.3))),
+    ];
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::new(name, "deepseek"), &trace, |b, trace| {
+            b.iter(|| {
+                let mut cache = ExpertCache::new(model.cache_capacity_for_ratio(0.3), factory());
+                for step in &trace.steps {
+                    for rec in &step.layers {
+                        cache.note_routing(&rec.routing, model.activated_experts);
+                        for (expert, _) in rec.routing.activated() {
+                            let key = ExpertKey::new(rec.routing.layer(), expert);
+                            if !cache.lookup(key) {
+                                cache.insert(key);
+                            }
+                        }
+                    }
+                }
+                std::hint::black_box(cache.stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_policies
+}
+criterion_main!(benches);

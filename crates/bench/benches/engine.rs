@@ -1,0 +1,46 @@
+//! End-to-end engine throughput: simulated decode steps per wall-clock
+//! second. This bounds how much faster than real time the experiment
+//! harness runs, i.e. how cheap a full Fig. 7/8 sweep is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrimoe::{Engine, EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::TraceGenerator;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_decode_8_steps");
+    for (name, model) in [
+        ("deepseek", ModelConfig::deepseek()),
+        ("mixtral", ModelConfig::mixtral()),
+    ] {
+        let trace = TraceGenerator::new(model.clone(), 5).decode_trace(8);
+        for framework in [Framework::HybriMoe, Framework::KTransformers] {
+            let model = model.clone();
+            group.bench_with_input(
+                BenchmarkId::new(framework.name(), name),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let mut engine = Engine::new(EngineConfig::preset(
+                            framework,
+                            model.clone(),
+                            0.25,
+                        ));
+                        std::hint::black_box(engine.run(trace))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Scheduling decision overhead: the paper's scheduler must be cheap enough
+//! to run per layer in real time (§IV-B calls the simulation "greedy" and
+//! "minimal overhead"). This bench measures one scheduling decision for
+//! realistic task-set sizes (Mixtral: 8 experts; DeepSeek/Qwen2: up to 64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrimoe_hw::{AffineCostModel, Platform};
+use hybrimoe_model::{ExpertId, LayerId, ModelConfig};
+use hybrimoe_sched::baselines::{FixedMappingScheduler, GpuOnlyScheduler};
+use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
+
+fn tasks(n: u16, seed: u64) -> Vec<ExpertTask> {
+    let mut state = seed;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ExpertTask {
+                expert: ExpertId(i),
+                load: 1 + (state >> 33) as u32 % 16,
+                cached: (state >> 17).is_multiple_of(2),
+            }
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let cost = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+    let model = ModelConfig::deepseek();
+    let mut group = c.benchmark_group("schedule_one_layer");
+    for n in [8u16, 16, 32, 64] {
+        let ts = tasks(n, 42);
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            64,
+            &ts,
+            model.routed_profile(),
+            model.shared_profile(),
+            &cost,
+        );
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &ctx, |b, ctx| {
+            let s = HybridScheduler::new();
+            b.iter(|| s.schedule(std::hint::black_box(ctx)));
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", n), &ctx, |b, ctx| {
+            let s = FixedMappingScheduler::new();
+            b.iter(|| s.schedule(std::hint::black_box(ctx)));
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_only", n), &ctx, |b, ctx| {
+            let s = GpuOnlyScheduler::new();
+            b.iter(|| s.schedule(std::hint::black_box(ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_schedulers
+}
+criterion_main!(benches);

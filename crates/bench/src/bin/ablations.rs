@@ -1,0 +1,343 @@
+//! Design-choice ablations beyond the paper's Table III: sweeps over the
+//! knobs DESIGN.md calls out, plus the greedy scheduler's optimality gap
+//! against an exhaustive oracle (an evaluation the paper does not include).
+//!
+//! Panels:
+//! * `alpha`    — MRS averaging coefficient α (Eq. 3)
+//! * `topp`     — MRS top-P cutoff (the paper picks p = 2K)
+//! * `discount` — impact-driven prefetch distance discount
+//! * `steal`    — CPU work-stealing of cached experts on/off
+//! * `oracle`   — hybrid scheduler vs exhaustive optimum
+//! * `quant`    — Q4 vs Q8 expert transfers (mixed-precision offloading)
+//! * `batch`    — batched decode serving (1-8 concurrent sequences)
+//!
+//! Run one panel: `cargo run -p hybrimoe-bench --release --bin ablations -- alpha`
+
+use hybrimoe::report::{percent, Table};
+use hybrimoe::{Engine, EngineConfig, Framework};
+use hybrimoe_cache::{CachePolicy, ExpertCache, Mrs};
+use hybrimoe_hw::{AffineCostModel, Platform};
+use hybrimoe_model::{ExpertId, ExpertKey, LayerId, ModelConfig};
+use hybrimoe_sched::{
+    oracle_makespan, ExpertTask, HybridScheduler, ScheduleContext, Scheduler,
+};
+use hybrimoe_trace::TraceGenerator;
+
+const SEED: u64 = 0xAB1A;
+
+fn main() {
+    let panel = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    match panel.as_str() {
+        "alpha" => alpha_sweep(),
+        "topp" => topp_sweep(),
+        "discount" => discount_sweep(),
+        "steal" => steal_ablation(),
+        "oracle" => oracle_gap(),
+        "quant" => quant_tradeoff(),
+        "batch" => batched_decode(),
+        "all" => {
+            alpha_sweep();
+            topp_sweep();
+            discount_sweep();
+            steal_ablation();
+            oracle_gap();
+            quant_tradeoff();
+            batched_decode();
+        }
+        other => {
+            eprintln!(
+                "unknown panel {other:?}; expected alpha|topp|discount|steal|oracle|quant|batch|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Hit rate of an MRS variant on a pure cache replay.
+fn mrs_hit_rate(model: &ModelConfig, policy: Box<dyn CachePolicy>, ratio: f64) -> f64 {
+    let trace = TraceGenerator::new(model.clone(), SEED).decode_trace(160);
+    let mut cache = ExpertCache::new(model.cache_capacity_for_ratio(ratio), policy);
+    let warm = trace.steps.len() / 4;
+    for (i, step) in trace.steps.iter().enumerate() {
+        if i == warm {
+            cache.reset_stats();
+        }
+        for rec in &step.layers {
+            cache.note_routing(&rec.routing, model.activated_experts);
+            for (expert, _) in rec.routing.activated() {
+                let key = ExpertKey::new(rec.routing.layer(), expert);
+                if !cache.lookup(key) {
+                    cache.insert(key);
+                }
+            }
+        }
+    }
+    cache.stats().hit_rate()
+}
+
+fn alpha_sweep() {
+    println!("== ablation: MRS averaging coefficient α (DeepSeek, 30% cache) ==\n");
+    let model = ModelConfig::deepseek();
+    let mut table = Table::new(vec!["alpha".into(), "hit rate".into()]);
+    for alpha in [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let rate = mrs_hit_rate(&model, Box::new(Mrs::new(alpha)), 0.3);
+        table.push_row(vec![format!("{alpha:.2}"), percent(rate)]);
+    }
+    println!("{table}");
+    println!("takeaway: a broad plateau around α≈0.2-0.5; the library default is 0.3\n");
+}
+
+fn topp_sweep() {
+    println!("== ablation: MRS top-P cutoff (DeepSeek K=6, 30% cache) ==\n");
+    let model = ModelConfig::deepseek();
+    let mut table = Table::new(vec!["p".into(), "hit rate".into(), "note".into()]);
+    for (p, note) in [
+        (3u16, "K/2"),
+        (6, "K"),
+        (12, "2K (paper)"),
+        (24, "4K"),
+        (64, "all experts"),
+    ] {
+        let rate = mrs_hit_rate(&model, Box::new(Mrs::with_top_p(0.3, p)), 0.3);
+        table.push_row(vec![p.to_string(), percent(rate), note.to_owned()]);
+    }
+    println!("{table}");
+    println!("takeaway: accumulating only the top scores matters; p=2K is near the peak\n");
+}
+
+fn discount_sweep() {
+    println!("== ablation: prefetcher choice, refill disabled (Mixtral decode, 25% cache) ==\n");
+    // Cache refill shares the background PCIe queue with prefetching and
+    // masks its effect; disabling it isolates the prefetcher. Mixtral is
+    // the model where prefetch matters most: its 110 MB experts take two
+    // decode layers to move, so only lookahead can hide the latency.
+    use hybrimoe::PrefetcherKind;
+    let model = ModelConfig::mixtral();
+    let trace = TraceGenerator::new(model.clone(), SEED).decode_trace(24);
+    let mut table = Table::new(vec!["prefetcher".into(), "TBT".into(), "hit rate".into()]);
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLayerTopK,
+        PrefetcherKind::ImpactDriven,
+    ] {
+        let config = EngineConfig {
+            prefetcher: kind,
+            refill_on_miss: false,
+            ..EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25)
+        };
+        let m = Engine::new(config).run(&trace);
+        table.push_row(vec![
+            format!("{kind:?}"),
+            format!("{:.1}ms", m.mean_step_latency().as_millis_f64()),
+            percent(m.hit_rate()),
+        ]);
+    }
+    println!("{table}");
+    println!("takeaway: lookahead prefetching converts misses that refill alone cannot\n");
+}
+
+fn steal_ablation() {
+    println!("== ablation: CPU work-stealing of cached experts ==\n");
+    // Two regimes. (1) The paper's Fig. 5 regime, where CPU and GPU
+    // per-expert times are comparable: stealing shortens the fully-cached
+    // layer. (2) The calibrated A6000 platform, where the GPU is an order
+    // of magnitude faster per expert: the steal rule (correctly) never
+    // fires. Both are printed; the second is an honest negative result.
+    let mut table = Table::new(vec![
+        "regime".into(),
+        "with steal".into(),
+        "without".into(),
+    ]);
+
+    let unit = hybrimoe_hw::UnitCostModel::paper_fig5();
+    let unit_tasks: Vec<ExpertTask> = (0..4)
+        .map(|i| ExpertTask::cached(ExpertId(i), 1 + i as u32))
+        .collect();
+    let ctx = ScheduleContext::for_test(LayerId(0), &unit_tasks, &unit);
+    table.push_row(vec![
+        "comparable CPU/GPU (Fig. 5 units)".into(),
+        format!("{}", HybridScheduler::new().schedule(&ctx).predicted_makespan),
+        format!(
+            "{}",
+            HybridScheduler::without_cpu_steal()
+                .schedule(&ctx)
+                .predicted_makespan
+        ),
+    ]);
+
+    let cost = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+    let model = ModelConfig::deepseek();
+    let a6000_tasks: Vec<ExpertTask> = (0..8)
+        .map(|i| ExpertTask::cached(ExpertId(i), 12 + 4 * i as u32))
+        .collect();
+    let ctx = ScheduleContext::new(
+        LayerId(0),
+        64,
+        &a6000_tasks,
+        model.routed_profile(),
+        None,
+        &cost,
+    );
+    table.push_row(vec![
+        "calibrated A6000 (GPU much faster)".into(),
+        format!("{}", HybridScheduler::new().schedule(&ctx).predicted_makespan),
+        format!(
+            "{}",
+            HybridScheduler::without_cpu_steal()
+                .schedule(&ctx)
+                .predicted_makespan
+        ),
+    ]);
+    println!("{table}");
+    println!("takeaway: stealing only pays when per-expert CPU and GPU times are");
+    println!("comparable; the greedy applies it exactly then and stays silent otherwise\n");
+}
+
+fn oracle_gap() {
+    println!("== ablation: hybrid scheduler vs exhaustive oracle ==\n");
+    let cost = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+    let model = ModelConfig::deepseek();
+    let mut total_ratio = 0.0;
+    let mut optimal = 0usize;
+    let mut n_cases = 0usize;
+    let mut worst: f64 = 1.0;
+    let mut seed = SEED;
+    for _ in 0..300 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let n = 2 + (seed >> 41) as usize % 6;
+        let tasks: Vec<ExpertTask> = (0..n)
+            .map(|i| {
+                let s = seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                ExpertTask {
+                    expert: ExpertId(i as u16),
+                    load: 1 + (s >> 13) as u32 % 24,
+                    cached: (s >> 7).is_multiple_of(2),
+                }
+            })
+            .collect();
+        let tokens = tasks.iter().map(|t| t.load).max().unwrap_or(1);
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            tokens,
+            &tasks,
+            model.routed_profile(),
+            None,
+            &cost,
+        );
+        let hybrid = HybridScheduler::new().schedule(&ctx).predicted_makespan;
+        let Some(opt) = oracle_makespan(&ctx) else {
+            continue;
+        };
+        let ratio = hybrid.as_nanos() as f64 / opt.as_nanos().max(1) as f64;
+        total_ratio += ratio;
+        worst = worst.max(ratio);
+        if hybrid == opt {
+            optimal += 1;
+        }
+        n_cases += 1;
+    }
+    println!("random DeepSeek-like layers: {n_cases} instances");
+    println!(
+        "  exactly optimal: {} ({:.1}%)",
+        optimal,
+        optimal as f64 / n_cases as f64 * 100.0
+    );
+    println!("  mean makespan ratio: {:.4}", total_ratio / n_cases as f64);
+    println!("  worst ratio: {worst:.4}");
+    println!("\ntakeaway: the paper's greedy priority rules are near-optimal in practice,");
+    println!("justifying 'predefined scheduling rules can achieve efficient balancing'\n");
+}
+
+/// Q4 vs Q8 expert copies: transfer time against measured quantization
+/// error (the HOBBIT-style mixed-precision trade, paper ref. [7]).
+fn quant_tradeoff() {
+    use hybrimoe_hw::{CostModel, ExpertProfile};
+    use hybrimoe_kernels::{Q8Matrix, QuantizedMatrix};
+
+    println!("== ablation: Q4 vs Q8 expert transfers (DeepSeek expert) ==\n");
+    let cost = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+    let shape = ModelConfig::deepseek().routed_shape;
+    let q4_bytes = shape.packed_bytes();
+    let q8_bytes = shape.params() * 9 / 8; // 9 bits/weight
+
+    // Measure real quantization error on a probe matrix.
+    let (rows, cols) = (64usize, 256usize);
+    let probe: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761) >> 8;
+            (h as f32 / (1u32 << 24) as f32 - 0.5) * 0.2
+        })
+        .collect();
+    let rmse = |back: Vec<f32>| -> f64 {
+        (probe
+            .iter()
+            .zip(back.iter())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / probe.len() as f64)
+            .sqrt()
+    };
+    let q4 = QuantizedMatrix::quantize(&probe, rows, cols).expect("aligned");
+    let q8 = Q8Matrix::quantize(&probe, rows, cols).expect("aligned");
+
+    let mut table = Table::new(vec![
+        "format".into(),
+        "expert MB".into(),
+        "PCIe transfer".into(),
+        "weight RMSE".into(),
+    ]);
+    for (name, bytes, err) in [
+        ("Q4_0", q4_bytes, rmse(q4.dequantize())),
+        ("Q8_0", q8_bytes, rmse(q8.dequantize())),
+    ] {
+        let t = cost.transfer(&ExpertProfile::new(bytes, shape.flops_per_token()));
+        table.push_row(vec![
+            name.to_owned(),
+            format!("{:.1}", bytes as f64 / 1e6),
+            format!("{t}"),
+            format!("{err:.2e}"),
+        ]);
+    }
+    println!("{table}");
+    println!("takeaway: Q4 transfers are 1.8x cheaper per expert at ~8x the weight");
+    println!("error — the lever mixed-precision offloading systems (HOBBIT) exploit\n");
+}
+
+/// Batched decode: HybriMoE vs kTransformers as concurrent sequences grow.
+fn batched_decode() {
+    println!("== ablation: batched decode serving (DeepSeek, 25% cache) ==\n");
+    let model = ModelConfig::deepseek();
+    let mut table = Table::new(vec![
+        "batch".into(),
+        "KTrans ms/step".into(),
+        "HybriMoE ms/step".into(),
+        "speedup".into(),
+    ]);
+    for batch in [1u32, 2, 4, 8] {
+        let trace = TraceGenerator::new(model.clone(), SEED).decode_trace_batched(16, batch);
+        let k = Engine::new(EngineConfig::preset(
+            Framework::KTransformers,
+            model.clone(),
+            0.25,
+        ))
+        .run(&trace);
+        let h = Engine::new(EngineConfig::preset(
+            Framework::HybriMoe,
+            model.clone(),
+            0.25,
+        ))
+        .run(&trace);
+        table.push_row(vec![
+            batch.to_string(),
+            format!("{:.1}", k.mean_step_latency().as_millis_f64()),
+            format!("{:.1}", h.mean_step_latency().as_millis_f64()),
+            format!(
+                "{:.2}x",
+                k.total.as_nanos() as f64 / h.total.as_nanos() as f64
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("takeaway: batching multiplies per-expert loads, moving decode toward the");
+    println!("prefill regime where transfers amortize — the hybrid advantage persists\n");
+}

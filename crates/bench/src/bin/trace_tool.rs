@@ -1,0 +1,95 @@
+//! Trace utility: generate, save, inspect and compare activation traces.
+//!
+//! ```text
+//! trace_tool gen <model> <decode|prefill> <n> <seed> [out.json]
+//! trace_tool stats <trace.json>
+//! ```
+//!
+//! Saved traces replay bit-for-bit through the engine, making experiment
+//! results portable across machines.
+
+use std::fs;
+
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::{stats, ActivationTrace, TraceGenerator};
+
+fn model_by_name(name: &str) -> Option<ModelConfig> {
+    match name {
+        "mixtral" => Some(ModelConfig::mixtral()),
+        "deepseek" => Some(ModelConfig::deepseek()),
+        "qwen2" => Some(ModelConfig::qwen2()),
+        "tiny" => Some(ModelConfig::tiny_test()),
+        _ => None,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  trace_tool gen <mixtral|deepseek|qwen2|tiny> <decode|prefill> <n> <seed> [out.json]");
+    eprintln!("  trace_tool stats <trace.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            if args.len() < 5 {
+                usage();
+            }
+            let Some(model) = model_by_name(&args[1]) else {
+                usage()
+            };
+            let n: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let seed: u64 = args[4].parse().unwrap_or_else(|_| usage());
+            let generator = TraceGenerator::new(model, seed);
+            let trace = match args[2].as_str() {
+                "decode" => generator.decode_trace(n),
+                "prefill" => generator.prefill_trace(n as u32),
+                _ => usage(),
+            };
+            let json = trace.to_json().expect("serializable");
+            match args.get(5) {
+                Some(path) => {
+                    fs::write(path, &json).expect("writable output path");
+                    println!(
+                        "wrote {} steps ({} bytes) to {path}",
+                        trace.steps.len(),
+                        json.len()
+                    );
+                }
+                None => println!("{json}"),
+            }
+        }
+        Some("stats") => {
+            if args.len() < 2 {
+                usage();
+            }
+            let json = fs::read_to_string(&args[1]).expect("readable trace file");
+            let trace = ActivationTrace::from_json(&json).expect("valid trace JSON");
+            print_stats(&trace);
+        }
+        _ => usage(),
+    }
+}
+
+fn print_stats(trace: &ActivationTrace) {
+    println!("model: {}", trace.model_name);
+    println!("seed:  {:#x}", trace.seed);
+    println!("steps: {}", trace.steps.len());
+    println!("layer records: {}", trace.layer_records());
+    let cdf = stats::activation_cdf(trace);
+    if !cdf.is_empty() {
+        let idx = (cdf.len() / 5).max(1) - 1;
+        println!("top-20% expert activation share: {:.1}%", cdf[idx] * 100.0);
+    }
+    println!(
+        "inter-layer similarity (Jaccard): {:.3}",
+        stats::interlayer_similarity(trace)
+    );
+    println!("temporal reuse: {:.3}", stats::temporal_reuse(trace));
+    let reuse = stats::reuse_probability_by_rank(trace);
+    if !reuse.is_empty() {
+        println!("top-rank reuse probability: {:.3}", reuse[0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! # hybrimoe-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! HybriMoE paper's evaluation (see DESIGN.md §4 for the index). Each
+//! binary prints the same rows/series the paper reports:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table2` | Table II — model configurations |
+//! | `fig1`   | Fig. 1 — on-demand vs unbalanced vs balanced timelines |
+//! | `fig3`   | Fig. 3(a)–(f) — motivation measurements |
+//! | `fig5`   | Fig. 5 — worked scheduling example |
+//! | `table3` | Table III — ablation breakdown |
+//! | `fig7`   | Fig. 7 — prefill latency across lengths and cache ratios |
+//! | `fig8`   | Fig. 8 — decode latency across cache ratios |
+//! | `fig9`   | Fig. 9 — MRS vs LRU cache hit rates |
+//!
+//! Run them with `cargo run -p hybrimoe-bench --release --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::TraceGenerator;
+
+/// Number of decode steps used by the decode experiments.
+pub const DECODE_STEPS: usize = 32;
+
+/// The cache ratios of Figs. 7 and 8.
+pub const CACHE_RATIOS: [f64; 3] = [0.25, 0.50, 0.75];
+
+/// The default measurement seed (printed by every binary for
+/// reproducibility).
+pub const SEED: u64 = 0x5EED_2025;
+
+/// Runs a decode stage for `framework` and returns its metrics.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::Framework;
+/// use hybrimoe_model::ModelConfig;
+///
+/// let m = hybrimoe_bench::run_decode(
+///     Framework::HybriMoe, &ModelConfig::tiny_test(), 0.5, 4, 1);
+/// assert_eq!(m.steps.len(), 4);
+/// ```
+pub fn run_decode(
+    framework: Framework,
+    model: &ModelConfig,
+    cache_ratio: f64,
+    steps: usize,
+    seed: u64,
+) -> StageMetrics {
+    let trace = TraceGenerator::new(model.clone(), seed).decode_trace(steps);
+    let mut engine = Engine::new(
+        EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
+    );
+    engine.run(&trace)
+}
+
+/// Runs a prefill stage of `tokens` prompt tokens and returns its metrics.
+pub fn run_prefill(
+    framework: Framework,
+    model: &ModelConfig,
+    cache_ratio: f64,
+    tokens: u32,
+    seed: u64,
+) -> StageMetrics {
+    let trace = TraceGenerator::new(model.clone(), seed).prefill_trace(tokens);
+    let mut engine = Engine::new(
+        EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
+    );
+    engine.run(&trace)
+}
+
+/// Runs a decode stage for an explicit configuration (ablations).
+pub fn run_decode_config(config: EngineConfig, steps: usize, seed: u64) -> StageMetrics {
+    let trace = TraceGenerator::new(config.model.clone(), seed).decode_trace(steps);
+    Engine::new(config).run(&trace)
+}
+
+/// Runs a prefill stage for an explicit configuration (ablations).
+pub fn run_prefill_config(config: EngineConfig, tokens: u32, seed: u64) -> StageMetrics {
+    let trace = TraceGenerator::new(config.model.clone(), seed).prefill_trace(tokens);
+    Engine::new(config).run(&trace)
+}
+
+/// Formats a duration in seconds with three decimals, e.g. `"1.234s"`.
+pub fn secs(d: hybrimoe_hw::SimDuration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats a duration in milliseconds with one decimal, e.g. `"12.3ms"`.
+pub fn millis(d: hybrimoe_hw::SimDuration) -> String {
+    format!("{:.1}ms", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_and_prefill_run_on_tiny_model() {
+        let model = ModelConfig::tiny_test();
+        let d = run_decode(Framework::KTransformers, &model, 0.5, 3, 2);
+        assert_eq!(d.steps.len(), 3);
+        let p = run_prefill(Framework::HybriMoe, &model, 0.5, 16, 2);
+        assert_eq!(p.steps.len(), 1);
+        assert!(p.total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(hybrimoe_hw::SimDuration::from_millis(1500)), "1.500s");
+        assert_eq!(millis(hybrimoe_hw::SimDuration::from_micros(12_340)), "12.3ms");
+    }
+}

@@ -1,0 +1,128 @@
+//! Least-frequently-used replacement.
+
+use std::collections::HashMap;
+
+use hybrimoe_model::{ExpertKey, LayerRouting};
+
+use crate::CachePolicy;
+
+/// LFU with recency tie-break: evicts the resident expert with the fewest
+/// recorded accesses, using the older last-access to break ties.
+///
+/// PowerInfer, llama.cpp and kTransformers manage their caches this way
+/// (paper Table I); frequency is a poor signal for MoE because long-run
+/// expert frequencies are close to uniform (Fig. 3(a)).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_cache::{CachePolicy, Lfu};
+/// use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+///
+/// let mut lfu = Lfu::new();
+/// let a = ExpertKey::new(LayerId(0), ExpertId(0));
+/// let b = ExpertKey::new(LayerId(0), ExpertId(1));
+/// lfu.on_insert(a, 1);
+/// lfu.on_insert(b, 2);
+/// lfu.on_access(a, 3);
+/// lfu.on_access(a, 4);
+/// lfu.on_access(b, 5);
+/// assert_eq!(lfu.choose_victim(&[a, b]), Some(b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Lfu {
+    counts: HashMap<ExpertKey, u64>,
+    last_access: HashMap<ExpertKey, u64>,
+}
+
+impl Lfu {
+    /// Creates an empty LFU policy.
+    pub fn new() -> Self {
+        Lfu::default()
+    }
+}
+
+impl CachePolicy for Lfu {
+    fn name(&self) -> &str {
+        "LFU"
+    }
+
+    fn on_routing(&mut self, _routing: &LayerRouting, _activated_k: u16) {}
+
+    fn on_access(&mut self, key: ExpertKey, now: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.last_access.insert(key, now);
+    }
+
+    fn on_insert(&mut self, key: ExpertKey, now: u64) {
+        self.counts.entry(key).or_insert(0);
+        self.last_access.insert(key, now);
+    }
+
+    fn on_evict(&mut self, key: ExpertKey) {
+        // Frequency history survives eviction (classic LFU keeps global
+        // counts), but recency is reset.
+        self.last_access.remove(&key);
+    }
+
+    fn choose_victim(&mut self, candidates: &[ExpertKey]) -> Option<ExpertKey> {
+        candidates.iter().copied().min_by_key(|k| {
+            (
+                self.counts.get(k).copied().unwrap_or(0),
+                self.last_access.get(k).copied().unwrap_or(0),
+                *k,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::{ExpertId, LayerId};
+
+    fn key(e: u16) -> ExpertKey {
+        ExpertKey::new(LayerId(0), ExpertId(e))
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut lfu = Lfu::new();
+        for k in [key(0), key(1)] {
+            lfu.on_insert(k, 0);
+        }
+        lfu.on_access(key(0), 1);
+        lfu.on_access(key(0), 2);
+        lfu.on_access(key(1), 3);
+        assert_eq!(lfu.choose_victim(&[key(0), key(1)]), Some(key(1)));
+    }
+
+    #[test]
+    fn frequency_ties_break_by_recency() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(key(0), 0);
+        lfu.on_insert(key(1), 0);
+        lfu.on_access(key(0), 10);
+        lfu.on_access(key(1), 20);
+        assert_eq!(lfu.choose_victim(&[key(0), key(1)]), Some(key(0)));
+    }
+
+    #[test]
+    fn counts_survive_eviction() {
+        let mut lfu = Lfu::new();
+        lfu.on_insert(key(0), 0);
+        lfu.on_access(key(0), 1);
+        lfu.on_access(key(0), 2);
+        lfu.on_evict(key(0));
+        lfu.on_insert(key(0), 3);
+        lfu.on_insert(key(1), 3);
+        lfu.on_access(key(1), 4);
+        // key(0) has 2 historical accesses vs key(1)'s 1.
+        assert_eq!(lfu.choose_victim(&[key(0), key(1)]), Some(key(1)));
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        assert_eq!(Lfu::new().choose_victim(&[]), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! # hybrimoe-cache
+//!
+//! The GPU expert cache of the HybriMoE system and its replacement
+//! policies:
+//!
+//! * [`Lru`] — least-recently-used, the baseline the paper compares against
+//!   in Fig. 9 (and the policy AdapMoE uses);
+//! * [`Lfu`] — least-frequently-used, as used by PowerInfer/llama.cpp/
+//!   kTransformers (Table I);
+//! * [`Mrs`] — the paper's score-aware **Minus Recent Score** policy
+//!   (§IV-D): an exponentially averaged routing-score estimate
+//!   `S = α·TopP(s) + (1−α)·S`, evicting the cached expert with the lowest
+//!   estimate.
+//!
+//! The [`ExpertCache`] container tracks which experts are resident in GPU
+//! memory, supports pinning (shared experts are never evicted), and records
+//! hit/miss/eviction statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use hybrimoe_cache::{ExpertCache, Lru};
+//! use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+//!
+//! let mut cache = ExpertCache::new(2, Box::new(Lru::new()));
+//! let a = ExpertKey::new(LayerId(0), ExpertId(0));
+//! let b = ExpertKey::new(LayerId(0), ExpertId(1));
+//! let c = ExpertKey::new(LayerId(0), ExpertId(2));
+//! cache.insert(a);
+//! cache.insert(b);
+//! assert!(cache.lookup(a));   // hit, refreshes A
+//! cache.insert(c);            // evicts B (least recently used)
+//! assert!(cache.contains(a));
+//! assert!(!cache.contains(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod lfu;
+mod lru;
+mod mrs;
+mod policy;
+mod stats;
+
+pub use cache::{ExpertCache, InsertOutcome};
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use mrs::Mrs;
+pub use policy::CachePolicy;
+pub use stats::CacheStats;

@@ -1,0 +1,128 @@
+//! Least-recently-used replacement.
+
+use std::collections::HashMap;
+
+use hybrimoe_model::{ExpertKey, LayerRouting};
+
+use crate::CachePolicy;
+
+/// Classic LRU: evicts the resident expert whose last access is oldest.
+///
+/// This is the baseline of the paper's Fig. 9 comparison and the policy
+/// AdapMoE uses (Table I).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_cache::{CachePolicy, Lru};
+/// use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+///
+/// let mut lru = Lru::new();
+/// let a = ExpertKey::new(LayerId(0), ExpertId(0));
+/// let b = ExpertKey::new(LayerId(0), ExpertId(1));
+/// lru.on_insert(a, 1);
+/// lru.on_insert(b, 2);
+/// lru.on_access(a, 3);
+/// assert_eq!(lru.choose_victim(&[a, b]), Some(b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Lru {
+    last_access: HashMap<ExpertKey, u64>,
+}
+
+impl Lru {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        Lru::default()
+    }
+}
+
+impl CachePolicy for Lru {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn on_routing(&mut self, _routing: &LayerRouting, _activated_k: u16) {}
+
+    fn on_access(&mut self, key: ExpertKey, now: u64) {
+        self.last_access.insert(key, now);
+    }
+
+    fn on_insert(&mut self, key: ExpertKey, now: u64) {
+        self.last_access.insert(key, now);
+    }
+
+    fn on_evict(&mut self, key: ExpertKey) {
+        self.last_access.remove(&key);
+    }
+
+    fn choose_victim(&mut self, candidates: &[ExpertKey]) -> Option<ExpertKey> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|k| (self.last_access.get(k).copied().unwrap_or(0), *k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::{ExpertId, LayerId};
+
+    fn key(l: u16, e: u16) -> ExpertKey {
+        ExpertKey::new(LayerId(l), ExpertId(e))
+    }
+
+    #[test]
+    fn evicts_oldest_access() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(0, 0), 1);
+        lru.on_insert(key(0, 1), 2);
+        lru.on_insert(key(0, 2), 3);
+        lru.on_access(key(0, 0), 4);
+        assert_eq!(
+            lru.choose_victim(&[key(0, 0), key(0, 1), key(0, 2)]),
+            Some(key(0, 1))
+        );
+    }
+
+    #[test]
+    fn unknown_candidates_treated_as_oldest() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(0, 0), 5);
+        assert_eq!(
+            lru.choose_victim(&[key(0, 0), key(0, 9)]),
+            Some(key(0, 9))
+        );
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let mut lru = Lru::new();
+        assert_eq!(lru.choose_victim(&[]), None);
+    }
+
+    #[test]
+    fn eviction_forgets_state() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(0, 0), 10);
+        lru.on_evict(key(0, 0));
+        // Re-inserted later with a fresh timestamp; old one must not linger.
+        lru.on_insert(key(0, 1), 1);
+        assert_eq!(
+            lru.choose_victim(&[key(0, 0), key(0, 1)]),
+            Some(key(0, 0))
+        );
+    }
+
+    #[test]
+    fn ties_break_by_key_order() {
+        let mut lru = Lru::new();
+        lru.on_insert(key(0, 3), 1);
+        lru.on_insert(key(0, 1), 1);
+        assert_eq!(
+            lru.choose_victim(&[key(0, 1), key(0, 3)]),
+            Some(key(0, 1))
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Minus Recent Score (MRS): the paper's score-aware replacement policy.
+
+use std::collections::HashMap;
+
+use hybrimoe_model::{ExpertKey, LayerRouting};
+
+use crate::CachePolicy;
+
+/// The **Minus Recent Score** policy of §IV-D.
+///
+/// Per layer and iteration, the estimated priority score of every expert is
+/// updated from the router's softmax scores `s` (Eq. 3):
+///
+/// ```text
+/// S = α · TopP(s) + (1 − α) · S
+/// ```
+///
+/// where `TopP` keeps only the largest `p` scores of the iteration and
+/// zeroes the rest — the paper observes that reuse probability is flat below
+/// the top scores (Fig. 3(b)), so accumulating small scores would only add
+/// noise. `p` defaults to **twice the number of activated experts** (§IV-D).
+/// The eviction victim is the resident expert with the smallest estimate.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_cache::{CachePolicy, Mrs};
+/// use hybrimoe_model::{ExpertId, ExpertKey, LayerId, LayerRouting, RouterOutput};
+///
+/// let mut mrs = Mrs::new(0.3);
+/// // One token strongly preferring expert 0:
+/// let routing = LayerRouting::from_tokens(
+///     LayerId(0), 4, &[RouterOutput::route(&[4.0, 2.0, 0.0, 0.0], 1)]);
+/// mrs.on_routing(&routing, 1);
+/// let lo = ExpertKey::new(LayerId(0), ExpertId(3));
+/// let hi = ExpertKey::new(LayerId(0), ExpertId(0));
+/// assert_eq!(mrs.choose_victim(&[hi, lo]), Some(lo));
+/// ```
+#[derive(Debug)]
+pub struct Mrs {
+    alpha: f64,
+    p_override: Option<u16>,
+    scores: HashMap<ExpertKey, f64>,
+}
+
+impl Mrs {
+    /// Creates the policy with averaging coefficient `alpha` and the default
+    /// top-P cutoff of `2 × K`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Mrs {
+            alpha,
+            p_override: None,
+            scores: HashMap::new(),
+        }
+    }
+
+    /// Creates the policy with an explicit top-P cutoff instead of `2 × K`
+    /// (used by the ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1` and `p > 0`.
+    pub fn with_top_p(alpha: f64, p: u16) -> Self {
+        assert!(p > 0, "top-p cutoff must be positive");
+        let mut m = Mrs::new(alpha);
+        m.p_override = Some(p);
+        m
+    }
+
+    /// The current estimated priority score of `key` (0 if never routed).
+    pub fn score(&self, key: ExpertKey) -> f64 {
+        self.scores.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// The averaging coefficient α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl CachePolicy for Mrs {
+    fn name(&self) -> &str {
+        "MRS"
+    }
+
+    fn on_routing(&mut self, routing: &LayerRouting, activated_k: u16) {
+        let mean = routing.mean_scores();
+        let p = self
+            .p_override
+            .unwrap_or_else(|| (2 * activated_k).max(1)) as usize;
+        // Find the top-p cutoff value.
+        let mut sorted: Vec<f32> = mean.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let cutoff = sorted
+            .get(p.saturating_sub(1))
+            .copied()
+            .unwrap_or(f32::NEG_INFINITY);
+        // Count how many meet the cutoff to keep exactly p under ties.
+        let mut kept = 0usize;
+        for (i, &s) in mean.iter().enumerate() {
+            let key = ExpertKey::new(routing.layer(), hybrimoe_model::ExpertId(i as u16));
+            let top = s >= cutoff && kept < p && s > 0.0;
+            if top {
+                kept += 1;
+            }
+            let contribution = if top { s as f64 } else { 0.0 };
+            let entry = self.scores.entry(key).or_insert(0.0);
+            *entry = self.alpha * contribution + (1.0 - self.alpha) * *entry;
+        }
+    }
+
+    fn on_access(&mut self, _key: ExpertKey, _now: u64) {}
+
+    fn on_insert(&mut self, _key: ExpertKey, _now: u64) {}
+
+    fn on_evict(&mut self, _key: ExpertKey) {
+        // Scores persist across residency changes: an evicted expert keeps
+        // its estimate and competes normally when re-inserted.
+    }
+
+    fn choose_victim(&mut self, candidates: &[ExpertKey]) -> Option<ExpertKey> {
+        candidates.iter().copied().min_by(|a, b| {
+            let sa = self.score(*a);
+            let sb = self.score(*b);
+            sa.partial_cmp(&sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::{ExpertId, LayerId, RouterOutput};
+
+    fn key(l: u16, e: u16) -> ExpertKey {
+        ExpertKey::new(LayerId(l), ExpertId(e))
+    }
+
+    fn routing_from_logits(layer: u16, logits: &[f32], k: usize) -> LayerRouting {
+        LayerRouting::from_tokens(
+            LayerId(layer),
+            logits.len() as u16,
+            &[RouterOutput::route(logits, k)],
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = Mrs::new(0.0);
+    }
+
+    #[test]
+    fn scores_follow_ewma() {
+        let mut mrs = Mrs::new(0.5);
+        let r = routing_from_logits(0, &[10.0, 0.0, 0.0, 0.0], 1);
+        mrs.on_routing(&r, 1);
+        let s1 = mrs.score(key(0, 0));
+        assert!(s1 > 0.4, "first update should be ~alpha*score, got {s1}");
+        mrs.on_routing(&r, 1);
+        let s2 = mrs.score(key(0, 0));
+        assert!(s2 > s1, "repeated activation grows the estimate");
+        assert!(s2 <= 1.0);
+    }
+
+    #[test]
+    fn non_top_p_scores_decay() {
+        let mut mrs = Mrs::with_top_p(0.5, 1);
+        // Round 1: expert 0 dominates, gets credit.
+        mrs.on_routing(&routing_from_logits(0, &[10.0, 0.0, 0.0, 0.0], 1), 1);
+        let before = mrs.score(key(0, 0));
+        // Round 2: expert 1 dominates; expert 0 is outside top-1 and decays.
+        mrs.on_routing(&routing_from_logits(0, &[0.0, 10.0, 0.0, 0.0], 1), 1);
+        let after = mrs.score(key(0, 0));
+        assert!(after < before);
+        assert!((after - before * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn victim_is_lowest_score() {
+        let mut mrs = Mrs::new(0.3);
+        mrs.on_routing(&routing_from_logits(0, &[3.0, 2.0, 1.0, 0.0], 2), 1);
+        let cands = vec![key(0, 0), key(0, 1), key(0, 3)];
+        assert_eq!(mrs.choose_victim(&cands), Some(key(0, 3)));
+    }
+
+    #[test]
+    fn top_p_defaults_to_twice_k() {
+        let mut mrs = Mrs::new(1.0); // alpha=1: S = TopP(s)
+        // 6 experts, k=1 → p=2: only the top two experts get credit.
+        mrs.on_routing(
+            &routing_from_logits(0, &[5.0, 4.0, 3.0, 2.0, 1.0, 0.0], 1),
+            1,
+        );
+        assert!(mrs.score(key(0, 0)) > 0.0);
+        assert!(mrs.score(key(0, 1)) > 0.0);
+        assert_eq!(mrs.score(key(0, 2)), 0.0);
+        assert_eq!(mrs.score(key(0, 5)), 0.0);
+    }
+
+    #[test]
+    fn scores_are_per_layer() {
+        let mut mrs = Mrs::new(0.5);
+        mrs.on_routing(&routing_from_logits(0, &[10.0, 0.0, 0.0, 0.0], 1), 1);
+        assert!(mrs.score(key(0, 0)) > 0.0);
+        assert_eq!(mrs.score(key(1, 0)), 0.0);
+    }
+
+    #[test]
+    fn scores_survive_eviction() {
+        let mut mrs = Mrs::new(0.5);
+        mrs.on_routing(&routing_from_logits(0, &[10.0, 0.0, 0.0, 0.0], 1), 1);
+        let before = mrs.score(key(0, 0));
+        mrs.on_evict(key(0, 0));
+        assert_eq!(mrs.score(key(0, 0)), before);
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        assert_eq!(Mrs::new(0.3).choose_victim(&[]), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! The cache replacement policy interface.
+
+use std::fmt;
+
+use hybrimoe_model::{ExpertKey, LayerRouting};
+
+/// A cache replacement policy for routed experts.
+///
+/// The policy sees three event streams from the [`ExpertCache`](crate::ExpertCache):
+///
+/// 1. [`on_routing`](CachePolicy::on_routing) — once per layer per
+///    iteration, with the layer's full routing (loads and softmax score
+///    masses). Score-aware policies update their estimates here; the paper's
+///    insight is that *scores of non-activated experts* are predictive too
+///    (§III, Opportunity 1).
+/// 2. [`on_access`](CachePolicy::on_access) / [`on_insert`](CachePolicy::on_insert)
+///    / [`on_evict`](CachePolicy::on_evict) — residency changes.
+/// 3. [`choose_victim`](CachePolicy::choose_victim) — pick which of the
+///    eviction candidates to drop.
+///
+/// Implementations must be deterministic: given the same event sequence and
+/// candidate order they must pick the same victim.
+pub trait CachePolicy: fmt::Debug + Send {
+    /// A short stable name for reports (e.g. `"LRU"`, `"MRS"`).
+    fn name(&self) -> &str;
+
+    /// Observes one layer's routing for the current iteration. `activated_k`
+    /// is the model's number of activated experts per token (the K used to
+    /// derive the top-P cutoff of MRS).
+    fn on_routing(&mut self, routing: &LayerRouting, activated_k: u16);
+
+    /// Observes a cache hit on `key` at logical time `now`.
+    fn on_access(&mut self, key: ExpertKey, now: u64);
+
+    /// Observes `key` becoming resident at logical time `now`.
+    fn on_insert(&mut self, key: ExpertKey, now: u64);
+
+    /// Observes `key` being evicted.
+    fn on_evict(&mut self, key: ExpertKey);
+
+    /// Picks the victim among `candidates` (unpinned resident experts, in
+    /// deterministic ascending key order). Returns `None` only if
+    /// `candidates` is empty.
+    fn choose_victim(&mut self, candidates: &[ExpertKey]) -> Option<ExpertKey>;
+}

@@ -1,0 +1,365 @@
+//! Engine configuration and framework presets.
+
+use hybrimoe_cache::{CachePolicy, Lfu, Lru, Mrs};
+use hybrimoe_hw::Platform;
+use hybrimoe_model::ModelConfig;
+use hybrimoe_sched::baselines::{FixedMappingScheduler, GpuOnlyScheduler, StaticSplitScheduler};
+use hybrimoe_sched::{
+    HybridScheduler, ImpactDrivenPrefetcher, NextLayerTopKPrefetcher, NoPrefetcher, Prefetcher,
+    Scheduler,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which intra-layer scheduler the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// HybriMoE's greedy timeline-filling scheduler (§IV-B).
+    Hybrid,
+    /// kTransformers-style fixed mapping (cached→GPU, uncached→CPU).
+    FixedMapping,
+    /// AdapMoE-style GPU-only with on-demand loading.
+    GpuOnly,
+    /// llama.cpp-style static whole-layer split.
+    StaticSplit,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Hybrid => Box::new(HybridScheduler::new()),
+            SchedulerKind::FixedMapping => Box::new(FixedMappingScheduler::new()),
+            SchedulerKind::GpuOnly => Box::new(GpuOnlyScheduler::new()),
+            SchedulerKind::StaticSplit => Box::new(StaticSplitScheduler::new()),
+        }
+    }
+}
+
+/// Which prefetcher the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    None,
+    /// Probability-ranked prefetch of the next layer's top experts.
+    NextLayerTopK,
+    /// HybriMoE's impact-driven simulation-based prefetch (§IV-C).
+    ImpactDriven,
+}
+
+impl PrefetcherKind {
+    /// Instantiates the prefetcher.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NoPrefetcher::new()),
+            PrefetcherKind::NextLayerTopK => Box::new(NextLayerTopKPrefetcher::new()),
+            PrefetcherKind::ImpactDriven => Box::new(ImpactDrivenPrefetcher::new()),
+        }
+    }
+}
+
+/// Which cache replacement policy the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePolicyKind {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used.
+    Lfu,
+    /// HybriMoE's Minus Recent Score (§IV-D).
+    Mrs,
+}
+
+impl CachePolicyKind {
+    /// Instantiates the policy. `alpha` is the MRS averaging coefficient
+    /// (ignored by LRU/LFU).
+    pub fn build(self, alpha: f64) -> Box<dyn CachePolicy> {
+        match self {
+            CachePolicyKind::Lru => Box::new(Lru::new()),
+            CachePolicyKind::Lfu => Box::new(Lfu::new()),
+            CachePolicyKind::Mrs => Box::new(Mrs::new(alpha)),
+        }
+    }
+}
+
+/// How the cache is filled before measurement starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementKind {
+    /// Whole layers resident from layer 0 up (llama.cpp `-ngl` style).
+    WholeLayers,
+    /// Per-layer quotas filled with the highest-frequency experts of a
+    /// warmup trace (kTransformers style; also the warm start of the
+    /// dynamic frameworks).
+    PerLayerFrequency,
+}
+
+/// The four systems the paper evaluates (§VI-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// llama.cpp: static whole-layer CPU/GPU split, no expert-level
+    /// decisions.
+    LlamaCpp,
+    /// AdapMoE: GPU-centric, adaptive prefetching and LRU caching.
+    AdapMoe,
+    /// kTransformers: fixed hot-expert mapping, CPU computes misses.
+    KTransformers,
+    /// This paper.
+    HybriMoe,
+}
+
+impl Framework {
+    /// All frameworks in the order the paper's figures list them.
+    pub const ALL: [Framework; 4] = [
+        Framework::LlamaCpp,
+        Framework::AdapMoe,
+        Framework::KTransformers,
+        Framework::HybriMoe,
+    ];
+
+    /// A short stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Framework::LlamaCpp => "llama.cpp",
+            Framework::AdapMoe => "AdapMoE",
+            Framework::KTransformers => "KTransformers",
+            Framework::HybriMoe => "HybriMoE",
+        }
+    }
+}
+
+impl std::fmt::Display for Framework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of an [`Engine`](crate::Engine).
+///
+/// Use [`EngineConfig::preset`] for the paper's frameworks and the builder
+/// methods for ablations.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::{EngineConfig, Framework, SchedulerKind};
+/// use hybrimoe_model::ModelConfig;
+///
+/// // kTransformers baseline with only the hybrid scheduler enabled
+/// // (the "Baseline+Scheduling" row of Table III):
+/// let config = EngineConfig::preset(Framework::KTransformers, ModelConfig::qwen2(), 0.25)
+///     .with_scheduler(SchedulerKind::Hybrid);
+/// assert_eq!(config.scheduler, SchedulerKind::Hybrid);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The model architecture.
+    pub model: ModelConfig,
+    /// The hardware platform.
+    pub platform: Platform,
+    /// Fraction of all routed experts the GPU cache holds (25/50/75 % in
+    /// the paper).
+    pub cache_ratio: f64,
+    /// Intra-layer scheduler.
+    pub scheduler: SchedulerKind,
+    /// Inter-layer prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Cache replacement policy.
+    pub cache_policy: CachePolicyKind,
+    /// Initial cache placement.
+    pub placement: PlacementKind,
+    /// Whether the initial placement is pinned (static mapping; kTrans and
+    /// llama.cpp never change their placement).
+    pub pinned: bool,
+    /// Whether missed experts computed on the CPU are refilled into the
+    /// cache over leftover idle PCIe time (part of the paper's cache
+    /// management; static frameworks have it off).
+    pub refill_on_miss: bool,
+    /// Whether on-demand transfers enter the cache. kTransformers and
+    /// llama.cpp keep their placements static and discard on-demand loads;
+    /// AdapMoE and HybriMoE cache them.
+    pub demand_inserts: bool,
+    /// Whether cache insertions during a *prefill* batch may evict resident
+    /// experts. HybriMoE restricts prefill insertions to free slots (each
+    /// layer runs once per pass, so evicting a later layer's expert is
+    /// strictly harmful); AdapMoE's LRU caches every on-demand load
+    /// unconditionally, which is one reason its prefill trails.
+    pub prefill_evict_inserts: bool,
+    /// Whether attention runs on the CPU for CPU-mapped layers (llama.cpp
+    /// semantics) instead of always on the GPU.
+    pub attention_follows_layer: bool,
+    /// MRS averaging coefficient α (Eq. 3).
+    pub mrs_alpha: f64,
+    /// Seed for the warmup trace that drives initial placement.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// The configuration of one of the paper's frameworks.
+    pub fn preset(framework: Framework, model: ModelConfig, cache_ratio: f64) -> EngineConfig {
+        let platform = Platform::a6000_xeon10();
+        let base = EngineConfig {
+            model,
+            platform,
+            cache_ratio,
+            scheduler: SchedulerKind::Hybrid,
+            prefetcher: PrefetcherKind::ImpactDriven,
+            cache_policy: CachePolicyKind::Mrs,
+            placement: PlacementKind::PerLayerFrequency,
+            pinned: false,
+            refill_on_miss: true,
+            demand_inserts: true,
+            prefill_evict_inserts: false,
+            attention_follows_layer: false,
+            mrs_alpha: 0.3,
+            seed: 0xB0B,
+        };
+        match framework {
+            Framework::HybriMoe => base,
+            Framework::KTransformers => EngineConfig {
+                scheduler: SchedulerKind::FixedMapping,
+                prefetcher: PrefetcherKind::None,
+                cache_policy: CachePolicyKind::Lfu,
+                pinned: true,
+                refill_on_miss: false,
+                demand_inserts: false,
+                ..base
+            },
+            Framework::AdapMoe => EngineConfig {
+                scheduler: SchedulerKind::GpuOnly,
+                prefetcher: PrefetcherKind::NextLayerTopK,
+                cache_policy: CachePolicyKind::Lru,
+                pinned: false,
+                refill_on_miss: false,
+                prefill_evict_inserts: true,
+                ..base
+            },
+            Framework::LlamaCpp => EngineConfig {
+                scheduler: SchedulerKind::StaticSplit,
+                prefetcher: PrefetcherKind::None,
+                cache_policy: CachePolicyKind::Lfu,
+                placement: PlacementKind::WholeLayers,
+                pinned: true,
+                refill_on_miss: false,
+                demand_inserts: false,
+                attention_follows_layer: true,
+                ..base
+            },
+        }
+    }
+
+    /// Overrides the platform (default: the paper's A6000 + Xeon).
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Overrides the scheduler (ablations).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        // A dynamic scheduler implies a dynamic cache: its transfers are
+        // worth keeping.
+        if scheduler == SchedulerKind::Hybrid || scheduler == SchedulerKind::GpuOnly {
+            self.pinned = false;
+            self.demand_inserts = true;
+        }
+        self
+    }
+
+    /// Overrides the prefetcher (ablations).
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
+        self.prefetcher = prefetcher;
+        if prefetcher != PrefetcherKind::None {
+            self.pinned = false;
+        }
+        self
+    }
+
+    /// Overrides the cache policy (ablations). Enables dynamic cache
+    /// management (unpinned, demand inserts, refill-on-miss).
+    pub fn with_cache_policy(mut self, policy: CachePolicyKind) -> Self {
+        self.cache_policy = policy;
+        self.pinned = false;
+        self.refill_on_miss = true;
+        self.demand_inserts = true;
+        self
+    }
+
+    /// Overrides the measurement seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cache capacity in experts implied by the ratio.
+    pub fn cache_capacity(&self) -> usize {
+        self.model.cache_capacity_for_ratio(self.cache_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_along_the_table1_axes() {
+        let m = ModelConfig::deepseek();
+        let h = EngineConfig::preset(Framework::HybriMoe, m.clone(), 0.25);
+        let k = EngineConfig::preset(Framework::KTransformers, m.clone(), 0.25);
+        let a = EngineConfig::preset(Framework::AdapMoe, m.clone(), 0.25);
+        let l = EngineConfig::preset(Framework::LlamaCpp, m, 0.25);
+
+        assert_eq!(h.scheduler, SchedulerKind::Hybrid);
+        assert_eq!(k.scheduler, SchedulerKind::FixedMapping);
+        assert_eq!(a.scheduler, SchedulerKind::GpuOnly);
+        assert_eq!(l.scheduler, SchedulerKind::StaticSplit);
+
+        assert!(k.pinned && l.pinned);
+        assert!(!h.pinned && !a.pinned);
+        assert_eq!(h.cache_policy, CachePolicyKind::Mrs);
+        assert_eq!(a.cache_policy, CachePolicyKind::Lru);
+        assert!(l.attention_follows_layer);
+    }
+
+    #[test]
+    fn ablation_builders_unpin() {
+        let m = ModelConfig::qwen2();
+        let c = EngineConfig::preset(Framework::KTransformers, m, 0.25)
+            .with_scheduler(SchedulerKind::Hybrid);
+        assert!(!c.pinned);
+        assert_eq!(c.prefetcher, PrefetcherKind::None);
+    }
+
+    #[test]
+    fn cache_capacity_follows_ratio() {
+        let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::mixtral(), 0.5);
+        assert_eq!(c.cache_capacity(), 128);
+    }
+
+    #[test]
+    fn kinds_build_components() {
+        for s in [
+            SchedulerKind::Hybrid,
+            SchedulerKind::FixedMapping,
+            SchedulerKind::GpuOnly,
+            SchedulerKind::StaticSplit,
+        ] {
+            assert!(!s.build().name().is_empty());
+        }
+        for p in [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLayerTopK,
+            PrefetcherKind::ImpactDriven,
+        ] {
+            assert!(!p.build().name().is_empty());
+        }
+        for c in [CachePolicyKind::Lru, CachePolicyKind::Lfu, CachePolicyKind::Mrs] {
+            assert!(!c.build(0.3).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn framework_names_unique() {
+        let names: std::collections::HashSet<_> =
+            Framework::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(Framework::HybriMoe.to_string(), "HybriMoE");
+    }
+}

@@ -1,0 +1,565 @@
+//! The HybriMoE inference engine.
+
+use hybrimoe_cache::{CacheStats, ExpertCache};
+use hybrimoe_hw::{AffineCostModel, CostModel, Device, PlanExecutor, SimDuration};
+use hybrimoe_model::{ExpertKey, LayerId};
+use hybrimoe_sched::{
+    ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, Scheduler,
+};
+use hybrimoe_trace::{ActivationTrace, TraceGenerator, TraceStep};
+
+use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
+
+/// Runs MoE inference over activation traces on the modeled hybrid
+/// platform, with pluggable scheduler, prefetcher and cache policy.
+///
+/// The engine mirrors the paper's per-layer loop: route → look up the cache
+/// → schedule the activated experts across CPU/GPU/PCIe → execute → update
+/// the cache with on-demand transfers → use idle PCIe time for prefetching
+/// (and cache refill). The warmup phase (§IV-A) happens in [`Engine::new`]:
+/// a short calibration trace drives the initial cache placement and primes
+/// the score estimates of the cache policy.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::{Engine, EngineConfig, Framework};
+/// use hybrimoe_model::ModelConfig;
+/// use hybrimoe_trace::TraceGenerator;
+///
+/// let model = ModelConfig::deepseek();
+/// let mut hybri = Engine::new(EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25));
+/// let mut ktrans = Engine::new(EngineConfig::preset(Framework::KTransformers, model.clone(), 0.25));
+/// let trace = TraceGenerator::new(model, 7).decode_trace(4);
+/// let a = hybri.run(&trace);
+/// let b = ktrans.run(&trace);
+/// assert!(a.total <= b.total); // HybriMoE never loses to the fixed mapping
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cost: AffineCostModel,
+    cache: ExpertCache,
+    scheduler: Box<dyn Scheduler>,
+    prefetcher: Box<dyn Prefetcher>,
+    /// Number of fully GPU-resident layers (whole-layer placement).
+    resident_layers: u16,
+    /// Background PCIe transfers in flight (prefetches and refills), each
+    /// with its remaining wire time. Background transfers pipeline across
+    /// layer boundaries: a Mixtral-sized expert takes longer than one
+    /// decode layer, so restricting transfers to a single layer's idle
+    /// window would starve prefetching entirely.
+    inflight: std::collections::VecDeque<(ExpertKey, SimDuration)>,
+}
+
+/// Maximum queued background transfers; keeps prefetches from going stale.
+const MAX_INFLIGHT: usize = 4;
+
+impl Engine {
+    /// Builds the engine and runs the warmup phase (initial placement and
+    /// policy priming).
+    pub fn new(config: EngineConfig) -> Engine {
+        let cost = AffineCostModel::from_platform(&config.platform);
+        let capacity = config.cache_capacity();
+        let policy = config.cache_policy.build(config.mrs_alpha);
+        let mut cache = ExpertCache::new(capacity, policy);
+
+        let mut resident_layers = 0u16;
+        match config.placement {
+            PlacementKind::WholeLayers => {
+                resident_layers =
+                    (capacity / config.model.routed_experts.max(1) as usize) as u16;
+                for l in 0..resident_layers.min(config.model.layers) {
+                    for e in 0..config.model.routed_experts {
+                        let key = ExpertKey::new(
+                            LayerId(l),
+                            hybrimoe_model::ExpertId(e),
+                        );
+                        cache.insert(key);
+                        if config.pinned {
+                            cache.pin(key);
+                        }
+                    }
+                }
+            }
+            PlacementKind::PerLayerFrequency => {
+                place_by_frequency(&mut cache, &config);
+            }
+        }
+        cache.reset_stats();
+
+        Engine {
+            scheduler: config.scheduler.build(),
+            prefetcher: config.prefetcher.build(),
+            cost,
+            cache,
+            config,
+            resident_layers,
+            inflight: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The current cache (resident set and statistics).
+    pub fn cache(&self) -> &ExpertCache {
+        &self.cache
+    }
+
+    /// Runs every step of `trace` and returns the stage metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace was generated for a different model (layer or
+    /// expert counts disagree).
+    pub fn run(&mut self, trace: &ActivationTrace) -> StageMetrics {
+        let before = self.cache.stats();
+        let steps: Vec<StepMetrics> = trace.steps.iter().map(|s| self.run_step(s)).collect();
+        let after = self.cache.stats();
+        StageMetrics::from_steps(steps, diff_stats(before, after))
+    }
+
+    /// Runs one forward pass (a decode token or a prefill batch).
+    pub fn run_step(&mut self, step: &TraceStep) -> StepMetrics {
+        assert_eq!(
+            step.layers.len(),
+            self.config.model.layers as usize,
+            "trace was generated for a different model"
+        );
+        let model = self.config.model.clone();
+        let tokens = step.tokens;
+        let routed_profile = model.routed_profile();
+        let shared_profile = model.shared_profile();
+        let attn_profile = model.attention_profile();
+        let k = model.activated_experts;
+
+        let mut latency = SimDuration::ZERO;
+        let mut busy = [SimDuration::ZERO; 3];
+        let mut cpu_experts = 0u32;
+        let mut gpu_experts = 0u32;
+        let mut demand_transfers = 0u32;
+        let mut prefetches = 0u32;
+
+        for (l, rec) in step.layers.iter().enumerate() {
+            let layer = LayerId(l as u16);
+            // 1. The cache policy observes the routing scores (Eq. 3).
+            self.cache.note_routing(&rec.routing, k);
+
+            // 2. Non-MoE work (attention, norms). llama.cpp runs it on the
+            // device the layer is mapped to at decode — for prefill batches
+            // even CPU layers push the heavy matmuls to the GPU (cuBLAS
+            // offload). Everyone else keeps it on the GPU.
+            let prefill_batch =
+                tokens >= hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD;
+            let attn_on_gpu = !self.config.attention_follows_layer
+                || prefill_batch
+                || self.layer_resident(layer);
+            let attn_time = if attn_on_gpu {
+                self.cost.gpu_compute(&attn_profile, tokens)
+            } else {
+                self.cost.cpu_compute(&attn_profile, tokens, false)
+            };
+            busy[if attn_on_gpu {
+                Device::Gpu.index()
+            } else {
+                Device::Cpu.index()
+            }] += attn_time;
+
+            // 3. Cache lookups define the task set.
+            let tasks: Vec<ExpertTask> = rec
+                .routing
+                .activated()
+                .into_iter()
+                .map(|(expert, load)| {
+                    let cached = self.cache.lookup(ExpertKey::new(layer, expert));
+                    ExpertTask {
+                        expert,
+                        load,
+                        cached,
+                    }
+                })
+                .collect();
+
+            // 4. Schedule and execute the layer.
+            let ctx = ScheduleContext::new(
+                layer,
+                tokens,
+                &tasks,
+                routed_profile,
+                shared_profile,
+                &self.cost,
+            );
+            let plan = self.scheduler.schedule(&ctx);
+            debug_assert_eq!(plan.validate(&tasks), Ok(()), "invalid plan from scheduler");
+            let executed = PlanExecutor::new()
+                .execute(plan.to_ops(&ctx))
+                .expect("plans lower to acyclic ops");
+            let moe_makespan = executed.makespan;
+
+            cpu_experts += plan.cpu_order.len() as u32;
+            gpu_experts += plan.gpu_order.len() as u32;
+            demand_transfers += plan.pcie_order.len() as u32;
+            for d in Device::ALL {
+                busy[d.index()] += executed.timelines.get(d).busy_time();
+            }
+
+            // 5. On-demand transfers become resident (may evict per policy,
+            // but never the experts of the layer in flight). llama.cpp-style
+            // streamed weights (transfer_profile set) are discarded after
+            // the matmul and never enter the cache.
+            let protect: Vec<ExpertKey> = tasks
+                .iter()
+                .map(|t| ExpertKey::new(layer, t.expert))
+                .collect();
+            // During a prefill batch each layer is visited exactly once, so
+            // evicting a placed expert of a *later* layer to cache a
+            // transfer is strictly harmful within the pass; inserts go to
+            // free slots only ("subject to free cache space", §IV-C). At
+            // decode, temporal reuse justifies eviction-based insertion.
+            let evict_ok = !prefill_batch || self.config.prefill_evict_inserts;
+            if plan.transfer_profile.is_none() && self.config.demand_inserts {
+                for e in plan.transferred_experts() {
+                    let key = ExpertKey::new(layer, e);
+                    if evict_ok {
+                        self.cache.insert_protected(key, &protect);
+                    } else {
+                        self.cache.insert_if_free(key);
+                    }
+                }
+            }
+
+            // 6. Idle PCIe time advances background transfers (prefetches
+            // and cache refills), which pipeline across layer boundaries.
+            let pcie_busy = executed.timelines.get(Device::Pcie).busy_time();
+            let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
+            let transfer_time = self.cost.transfer(&routed_profile);
+
+            budget =
+                self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
+
+            // Enqueue new prefetch candidates for the predicted layers.
+            let queue_slots = MAX_INFLIGHT.saturating_sub(self.inflight.len());
+            if queue_slots > 0 && !rec.predicted.is_empty() {
+                let lookahead = self.build_lookahead(rec);
+                let pctx = PrefetchContext {
+                    current_layer: layer,
+                    lookahead: &lookahead,
+                    free_slots: queue_slots,
+                    budget: transfer_time * queue_slots as u64,
+                    tokens,
+                    routed_profile,
+                    shared_profile,
+                    cost: &self.cost,
+                };
+                for key in self.prefetcher.plan(&pctx) {
+                    self.enqueue_background(key, transfer_time);
+                }
+            }
+
+            // Refill the highest-scoring missed experts of this layer
+            // (background cache update; temporal reuse makes recently
+            // missed experts likely to be needed again).
+            if self.config.refill_on_miss {
+                let scores = rec.routing.mean_scores();
+                let mut missed: Vec<&ExpertTask> =
+                    tasks.iter().filter(|t| !t.cached).collect();
+                missed.retain(|t| !plan.transferred_experts().any(|e| e == t.expert));
+                missed.sort_by(|a, b| {
+                    let sa = scores.get(a.expert.0 as usize).copied().unwrap_or(0.0);
+                    let sb = scores.get(b.expert.0 as usize).copied().unwrap_or(0.0);
+                    sb.partial_cmp(&sa)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.expert.cmp(&b.expert))
+                });
+                for t in missed {
+                    self.enqueue_background(ExpertKey::new(layer, t.expert), transfer_time);
+                }
+            }
+
+            // Newly enqueued transfers may start in this layer's leftover
+            // idle time.
+            self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
+
+            latency += attn_time + moe_makespan;
+        }
+
+        StepMetrics {
+            tokens,
+            latency,
+            device_busy: busy,
+            cpu_experts,
+            gpu_experts,
+            demand_transfers,
+            prefetches,
+        }
+    }
+
+    /// Spends idle PCIe `budget` on the in-flight background transfers;
+    /// completed ones become resident (evicting per policy only when
+    /// `evict_ok`; prefill passes insert into free slots only). Returns the
+    /// leftover budget.
+    fn drain_inflight(
+        &mut self,
+        mut budget: SimDuration,
+        evict_ok: bool,
+        protect: &[ExpertKey],
+        busy: &mut [SimDuration; 3],
+        prefetches: &mut u32,
+    ) -> SimDuration {
+        while budget > SimDuration::ZERO {
+            let Some((key, remaining)) = self.inflight.front_mut() else {
+                break;
+            };
+            if *remaining > budget {
+                *remaining -= budget;
+                busy[Device::Pcie.index()] += budget;
+                return SimDuration::ZERO;
+            }
+            budget -= *remaining;
+            busy[Device::Pcie.index()] += *remaining;
+            let key = *key;
+            self.inflight.pop_front();
+            let outcome = if evict_ok {
+                self.cache.insert_protected(key, protect)
+            } else {
+                self.cache.insert_if_free(key)
+            };
+            if outcome.is_resident() {
+                *prefetches += 1;
+            }
+        }
+        budget
+    }
+
+    /// Queues a background transfer unless the expert is already resident,
+    /// already queued, or the queue is full.
+    fn enqueue_background(&mut self, key: ExpertKey, transfer_time: SimDuration) {
+        if self.inflight.len() >= MAX_INFLIGHT
+            || self.cache.contains(key)
+            || self.inflight.iter().any(|(k, _)| *k == key)
+        {
+            return;
+        }
+        self.inflight.push_back((key, transfer_time));
+    }
+
+    /// Whether every routed expert of `layer` is resident (whole-layer
+    /// mapping semantics).
+    fn layer_resident(&self, layer: LayerId) -> bool {
+        if self.config.placement == PlacementKind::WholeLayers {
+            return layer.0 < self.resident_layers;
+        }
+        self.cache.cached_in_layer(layer).len() == self.config.model.routed_experts as usize
+    }
+
+    /// Converts a record's predicted routings into prefetch inputs with
+    /// current cache residency.
+    fn build_lookahead(&self, rec: &hybrimoe_trace::LayerRecord) -> Vec<PredictedLayer> {
+        rec.predicted
+            .iter()
+            .map(|routing| {
+                let layer = routing.layer();
+                let tasks = routing
+                    .activated()
+                    .into_iter()
+                    .map(|(expert, load)| ExpertTask {
+                        expert,
+                        load,
+                        cached: self.cache.contains(ExpertKey::new(layer, expert)),
+                    })
+                    .collect();
+                PredictedLayer {
+                    layer,
+                    tasks,
+                    scores: routing.mean_scores(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Initial placement: fill per-layer quotas with the experts that were
+/// activated most often in a short warmup trace.
+fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
+    let model = &config.model;
+    let capacity = cache.capacity();
+    if capacity == 0 {
+        return;
+    }
+    let warm_trace =
+        TraceGenerator::new(model.clone(), config.seed ^ 0x57A2_77A2).decode_trace(24);
+
+    let layers = model.layers as usize;
+    let experts = model.routed_experts as usize;
+    let mut counts = vec![0u32; layers * experts];
+    for step in &warm_trace.steps {
+        for (l, rec) in step.layers.iter().enumerate() {
+            for (e, _) in rec.routing.activated() {
+                counts[l * experts + e.0 as usize] += 1;
+            }
+        }
+    }
+
+    // Even per-layer quotas; earlier layers absorb the remainder.
+    let base = capacity / layers;
+    let remainder = capacity % layers;
+    for l in 0..layers {
+        let quota = base + usize::from(l < remainder);
+        let mut ranked: Vec<(u32, u16)> = (0..experts)
+            .map(|e| (counts[l * experts + e], e as u16))
+            .collect();
+        ranked.sort_by_key(|(c, e)| (std::cmp::Reverse(*c), *e));
+        for (_, e) in ranked.into_iter().take(quota.min(experts)) {
+            let key = ExpertKey::new(LayerId(l as u16), hybrimoe_model::ExpertId(e));
+            cache.insert(key);
+            if config.pinned {
+                cache.pin(key);
+            }
+        }
+    }
+
+    // Prime score/recency estimates with the warmup routings.
+    for step in &warm_trace.steps {
+        for rec in &step.layers {
+            cache.note_routing(&rec.routing, model.activated_experts);
+        }
+    }
+}
+
+/// The counter delta between two stats snapshots.
+fn diff_stats(before: CacheStats, after: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        insertions: after.insertions - before.insertions,
+        evictions: after.evictions - before.evictions,
+        prefetch_insertions: after.prefetch_insertions - before.prefetch_insertions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Framework;
+    use hybrimoe_model::ModelConfig;
+
+    fn tiny_engine(framework: Framework, ratio: f64) -> Engine {
+        Engine::new(EngineConfig::preset(
+            framework,
+            ModelConfig::tiny_test(),
+            ratio,
+        ))
+    }
+
+    fn tiny_trace(seed: u64, steps: usize) -> ActivationTrace {
+        TraceGenerator::new(ModelConfig::tiny_test(), seed).decode_trace(steps)
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let trace = tiny_trace(3, 6);
+        let a = tiny_engine(Framework::HybriMoe, 0.5).run(&trace);
+        let b = tiny_engine(Framework::HybriMoe, 0.5).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_fills_to_capacity() {
+        for f in Framework::ALL {
+            let e = tiny_engine(f, 0.5);
+            let expected = match f {
+                // llama.cpp rounds down to whole layers: 16 slots = 2 layers
+                // of 8.
+                Framework::LlamaCpp => 16,
+                _ => 16,
+            };
+            assert_eq!(e.cache().len(), expected, "{f}");
+        }
+    }
+
+    #[test]
+    fn pinned_frameworks_keep_their_placement() {
+        let trace = tiny_trace(5, 8);
+        let mut e = tiny_engine(Framework::KTransformers, 0.25);
+        let before: Vec<ExpertKey> = e.cache().resident_keys().collect();
+        e.run(&trace);
+        let after: Vec<ExpertKey> = e.cache().resident_keys().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn dynamic_framework_updates_cache() {
+        let trace = tiny_trace(5, 8);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.25);
+        let metrics = e.run(&trace);
+        assert!(
+            metrics.cache.insertions > 0,
+            "dynamic cache must take insertions: {:?}",
+            metrics.cache
+        );
+    }
+
+    #[test]
+    fn hybrimoe_not_slower_than_ktransformers() {
+        let trace = tiny_trace(7, 10);
+        let h = tiny_engine(Framework::HybriMoe, 0.25).run(&trace);
+        let k = tiny_engine(Framework::KTransformers, 0.25).run(&trace);
+        assert!(h.total <= k.total, "hybri {} vs ktrans {}", h.total, k.total);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_capacity() {
+        let trace = tiny_trace(9, 12);
+        let lo = tiny_engine(Framework::KTransformers, 0.25).run(&trace);
+        let hi = tiny_engine(Framework::KTransformers, 0.75).run(&trace);
+        assert!(hi.hit_rate() >= lo.hit_rate());
+    }
+
+    #[test]
+    fn full_cache_means_all_hits_and_gpu_only() {
+        let trace = tiny_trace(11, 5);
+        let m = tiny_engine(Framework::HybriMoe, 1.0).run(&trace);
+        assert!((m.hit_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(m.demand_transfers(), 0);
+    }
+
+    #[test]
+    fn prefill_step_counts_tokens() {
+        let model = ModelConfig::tiny_test();
+        let trace = TraceGenerator::new(model.clone(), 13).prefill_trace(32);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        let m = e.run(&trace);
+        assert_eq!(m.steps.len(), 1);
+        assert_eq!(m.steps[0].tokens, 32);
+        assert!(m.total > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn wrong_model_trace_rejected() {
+        let trace = TraceGenerator::new(ModelConfig::deepseek(), 1).decode_trace(1);
+        tiny_engine(Framework::HybriMoe, 0.5).run(&trace);
+    }
+
+    #[test]
+    fn stats_are_per_run() {
+        let trace = tiny_trace(15, 4);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        let a = e.run(&trace);
+        let b = e.run(&trace);
+        // Each run reports its own lookups (same trace length).
+        assert_eq!(a.cache.lookups(), b.cache.lookups());
+    }
+
+    #[test]
+    fn zero_capacity_runs_cpu_only() {
+        let trace = tiny_trace(17, 4);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.0);
+        let m = e.run(&trace);
+        assert_eq!(m.hit_rate(), 0.0);
+        assert!(m.total > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text report tables for experiment binaries and examples.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::report::Table;
+///
+/// let mut t = Table::new(vec!["model".into(), "latency".into()]);
+/// t.push_row(vec!["DeepSeek".into(), "1.23s".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("DeepSeek"));
+/// assert!(s.contains("model"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn push_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > w[i] {
+                    w[i] = cell.len();
+                }
+            }
+        }
+        w
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push('\n');
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for w in &widths {
+                write!(f, "+-{}-", "-".repeat(*w))?;
+            }
+            writeln!(f, "+")
+        };
+        line(f)?;
+        for (h, w) in self.headers.iter().zip(widths.iter()) {
+            write!(f, "| {h:w$} ")?;
+        }
+        writeln!(f, "|")?;
+        line(f)?;
+        for row in &self.rows {
+            for (cell, w) in row.iter().zip(widths.iter()) {
+                write!(f, "| {cell:w$} ")?;
+            }
+            writeln!(f, "|")?;
+        }
+        line(f)
+    }
+}
+
+/// Formats a speedup factor as e.g. `"1.33x"`.
+pub fn speedup(baseline_ns: u64, ours_ns: u64) -> String {
+    if ours_ns == 0 {
+        return "inf".to_owned();
+    }
+    format!("{:.2}x", baseline_ns as f64 / ours_ns as f64)
+}
+
+/// Formats a fraction as a percentage, e.g. `"45.0%"`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.push_row(vec!["xxx".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.contains("xxx"));
+        // Header separator lines exist.
+        assert!(s.contains("+-"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["h1".into(), "h2".into()]);
+        t.push_row(vec!["a".into(), "b".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| h1 | h2 |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| a | b |"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(speedup(200, 100), "2.00x");
+        assert_eq!(speedup(100, 0), "inf");
+        assert_eq!(percent(0.4567), "45.7%");
+    }
+}

@@ -1,0 +1,93 @@
+//! Warmup-phase calibration output.
+//!
+//! The paper's system "begins with a warmup phase to collect essential
+//! performance metrics, such as CPU and GPU processing speeds and data
+//! transfer latency" (§IV-A). In this reproduction the CPU side is measured
+//! for real by `hybrimoe-kernels`; the result is carried in a
+//! [`CalibrationProfile`] and folded into a
+//! [`Platform`](crate::Platform) via
+//! [`Platform::with_calibration`](crate::Platform::with_calibration).
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimDuration;
+
+/// Measured CPU performance parameters from a warmup run.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{CalibrationProfile, Platform, SimDuration};
+///
+/// let cal = CalibrationProfile {
+///     cpu_gflops: 200.0,
+///     cpu_mem_bw_gbps: 60.0,
+///     cpu_task_overhead: SimDuration::from_micros(20),
+///     cpu_cold_penalty: SimDuration::from_micros(150),
+///     samples: 32,
+/// };
+/// let platform = Platform::a6000_xeon10().with_calibration(&cal);
+/// assert_eq!(platform.cpu_gflops, 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationProfile {
+    /// Measured effective CPU throughput, in GFLOP/s.
+    pub cpu_gflops: f64,
+    /// Measured effective CPU memory bandwidth, in GB/s.
+    pub cpu_mem_bw_gbps: f64,
+    /// Measured per-task dispatch overhead.
+    pub cpu_task_overhead: SimDuration,
+    /// Measured first-task cold penalty.
+    pub cpu_cold_penalty: SimDuration,
+    /// Number of measurement samples that produced this profile.
+    pub samples: u32,
+}
+
+impl CalibrationProfile {
+    /// Whether the measured values are physically plausible (positive finite
+    /// rates). Used to reject degenerate warmup runs.
+    pub fn is_plausible(&self) -> bool {
+        self.cpu_gflops.is_finite()
+            && self.cpu_gflops > 0.0
+            && self.cpu_mem_bw_gbps.is_finite()
+            && self.cpu_mem_bw_gbps > 0.0
+            && self.samples > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CalibrationProfile {
+        CalibrationProfile {
+            cpu_gflops: 150.0,
+            cpu_mem_bw_gbps: 40.0,
+            cpu_task_overhead: SimDuration::from_micros(10),
+            cpu_cold_penalty: SimDuration::from_micros(100),
+            samples: 8,
+        }
+    }
+
+    #[test]
+    fn plausibility() {
+        assert!(sample().is_plausible());
+        let mut bad = sample();
+        bad.cpu_gflops = 0.0;
+        assert!(!bad.is_plausible());
+        let mut nan = sample();
+        nan.cpu_mem_bw_gbps = f64::NAN;
+        assert!(!nan.is_plausible());
+        let mut empty = sample();
+        empty.samples = 0;
+        assert!(!empty.is_plausible());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CalibrationProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,301 @@
+//! Expert cost models.
+//!
+//! A [`CostModel`] answers the three questions every scheduling decision in
+//! HybriMoE reduces to: how long does this expert take on the CPU for a given
+//! token load, how long on the GPU, and how long to move its weights over
+//! PCIe. The shapes follow the paper's measurements (Fig. 3(e)/(f)):
+//!
+//! * CPU time grows **linearly** with the token workload, with a cold-start
+//!   penalty on the first expert of a burst and a memory-bandwidth floor for
+//!   tiny loads (a GEMV must stream the full weight matrix once);
+//! * GPU time is **nearly flat** in the workload until the GPU saturates,
+//!   dominated by a launch overhead for small loads;
+//! * transfer time is **constant per expert** (weight bytes over PCIe).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Platform, SimDuration};
+
+/// The static cost-relevant description of one expert.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::ExpertProfile;
+///
+/// // A Mixtral-sized expert: three 4096x14336 matrices at ~4.5 bits/weight.
+/// let e = ExpertProfile::new(99_090_432, 352_321_536);
+/// assert!(e.bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExpertProfile {
+    bytes: u64,
+    flops_per_token: u64,
+}
+
+impl ExpertProfile {
+    /// Creates a profile from the quantized weight size in bytes and the
+    /// floating-point operations one token's forward pass costs.
+    pub const fn new(bytes: u64, flops_per_token: u64) -> Self {
+        ExpertProfile {
+            bytes,
+            flops_per_token,
+        }
+    }
+
+    /// Quantized weight bytes that a PCIe transfer must move.
+    pub const fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// FLOPs required to push one token through this expert.
+    pub const fn flops_per_token(&self) -> u64 {
+        self.flops_per_token
+    }
+}
+
+/// Predicts expert execution and transfer times on the hybrid platform.
+///
+/// Implementations must be monotone: more tokens never cost less time on
+/// either compute device.
+pub trait CostModel: fmt::Debug + Send + Sync {
+    /// Time to compute `tokens` tokens of this expert on the CPU.
+    ///
+    /// `warm` is false for the first CPU expert of a burst, which pays an
+    /// extra cold-start penalty (paper Fig. 3(e)).
+    fn cpu_compute(&self, expert: &ExpertProfile, tokens: u32, warm: bool) -> SimDuration;
+
+    /// Time to compute `tokens` tokens of this expert on the GPU, assuming
+    /// its weights are resident in GPU memory.
+    fn gpu_compute(&self, expert: &ExpertProfile, tokens: u32) -> SimDuration;
+
+    /// Time to move this expert's weights from host to GPU memory.
+    fn transfer(&self, expert: &ExpertProfile) -> SimDuration;
+}
+
+/// The analytic cost model derived from a [`Platform`] description.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{AffineCostModel, CostModel, ExpertProfile, Platform};
+///
+/// let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+/// let e = ExpertProfile::new(5_000_000, 17_000_000); // DeepSeek-sized
+/// // GPU time is far less sensitive to load than CPU time:
+/// let cpu_ratio = m.cpu_compute(&e, 64, true).as_nanos() as f64
+///     / m.cpu_compute(&e, 1, true).as_nanos() as f64;
+/// let gpu_ratio = m.gpu_compute(&e, 64).as_nanos() as f64
+///     / m.gpu_compute(&e, 1).as_nanos() as f64;
+/// assert!(cpu_ratio > 4.0 * gpu_ratio);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineCostModel {
+    cpu_gflops: f64,
+    cpu_mem_bw_gbps: f64,
+    cpu_task_overhead: SimDuration,
+    cpu_cold_penalty: SimDuration,
+    gpu_tflops: f64,
+    gpu_launch: SimDuration,
+    gpu_saturation_tokens: u32,
+    pcie_gbps: f64,
+    pcie_latency: SimDuration,
+}
+
+impl AffineCostModel {
+    /// Builds the cost model from a platform description.
+    pub fn from_platform(platform: &Platform) -> Self {
+        AffineCostModel {
+            cpu_gflops: platform.cpu_gflops,
+            cpu_mem_bw_gbps: platform.cpu_mem_bw_gbps,
+            cpu_task_overhead: platform.cpu_task_overhead,
+            cpu_cold_penalty: platform.cpu_cold_penalty,
+            gpu_tflops: platform.gpu_tflops,
+            gpu_launch: platform.gpu_launch,
+            gpu_saturation_tokens: platform.gpu_saturation_tokens,
+            pcie_gbps: platform.pcie_gbps,
+            pcie_latency: platform.pcie_latency,
+        }
+    }
+}
+
+impl CostModel for AffineCostModel {
+    fn cpu_compute(&self, expert: &ExpertProfile, tokens: u32, warm: bool) -> SimDuration {
+        // Compute-bound term: linear in tokens.
+        let compute_s = tokens as f64 * expert.flops_per_token() as f64 / (self.cpu_gflops * 1e9);
+        // Memory-bound floor: the weight matrix is streamed at least once.
+        let stream_s = expert.bytes() as f64 / (self.cpu_mem_bw_gbps * 1e9);
+        let body = SimDuration::from_secs_f64(compute_s.max(stream_s));
+        let overhead = if warm {
+            self.cpu_task_overhead
+        } else {
+            self.cpu_task_overhead + self.cpu_cold_penalty
+        };
+        body + overhead
+    }
+
+    fn gpu_compute(&self, expert: &ExpertProfile, tokens: u32) -> SimDuration {
+        // Small batches are latency-bound: below `gpu_saturation_tokens`
+        // the kernel underutilizes the GPU and costs the same as the
+        // saturation batch (wave quantization); the launch overhead adds a
+        // flat floor. Past saturation the cost is throughput-bound.
+        let effective = tokens.max(self.gpu_saturation_tokens);
+        let compute_s =
+            effective as f64 * expert.flops_per_token() as f64 / (self.gpu_tflops * 1e12);
+        self.gpu_launch + SimDuration::from_secs_f64(compute_s)
+    }
+
+    fn transfer(&self, expert: &ExpertProfile) -> SimDuration {
+        let wire_s = expert.bytes() as f64 / (self.pcie_gbps * 1e9);
+        self.pcie_latency + SimDuration::from_secs_f64(wire_s)
+    }
+}
+
+/// A toy cost model with explicit per-unit costs, used for worked examples
+/// and golden tests (e.g. the Fig. 5 schedule of the paper, where CPU time is
+/// proportional to load, GPU time is constant, and a transfer takes 3 units).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{CostModel, ExpertProfile, SimDuration, UnitCostModel};
+///
+/// let m = UnitCostModel::paper_fig5();
+/// let e = ExpertProfile::new(0, 0); // profile is ignored
+/// assert_eq!(m.cpu_compute(&e, 3, true), SimDuration::from_micros(3));
+/// assert_eq!(m.gpu_compute(&e, 3), SimDuration::from_micros(1));
+/// assert_eq!(m.transfer(&e), SimDuration::from_micros(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitCostModel {
+    /// CPU time per unit of load.
+    pub cpu_per_load: SimDuration,
+    /// Constant GPU time per expert task.
+    pub gpu_per_task: SimDuration,
+    /// Constant transfer time per expert.
+    pub transfer_per_expert: SimDuration,
+}
+
+impl UnitCostModel {
+    /// The cost model of the paper's Fig. 5 worked example: one time unit is
+    /// one microsecond, GPU tasks take 1 unit, transfers 3 units, and CPU
+    /// tasks `load` units.
+    pub fn paper_fig5() -> Self {
+        UnitCostModel {
+            cpu_per_load: SimDuration::from_micros(1),
+            gpu_per_task: SimDuration::from_micros(1),
+            transfer_per_expert: SimDuration::from_micros(3),
+        }
+    }
+}
+
+impl CostModel for UnitCostModel {
+    fn cpu_compute(&self, _expert: &ExpertProfile, tokens: u32, _warm: bool) -> SimDuration {
+        self.cpu_per_load * tokens as u64
+    }
+
+    fn gpu_compute(&self, _expert: &ExpertProfile, _tokens: u32) -> SimDuration {
+        self.gpu_per_task
+    }
+
+    fn transfer(&self, _expert: &ExpertProfile) -> SimDuration {
+        self.transfer_per_expert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    fn mixtral_expert() -> ExpertProfile {
+        ExpertProfile::new(99_090_432, 352_321_536)
+    }
+
+    fn deepseek_expert() -> ExpertProfile {
+        ExpertProfile::new(4_866_048, 17_301_504)
+    }
+
+    #[test]
+    fn cpu_time_linear_in_tokens() {
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = mixtral_expert();
+        let t32 = m.cpu_compute(&e, 32, true);
+        let t64 = m.cpu_compute(&e, 64, true);
+        // Doubling a compute-bound load roughly doubles the body time.
+        let ratio = t64.as_nanos() as f64 / t32.as_nanos() as f64;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cpu_memory_floor_applies_to_single_token() {
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = mixtral_expert();
+        // One token is memory-bound (the full weight matrix must stream at
+        // least once), so doubling tokens grows time sublinearly.
+        let t1 = m.cpu_compute(&e, 1, true);
+        let t2 = m.cpu_compute(&e, 2, true);
+        let ratio = t2.as_nanos() as f64 / t1.as_nanos() as f64;
+        assert!(ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cold_start_costs_more() {
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = deepseek_expert();
+        assert!(m.cpu_compute(&e, 4, false) > m.cpu_compute(&e, 4, true));
+    }
+
+    #[test]
+    fn gpu_time_flat_below_saturation() {
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = mixtral_expert();
+        assert_eq!(m.gpu_compute(&e, 1), m.gpu_compute(&e, 16));
+    }
+
+    #[test]
+    fn gpu_time_grows_past_saturation() {
+        let platform = Platform::a6000_xeon10();
+        let m = AffineCostModel::from_platform(&platform);
+        let e = mixtral_expert();
+        let sat = platform.gpu_saturation_tokens;
+        assert!(m.gpu_compute(&e, sat * 4) > m.gpu_compute(&e, sat));
+    }
+
+    #[test]
+    fn decode_prefers_cpu_over_transfer_for_large_experts() {
+        // The economics that motivate hybrid execution (paper §III): for one
+        // decode token, computing a Mixtral expert on the CPU beats paying
+        // the PCIe transfer.
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = mixtral_expert();
+        assert!(m.cpu_compute(&e, 1, true) < m.transfer(&e));
+    }
+
+    #[test]
+    fn prefill_prefers_transfer_plus_gpu_for_heavy_loads() {
+        // With 32 tokens routed to a Mixtral expert, transferring then
+        // computing on GPU beats the CPU (paper Fig. 1(c)).
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = mixtral_expert();
+        let via_gpu = m.transfer(&e) + m.gpu_compute(&e, 32);
+        assert!(via_gpu < m.cpu_compute(&e, 32, true));
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        assert!(m.transfer(&mixtral_expert()) > m.transfer(&deepseek_expert()));
+    }
+
+    #[test]
+    fn unit_model_matches_fig5_constants() {
+        let m = UnitCostModel::paper_fig5();
+        let e = ExpertProfile::new(1, 1);
+        assert_eq!(m.cpu_compute(&e, 4, false), SimDuration::from_micros(4));
+        assert_eq!(m.gpu_compute(&e, 100), SimDuration::from_micros(1));
+        assert_eq!(m.transfer(&e), SimDuration::from_micros(3));
+    }
+}

@@ -1,0 +1,92 @@
+//! The three resources of the hybrid platform.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware resource that can hold exactly one operation at a time.
+///
+/// The hybrid platform of the paper has three: the host CPU, the GPU, and the
+/// PCIe link moving expert weights between them. Computation ops run on
+/// [`Device::Cpu`] or [`Device::Gpu`]; weight transfers occupy
+/// [`Device::Pcie`].
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::Device;
+///
+/// assert!(Device::Cpu.is_compute());
+/// assert!(!Device::Pcie.is_compute());
+/// assert_eq!(Device::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// The host CPU (expert weights always resident in host memory).
+    Cpu,
+    /// The GPU (computes only experts resident in its cache).
+    Gpu,
+    /// The PCIe link (host-to-GPU expert weight transfers).
+    Pcie,
+}
+
+impl Device {
+    /// All devices, in canonical order.
+    pub const ALL: [Device; 3] = [Device::Cpu, Device::Gpu, Device::Pcie];
+
+    /// Whether this device executes expert computation (as opposed to moving
+    /// data).
+    pub const fn is_compute(self) -> bool {
+        matches!(self, Device::Cpu | Device::Gpu)
+    }
+
+    /// A stable short name, used in Gantt charts and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Device::Cpu => "CPU",
+            Device::Gpu => "GPU",
+            Device::Pcie => "PCIE",
+        }
+    }
+
+    /// A dense index into [`Device::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Device::Cpu => 0,
+            Device::Gpu => 1,
+            Device::Pcie => 2,
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_ordering() {
+        for (i, d) in Device::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn compute_classification() {
+        assert!(Device::Cpu.is_compute());
+        assert!(Device::Gpu.is_compute());
+        assert!(!Device::Pcie.is_compute());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Device::Cpu.to_string(), "CPU");
+        assert_eq!(Device::Gpu.to_string(), "GPU");
+        assert_eq!(Device::Pcie.to_string(), "PCIE");
+    }
+}

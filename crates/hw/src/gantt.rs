@@ -1,0 +1,163 @@
+//! ASCII Gantt chart rendering of device timelines.
+//!
+//! Used by examples and experiment binaries to visualize schedules in the
+//! style of the paper's Fig. 1 and Fig. 5 timeline diagrams.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimDuration, SimTime, TimelineSet};
+
+/// One rendered row of a Gantt chart.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GanttRow {
+    /// Device name.
+    pub device: String,
+    /// Rendered cells.
+    pub cells: String,
+}
+
+/// An ASCII Gantt chart of a [`TimelineSet`].
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{Device, Gantt, SimDuration, SimTime, TimelineSet};
+///
+/// let mut set = TimelineSet::new();
+/// set.get_mut(Device::Cpu).push(SimTime::ZERO, SimDuration::from_micros(2), "A");
+/// set.get_mut(Device::Gpu).push(SimTime::ZERO, SimDuration::from_micros(4), "D");
+/// let chart = Gantt::render(&set, 40);
+/// assert!(chart.to_string().contains("CPU"));
+/// assert!(chart.to_string().contains("GPU"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gantt {
+    rows: Vec<GanttRow>,
+    makespan: SimDuration,
+    width: usize,
+}
+
+impl Gantt {
+    /// Renders `set` into a chart `width` characters wide.
+    ///
+    /// Each interval is drawn as a run of its label's first characters inside
+    /// `[...]` brackets, idle time as spaces. Zero-width intervals are drawn
+    /// as a single `|` marker.
+    pub fn render(set: &TimelineSet, width: usize) -> Self {
+        let width = width.max(10);
+        let makespan = set.makespan();
+        let scale = |t: SimTime| -> usize {
+            if makespan == SimDuration::ZERO {
+                0
+            } else {
+                ((t.as_nanos() as f64 / makespan.as_nanos() as f64) * (width as f64 - 1.0))
+                    .round() as usize
+            }
+        };
+        let mut rows = Vec::new();
+        for tl in set.iter() {
+            let mut cells = vec![b' '; width];
+            for iv in tl.intervals() {
+                let a = scale(iv.start);
+                let b = scale(iv.end).max(a);
+                if a == b {
+                    cells[a.min(width - 1)] = b'|';
+                    continue;
+                }
+                cells[a] = b'[';
+                cells[b.min(width - 1)] = b']';
+                let label: Vec<u8> = iv.label.bytes().filter(|b| *b != b' ').collect();
+                let mut li = 0;
+                for cell in cells.iter_mut().take(b.min(width - 1)).skip(a + 1) {
+                    *cell = if li < label.len() {
+                        let c = label[li];
+                        li += 1;
+                        c
+                    } else {
+                        b'='
+                    };
+                }
+            }
+            rows.push(GanttRow {
+                device: tl.device().name().to_owned(),
+                cells: String::from_utf8(cells).expect("ascii"),
+            });
+        }
+        Gantt {
+            rows,
+            makespan,
+            width,
+        }
+    }
+
+    /// The rendered rows, in device order (CPU, GPU, PCIE).
+    pub fn rows(&self) -> &[GanttRow] {
+        &self.rows
+    }
+
+    /// The makespan the chart is scaled to.
+    pub fn makespan(&self) -> SimDuration {
+        self.makespan
+    }
+}
+
+impl fmt::Display for Gantt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{:>5} |{}|", row.device, row.cells)?;
+        }
+        write!(
+            f,
+            "{:>5} 0{:>width$}",
+            "t",
+            self.makespan.to_string(),
+            width = self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    #[test]
+    fn renders_all_three_devices() {
+        let mut set = TimelineSet::new();
+        set.get_mut(Device::Cpu)
+            .push(SimTime::ZERO, SimDuration::from_micros(1), "A");
+        let g = Gantt::render(&set, 40);
+        assert_eq!(g.rows().len(), 3);
+        let s = g.to_string();
+        assert!(s.contains("CPU"));
+        assert!(s.contains("GPU"));
+        assert!(s.contains("PCIE"));
+    }
+
+    #[test]
+    fn empty_timeline_set_renders() {
+        let set = TimelineSet::new();
+        let g = Gantt::render(&set, 20);
+        assert_eq!(g.makespan(), SimDuration::ZERO);
+        assert!(!g.to_string().is_empty());
+    }
+
+    #[test]
+    fn labels_appear_in_cells() {
+        let mut set = TimelineSet::new();
+        set.get_mut(Device::Gpu)
+            .push(SimTime::ZERO, SimDuration::from_micros(10), "expertD");
+        let g = Gantt::render(&set, 60);
+        let gpu_row = &g.rows()[Device::Gpu.index()];
+        assert!(gpu_row.cells.contains('e'), "cells: {}", gpu_row.cells);
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let set = TimelineSet::new();
+        let g = Gantt::render(&set, 1);
+        assert!(g.rows()[0].cells.len() >= 10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hardware platform descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CalibrationProfile, SimDuration};
+
+/// A hybrid CPU-GPU platform description, the input to
+/// [`AffineCostModel::from_platform`](crate::AffineCostModel::from_platform).
+///
+/// Field values are *effective* (achieved) rates rather than datasheet peaks:
+/// they already fold in quantization/dequantization overhead and framework
+/// dispatch cost, which is how the paper's warmup phase measures them (§IV-A).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::Platform;
+///
+/// let p = Platform::a6000_xeon10();
+/// assert!(p.gpu_tflops > p.cpu_gflops / 1000.0);
+/// let edge = Platform::rtx4060_laptop();
+/// assert!(edge.gpu_mem_bytes < p.gpu_mem_bytes);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Effective CPU throughput for quantized expert GEMM, in GFLOP/s.
+    pub cpu_gflops: f64,
+    /// Effective CPU memory bandwidth for weight streaming, in GB/s.
+    pub cpu_mem_bw_gbps: f64,
+    /// Per-task dispatch overhead on the CPU (warm).
+    pub cpu_task_overhead: SimDuration,
+    /// Extra penalty for the first CPU expert of a burst (cold caches).
+    pub cpu_cold_penalty: SimDuration,
+    /// Effective GPU throughput for quantized expert GEMM, in TFLOP/s.
+    pub gpu_tflops: f64,
+    /// Kernel launch + synchronization overhead per GPU expert task.
+    pub gpu_launch: SimDuration,
+    /// Token count below which GPU expert time is flat (latency-bound).
+    pub gpu_saturation_tokens: u32,
+    /// Effective PCIe bandwidth for pinned host-to-device copies, in GB/s.
+    pub pcie_gbps: f64,
+    /// Per-transfer PCIe latency.
+    pub pcie_latency: SimDuration,
+    /// GPU memory available for the expert cache, in bytes.
+    pub gpu_mem_bytes: u64,
+}
+
+impl Platform {
+    /// The paper's evaluation platform: NVIDIA RTX A6000 with an Intel Xeon
+    /// Gold 5220R restricted to 10 cores (§VI-A1).
+    pub fn a6000_xeon10() -> Self {
+        Platform {
+            name: "A6000 + Xeon-5220R(10c)".to_owned(),
+            // 10 cores x AVX-512 with on-the-fly Q4 dequant.
+            cpu_gflops: 280.0,
+            cpu_mem_bw_gbps: 70.0,
+            cpu_task_overhead: SimDuration::from_micros(60),
+            cpu_cold_penalty: SimDuration::from_micros(400),
+            // Marlin-style 4-bit kernels on an A6000.
+            gpu_tflops: 48.0,
+            gpu_launch: SimDuration::from_micros(45),
+            gpu_saturation_tokens: 16,
+            // PCIe 4.0 x16, achieved.
+            pcie_gbps: 22.0,
+            pcie_latency: SimDuration::from_micros(15),
+            gpu_mem_bytes: 48 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// A consumer edge platform: laptop RTX 4060 (8 GB) with an 8-core
+    /// mobile CPU. Used for scalability discussions; not a paper figure.
+    pub fn rtx4060_laptop() -> Self {
+        Platform {
+            name: "RTX4060-Laptop + 8c mobile".to_owned(),
+            cpu_gflops: 160.0,
+            cpu_mem_bw_gbps: 55.0,
+            cpu_task_overhead: SimDuration::from_micros(30),
+            cpu_cold_penalty: SimDuration::from_micros(260),
+            gpu_tflops: 22.0,
+            gpu_launch: SimDuration::from_micros(55),
+            gpu_saturation_tokens: 16,
+            pcie_gbps: 12.0,
+            pcie_latency: SimDuration::from_micros(20),
+            gpu_mem_bytes: 8 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Round numbers for unit tests: 100 GFLOP/s CPU, 10 TFLOP/s GPU,
+    /// 10 GB/s PCIe, zero overheads.
+    pub fn test_round_numbers() -> Self {
+        Platform {
+            name: "test".to_owned(),
+            cpu_gflops: 100.0,
+            cpu_mem_bw_gbps: 100.0,
+            cpu_task_overhead: SimDuration::ZERO,
+            cpu_cold_penalty: SimDuration::ZERO,
+            gpu_tflops: 10.0,
+            gpu_launch: SimDuration::ZERO,
+            gpu_saturation_tokens: 1,
+            pcie_gbps: 10.0,
+            pcie_latency: SimDuration::ZERO,
+            gpu_mem_bytes: 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Returns a copy with the CPU-side parameters replaced by measured
+    /// values from a warmup calibration run.
+    pub fn with_calibration(&self, calibration: &CalibrationProfile) -> Platform {
+        let mut p = self.clone();
+        p.cpu_gflops = calibration.cpu_gflops;
+        p.cpu_mem_bw_gbps = calibration.cpu_mem_bw_gbps;
+        p.cpu_task_overhead = calibration.cpu_task_overhead;
+        p.cpu_cold_penalty = calibration.cpu_cold_penalty;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for p in [
+            Platform::a6000_xeon10(),
+            Platform::rtx4060_laptop(),
+            Platform::test_round_numbers(),
+        ] {
+            assert!(p.cpu_gflops > 0.0);
+            assert!(p.gpu_tflops > 0.0);
+            assert!(p.pcie_gbps > 0.0);
+            assert!(p.gpu_mem_bytes > 0);
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn calibration_overrides_cpu_only() {
+        let base = Platform::a6000_xeon10();
+        let cal = CalibrationProfile {
+            cpu_gflops: 123.0,
+            cpu_mem_bw_gbps: 45.0,
+            cpu_task_overhead: SimDuration::from_micros(7),
+            cpu_cold_penalty: SimDuration::from_micros(70),
+            samples: 16,
+        };
+        let p = base.with_calibration(&cal);
+        assert_eq!(p.cpu_gflops, 123.0);
+        assert_eq!(p.cpu_mem_bw_gbps, 45.0);
+        assert_eq!(p.gpu_tflops, base.gpu_tflops);
+        assert_eq!(p.pcie_gbps, base.pcie_gbps);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::a6000_xeon10();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-device busy timelines.
+//!
+//! A [`Timeline`] records the ordered, non-overlapping busy intervals of one
+//! [`Device`]; a [`TimelineSet`] bundles the three device timelines of the
+//! hybrid platform and answers makespan/utilization queries over them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Device, SimDuration, SimTime};
+
+/// One busy interval on a device timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval (exclusive).
+    pub end: SimTime,
+    /// Human-readable label, e.g. `"L3/E17 compute"`.
+    pub label: String,
+}
+
+impl Interval {
+    /// Length of the interval.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// The ordered busy intervals of one device.
+///
+/// Operations are appended with [`Timeline::push`], which starts each op at
+/// the later of the device's ready time and the op's own release time —
+/// exactly the "fill the earliest-available timeline" primitive used by the
+/// paper's scheduling simulation (§IV-B).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{Device, SimDuration, SimTime, Timeline};
+///
+/// let mut tl = Timeline::new(Device::Gpu);
+/// let (s1, e1) = tl.push(SimTime::ZERO, SimDuration::from_micros(10), "op1");
+/// // Released early but the device is busy until e1:
+/// let (s2, _) = tl.push(SimTime::ZERO, SimDuration::from_micros(5), "op2");
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, e1);
+/// assert_eq!(tl.busy_time(), SimDuration::from_micros(15));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    device: Device,
+    intervals: Vec<Interval>,
+    cursor: SimTime,
+}
+
+impl Timeline {
+    /// Creates an empty timeline for `device`, ready at the clock origin.
+    pub fn new(device: Device) -> Self {
+        Timeline {
+            device,
+            intervals: Vec::new(),
+            cursor: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty timeline whose device becomes ready at `ready`.
+    pub fn starting_at(device: Device, ready: SimTime) -> Self {
+        Timeline {
+            device,
+            intervals: Vec::new(),
+            cursor: ready,
+        }
+    }
+
+    /// The device this timeline belongs to.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The time at which the device becomes idle.
+    pub fn ready_at(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// When an op released at `release` and lasting `duration` would run,
+    /// without committing it.
+    pub fn peek(&self, release: SimTime, duration: SimDuration) -> (SimTime, SimTime) {
+        let start = self.cursor.max(release);
+        (start, start + duration)
+    }
+
+    /// Appends an op released at `release` with the given `duration`;
+    /// returns its `(start, end)` times.
+    ///
+    /// Zero-length ops are recorded too (they serve as markers in Gantt
+    /// output) but do not advance the cursor.
+    pub fn push(
+        &mut self,
+        release: SimTime,
+        duration: SimDuration,
+        label: impl Into<String>,
+    ) -> (SimTime, SimTime) {
+        let (start, end) = self.peek(release, duration);
+        self.intervals.push(Interval {
+            start,
+            end,
+            label: label.into(),
+        });
+        self.cursor = end;
+        (start, end)
+    }
+
+    /// The recorded busy intervals, in execution order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Total busy time across all intervals.
+    pub fn busy_time(&self) -> SimDuration {
+        self.intervals.iter().map(Interval::duration).sum()
+    }
+
+    /// Utilization over `[SimTime::ZERO, horizon]`, in `[0, 1]`.
+    ///
+    /// Returns `0.0` for a zero horizon.
+    pub fn utilization(&self, horizon: SimDuration) -> f64 {
+        if horizon == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_time().as_nanos() as f64 / horizon.as_nanos() as f64
+    }
+
+    /// Checks the internal invariant: intervals are ordered and
+    /// non-overlapping.
+    pub fn is_well_formed(&self) -> bool {
+        self.intervals
+            .windows(2)
+            .all(|w| w[0].end <= w[1].start || w[0].start <= w[1].start)
+            && self
+                .intervals
+                .windows(2)
+                .all(|w| w[0].end <= w[1].start)
+    }
+}
+
+/// The three device timelines of the hybrid platform.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{Device, SimDuration, SimTime, TimelineSet};
+///
+/// let mut set = TimelineSet::new();
+/// set.get_mut(Device::Cpu)
+///     .push(SimTime::ZERO, SimDuration::from_micros(4), "expert A");
+/// set.get_mut(Device::Gpu)
+///     .push(SimTime::ZERO, SimDuration::from_micros(9), "expert D");
+/// assert_eq!(set.makespan(), SimDuration::from_micros(9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSet {
+    timelines: [Timeline; 3],
+}
+
+impl TimelineSet {
+    /// Creates three empty timelines starting at the clock origin.
+    pub fn new() -> Self {
+        TimelineSet {
+            timelines: [
+                Timeline::new(Device::Cpu),
+                Timeline::new(Device::Gpu),
+                Timeline::new(Device::Pcie),
+            ],
+        }
+    }
+
+    /// Creates three empty timelines that all become ready at `ready`.
+    pub fn starting_at(ready: SimTime) -> Self {
+        TimelineSet {
+            timelines: [
+                Timeline::starting_at(Device::Cpu, ready),
+                Timeline::starting_at(Device::Gpu, ready),
+                Timeline::starting_at(Device::Pcie, ready),
+            ],
+        }
+    }
+
+    /// The timeline of `device`.
+    pub fn get(&self, device: Device) -> &Timeline {
+        &self.timelines[device.index()]
+    }
+
+    /// The mutable timeline of `device`.
+    pub fn get_mut(&mut self, device: Device) -> &mut Timeline {
+        &mut self.timelines[device.index()]
+    }
+
+    /// Iterates over the three timelines in canonical device order.
+    pub fn iter(&self) -> impl Iterator<Item = &Timeline> {
+        self.timelines.iter()
+    }
+
+    /// The time at which every device is idle.
+    pub fn finish_time(&self) -> SimTime {
+        self.timelines
+            .iter()
+            .map(Timeline::ready_at)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// The makespan measured from the clock origin.
+    pub fn makespan(&self) -> SimDuration {
+        self.finish_time().elapsed_since(SimTime::ZERO)
+    }
+
+    /// The finish time considering only compute devices (CPU and GPU).
+    ///
+    /// The paper's objective (Eq. 2) excludes in-flight transfers whose
+    /// results are not consumed; this accessor supports that metric.
+    pub fn compute_finish_time(&self) -> SimTime {
+        self.get(Device::Cpu)
+            .ready_at()
+            .max(self.get(Device::Gpu).ready_at())
+    }
+
+    /// Per-device utilization over the current makespan.
+    pub fn utilizations(&self) -> [(Device, f64); 3] {
+        let horizon = self.makespan();
+        [
+            (Device::Cpu, self.get(Device::Cpu).utilization(horizon)),
+            (Device::Gpu, self.get(Device::Gpu).utilization(horizon)),
+            (Device::Pcie, self.get(Device::Pcie).utilization(horizon)),
+        ]
+    }
+}
+
+impl Default for TimelineSet {
+    fn default() -> Self {
+        TimelineSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_respects_release_time() {
+        let mut tl = Timeline::new(Device::Pcie);
+        let release = SimTime::from_nanos(100);
+        let (start, end) = tl.push(release, SimDuration::from_nanos(50), "xfer");
+        assert_eq!(start, release);
+        assert_eq!(end, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn push_respects_device_busy() {
+        let mut tl = Timeline::new(Device::Cpu);
+        tl.push(SimTime::ZERO, SimDuration::from_nanos(100), "a");
+        let (start, _) = tl.push(SimTime::ZERO, SimDuration::from_nanos(10), "b");
+        assert_eq!(start, SimTime::from_nanos(100));
+        assert!(tl.is_well_formed());
+    }
+
+    #[test]
+    fn peek_does_not_commit() {
+        let tl = Timeline::new(Device::Gpu);
+        let before = tl.clone();
+        let _ = tl.peek(SimTime::ZERO, SimDuration::from_nanos(42));
+        assert_eq!(tl, before);
+    }
+
+    #[test]
+    fn zero_length_op_does_not_advance() {
+        let mut tl = Timeline::new(Device::Gpu);
+        tl.push(SimTime::ZERO, SimDuration::ZERO, "marker");
+        assert_eq!(tl.ready_at(), SimTime::ZERO);
+        assert_eq!(tl.intervals().len(), 1);
+    }
+
+    #[test]
+    fn utilization_and_busy_time() {
+        let mut tl = Timeline::new(Device::Cpu);
+        tl.push(SimTime::ZERO, SimDuration::from_nanos(30), "a");
+        tl.push(SimTime::from_nanos(70), SimDuration::from_nanos(30), "b");
+        assert_eq!(tl.busy_time(), SimDuration::from_nanos(60));
+        let util = tl.utilization(SimDuration::from_nanos(100));
+        assert!((util - 0.6).abs() < 1e-9);
+        assert_eq!(tl.utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timeline_set_makespan() {
+        let mut set = TimelineSet::new();
+        set.get_mut(Device::Cpu)
+            .push(SimTime::ZERO, SimDuration::from_nanos(5), "c");
+        set.get_mut(Device::Gpu)
+            .push(SimTime::ZERO, SimDuration::from_nanos(9), "g");
+        set.get_mut(Device::Pcie)
+            .push(SimTime::ZERO, SimDuration::from_nanos(7), "p");
+        assert_eq!(set.makespan(), SimDuration::from_nanos(9));
+        assert_eq!(set.compute_finish_time(), SimTime::from_nanos(9));
+        let utils = set.utilizations();
+        assert!((utils[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starting_at_offsets_all_devices() {
+        let t0 = SimTime::from_nanos(500);
+        let set = TimelineSet::starting_at(t0);
+        for tl in set.iter() {
+            assert_eq!(tl.ready_at(), t0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! CPU warmup calibration.
+//!
+//! Reproduces the paper's warmup phase (§IV-A) for the CPU side: times real
+//! quantized-FFN forwards and raw memory streams with [`std::time::Instant`],
+//! then distills effective GFLOP/s, memory bandwidth and task overheads into
+//! a [`CalibrationProfile`] that `hybrimoe-hw` folds into its cost model.
+
+use std::time::Instant;
+
+use hybrimoe_hw::{CalibrationProfile, SimDuration};
+
+use crate::ffn::ExpertFfn;
+
+/// Options controlling a calibration run.
+///
+/// # Example
+///
+/// ```no_run
+/// use hybrimoe_kernels::{calibrate_cpu, CalibrationOptions};
+///
+/// let profile = calibrate_cpu(&CalibrationOptions::quick());
+/// assert!(profile.is_plausible());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibrationOptions {
+    /// Hidden dimension of the probe expert.
+    pub hidden: usize,
+    /// Intermediate dimension of the probe expert.
+    pub inter: usize,
+    /// Number of timed repetitions per measurement.
+    pub reps: u32,
+    /// Worker threads for the probe kernels.
+    pub threads: usize,
+}
+
+impl CalibrationOptions {
+    /// A fast profile suitable for tests and CI (sub-second).
+    pub fn quick() -> Self {
+        CalibrationOptions {
+            hidden: 256,
+            inter: 384,
+            reps: 3,
+            threads: 1,
+        }
+    }
+
+    /// A thorough profile for real deployments.
+    pub fn thorough() -> Self {
+        CalibrationOptions {
+            hidden: 1024,
+            inter: 2048,
+            reps: 10,
+            threads: crate::threadpool::default_threads(10),
+        }
+    }
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        CalibrationOptions::quick()
+    }
+}
+
+/// Runs the warmup calibration and returns the measured CPU profile.
+///
+/// The returned profile reports *achieved* rates for the quantized expert
+/// FFN kernel, which is what the scheduler's cost model needs (datasheet
+/// peaks would systematically overestimate the CPU).
+pub fn calibrate_cpu(options: &CalibrationOptions) -> CalibrationProfile {
+    let ffn = ExpertFfn::random(options.hidden, options.inter, 0xCA11B);
+    let x: Vec<f32> = (0..options.hidden)
+        .map(|i| ((i as f32) * 0.37).sin() * 0.1)
+        .collect();
+
+    // Cold measurement: the very first forward pays allocation/cache misses.
+    let cold_start = Instant::now();
+    let y = ffn.forward_threads(&x, options.threads);
+    let cold = cold_start.elapsed();
+    std::hint::black_box(&y);
+
+    // Warm measurements.
+    let mut warm_total = std::time::Duration::ZERO;
+    for _ in 0..options.reps.max(1) {
+        let t = Instant::now();
+        let y = ffn.forward_threads(&x, options.threads);
+        warm_total += t.elapsed();
+        std::hint::black_box(&y);
+    }
+    let warm = warm_total / options.reps.max(1);
+
+    let flops = ffn.flops_per_token() as f64;
+    let bytes = ffn.packed_bytes() as f64;
+    let warm_s = warm.as_secs_f64().max(1e-9);
+    // The same kernel both streams the weights once and does the FLOPs; we
+    // attribute the whole time to each to get conservative effective rates.
+    let cpu_gflops = flops / warm_s / 1e9;
+    let cpu_mem_bw_gbps = bytes / warm_s / 1e9;
+    let cold_penalty = cold.saturating_sub(warm);
+
+    // Task overhead: time an empty-ish dispatch (tiny forward).
+    let tiny = ExpertFfn::random(32, 32, 0xCA11C);
+    let tx = vec![0.0f32; 32];
+    let t = Instant::now();
+    for _ in 0..options.reps.max(1) {
+        std::hint::black_box(tiny.forward(&tx));
+    }
+    let overhead = t.elapsed() / options.reps.max(1);
+
+    CalibrationProfile {
+        cpu_gflops: cpu_gflops.max(0.01),
+        cpu_mem_bw_gbps: cpu_mem_bw_gbps.max(0.01),
+        cpu_task_overhead: SimDuration::from_secs_f64(overhead.as_secs_f64()),
+        cpu_cold_penalty: SimDuration::from_secs_f64(cold_penalty.as_secs_f64()),
+        samples: options.reps.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_calibration_is_plausible() {
+        let profile = calibrate_cpu(&CalibrationOptions::quick());
+        assert!(profile.is_plausible(), "{profile:?}");
+        assert!(profile.cpu_gflops > 0.01);
+        assert!(profile.cpu_mem_bw_gbps > 0.01);
+    }
+
+    #[test]
+    fn options_presets_differ() {
+        let q = CalibrationOptions::quick();
+        let t = CalibrationOptions::thorough();
+        assert!(t.hidden > q.hidden);
+        assert!(t.reps > q.reps);
+        assert_eq!(CalibrationOptions::default(), q);
+    }
+}

@@ -1,0 +1,225 @@
+//! The SwiGLU expert feed-forward network.
+//!
+//! Every routed and shared expert in Mixtral, DeepSeek-V2 and Qwen2 is a
+//! gated FFN: `y = W_down · (silu(W_gate · x) ⊙ (W_up · x))` with
+//! `W_gate, W_up : inter x hidden` and `W_down : hidden x inter`. This module
+//! implements that forward pass over `Q4_0` weights, the unit of work that
+//! the hybrid scheduler assigns to the CPU.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::swiglu_gate;
+use crate::quant::{QuantError, QuantizedMatrix};
+
+/// One expert's quantized weights and its forward pass.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_kernels::ExpertFfn;
+///
+/// let ffn = ExpertFfn::random(64, 96, 7);
+/// let x = vec![0.05_f32; 64];
+/// let y = ffn.forward(&x);
+/// assert_eq!(y.len(), 64);
+/// assert!(y.iter().all(|v| v.is_finite()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertFfn {
+    hidden: usize,
+    inter: usize,
+    w_gate: QuantizedMatrix,
+    w_up: QuantizedMatrix,
+    w_down: QuantizedMatrix,
+}
+
+impl ExpertFfn {
+    /// Builds an expert from dense weights, quantizing them to `Q4_0`.
+    ///
+    /// `w_gate` and `w_up` are `inter x hidden`; `w_down` is `hidden x
+    /// inter`, all row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if either dimension is not a multiple of the
+    /// quantization block or a slice length is wrong.
+    pub fn from_dense(
+        hidden: usize,
+        inter: usize,
+        w_gate: &[f32],
+        w_up: &[f32],
+        w_down: &[f32],
+    ) -> Result<Self, QuantError> {
+        Ok(ExpertFfn {
+            hidden,
+            inter,
+            w_gate: QuantizedMatrix::quantize(w_gate, inter, hidden)?,
+            w_up: QuantizedMatrix::quantize(w_up, inter, hidden)?,
+            w_down: QuantizedMatrix::quantize(w_down, hidden, inter)?,
+        })
+    }
+
+    /// Generates an expert with random weights scaled like a trained model
+    /// (`N(0, 1/sqrt(fan_in))` approximated by a scaled uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` or `inter` is not a multiple of
+    /// [`Q4_BLOCK`](crate::Q4_BLOCK).
+    pub fn random(hidden: usize, inter: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale_h = (1.0 / (hidden as f32)).sqrt();
+        let scale_i = (1.0 / (inter as f32)).sqrt();
+        let mut gen = |n: usize, s: f32| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-s..s)).collect()
+        };
+        let w_gate = gen(inter * hidden, scale_h);
+        let w_up = gen(inter * hidden, scale_h);
+        let w_down = gen(hidden * inter, scale_i);
+        ExpertFfn::from_dense(hidden, inter, &w_gate, &w_up, &w_down)
+            .expect("dimensions must be block-aligned")
+    }
+
+    /// Hidden (model) dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Intermediate dimension.
+    pub fn inter(&self) -> usize {
+        self.inter
+    }
+
+    /// Packed weight bytes across the three matrices.
+    pub fn packed_bytes(&self) -> usize {
+        self.w_gate.packed_bytes() + self.w_up.packed_bytes() + self.w_down.packed_bytes()
+    }
+
+    /// FLOPs for one token's forward pass (two FLOPs per multiply-add).
+    pub fn flops_per_token(&self) -> u64 {
+        // gate + up + down GEMVs.
+        3 * 2 * self.hidden as u64 * self.inter as u64
+    }
+
+    /// Single-token forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != hidden()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        self.forward_threads(x, 1)
+    }
+
+    /// Single-token forward pass using up to `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != hidden()`.
+    pub fn forward_threads(&self, x: &[f32], threads: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.hidden, "input dimension mismatch");
+        let mut g = vec![0.0f32; self.inter];
+        let mut u = vec![0.0f32; self.inter];
+        self.w_gate.qgemv(x, &mut g, threads);
+        self.w_up.qgemv(x, &mut u, threads);
+        let mut h = vec![0.0f32; self.inter];
+        swiglu_gate(&g, &u, &mut h);
+        let mut y = vec![0.0f32; self.hidden];
+        self.w_down.qgemv(&h, &mut y, threads);
+        y
+    }
+
+    /// Batched forward pass: `x` is `tokens x hidden` row-major, the result
+    /// is `tokens x hidden` row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != tokens * hidden()`.
+    pub fn forward_batch(&self, x: &[f32], tokens: usize, threads: usize) -> Vec<f32> {
+        assert_eq!(x.len(), tokens * self.hidden, "input shape mismatch");
+        let mut g = vec![0.0f32; tokens * self.inter];
+        let mut u = vec![0.0f32; tokens * self.inter];
+        self.w_gate.qgemm(x, tokens, &mut g, threads);
+        self.w_up.qgemm(x, tokens, &mut u, threads);
+        let mut h = vec![0.0f32; tokens * self.inter];
+        swiglu_gate(&g, &u, &mut h);
+        let mut y = vec![0.0f32; tokens * self.hidden];
+        self.w_down.qgemm(&h, tokens, &mut y, threads);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let ffn = ExpertFfn::random(32, 64, 1);
+        let x = vec![0.1f32; 32];
+        let y = ffn.forward(&x);
+        assert_eq!(y.len(), 32);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ExpertFfn::random(32, 32, 42);
+        let b = ExpertFfn::random(32, 32, 42);
+        assert_eq!(a, b);
+        let c = ExpertFfn::random(32, 32, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_matches_single_token() {
+        let ffn = ExpertFfn::random(32, 64, 2);
+        let x: Vec<f32> = (0..3 * 32).map(|i| (i as f32 * 0.01).sin() * 0.1).collect();
+        let batch = ffn.forward_batch(&x, 3, 2);
+        for t in 0..3 {
+            let single = ffn.forward(&x[t * 32..(t + 1) * 32]);
+            for i in 0..32 {
+                assert!(
+                    (batch[t * 32 + i] - single[i]).abs() < 1e-4,
+                    "t={t} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let ffn = ExpertFfn::random(32, 32, 3);
+        let y = ffn.forward(&[0.0; 32]);
+        assert!(y.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn flops_and_bytes_accounting() {
+        let ffn = ExpertFfn::random(64, 96, 4);
+        assert_eq!(ffn.flops_per_token(), 3 * 2 * 64 * 96);
+        // 5 bits per weight over 3 matrices (Q4 nibbles + f32 block scale).
+        let weights = 3 * 64 * 96;
+        let expected = weights * 5 / 8;
+        assert_eq!(ffn.packed_bytes(), expected);
+    }
+
+    #[test]
+    fn multithreaded_forward_agrees() {
+        let ffn = ExpertFfn::random(32, 64, 5);
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.1).cos() * 0.2).collect();
+        let y1 = ffn.forward_threads(&x, 1);
+        let y4 = ffn.forward_threads(&x, 4);
+        for (a, b) in y1.iter().zip(y4.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn forward_rejects_bad_input() {
+        let ffn = ExpertFfn::random(32, 32, 6);
+        let _ = ffn.forward(&[0.0; 31]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Single-precision GEMM / GEMV reference kernels.
+//!
+//! These are deliberately simple, cache-blocked, dependency-free kernels:
+//! fast enough to calibrate the cost model with realistic arithmetic
+//! intensity, and bit-deterministic for tests. Matrices are dense row-major
+//! `f32` slices.
+
+/// `y = W · x` where `W` is `rows x cols` row-major.
+///
+/// # Panics
+///
+/// Panics if `w.len() != rows * cols`, `x.len() != cols`, or
+/// `y.len() != rows`.
+///
+/// # Example
+///
+/// ```
+/// let w = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+/// let x = vec![10.0, 20.0];
+/// let mut y = vec![0.0; 2];
+/// hybrimoe_kernels::gemm::gemv(&w, 2, 2, &x, &mut y);
+/// assert_eq!(y, vec![50.0, 110.0]);
+/// ```
+pub fn gemv(w: &[f32], rows: usize, cols: usize, x: &[f32], y: &mut [f32]) {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    assert_eq!(y.len(), rows, "output length mismatch");
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        // 4-way unrolled dot product; the remainder is handled below.
+        let mut c = 0;
+        while c + 4 <= cols {
+            acc += row[c] * x[c]
+                + row[c + 1] * x[c + 1]
+                + row[c + 2] * x[c + 2]
+                + row[c + 3] * x[c + 3];
+            c += 4;
+        }
+        while c < cols {
+            acc += row[c] * x[c];
+            c += 1;
+        }
+        *yr = acc;
+    }
+}
+
+/// `C = A · B` where `A` is `m x k`, `B` is `k x n`, `C` is `m x n`, all
+/// row-major. Rows of `C` are split into bands computed by up to `threads`
+/// scoped worker threads.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+///
+/// # Example
+///
+/// ```
+/// let a = vec![1.0, 0.0, 0.0, 1.0]; // identity
+/// let b = vec![5.0, 6.0, 7.0, 8.0];
+/// let mut c = vec![0.0; 4];
+/// hybrimoe_kernels::gemm::gemm(&a, &b, &mut c, 2, 2, 2, 1);
+/// assert_eq!(c, b);
+/// ```
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, threads: usize) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let bands = band_ranges(m, threads);
+    if bands.len() <= 1 {
+        gemm_band(a, b, c, 0, m, k, n);
+        return;
+    }
+    // Split C into disjoint mutable bands, one per worker.
+    let mut slices: Vec<&mut [f32]> = Vec::with_capacity(bands.len());
+    let mut rest = c;
+    let mut consumed = 0usize;
+    for &(r0, r1) in &bands {
+        let (band, tail) = rest.split_at_mut((r1 - r0) * n);
+        debug_assert_eq!(consumed, r0 * n);
+        consumed += band.len();
+        slices.push(band);
+        rest = tail;
+    }
+    crossbeam::scope(|scope| {
+        for (band, &(r0, r1)) in slices.into_iter().zip(bands.iter()) {
+            scope.spawn(move |_| gemm_band(a, b, band, r0, r1, k, n));
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+fn band_ranges(m: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1).min(m.max(1));
+    let chunk = m.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(m)))
+        .filter(|(a, b)| a < b)
+        .collect()
+}
+
+/// Computes rows `r0..r1` of `C = A·B` into `band` (band-local row indexing).
+fn gemm_band(a: &[f32], b: &[f32], band: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    // i-k-j loop order: streams B rows, accumulates into the C band.
+    for i in r0..r1 {
+        let crow = &mut band[(i - r0) * n..(i - r0 + 1) * n];
+        crow.fill(0.0);
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// SiLU (swish) activation: `x * sigmoid(x)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(hybrimoe_kernels::gemm::silu(0.0), 0.0);
+/// assert!(hybrimoe_kernels::gemm::silu(10.0) > 9.9);
+/// ```
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// `y[i] = silu(g[i]) * u[i]` — the SwiGLU gating product.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+///
+/// # Example
+///
+/// ```
+/// let mut y = [0.0_f32; 2];
+/// hybrimoe_kernels::gemm::swiglu_gate(&[0.0, 1.0], &[3.0, 2.0], &mut y);
+/// assert_eq!(y[0], 0.0);
+/// ```
+pub fn swiglu_gate(g: &[f32], u: &[f32], y: &mut [f32]) {
+    assert_eq!(g.len(), u.len());
+    assert_eq!(g.len(), y.len());
+    for ((yv, gv), uv) in y.iter_mut().zip(g.iter()).zip(u.iter()) {
+        *yv = silu(*gv) * uv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemv_matches_naive() {
+        let (rows, cols) = (13, 29);
+        let w = pseudo(rows * cols, 1);
+        let x = pseudo(cols, 2);
+        let mut y = vec![0.0; rows];
+        gemv(&w, rows, cols, &x, &mut y);
+        let c = naive_gemm(&w, &x, rows, cols, 1);
+        for (a, b) in y.iter().zip(c.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_single_thread() {
+        let (m, k, n) = (7, 11, 5);
+        let a = pseudo(m * k, 3);
+        let b = pseudo(k * n, 4);
+        let mut c = vec![0.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n, 1);
+        let expect = naive_gemm(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemm_threads_agree_with_single() {
+        let (m, k, n) = (16, 24, 9);
+        let a = pseudo(m * k, 5);
+        let b = pseudo(k * n, 6);
+        let mut c1 = vec![0.0; m * n];
+        let mut c4 = vec![0.0; m * n];
+        gemm(&a, &b, &mut c1, m, k, n, 1);
+        gemm(&a, &b, &mut c4, m, k, n, 4);
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output() {
+        let (m, k, n) = (3, 3, 3);
+        let a = pseudo(m * k, 7);
+        let b = pseudo(k * n, 8);
+        let mut c = vec![99.0; m * n];
+        gemm(&a, &b, &mut c, m, k, n, 1);
+        let expect = naive_gemm(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight shape mismatch")]
+    fn gemv_rejects_bad_shape() {
+        let mut y = vec![0.0; 2];
+        gemv(&[1.0; 3], 2, 2, &[1.0; 2], &mut y);
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(5.0) > 0.0);
+        assert!(silu(-5.0) < 0.0);
+        assert!(silu(-5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn swiglu_gate_elementwise() {
+        let g = [0.0, 1.0];
+        let u = [3.0, 2.0];
+        let mut y = [9.0, 9.0];
+        swiglu_gate(&g, &u, &mut y);
+        assert_eq!(y[0], 0.0);
+        assert!((y[1] - silu(1.0) * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn band_ranges_cover() {
+        for m in [1usize, 5, 16, 17] {
+            for t in [1usize, 2, 4, 32] {
+                let bands = band_ranges(m, t);
+                assert_eq!(bands.first().unwrap().0, 0);
+                assert_eq!(bands.last().unwrap().1, m);
+                for w in bands.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # hybrimoe-kernels
+//!
+//! Real CPU compute kernels for quantized Mixture-of-Experts inference:
+//!
+//! * [`gemm`] — single-precision GEMM/GEMV reference kernels with row-blocked
+//!   multi-threading;
+//! * [`quant`] — llama.cpp-style `Q4_0` block quantization (32 weights per
+//!   block, one scale each) with fused dequant-GEMV;
+//! * [`ffn`] — the SwiGLU expert feed-forward used by Mixtral / DeepSeek /
+//!   Qwen2 experts, running on quantized weights;
+//! * [`calibrate`] — micro-benchmarks that measure the *achieved* CPU
+//!   GFLOP/s, memory bandwidth and task overheads and export them as a
+//!   [`hybrimoe_hw::CalibrationProfile`], reproducing the paper's warmup
+//!   phase (§IV-A) for the CPU side of the platform.
+//!
+//! The GPU of the paper's testbed is not available in this environment, so
+//! GPU and PCIe behaviour is modeled analytically in `hybrimoe-hw`; the CPU
+//! path is the one that is executed for real (see DESIGN.md §2).
+//!
+//! ## Example
+//!
+//! ```
+//! use hybrimoe_kernels::ExpertFfn;
+//!
+//! let ffn = ExpertFfn::random(64, 96, 42);
+//! let x = vec![0.1_f32; 64];
+//! let y = ffn.forward(&x);
+//! assert_eq!(y.len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod ffn;
+pub mod gemm;
+pub mod quant;
+pub mod quant8;
+pub mod threadpool;
+
+pub use calibrate::{calibrate_cpu, CalibrationOptions};
+pub use ffn::ExpertFfn;
+pub use quant::{QuantError, QuantizedMatrix, Q4_BLOCK};
+pub use quant8::{Q8Matrix, Q8_BLOCK};
+pub use threadpool::parallel_for;

@@ -1,0 +1,397 @@
+//! `Q4_0` block quantization, llama.cpp-compatible layout.
+//!
+//! Weights are grouped into blocks of [`Q4_BLOCK`] = 32 consecutive values.
+//! Each block stores one `f32` scale and 32 packed 4-bit codes (two per
+//! byte), code `q ∈ [0, 15]` decoding to `(q - 8) * scale`. This is the
+//! format the paper's system inherits from llama.cpp/Marlin (§V); it costs
+//! 5 bits per weight with the `f32` scale used here (llama.cpp's `f16`
+//! scale brings it to 4.5).
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::threadpool::parallel_for;
+
+/// A band of GEMV/GEMM results: `(first_row, values)` per worker.
+type RowBands = std::sync::Mutex<Vec<(usize, Vec<f32>)>>;
+
+/// Number of weights per quantization block.
+pub const Q4_BLOCK: usize = 32;
+
+/// Bytes used to store one block: a 4-byte scale plus 16 packed nibbles.
+pub const Q4_BLOCK_BYTES: usize = 4 + Q4_BLOCK / 2;
+
+/// Errors from quantized matrix constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The number of columns must be a multiple of [`Q4_BLOCK`].
+    ColsNotBlockAligned {
+        /// Offending column count.
+        cols: usize,
+    },
+    /// The weight slice length does not equal `rows * cols`.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::ColsNotBlockAligned { cols } => {
+                write!(f, "column count {cols} is not a multiple of {Q4_BLOCK}")
+            }
+            QuantError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} weights, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// A `rows x cols` matrix stored in `Q4_0` blocks, row-major.
+///
+/// The packed buffer is a cheaply-cloneable [`Bytes`], so a weight store can
+/// hand out shared references to expert weights without copying.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_kernels::QuantizedMatrix;
+///
+/// let w: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 10.0).collect();
+/// let q = QuantizedMatrix::quantize(&w, 2, 32)?;
+/// let back = q.dequantize();
+/// // Round-trip error is bounded by half a quantization step per weight.
+/// for (a, b) in w.iter().zip(back.iter()) {
+///     assert!((a - b).abs() <= q.max_step() / 2.0 + 1e-6);
+/// }
+/// # Ok::<(), hybrimoe_kernels::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Packed blocks: per row, `cols / Q4_BLOCK` blocks of
+    /// [`Q4_BLOCK_BYTES`].
+    data: Bytes,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a dense row-major `rows x cols` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ColsNotBlockAligned`] if `cols` is not a
+    /// multiple of [`Q4_BLOCK`], or [`QuantError::ShapeMismatch`] if the
+    /// slice length is wrong.
+    pub fn quantize(w: &[f32], rows: usize, cols: usize) -> Result<Self, QuantError> {
+        if !cols.is_multiple_of(Q4_BLOCK) {
+            return Err(QuantError::ColsNotBlockAligned { cols });
+        }
+        if w.len() != rows * cols {
+            return Err(QuantError::ShapeMismatch {
+                expected: rows * cols,
+                actual: w.len(),
+            });
+        }
+        let blocks_per_row = cols / Q4_BLOCK;
+        let mut data = vec![0u8; rows * blocks_per_row * Q4_BLOCK_BYTES];
+        for r in 0..rows {
+            for b in 0..blocks_per_row {
+                let src = &w[r * cols + b * Q4_BLOCK..r * cols + (b + 1) * Q4_BLOCK];
+                let dst_off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                let dst = &mut data[dst_off..dst_off + Q4_BLOCK_BYTES];
+                encode_block(src, dst);
+            }
+        }
+        Ok(QuantizedMatrix {
+            rows,
+            cols,
+            data: Bytes::from(data),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Size of the packed representation in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// A shared handle to the packed bytes (zero-copy clone).
+    pub fn data(&self) -> Bytes {
+        self.data.clone()
+    }
+
+    /// The largest quantization step across all blocks (`scale` of the block
+    /// with the widest range). Bounds the element-wise round-trip error at
+    /// `max_step() / 2`.
+    pub fn max_step(&self) -> f32 {
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        let mut max = 0.0f32;
+        for i in 0..self.rows * blocks_per_row {
+            let off = i * Q4_BLOCK_BYTES;
+            let scale = f32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"));
+            max = max.max(scale.abs());
+        }
+        max
+    }
+
+    /// Decodes the matrix back to dense `f32`, row-major.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        for r in 0..self.rows {
+            for b in 0..blocks_per_row {
+                let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                let dst = &mut out[r * self.cols + b * Q4_BLOCK..r * self.cols + (b + 1) * Q4_BLOCK];
+                decode_block(&self.data[off..off + Q4_BLOCK_BYTES], dst);
+            }
+        }
+        out
+    }
+
+    /// Fused dequantize + `y = W · x` GEMV, split across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn qgemv(&self, x: &[f32], y: &mut [f32], threads: usize) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        let data = &self.data;
+        // Rows are independent; compute into a temporary then scatter to
+        // avoid sharing &mut y across workers.
+        let results: RowBands = std::sync::Mutex::new(Vec::new());
+        parallel_for(self.rows, threads, |r0, r1| {
+            let mut band = vec![0.0f32; r1 - r0];
+            let mut buf = [0.0f32; Q4_BLOCK];
+            for r in r0..r1 {
+                let mut acc = 0.0f32;
+                for b in 0..blocks_per_row {
+                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                    decode_block(&data[off..off + Q4_BLOCK_BYTES], &mut buf);
+                    let xs = &x[b * Q4_BLOCK..(b + 1) * Q4_BLOCK];
+                    for (wv, xv) in buf.iter().zip(xs.iter()) {
+                        acc += wv * xv;
+                    }
+                }
+                band[r - r0] = acc;
+            }
+            results.lock().expect("poisoned").push((r0, band));
+        });
+        for (r0, band) in results.into_inner().expect("poisoned") {
+            y[r0..r0 + band.len()].copy_from_slice(&band);
+        }
+    }
+
+    /// Fused dequantize + `Y = X · Wᵀ` for a batch of inputs: `x` is
+    /// `tokens x cols` row-major, `y` is `tokens x rows` row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn qgemm(&self, x: &[f32], tokens: usize, y: &mut [f32], threads: usize) {
+        assert_eq!(x.len(), tokens * self.cols, "input shape mismatch");
+        assert_eq!(y.len(), tokens * self.rows, "output shape mismatch");
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        let data = &self.data;
+        let results: RowBands = std::sync::Mutex::new(Vec::new());
+        // Parallelize over weight rows: each worker dequantizes its rows
+        // once and applies them to every token, amortizing the decode.
+        parallel_for(self.rows, threads, |r0, r1| {
+            let mut band = vec![0.0f32; (r1 - r0) * tokens];
+            let mut wrow = vec![0.0f32; self.cols];
+            for r in r0..r1 {
+                for b in 0..blocks_per_row {
+                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                    decode_block(
+                        &data[off..off + Q4_BLOCK_BYTES],
+                        &mut wrow[b * Q4_BLOCK..(b + 1) * Q4_BLOCK],
+                    );
+                }
+                for t in 0..tokens {
+                    let xs = &x[t * self.cols..(t + 1) * self.cols];
+                    let mut acc = 0.0f32;
+                    for (wv, xv) in wrow.iter().zip(xs.iter()) {
+                        acc += wv * xv;
+                    }
+                    band[(r - r0) * tokens + t] = acc;
+                }
+            }
+            results.lock().expect("poisoned").push((r0, band));
+        });
+        for (r0, band) in results.into_inner().expect("poisoned") {
+            let rows_in_band = band.len() / tokens;
+            for (ri, chunk) in band.chunks(tokens).enumerate() {
+                let r = r0 + ri;
+                debug_assert!(ri < rows_in_band);
+                for (t, v) in chunk.iter().enumerate() {
+                    y[t * self.rows + r] = *v;
+                }
+            }
+        }
+    }
+}
+
+fn encode_block(src: &[f32], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), Q4_BLOCK);
+    debug_assert_eq!(dst.len(), Q4_BLOCK_BYTES);
+    // llama.cpp Q4_0: scale = max|x| / 7 mapped over [-8, 7]; we use the
+    // symmetric variant scale = max|x| / 7.5 rounding to [0, 15] - 8.
+    let amax = src.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = if amax == 0.0 { 0.0 } else { amax / 7.5 };
+    dst[..4].copy_from_slice(&scale.to_le_bytes());
+    let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+    for i in 0..Q4_BLOCK / 2 {
+        let q0 = quantize_one(src[2 * i], inv);
+        let q1 = quantize_one(src[2 * i + 1], inv);
+        dst[4 + i] = q0 | (q1 << 4);
+    }
+}
+
+fn quantize_one(v: f32, inv_scale: f32) -> u8 {
+    let q = (v * inv_scale).round() as i32 + 8;
+    q.clamp(0, 15) as u8
+}
+
+fn decode_block(src: &[u8], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), Q4_BLOCK_BYTES);
+    debug_assert_eq!(dst.len(), Q4_BLOCK);
+    let scale = f32::from_le_bytes(src[..4].try_into().expect("4 bytes"));
+    for i in 0..Q4_BLOCK / 2 {
+        let byte = src[4 + i];
+        dst[2 * i] = ((byte & 0x0f) as i32 - 8) as f32 * scale;
+        dst[2 * i + 1] = ((byte >> 4) as i32 - 8) as f32 * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let w = pseudo(4 * 64, 1);
+        let q = QuantizedMatrix::quantize(&w, 4, 64).unwrap();
+        let back = q.dequantize();
+        let bound = q.max_step() / 2.0 + 1e-6;
+        for (a, b) in w.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn zero_block_encodes_to_zero() {
+        let w = vec![0.0f32; 32];
+        let q = QuantizedMatrix::quantize(&w, 1, 32).unwrap();
+        assert_eq!(q.dequantize(), w);
+        assert_eq!(q.max_step(), 0.0);
+    }
+
+    #[test]
+    fn rejects_unaligned_cols() {
+        assert_eq!(
+            QuantizedMatrix::quantize(&[0.0; 30], 1, 30),
+            Err(QuantError::ColsNotBlockAligned { cols: 30 })
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        assert_eq!(
+            QuantizedMatrix::quantize(&[0.0; 31], 1, 32),
+            Err(QuantError::ShapeMismatch {
+                expected: 32,
+                actual: 31
+            })
+        );
+    }
+
+    #[test]
+    fn packed_size_is_5_bits_per_weight() {
+        let q = QuantizedMatrix::quantize(&pseudo(8 * 128, 2), 8, 128).unwrap();
+        let bits_per_weight = q.packed_bytes() as f64 * 8.0 / (8.0 * 128.0);
+        assert!((bits_per_weight - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qgemv_matches_dequantized_gemv() {
+        let (rows, cols) = (9, 96);
+        let w = pseudo(rows * cols, 3);
+        let q = QuantizedMatrix::quantize(&w, rows, cols).unwrap();
+        let x = pseudo(cols, 4);
+        let mut y_fused = vec![0.0; rows];
+        q.qgemv(&x, &mut y_fused, 2);
+        let dense = q.dequantize();
+        let mut y_ref = vec![0.0; rows];
+        crate::gemm::gemv(&dense, rows, cols, &x, &mut y_ref);
+        for (a, b) in y_fused.iter().zip(y_ref.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qgemm_matches_per_token_qgemv() {
+        let (rows, cols, tokens) = (5, 64, 3);
+        let w = pseudo(rows * cols, 5);
+        let q = QuantizedMatrix::quantize(&w, rows, cols).unwrap();
+        let x = pseudo(tokens * cols, 6);
+        let mut y = vec![0.0; tokens * rows];
+        q.qgemm(&x, tokens, &mut y, 2);
+        for t in 0..tokens {
+            let mut y1 = vec![0.0; rows];
+            q.qgemv(&x[t * cols..(t + 1) * cols], &mut y1, 1);
+            for r in 0..rows {
+                assert!((y[t * rows + r] - y1[r]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn data_clone_is_shared() {
+        let q = QuantizedMatrix::quantize(&pseudo(32, 7), 1, 32).unwrap();
+        let a = q.data();
+        let b = q.data();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!QuantError::ColsNotBlockAligned { cols: 7 }
+            .to_string()
+            .is_empty());
+        assert!(!QuantError::ShapeMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! `Q8_0` block quantization: 8-bit codes, 32 weights per block.
+//!
+//! The higher-precision sibling of [`Q4_0`](crate::quant): ~8.5× smaller
+//! error, ~1.9× the bytes (9 vs 5 bits per weight with `f32` scales). Used
+//! by the mixed-precision offloading ablation — transferring a Q4 copy of
+//! an expert is ~1.9× cheaper on PCIe than the Q8 copy with a small
+//! accuracy cost, the trade explored by HOBBIT (paper ref. [7]).
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::quant::{QuantError, Q4_BLOCK};
+
+/// Weights per `Q8_0` block (shared with `Q4_0`).
+pub const Q8_BLOCK: usize = Q4_BLOCK;
+
+/// Bytes per block: a 4-byte scale plus 32 one-byte codes.
+pub const Q8_BLOCK_BYTES: usize = 4 + Q8_BLOCK;
+
+/// A `rows x cols` matrix stored in `Q8_0` blocks, row-major.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_kernels::quant8::Q8Matrix;
+///
+/// let w: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 16.0).collect();
+/// let q8 = Q8Matrix::quantize(&w, 2, 32)?;
+/// let back = q8.dequantize();
+/// for (a, b) in w.iter().zip(back.iter()) {
+///     assert!((a - b).abs() <= q8.max_step() / 2.0 + 1e-6);
+/// }
+/// # Ok::<(), hybrimoe_kernels::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Q8Matrix {
+    rows: usize,
+    cols: usize,
+    data: Bytes,
+}
+
+impl Q8Matrix {
+    /// Quantizes a dense row-major matrix to `Q8_0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if `cols` is not a multiple of [`Q8_BLOCK`]
+    /// or the slice length is wrong.
+    pub fn quantize(w: &[f32], rows: usize, cols: usize) -> Result<Self, QuantError> {
+        if !cols.is_multiple_of(Q8_BLOCK) {
+            return Err(QuantError::ColsNotBlockAligned { cols });
+        }
+        if w.len() != rows * cols {
+            return Err(QuantError::ShapeMismatch {
+                expected: rows * cols,
+                actual: w.len(),
+            });
+        }
+        let blocks_per_row = cols / Q8_BLOCK;
+        let mut data = vec![0u8; rows * blocks_per_row * Q8_BLOCK_BYTES];
+        for r in 0..rows {
+            for b in 0..blocks_per_row {
+                let src = &w[r * cols + b * Q8_BLOCK..r * cols + (b + 1) * Q8_BLOCK];
+                let off = (r * blocks_per_row + b) * Q8_BLOCK_BYTES;
+                let amax = src.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let scale = if amax == 0.0 { 0.0 } else { amax / 127.0 };
+                data[off..off + 4].copy_from_slice(&scale.to_le_bytes());
+                let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+                for (i, v) in src.iter().enumerate() {
+                    let q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+                    data[off + 4 + i] = q as u8;
+                }
+            }
+        }
+        Ok(Q8Matrix {
+            rows,
+            cols,
+            data: Bytes::from(data),
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Packed size in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The largest quantization step across blocks (error ≤ `max_step()/2`
+    /// per weight).
+    pub fn max_step(&self) -> f32 {
+        let blocks_per_row = self.cols / Q8_BLOCK;
+        let mut max = 0.0f32;
+        for i in 0..self.rows * blocks_per_row {
+            let off = i * Q8_BLOCK_BYTES;
+            let scale = f32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"));
+            max = max.max(scale.abs());
+        }
+        max
+    }
+
+    /// Decodes back to dense row-major `f32`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        let blocks_per_row = self.cols / Q8_BLOCK;
+        for r in 0..self.rows {
+            for b in 0..blocks_per_row {
+                let off = (r * blocks_per_row + b) * Q8_BLOCK_BYTES;
+                let scale =
+                    f32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"));
+                for i in 0..Q8_BLOCK {
+                    let q = self.data[off + 4 + i] as i8;
+                    out[r * self.cols + b * Q8_BLOCK + i] = q as f32 * scale;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused dequantize + `y = W · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn qgemv(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        let blocks_per_row = self.cols / Q8_BLOCK;
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for b in 0..blocks_per_row {
+                let off = (r * blocks_per_row + b) * Q8_BLOCK_BYTES;
+                let scale =
+                    f32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"));
+                let xs = &x[b * Q8_BLOCK..(b + 1) * Q8_BLOCK];
+                let codes = &self.data[off + 4..off + 4 + Q8_BLOCK];
+                let mut block_acc = 0.0f32;
+                for (code, xv) in codes.iter().zip(xs.iter()) {
+                    block_acc += (*code as i8) as f32 * xv;
+                }
+                acc += scale * block_acc;
+            }
+            *yr = acc;
+        }
+    }
+}
+
+impl fmt::Display for Q8Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q8Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantizedMatrix;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(99);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let w = pseudo(4 * 64, 1);
+        let q = Q8Matrix::quantize(&w, 4, 64).unwrap();
+        let back = q.dequantize();
+        let bound = q.max_step() / 2.0 + 1e-6;
+        for (a, b) in w.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn q8_is_more_accurate_than_q4() {
+        let w = pseudo(8 * 64, 2);
+        let q8 = Q8Matrix::quantize(&w, 8, 64).unwrap();
+        let q4 = QuantizedMatrix::quantize(&w, 8, 64).unwrap();
+        let err = |back: &[f32]| -> f64 {
+            w.iter()
+                .zip(back.iter())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let e8 = err(&q8.dequantize());
+        let e4 = err(&q4.dequantize());
+        assert!(e8 * 8.0 < e4, "q8 err {e8:.3e} vs q4 err {e4:.3e}");
+    }
+
+    #[test]
+    fn q8_costs_1_8x_the_bytes_of_q4() {
+        let w = pseudo(4 * 128, 3);
+        let q8 = Q8Matrix::quantize(&w, 4, 128).unwrap();
+        let q4 = QuantizedMatrix::quantize(&w, 4, 128).unwrap();
+        let ratio = q8.packed_bytes() as f64 / q4.packed_bytes() as f64;
+        assert!((ratio - 1.8).abs() < 1e-9, "ratio {ratio}"); // 9 vs 5 bits
+    }
+
+    #[test]
+    fn qgemv_matches_dequantized_reference() {
+        let (rows, cols) = (7, 64);
+        let w = pseudo(rows * cols, 4);
+        let q = Q8Matrix::quantize(&w, rows, cols).unwrap();
+        let x = pseudo(cols, 5);
+        let mut fused = vec![0.0; rows];
+        q.qgemv(&x, &mut fused);
+        let dense = q.dequantize();
+        let mut reference = vec![0.0; rows];
+        crate::gemm::gemv(&dense, rows, cols, &x, &mut reference);
+        for (a, b) in fused.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Q8Matrix::quantize(&[0.0; 30], 1, 30).is_err());
+        assert!(Q8Matrix::quantize(&[0.0; 31], 1, 32).is_err());
+    }
+
+    #[test]
+    fn zero_block_round_trips() {
+        let q = Q8Matrix::quantize(&[0.0; 32], 1, 32).unwrap();
+        assert_eq!(q.dequantize(), vec![0.0; 32]);
+        assert_eq!(q.to_string(), "Q8Matrix(1x32)");
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal data-parallel helper built on scoped threads.
+//!
+//! The expert kernels split their row ranges across a small number of worker
+//! threads, mirroring how llama.cpp splits expert GEMMs across the CPU cores
+//! the deployment allows (the paper restricts the Xeon to 10 cores, §VI-A1).
+
+use std::num::NonZeroUsize;
+
+/// Runs `body(range_start, range_end)` over `0..n` split into contiguous
+/// chunks across up to `threads` worker threads.
+///
+/// `body` must be safe to call concurrently on disjoint ranges. With
+/// `threads == 1` (or tiny `n`) the body runs inline with no thread overhead.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use hybrimoe_kernels::parallel_for;
+///
+/// let sum = AtomicUsize::new(0);
+/// parallel_for(100, 4, |a, b| {
+///     sum.fetch_add((a..b).sum::<usize>(), Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum());
+/// ```
+pub fn parallel_for<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 2 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move |_| body(start, end));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism, capped at `cap`.
+///
+/// # Example
+///
+/// ```
+/// let t = hybrimoe_kernels::threadpool::default_threads(10);
+/// assert!(t >= 1 && t <= 10);
+/// ```
+pub fn default_threads(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(cap.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_whole_range_once() {
+        for threads in [1, 2, 3, 8] {
+            for n in [0, 1, 7, 64, 100] {
+                let hits = (0..n).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+                parallel_for(n, threads, |a, b| {
+                    for hit in &hits[a..b] {
+                        hit.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut touched = false;
+        // A FnMut would not compile with real threads; the inline path is
+        // exercised through an atomic to keep the closure Fn.
+        let flag = AtomicUsize::new(0);
+        parallel_for(1, 1, |a, b| {
+            assert_eq!((a, b), (0, 1));
+            flag.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            touched = true;
+        }
+        assert!(touched);
+    }
+
+    #[test]
+    fn default_threads_bounds() {
+        assert!(default_threads(1) == 1);
+        assert!(default_threads(4) <= 4);
+        assert!(default_threads(0) >= 1);
+    }
+}

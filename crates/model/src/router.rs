@@ -1,0 +1,302 @@
+//! MoE gating math.
+//!
+//! The router maps a token's gate logits to a probability distribution over
+//! the layer's routed experts (Eq. 1 of the paper):
+//! `y = Σ Softmax(TopK(x·Wg))_i · E_i(x)`. Besides selecting the top-K
+//! experts per token, the full softmax score vector is preserved — it is the
+//! signal the MRS cache policy (§IV-D) and the impact-driven prefetcher
+//! (§IV-C) consume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ExpertId, LayerId};
+
+/// Numerically stable softmax.
+///
+/// Returns an empty vector for empty input.
+///
+/// # Example
+///
+/// ```
+/// let p = hybrimoe_model::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Indices and values of the `k` largest scores, descending, ties broken by
+/// the lower index (deterministic).
+///
+/// # Example
+///
+/// ```
+/// let top = hybrimoe_model::top_k(&[0.1, 0.7, 0.2], 2);
+/// assert_eq!(top[0].0, 1);
+/// assert_eq!(top[1].0, 2);
+/// ```
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut indexed: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    indexed.truncate(k);
+    indexed
+}
+
+/// The routing decision for one token at one layer.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::RouterOutput;
+///
+/// let out = RouterOutput::route(&[2.0, 0.0, 1.0, 0.5], 2);
+/// assert_eq!(out.selected.len(), 2);
+/// assert_eq!(out.selected[0].0 .0, 0); // highest logit
+/// // Selected weights are renormalized to sum to 1:
+/// let w: f32 = out.selected.iter().map(|(_, w)| w).sum();
+/// assert!((w - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterOutput {
+    /// Full softmax scores over all routed experts (the cache/prefetch
+    /// signal).
+    pub scores: Vec<f32>,
+    /// The selected top-K experts with their renormalized combine weights,
+    /// in descending score order.
+    pub selected: Vec<(ExpertId, f32)>,
+}
+
+impl RouterOutput {
+    /// Routes a token given its gate logits: softmax over all experts,
+    /// top-`k` selection, then renormalization of the selected weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > logits.len()`.
+    pub fn route(logits: &[f32], k: usize) -> RouterOutput {
+        assert!(k > 0 && k <= logits.len(), "invalid top-k: {k}");
+        let scores = softmax(logits);
+        let top = top_k(&scores, k);
+        let total: f32 = top.iter().map(|(_, s)| s).sum();
+        let selected = top
+            .into_iter()
+            .map(|(i, s)| (ExpertId(i as u16), if total > 0.0 { s / total } else { 0.0 }))
+            .collect();
+        RouterOutput { scores, selected }
+    }
+
+    /// The selected expert ids, descending by score.
+    pub fn expert_ids(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.selected.iter().map(|(e, _)| *e)
+    }
+}
+
+/// Aggregated routing of a whole token batch at one layer: the input to the
+/// scheduler (per-expert loads) and the cache policy (per-expert score
+/// mass).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::{LayerId, LayerRouting, RouterOutput};
+///
+/// let t0 = RouterOutput::route(&[5.0, 0.0, 0.0, 0.0], 1);
+/// let t1 = RouterOutput::route(&[5.0, 4.0, 0.0, 0.0], 1);
+/// let routing = LayerRouting::from_tokens(LayerId(0), 4, &[t0, t1]);
+/// assert_eq!(routing.tokens(), 2);
+/// assert_eq!(routing.loads()[0], 2); // expert 0 got both tokens
+/// assert_eq!(routing.activated().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRouting {
+    layer: LayerId,
+    tokens: u32,
+    loads: Vec<u32>,
+    score_mass: Vec<f32>,
+}
+
+impl LayerRouting {
+    /// Aggregates per-token router outputs into per-expert loads and score
+    /// masses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token selects an expert index `>= experts` or has a
+    /// score vector whose length differs from `experts`.
+    pub fn from_tokens(layer: LayerId, experts: u16, tokens: &[RouterOutput]) -> Self {
+        let mut loads = vec![0u32; experts as usize];
+        let mut score_mass = vec![0f32; experts as usize];
+        for t in tokens {
+            assert_eq!(t.scores.len(), experts as usize, "score length mismatch");
+            for (i, s) in t.scores.iter().enumerate() {
+                score_mass[i] += s;
+            }
+            for (e, _) in &t.selected {
+                loads[e.0 as usize] += 1;
+            }
+        }
+        LayerRouting {
+            layer,
+            tokens: tokens.len() as u32,
+            loads,
+            score_mass,
+        }
+    }
+
+    /// Builds a routing directly from loads and score masses (used by trace
+    /// replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length.
+    pub fn from_parts(layer: LayerId, tokens: u32, loads: Vec<u32>, score_mass: Vec<f32>) -> Self {
+        assert_eq!(loads.len(), score_mass.len(), "length mismatch");
+        LayerRouting {
+            layer,
+            tokens,
+            loads,
+            score_mass,
+        }
+    }
+
+    /// The layer this routing belongs to.
+    pub fn layer(&self) -> LayerId {
+        self.layer
+    }
+
+    /// Number of tokens in the batch.
+    pub fn tokens(&self) -> u32 {
+        self.tokens
+    }
+
+    /// Tokens routed to each expert (indexed by expert id).
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Sum of softmax scores per expert across the batch.
+    pub fn score_mass(&self) -> &[f32] {
+        &self.score_mass
+    }
+
+    /// Experts with nonzero load, with their loads, ascending by expert id.
+    pub fn activated(&self) -> Vec<(ExpertId, u32)> {
+        self.loads
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l > 0)
+            .map(|(i, l)| (ExpertId(i as u16), *l))
+            .collect()
+    }
+
+    /// Normalized mean score per expert (score mass divided by tokens),
+    /// the `s` of the MRS update rule (Eq. 3).
+    pub fn mean_scores(&self) -> Vec<f32> {
+        if self.tokens == 0 {
+            return vec![0.0; self.score_mass.len()];
+        }
+        self.score_mass
+            .iter()
+            .map(|m| m / self.tokens as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[0.0, 1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let top = top_k(&[0.5, 0.5, 0.5], 2);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 1);
+    }
+
+    #[test]
+    fn top_k_handles_k_equal_len() {
+        let top = top_k(&[0.1, 0.3], 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid top-k")]
+    fn route_rejects_zero_k() {
+        let _ = RouterOutput::route(&[1.0, 2.0], 0);
+    }
+
+    #[test]
+    fn route_renormalizes_selected() {
+        let out = RouterOutput::route(&[3.0, 2.0, 1.0, 0.0], 2);
+        let sum: f32 = out.selected.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert_eq!(out.scores.len(), 4);
+        let ids: Vec<u16> = out.expert_ids().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn layer_routing_aggregates_loads_and_mass() {
+        let tokens: Vec<RouterOutput> = (0..4)
+            .map(|i| {
+                let mut logits = vec![0.0f32; 8];
+                logits[i % 2] = 5.0;
+                RouterOutput::route(&logits, 2)
+            })
+            .collect();
+        let routing = LayerRouting::from_tokens(LayerId(3), 8, &tokens);
+        assert_eq!(routing.tokens(), 4);
+        assert_eq!(routing.loads().iter().sum::<u32>(), 8); // 4 tokens x top-2
+        let mass: f32 = routing.score_mass().iter().sum();
+        assert!((mass - 4.0).abs() < 1e-5); // each token's scores sum to 1
+        assert_eq!(routing.layer(), LayerId(3));
+    }
+
+    #[test]
+    fn activated_lists_only_loaded_experts() {
+        let routing =
+            LayerRouting::from_parts(LayerId(0), 2, vec![0, 3, 0, 1], vec![0.0; 4]);
+        let act = routing.activated();
+        assert_eq!(act, vec![(ExpertId(1), 3), (ExpertId(3), 1)]);
+    }
+
+    #[test]
+    fn mean_scores_divide_by_tokens() {
+        let routing =
+            LayerRouting::from_parts(LayerId(0), 4, vec![0; 2], vec![2.0, 4.0]);
+        assert_eq!(routing.mean_scores(), vec![0.5, 1.0]);
+        let empty = LayerRouting::from_parts(LayerId(0), 0, vec![0; 2], vec![2.0, 4.0]);
+        assert_eq!(empty.mean_scores(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Expert tensor shapes and their resource accounting.
+
+use hybrimoe_hw::ExpertProfile;
+use serde::{Deserialize, Serialize};
+
+/// The `(hidden, intermediate)` dimensions of one SwiGLU expert, matching
+/// the "Expert Size" rows of the paper's Table II.
+///
+/// An expert holds three matrices: gate and up projections of
+/// `inter x hidden` and a down projection of `hidden x inter`.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::ExpertShape;
+///
+/// let mixtral = ExpertShape::new(4096, 14336);
+/// assert_eq!(mixtral.params(), 3 * 4096 * 14336);
+/// // Q4 quantization at 5 bits/weight:
+/// assert_eq!(mixtral.packed_bytes(), mixtral.params() * 5 / 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExpertShape {
+    hidden: u32,
+    inter: u32,
+}
+
+impl ExpertShape {
+    /// Creates a shape from hidden and intermediate dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(hidden: u32, inter: u32) -> Self {
+        assert!(hidden > 0 && inter > 0, "expert dimensions must be nonzero");
+        ExpertShape { hidden, inter }
+    }
+
+    /// Hidden (model) dimension.
+    pub const fn hidden(&self) -> u32 {
+        self.hidden
+    }
+
+    /// Intermediate dimension.
+    pub const fn inter(&self) -> u32 {
+        self.inter
+    }
+
+    /// Total parameter count across the three matrices.
+    pub const fn params(&self) -> u64 {
+        3 * self.hidden as u64 * self.inter as u64
+    }
+
+    /// Bytes of the Q4-quantized expert (5 bits per weight: 4-bit codes
+    /// plus per-block `f32` scales, see `hybrimoe-kernels`).
+    pub const fn packed_bytes(&self) -> u64 {
+        self.params() * 5 / 8
+    }
+
+    /// FLOPs to push one token through the expert (2 per multiply-add).
+    pub const fn flops_per_token(&self) -> u64 {
+        2 * self.params()
+    }
+
+    /// The cost-model profile of this expert.
+    pub const fn profile(&self) -> ExpertProfile {
+        ExpertProfile::new(self.packed_bytes(), self.flops_per_token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_matches_table2_mixtral() {
+        let s = ExpertShape::new(4096, 14336);
+        assert_eq!(s.params(), 176_160_768);
+        assert_eq!(s.packed_bytes(), 110_100_480);
+        assert_eq!(s.flops_per_token(), 352_321_536);
+    }
+
+    #[test]
+    fn accounting_matches_table2_deepseek() {
+        let s = ExpertShape::new(2048, 1408);
+        assert_eq!(s.params(), 8_650_752);
+        assert_eq!(s.flops_per_token(), 17_301_504);
+    }
+
+    #[test]
+    fn profile_carries_bytes_and_flops() {
+        let s = ExpertShape::new(64, 96);
+        let p = s.profile();
+        assert_eq!(p.bytes(), s.packed_bytes());
+        assert_eq!(p.flops_per_token(), s.flops_per_token());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = ExpertShape::new(0, 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ExpertShape::new(2048, 1408);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ExpertShape = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

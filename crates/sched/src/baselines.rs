@@ -1,0 +1,457 @@
+//! Scheduling policies of the paper's three baseline systems.
+//!
+//! The paper compares HybriMoE against llama.cpp, AdapMoE and kTransformers
+//! (§VI-A3). Each baseline is re-implemented here as a [`Scheduler`] on the
+//! same substrate, so that every measured difference is attributable to the
+//! policy, not the platform.
+//!
+//! The baselines are **batch-aware**, following Table I of the paper:
+//! kTransformers uses CPU expert computation only during *decode* (small
+//! batches); during prefill it falls back to on-demand loading. llama.cpp
+//! computes CPU-mapped layers on the CPU at decode, but for large prompt
+//! batches it streams (dequantized) weights to the GPU for the heavy
+//! matmuls, cuBLAS-offload style.
+
+use hybrimoe_hw::{ExpertProfile, SimTime};
+
+use crate::{DevicePlacement, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
+
+/// Token count at and above which a batch is treated as prefill.
+pub const PREFILL_BATCH_THRESHOLD: u32 = 32;
+
+/// Expansion factor of llama.cpp-style streamed weights relative to the
+/// packed Q4 experts (weights are dequantized to f16 for cuBLAS: 16 bits
+/// vs 5 bits per weight).
+pub const STREAM_EXPANSION: f64 = 3.2;
+
+/// kTransformers-style **fixed expert mapping** (Table I: "KTrans").
+///
+/// Decode: cached (GPU-mapped) experts run on the GPU, highest load first;
+/// every uncached expert runs on the CPU, lowest load first — no
+/// intra-layer transfers, no dynamic rebalancing (the "unbalanced" timeline
+/// of the paper's Fig. 1(b)). Prefill: CPU computation is not used
+/// (Table I), so misses are fetched on demand and computed on the GPU.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::UnitCostModel;
+/// use hybrimoe_model::{ExpertId, LayerId};
+/// use hybrimoe_sched::baselines::FixedMappingScheduler;
+/// use hybrimoe_sched::{ExpertTask, ScheduleContext, Scheduler};
+///
+/// let tasks = vec![
+///     ExpertTask::cached(ExpertId(0), 1),
+///     ExpertTask::uncached(ExpertId(1), 7),
+/// ];
+/// let cost = UnitCostModel::paper_fig5();
+/// let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+/// let plan = FixedMappingScheduler::new().schedule(&ctx);
+/// // Decode-sized batch: the heavy uncached expert pins the CPU.
+/// assert_eq!(plan.predicted_makespan.as_micros_f64(), 7.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedMappingScheduler {
+    prefill_threshold: u32,
+}
+
+impl FixedMappingScheduler {
+    /// Creates the scheduler with the default prefill threshold.
+    pub fn new() -> Self {
+        FixedMappingScheduler {
+            prefill_threshold: PREFILL_BATCH_THRESHOLD,
+        }
+    }
+}
+
+impl Default for FixedMappingScheduler {
+    fn default() -> Self {
+        FixedMappingScheduler::new()
+    }
+}
+
+impl Scheduler for FixedMappingScheduler {
+    fn name(&self) -> &str {
+        "ktransformers"
+    }
+
+    fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        if ctx.tokens >= self.prefill_threshold {
+            // Prefill: GPU-centric with on-demand loading.
+            return gpu_centric_plan(ctx, None);
+        }
+        let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
+        plan.shared_on_gpu = ctx.shared_profile.is_some();
+
+        let mut gpu: Vec<_> = ctx.tasks.iter().filter(|t| t.cached).copied().collect();
+        gpu.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+        let mut cpu: Vec<_> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
+        cpu.sort_by_key(|t| (t.load, t.expert));
+
+        let mut gpu_t = SimTime::ZERO;
+        if let Some(shared) = ctx.shared_profile {
+            gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+        }
+        for t in &gpu {
+            gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+            plan.gpu_order.push(PlannedTask {
+                task: *t,
+                placement: DevicePlacement::Gpu,
+            });
+        }
+        let mut cpu_t = SimTime::ZERO;
+        for (i, t) in cpu.iter().enumerate() {
+            cpu_t += ctx.cost.cpu_compute(&ctx.routed_profile, t.load, i > 0);
+            plan.cpu_order.push(*t);
+        }
+        plan.predicted_makespan = cpu_t.max(gpu_t).elapsed_since(SimTime::ZERO);
+        plan
+    }
+}
+
+/// AdapMoE-style **GPU-centric scheduling** (Table I: "AdapMoE").
+///
+/// All experts compute on the GPU in both stages; uncached experts are
+/// fetched on demand over PCIe (highest load first so the GPU stalls
+/// least). The CPU performs no expert computation — the state of the art
+/// for GPU-only MoE offloading, which HybriMoE's hybrid schedule is
+/// designed to beat when PCIe is the bottleneck.
+#[derive(Debug, Default, Clone)]
+pub struct GpuOnlyScheduler {}
+
+impl GpuOnlyScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        GpuOnlyScheduler {}
+    }
+}
+
+impl Scheduler for GpuOnlyScheduler {
+    fn name(&self) -> &str {
+        "adapmoe"
+    }
+
+    fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        gpu_centric_plan(ctx, None)
+    }
+}
+
+/// llama.cpp-style **static layer split** (Table I: "llama.cpp").
+///
+/// Whole layers are mapped to a device ahead of time. GPU layers always run
+/// on the GPU. CPU layers run on the CPU at decode; for prefill-sized
+/// batches the heavy matmuls stream *dequantized* weights to the GPU
+/// (cuBLAS offload), paying [`STREAM_EXPANSION`]-times the PCIe bytes of a
+/// packed expert — which is why llama.cpp's prefill is the slowest of the
+/// four systems while its decode stays competitive.
+#[derive(Debug, Clone)]
+pub struct StaticSplitScheduler {
+    prefill_threshold: u32,
+    stream_expansion: f64,
+}
+
+impl StaticSplitScheduler {
+    /// Creates the scheduler with default threshold and stream expansion.
+    pub fn new() -> Self {
+        StaticSplitScheduler {
+            prefill_threshold: PREFILL_BATCH_THRESHOLD,
+            stream_expansion: STREAM_EXPANSION,
+        }
+    }
+
+    /// Overrides the streamed-weight expansion factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expansion < 1.0`.
+    pub fn with_stream_expansion(expansion: f64) -> Self {
+        assert!(expansion >= 1.0, "expansion must be >= 1, got {expansion}");
+        StaticSplitScheduler {
+            prefill_threshold: PREFILL_BATCH_THRESHOLD,
+            stream_expansion: expansion,
+        }
+    }
+}
+
+impl Default for StaticSplitScheduler {
+    fn default() -> Self {
+        StaticSplitScheduler::new()
+    }
+}
+
+impl Scheduler for StaticSplitScheduler {
+    fn name(&self) -> &str {
+        "llama.cpp"
+    }
+
+    fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        let gpu_layer = !ctx.tasks.is_empty() && ctx.tasks.iter().all(|t| t.cached);
+
+        if gpu_layer {
+            let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
+            plan.shared_on_gpu = ctx.shared_profile.is_some();
+            let mut tasks: Vec<_> = ctx.tasks.to_vec();
+            tasks.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+            let mut gpu_t = SimTime::ZERO;
+            if let Some(shared) = ctx.shared_profile {
+                gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+            }
+            for t in &tasks {
+                gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+                plan.gpu_order.push(PlannedTask {
+                    task: *t,
+                    placement: DevicePlacement::Gpu,
+                });
+            }
+            plan.predicted_makespan = gpu_t.elapsed_since(SimTime::ZERO);
+            return plan;
+        }
+
+        if ctx.tokens >= self.prefill_threshold {
+            // CPU layer, prefill batch: stream dequantized weights to the
+            // GPU for the heavy matmuls. Streamed experts do NOT enter the
+            // expert cache (llama.cpp discards them after the matmul), but
+            // the schedule-level mechanics are the same as on-demand
+            // loading with bigger transfers.
+            let streamed = ExpertProfile::new(
+                (ctx.routed_profile.bytes() as f64 * self.stream_expansion) as u64,
+                ctx.routed_profile.flops_per_token(),
+            );
+            return gpu_centric_plan(ctx, Some(streamed));
+        }
+
+        // CPU layer, decode: everything (including shared experts) on CPU.
+        let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
+        plan.shared_on_gpu = false;
+        let mut tasks: Vec<_> = ctx.tasks.to_vec();
+        tasks.sort_by_key(|t| (t.load, t.expert));
+        let mut cpu_t = SimTime::ZERO;
+        if let Some(shared) = ctx.shared_profile {
+            cpu_t += ctx.cost.cpu_compute(&shared, ctx.tokens, false);
+        }
+        let had_shared = ctx.shared_profile.is_some();
+        for (i, t) in tasks.iter().enumerate() {
+            let warm = had_shared || i > 0;
+            cpu_t += ctx.cost.cpu_compute(&ctx.routed_profile, t.load, warm);
+            plan.cpu_order.push(*t);
+        }
+        plan.predicted_makespan = cpu_t.elapsed_since(SimTime::ZERO);
+        plan
+    }
+}
+
+/// Shared GPU-centric plan: cached experts first, then transferred experts
+/// as they arrive over PCIe. `transfer_profile` overrides the transferred
+/// bytes (llama.cpp streaming).
+fn gpu_centric_plan(
+    ctx: &ScheduleContext<'_>,
+    transfer_profile: Option<ExpertProfile>,
+) -> SchedulePlan {
+    let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
+    plan.shared_on_gpu = ctx.shared_profile.is_some();
+    plan.transfer_profile = transfer_profile;
+    let wire_profile = transfer_profile.unwrap_or(ctx.routed_profile);
+
+    let mut cached: Vec<_> = ctx.tasks.iter().filter(|t| t.cached).copied().collect();
+    cached.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+    let mut uncached: Vec<_> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
+    uncached.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+
+    let mut gpu_t = SimTime::ZERO;
+    if let Some(shared) = ctx.shared_profile {
+        gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+    }
+    for t in &cached {
+        gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+        plan.gpu_order.push(PlannedTask {
+            task: *t,
+            placement: DevicePlacement::Gpu,
+        });
+    }
+    let mut pcie_t = SimTime::ZERO;
+    for t in &uncached {
+        pcie_t += ctx.cost.transfer(&wire_profile);
+        plan.pcie_order.push(*t);
+        gpu_t = gpu_t.max(pcie_t) + ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+        plan.gpu_order.push(PlannedTask {
+            task: *t,
+            placement: DevicePlacement::GpuAfterTransfer,
+        });
+    }
+    plan.predicted_makespan = gpu_t.elapsed_since(SimTime::ZERO);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpertTask;
+    use hybrimoe_hw::{ExpertProfile, UnitCostModel};
+    use hybrimoe_model::{ExpertId, LayerId};
+
+    fn cost() -> UnitCostModel {
+        UnitCostModel::paper_fig5()
+    }
+
+    fn mixed_tasks() -> Vec<ExpertTask> {
+        vec![
+            ExpertTask::uncached(ExpertId(0), 1),
+            ExpertTask::uncached(ExpertId(1), 1),
+            ExpertTask::uncached(ExpertId(2), 3),
+            ExpertTask::cached(ExpertId(3), 4),
+            ExpertTask::cached(ExpertId(4), 1),
+        ]
+    }
+
+    #[test]
+    fn fixed_mapping_decode_never_transfers() {
+        let c = cost();
+        let tasks = mixed_tasks();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &c);
+        let plan = FixedMappingScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.pcie_order.is_empty());
+        // CPU: loads 1+1+3 = 5; GPU: 2 tasks x 1 = 2 → makespan 5.
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), 5.0);
+    }
+
+    #[test]
+    fn fixed_mapping_prefill_loads_on_demand() {
+        let c = cost();
+        // Prefill-sized loads (>= 32 tokens).
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 40),
+            ExpertTask::uncached(ExpertId(1), 40),
+        ];
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            40,
+            &tasks,
+            ExpertProfile::new(1, 1),
+            None,
+            &c,
+        );
+        let plan = FixedMappingScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.cpu_order.is_empty(), "no CPU compute at prefill");
+        assert_eq!(plan.pcie_order.len(), 1);
+    }
+
+    #[test]
+    fn fixed_mapping_is_beaten_by_hybrid_on_fig5() {
+        let c = cost();
+        let tasks = mixed_tasks();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &c);
+        let fixed = FixedMappingScheduler::new().schedule(&ctx);
+        let hybrid = crate::HybridScheduler::new().schedule(&ctx);
+        assert!(hybrid.predicted_makespan < fixed.predicted_makespan);
+    }
+
+    #[test]
+    fn gpu_only_computes_everything_on_gpu() {
+        let c = cost();
+        let tasks = mixed_tasks();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &c);
+        let plan = GpuOnlyScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.cpu_order.is_empty());
+        assert_eq!(plan.pcie_order.len(), 3);
+        // Transfers (desc load): C at 3, E0 at 6, E1 at 9; GPU computes
+        // cached D, E4 (2 units) then arrivals: 3→4, 6→7, 9→10.
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), 10.0);
+    }
+
+    #[test]
+    fn static_split_gpu_layer_runs_on_gpu() {
+        let c = cost();
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 2),
+            ExpertTask::cached(ExpertId(1), 1),
+        ];
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &c);
+        let plan = StaticSplitScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.cpu_order.is_empty());
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), 2.0);
+    }
+
+    #[test]
+    fn static_split_cpu_layer_decodes_on_cpu() {
+        let c = cost();
+        let tasks = mixed_tasks(); // one uncached expert → CPU layer
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &c);
+        let plan = StaticSplitScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.gpu_order.is_empty());
+        assert!(plan.pcie_order.is_empty());
+        // All loads on CPU: 1+1+3+4+1 = 10.
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), 10.0);
+    }
+
+    #[test]
+    fn static_split_cpu_layer_streams_at_prefill() {
+        let c = cost();
+        let tasks = vec![
+            ExpertTask::uncached(ExpertId(0), 64),
+            ExpertTask::cached(ExpertId(1), 64),
+        ];
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            64,
+            &tasks,
+            ExpertProfile::new(1000, 1),
+            None,
+            &c,
+        );
+        let plan = StaticSplitScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.cpu_order.is_empty());
+        // Both experts stream: the layer is not fully resident, and
+        // llama.cpp moves the whole layer's matmuls to the GPU.
+        assert_eq!(plan.pcie_order.len(), 1);
+        let streamed = plan.transfer_profile.expect("stream profile set");
+        assert_eq!(streamed.bytes(), 3200);
+    }
+
+    #[test]
+    fn shared_experts_prefix_gpu_schedulers() {
+        let c = cost();
+        let tasks = vec![ExpertTask::cached(ExpertId(0), 2)];
+        let shared = ExpertProfile::new(1, 1);
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            2,
+            &tasks,
+            ExpertProfile::new(1, 1),
+            Some(shared),
+            &c,
+        );
+        for plan in [
+            FixedMappingScheduler::new().schedule(&ctx),
+            GpuOnlyScheduler::new().schedule(&ctx),
+            crate::HybridScheduler::without_cpu_steal().schedule(&ctx),
+        ] {
+            assert!(plan.shared_on_gpu);
+            // 1 unit shared + 1 unit expert.
+            assert_eq!(plan.predicted_makespan.as_micros_f64(), 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expansion")]
+    fn bad_stream_expansion_rejected() {
+        let _ = StaticSplitScheduler::with_stream_expansion(0.5);
+    }
+
+    #[test]
+    fn scheduler_names_are_distinct() {
+        let names = [
+            FixedMappingScheduler::new().name().to_owned(),
+            GpuOnlyScheduler::new().name().to_owned(),
+            StaticSplitScheduler::new().name().to_owned(),
+            crate::HybridScheduler::new().name().to_owned(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

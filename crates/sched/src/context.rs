@@ -1,0 +1,77 @@
+//! Inputs to a scheduling decision.
+
+use hybrimoe_hw::{CostModel, ExpertProfile};
+use hybrimoe_model::LayerId;
+
+use crate::ExpertTask;
+
+/// Everything a [`Scheduler`](crate::Scheduler) needs to plan one layer.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::UnitCostModel;
+/// use hybrimoe_model::{ExpertId, LayerId};
+/// use hybrimoe_sched::{ExpertTask, ScheduleContext};
+///
+/// let tasks = [ExpertTask::cached(ExpertId(0), 1)];
+/// let cost = UnitCostModel::paper_fig5();
+/// let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+/// assert_eq!(ctx.tokens, 1);
+/// ```
+#[derive(Debug)]
+pub struct ScheduleContext<'a> {
+    /// The layer being scheduled.
+    pub layer: LayerId,
+    /// Tokens in the current batch (1 during decode).
+    pub tokens: u32,
+    /// The activated experts with loads and residency.
+    pub tasks: &'a [ExpertTask],
+    /// Cost profile of one routed expert of this model.
+    pub routed_profile: ExpertProfile,
+    /// Combined cost profile of the shared experts, if the model has any.
+    /// Shared experts always run on the GPU (they are pinned resident).
+    pub shared_profile: Option<ExpertProfile>,
+    /// The platform cost model.
+    pub cost: &'a dyn CostModel,
+}
+
+impl<'a> ScheduleContext<'a> {
+    /// Creates a context; `tokens` is taken as the maximum task load (every
+    /// token activates at least one expert, so the batch is at least the
+    /// largest load).
+    pub fn new(
+        layer: LayerId,
+        tokens: u32,
+        tasks: &'a [ExpertTask],
+        routed_profile: ExpertProfile,
+        shared_profile: Option<ExpertProfile>,
+        cost: &'a dyn CostModel,
+    ) -> Self {
+        ScheduleContext {
+            layer,
+            tokens,
+            tasks,
+            routed_profile,
+            shared_profile,
+            cost,
+        }
+    }
+
+    /// A minimal context for unit tests and worked examples: no shared
+    /// experts, a placeholder expert profile (the [`UnitCostModel`]
+    /// ignores it), and `tokens` equal to the maximum load.
+    ///
+    /// [`UnitCostModel`]: hybrimoe_hw::UnitCostModel
+    pub fn for_test(layer: LayerId, tasks: &'a [ExpertTask], cost: &'a dyn CostModel) -> Self {
+        let tokens = tasks.iter().map(|t| t.load).max().unwrap_or(0);
+        ScheduleContext {
+            layer,
+            tokens,
+            tasks,
+            routed_profile: ExpertProfile::new(1, 1),
+            shared_profile: None,
+            cost,
+        }
+    }
+}

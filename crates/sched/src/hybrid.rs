@@ -1,0 +1,445 @@
+//! The HybriMoE hybrid scheduling algorithm (paper §IV-B).
+
+use hybrimoe_hw::SimTime;
+use hybrimoe_model::ExpertId;
+
+use crate::{DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
+
+/// The paper's greedy timeline-filling scheduler.
+///
+/// Three priority rules turn the NP-hard mapping problem into queue
+/// disciplines (§IV-B):
+///
+/// * **GPU priority** — compute cached experts, highest load first;
+/// * **CPU priority** — compute uncached experts, lowest load first; when
+///   its queue drains, steal the lowest-load *cached* expert from the GPU
+///   queue;
+/// * **Transfer priority** — move uncached experts host→GPU, highest load
+///   first; a transferred expert joins the GPU queue (ordered by load) and
+///   leaves the CPU queue.
+///
+/// The scheduler then simulates the three timelines: at every step the
+/// candidate operation with the **earliest completion time** is committed
+/// (ties: CPU, then GPU, then PCIe), until every activated expert is
+/// computed exactly once. The simulation is the schedule: the committed
+/// orders become the plan, and the simulated `max(CPU, GPU)` finish time is
+/// the predicted makespan (Eq. 2 — transfer tails are excluded because every
+/// transfer is consumed by a later GPU compute).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::UnitCostModel;
+/// use hybrimoe_model::{ExpertId, LayerId};
+/// use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
+///
+/// let tasks = vec![
+///     ExpertTask::uncached(ExpertId(0), 2),
+///     ExpertTask::cached(ExpertId(1), 2),
+/// ];
+/// let cost = UnitCostModel::paper_fig5();
+/// let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+/// let plan = HybridScheduler::new().schedule(&ctx);
+/// plan.validate(&tasks).unwrap();
+/// // CPU takes the uncached expert, GPU the cached one, in parallel.
+/// assert_eq!(plan.predicted_makespan.as_micros_f64(), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridScheduler {
+    cpu_steal: bool,
+}
+
+impl HybridScheduler {
+    /// The full algorithm, including CPU work-stealing of cached experts.
+    pub fn new() -> Self {
+        HybridScheduler { cpu_steal: true }
+    }
+
+    /// A variant without the CPU-steal rule, for ablation studies.
+    pub fn without_cpu_steal() -> Self {
+        HybridScheduler { cpu_steal: false }
+    }
+}
+
+impl Default for HybridScheduler {
+    fn default() -> Self {
+        HybridScheduler::new()
+    }
+}
+
+/// A task waiting in the GPU queue.
+#[derive(Debug, Clone, Copy)]
+struct GpuEntry {
+    task: ExpertTask,
+    /// Transfer completion time for transferred experts.
+    ready: Option<SimTime>,
+}
+
+/// The candidate op of one device at a simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Candidate {
+    CpuQueueHead,
+    CpuSteal(usize),
+    GpuHead,
+    PcieHead,
+}
+
+impl Scheduler for HybridScheduler {
+    fn name(&self) -> &str {
+        "hybrimoe"
+    }
+
+    fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
+        plan.shared_on_gpu = ctx.shared_profile.is_some();
+
+        // GPU queue: cached experts, load descending (ties: id ascending).
+        let mut gpu_q: Vec<GpuEntry> = ctx
+            .tasks
+            .iter()
+            .filter(|t| t.cached)
+            .map(|t| GpuEntry {
+                task: *t,
+                ready: None,
+            })
+            .collect();
+        gpu_q.sort_by_key(|e| (std::cmp::Reverse(e.task.load), e.task.expert));
+
+        // CPU queue: uncached experts, load ascending.
+        let mut cpu_q: Vec<ExpertTask> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
+        cpu_q.sort_by_key(|t| (t.load, t.expert));
+
+        // PCIe queue: uncached experts, load descending.
+        let mut pcie_q: Vec<ExpertTask> = cpu_q.clone();
+        pcie_q.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+
+        let total = ctx.tasks.len();
+        let mut computed = 0usize;
+
+        let mut cpu_t = SimTime::ZERO;
+        let mut gpu_t = SimTime::ZERO;
+        if let Some(shared) = ctx.shared_profile {
+            gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+        }
+        let mut pcie_t = SimTime::ZERO;
+        let mut cpu_warm = false;
+
+        while computed < total {
+            let mut best: Option<(SimTime, u8, Candidate)> = None;
+            let mut consider = |finish: SimTime, rank: u8, c: Candidate| {
+                if best.is_none_or(|(bf, br, _)| (finish, rank) < (bf, br)) {
+                    best = Some((finish, rank, c));
+                }
+            };
+
+            // CPU: uncached head, else steal lowest-load cached entry.
+            if let Some(head) = cpu_q.first() {
+                let d = ctx.cost.cpu_compute(&ctx.routed_profile, head.load, cpu_warm);
+                consider(cpu_t + d, 0, Candidate::CpuQueueHead);
+            } else if self.cpu_steal {
+                // Steal only experts that are genuinely cached (not in
+                // flight over PCIe) — lowest load first.
+                let steal = gpu_q
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.ready.is_none())
+                    .min_by_key(|(_, e)| (e.task.load, e.task.expert));
+                if let Some((idx, entry)) = steal {
+                    let d = ctx
+                        .cost
+                        .cpu_compute(&ctx.routed_profile, entry.task.load, cpu_warm);
+                    consider(cpu_t + d, 0, Candidate::CpuSteal(idx));
+                }
+            }
+
+            // GPU: queue head (highest load), honoring transfer arrival.
+            if let Some(head) = gpu_q.first() {
+                let start = head.ready.map_or(gpu_t, |r| gpu_t.max(r));
+                let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.task.load);
+                consider(start + d, 1, Candidate::GpuHead);
+            }
+
+            // PCIe: queue head (highest load uncached not yet computed).
+            // A transfer is only useful through the GPU compute it feeds,
+            // so its effective completion includes that compute: without
+            // this, the greedy commits transfers that finish early on the
+            // wire but land the expert on the GPU *later* than the CPU
+            // would have finished it.
+            if let Some(head) = pcie_q.first() {
+                let wire = ctx.cost.transfer(&ctx.routed_profile);
+                let arrival = pcie_t + wire;
+                let compute_start = arrival.max(gpu_t);
+                let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.load);
+                consider(compute_start + d, 2, Candidate::PcieHead);
+            }
+
+            let Some((finish, _, candidate)) = best else {
+                // No candidate but tasks remain: impossible by construction
+                // (every task sits in at least one queue).
+                unreachable!("scheduler ran out of candidates");
+            };
+
+            match candidate {
+                Candidate::CpuQueueHead => {
+                    let task = cpu_q.remove(0);
+                    pcie_q.retain(|t| t.expert != task.expert);
+                    cpu_t = finish;
+                    cpu_warm = true;
+                    plan.cpu_order.push(task);
+                    computed += 1;
+                }
+                Candidate::CpuSteal(idx) => {
+                    let entry = gpu_q.remove(idx);
+                    cpu_t = finish;
+                    cpu_warm = true;
+                    plan.cpu_order.push(entry.task);
+                    computed += 1;
+                }
+                Candidate::GpuHead => {
+                    let entry = gpu_q.remove(0);
+                    gpu_t = finish;
+                    plan.gpu_order.push(PlannedTask {
+                        task: entry.task,
+                        placement: if entry.ready.is_some() {
+                            DevicePlacement::GpuAfterTransfer
+                        } else {
+                            DevicePlacement::Gpu
+                        },
+                    });
+                    computed += 1;
+                }
+                Candidate::PcieHead => {
+                    // `finish` includes the downstream GPU compute (the
+                    // selection metric); the wire itself frees earlier.
+                    let task = pcie_q.remove(0);
+                    cpu_q.retain(|t| t.expert != task.expert);
+                    let arrival = pcie_t + ctx.cost.transfer(&ctx.routed_profile);
+                    pcie_t = arrival;
+                    plan.pcie_order.push(task);
+                    insert_by_load(&mut gpu_q, GpuEntry {
+                        task,
+                        ready: Some(arrival),
+                    });
+                }
+            }
+        }
+
+        plan.predicted_makespan = cpu_t.max(gpu_t).elapsed_since(SimTime::ZERO);
+        plan
+    }
+}
+
+/// Inserts into the GPU queue keeping load-descending order (stable: equal
+/// loads keep arrival order, ties broken after existing entries).
+fn insert_by_load(gpu_q: &mut Vec<GpuEntry>, entry: GpuEntry) {
+    let pos = gpu_q
+        .iter()
+        .position(|e| e.task.load < entry.task.load)
+        .unwrap_or(gpu_q.len());
+    gpu_q.insert(pos, entry);
+}
+
+#[allow(dead_code)]
+fn expert_ids(tasks: &[ExpertTask]) -> Vec<ExpertId> {
+    tasks.iter().map(|t| t.expert).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_hw::{PlanExecutor, UnitCostModel};
+    use hybrimoe_model::LayerId;
+
+    fn us(n: f64) -> f64 {
+        n
+    }
+
+    fn fig5_tasks() -> Vec<ExpertTask> {
+        vec![
+            ExpertTask::uncached(ExpertId(0), 1), // A
+            ExpertTask::uncached(ExpertId(1), 1), // B
+            ExpertTask::uncached(ExpertId(2), 3), // C
+            ExpertTask::cached(ExpertId(3), 4),   // D
+            ExpertTask::cached(ExpertId(4), 1),   // E
+        ]
+    }
+
+    #[test]
+    fn fig5_golden_schedule() {
+        // Paper Fig. 5: makespan 4 time units; C is loaded to the GPU
+        // instead of being computed on the CPU; A and B run on the CPU.
+        let tasks = fig5_tasks();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), us(4.0));
+        let transferred: Vec<ExpertId> = plan.transferred_experts().collect();
+        assert_eq!(transferred, vec![ExpertId(2)]);
+        let cpu: Vec<ExpertId> = plan.cpu_experts().collect();
+        assert!(cpu.contains(&ExpertId(0)));
+        assert!(cpu.contains(&ExpertId(1)));
+        // D stays on the GPU.
+        assert!(plan.gpu_experts().any(|e| e == ExpertId(3)));
+    }
+
+    #[test]
+    fn fig5_prediction_matches_executor() {
+        let tasks = fig5_tasks();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        let executed = PlanExecutor::new().execute(plan.to_ops(&ctx)).unwrap();
+        assert_eq!(executed.makespan, plan.predicted_makespan);
+    }
+
+    #[test]
+    fn all_cached_goes_to_gpu_with_steals() {
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 3),
+            ExpertTask::cached(ExpertId(1), 2),
+            ExpertTask::cached(ExpertId(2), 1),
+        ];
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        // GPU takes 1 unit per task; the CPU steals the lowest-load expert
+        // (1 unit on CPU) in parallel: makespan 2 beats GPU-only's 3.
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), us(2.0));
+        assert_eq!(plan.cpu_order.len(), 1);
+        assert_eq!(plan.cpu_order[0].expert, ExpertId(2));
+    }
+
+    #[test]
+    fn without_steal_leaves_cached_on_gpu() {
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 3),
+            ExpertTask::cached(ExpertId(1), 1),
+        ];
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(plan.cpu_order.is_empty());
+        assert_eq!(plan.gpu_order.len(), 2);
+    }
+
+    #[test]
+    fn all_uncached_splits_between_cpu_and_transfer() {
+        // Six uncached experts of load 2: CPU computes the cheap ones while
+        // PCIe feeds the GPU.
+        let tasks: Vec<ExpertTask> = (0..6)
+            .map(|i| ExpertTask::uncached(ExpertId(i), 2))
+            .collect();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        assert!(!plan.cpu_order.is_empty(), "CPU must take some work");
+        assert!(!plan.pcie_order.is_empty(), "PCIe must take some work");
+        // Pure CPU would need 12 units; pure transfer+GPU 3+6*1s staggered.
+        assert!(plan.predicted_makespan.as_micros_f64() < us(12.0));
+    }
+
+    #[test]
+    fn gpu_orders_by_load_descending() {
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 1),
+            ExpertTask::cached(ExpertId(1), 5),
+            ExpertTask::cached(ExpertId(2), 3),
+        ];
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+        let gpu: Vec<ExpertId> = plan.gpu_experts().collect();
+        assert_eq!(gpu, vec![ExpertId(1), ExpertId(2), ExpertId(0)]);
+    }
+
+    #[test]
+    fn cpu_orders_by_load_ascending() {
+        // Make transfers prohibitively slow so everything lands on the CPU.
+        let cost = UnitCostModel {
+            cpu_per_load: hybrimoe_hw::SimDuration::from_micros(1),
+            gpu_per_task: hybrimoe_hw::SimDuration::from_micros(1),
+            transfer_per_expert: hybrimoe_hw::SimDuration::from_micros(1_000),
+        };
+        let tasks = vec![
+            ExpertTask::uncached(ExpertId(0), 5),
+            ExpertTask::uncached(ExpertId(1), 1),
+            ExpertTask::uncached(ExpertId(2), 3),
+        ];
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        let cpu: Vec<ExpertId> = plan.cpu_experts().collect();
+        assert_eq!(cpu, vec![ExpertId(1), ExpertId(2), ExpertId(0)]);
+        assert!(plan.pcie_order.is_empty());
+    }
+
+    #[test]
+    fn empty_task_set_gives_empty_plan() {
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &[], &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        assert_eq!(plan.predicted_makespan, hybrimoe_hw::SimDuration::ZERO);
+        assert!(plan.cpu_order.is_empty() && plan.gpu_order.is_empty());
+    }
+
+    #[test]
+    fn insert_by_load_keeps_descending_order() {
+        let mk = |load| GpuEntry {
+            task: ExpertTask::cached(ExpertId(load as u16), load),
+            ready: None,
+        };
+        let mut q = vec![mk(5), mk(3), mk(1)];
+        insert_by_load(&mut q, mk(4));
+        let loads: Vec<u32> = q.iter().map(|e| e.task.load).collect();
+        assert_eq!(loads, vec![5, 4, 3, 1]);
+        insert_by_load(&mut q, mk(9));
+        assert_eq!(q[0].task.load, 9);
+        insert_by_load(&mut q, mk(0));
+        assert_eq!(q.last().unwrap().task.load, 0);
+    }
+
+    #[test]
+    fn hybrid_beats_or_matches_fixed_split_on_random_inputs() {
+        // The greedy schedule must never be worse than either trivial
+        // policy: everything-on-CPU or cached-on-GPU/uncached-on-CPU.
+        let cost = UnitCostModel::paper_fig5();
+        let mut seed = 12345u64;
+        for _ in 0..200 {
+            let n = 1 + (seed % 7) as usize;
+            let mut tasks = Vec::new();
+            for i in 0..n {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let load = 1 + (seed >> 33) % 6;
+                let cached = (seed >> 17).is_multiple_of(2);
+                tasks.push(ExpertTask {
+                    expert: ExpertId(i as u16),
+                    load: load as u32,
+                    cached,
+                });
+            }
+            let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+            let plan = HybridScheduler::new().schedule(&ctx);
+            plan.validate(&tasks).unwrap();
+
+            // Fixed mapping: cached → GPU sequentially, uncached → CPU.
+            let gpu_time: f64 = tasks.iter().filter(|t| t.cached).count() as f64;
+            let cpu_time: f64 = tasks
+                .iter()
+                .filter(|t| !t.cached)
+                .map(|t| t.load as f64)
+                .sum();
+            let fixed = gpu_time.max(cpu_time);
+            assert!(
+                plan.predicted_makespan.as_micros_f64() <= fixed + 1e-9,
+                "hybrid {} > fixed {} for {:?}",
+                plan.predicted_makespan.as_micros_f64(),
+                fixed,
+                tasks
+            );
+        }
+    }
+}

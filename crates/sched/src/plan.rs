@@ -1,0 +1,360 @@
+//! The output of a scheduling decision.
+
+use hybrimoe_hw::{Device, Op, OpId, SimDuration};
+use hybrimoe_model::{ExpertId, LayerId};
+use serde::{Deserialize, Serialize};
+
+use crate::{ExpertTask, ScheduleContext};
+
+/// Where a task was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DevicePlacement {
+    /// Computed on the CPU from host memory.
+    Cpu,
+    /// Computed on the GPU from the cache.
+    Gpu,
+    /// Transferred over PCIe, then computed on the GPU.
+    GpuAfterTransfer,
+}
+
+/// A task together with its placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedTask {
+    /// The underlying expert task.
+    pub task: ExpertTask,
+    /// The chosen placement.
+    pub placement: DevicePlacement,
+}
+
+/// The per-device execution orders for one MoE layer.
+///
+/// Device orders are execution orders: the CPU computes `cpu_order` front to
+/// back, the GPU computes `gpu_order` front to back (waiting for the
+/// matching transfer before a [`DevicePlacement::GpuAfterTransfer`] entry),
+/// and PCIe issues `pcie_order` front to back. Shared experts, when present,
+/// are a fixed GPU preamble before the routed experts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    /// The layer this plan belongs to.
+    pub layer: LayerId,
+    /// Tokens in the batch.
+    pub tokens: u32,
+    /// CPU execution order.
+    pub cpu_order: Vec<ExpertTask>,
+    /// GPU execution order (cached and transferred experts interleaved).
+    pub gpu_order: Vec<PlannedTask>,
+    /// PCIe transfer order.
+    pub pcie_order: Vec<ExpertTask>,
+    /// Whether the plan includes the shared-expert GPU preamble.
+    pub shared_on_gpu: bool,
+    /// Overrides the cost profile used for PCIe transfers (llama.cpp-style
+    /// streaming moves dequantized weights, which are larger than the
+    /// packed Q4 experts). `None` uses the routed expert profile.
+    pub transfer_profile: Option<hybrimoe_hw::ExpertProfile>,
+    /// The makespan the scheduler's internal simulation predicts.
+    pub predicted_makespan: SimDuration,
+}
+
+/// Why a plan failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanInvalid {
+    /// An activated expert is computed zero or multiple times.
+    WrongComputeCount(ExpertId),
+    /// A cached expert is transferred.
+    TransferredCached(ExpertId),
+    /// A transferred expert is not computed on the GPU after its transfer.
+    TransferNotConsumed(ExpertId),
+    /// A GPU entry is marked `GpuAfterTransfer` but has no matching
+    /// transfer.
+    MissingTransfer(ExpertId),
+}
+
+impl std::fmt::Display for PlanInvalid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanInvalid::WrongComputeCount(e) => {
+                write!(f, "expert {e} computed zero or multiple times")
+            }
+            PlanInvalid::TransferredCached(e) => write!(f, "cached expert {e} transferred"),
+            PlanInvalid::TransferNotConsumed(e) => {
+                write!(f, "transfer of {e} has no GPU compute")
+            }
+            PlanInvalid::MissingTransfer(e) => {
+                write!(f, "GPU compute of {e} expects a transfer that is absent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanInvalid {}
+
+impl SchedulePlan {
+    /// An empty plan (no activated experts).
+    pub fn empty(layer: LayerId, tokens: u32) -> Self {
+        SchedulePlan {
+            layer,
+            tokens,
+            cpu_order: Vec::new(),
+            gpu_order: Vec::new(),
+            pcie_order: Vec::new(),
+            shared_on_gpu: false,
+            transfer_profile: None,
+            predicted_makespan: SimDuration::ZERO,
+        }
+    }
+
+    /// Experts computed on the CPU, in execution order.
+    pub fn cpu_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.cpu_order.iter().map(|t| t.expert)
+    }
+
+    /// Experts computed on the GPU, in execution order.
+    pub fn gpu_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.gpu_order.iter().map(|t| t.task.expert)
+    }
+
+    /// Experts moved over PCIe, in transfer order. These become resident in
+    /// the GPU cache after the layer executes.
+    pub fn transferred_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.pcie_order.iter().map(|t| t.expert)
+    }
+
+    /// Checks the structural invariants of the plan against the activated
+    /// task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: every activated expert computed
+    /// exactly once, no cached expert transferred, every transfer consumed
+    /// by a `GpuAfterTransfer` compute and vice versa.
+    pub fn validate(&self, tasks: &[ExpertTask]) -> Result<(), PlanInvalid> {
+        for t in tasks {
+            let on_cpu = self.cpu_order.iter().filter(|c| c.expert == t.expert).count();
+            let on_gpu = self
+                .gpu_order
+                .iter()
+                .filter(|g| g.task.expert == t.expert)
+                .count();
+            if on_cpu + on_gpu != 1 {
+                return Err(PlanInvalid::WrongComputeCount(t.expert));
+            }
+        }
+        for x in &self.pcie_order {
+            if x.cached {
+                return Err(PlanInvalid::TransferredCached(x.expert));
+            }
+            let consumed = self.gpu_order.iter().any(|g| {
+                g.task.expert == x.expert && g.placement == DevicePlacement::GpuAfterTransfer
+            });
+            if !consumed {
+                return Err(PlanInvalid::TransferNotConsumed(x.expert));
+            }
+        }
+        for g in &self.gpu_order {
+            if g.placement == DevicePlacement::GpuAfterTransfer
+                && !self.pcie_order.iter().any(|x| x.expert == g.task.expert)
+            {
+                return Err(PlanInvalid::MissingTransfer(g.task.expert));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the plan to hardware ops for the
+    /// [`PlanExecutor`](hybrimoe_hw::PlanExecutor): compute ops per device
+    /// in plan order, transfer ops on PCIe, and a dependency from each
+    /// transferred expert's GPU compute to its transfer.
+    pub fn to_ops(&self, ctx: &ScheduleContext<'_>) -> Vec<Op> {
+        let mut ops = Vec::new();
+        let mut next_id = 0u32;
+        let mut id = || {
+            let i = next_id;
+            next_id += 1;
+            i
+        };
+
+        if self.shared_on_gpu {
+            if let Some(shared) = ctx.shared_profile {
+                ops.push(Op::new(
+                    id(),
+                    Device::Gpu,
+                    ctx.cost.gpu_compute(&shared, ctx.tokens),
+                    format!("{} shared", self.layer),
+                ));
+            }
+        }
+
+        // Transfers first so GPU computes can reference them.
+        let transfer_profile = self.transfer_profile.unwrap_or(ctx.routed_profile);
+        let mut transfer_ids: Vec<(ExpertId, OpId)> = Vec::new();
+        for x in &self.pcie_order {
+            let op = Op::new(
+                id(),
+                Device::Pcie,
+                ctx.cost.transfer(&transfer_profile),
+                format!("{}/{} load", self.layer, x.expert),
+            );
+            transfer_ids.push((x.expert, op.id));
+            ops.push(op);
+        }
+
+        for (i, t) in self.cpu_order.iter().enumerate() {
+            let warm = i > 0;
+            ops.push(Op::new(
+                id(),
+                Device::Cpu,
+                ctx.cost.cpu_compute(&ctx.routed_profile, t.load, warm),
+                format!("{}/{}", self.layer, t.expert),
+            ));
+        }
+
+        for g in &self.gpu_order {
+            let mut op = Op::new(
+                id(),
+                Device::Gpu,
+                ctx.cost.gpu_compute(&ctx.routed_profile, g.task.load),
+                format!("{}/{}", self.layer, g.task.expert),
+            );
+            if g.placement == DevicePlacement::GpuAfterTransfer {
+                if let Some((_, dep)) = transfer_ids
+                    .iter()
+                    .find(|(e, _)| *e == g.task.expert)
+                {
+                    op = op.after(*dep);
+                }
+            }
+            ops.push(op);
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_hw::{PlanExecutor, UnitCostModel};
+
+    fn fig5_tasks() -> Vec<ExpertTask> {
+        vec![
+            ExpertTask::uncached(ExpertId(0), 1),
+            ExpertTask::uncached(ExpertId(1), 1),
+            ExpertTask::uncached(ExpertId(2), 3),
+            ExpertTask::cached(ExpertId(3), 4),
+            ExpertTask::cached(ExpertId(4), 1),
+        ]
+    }
+
+    fn fig5_plan() -> SchedulePlan {
+        SchedulePlan {
+            layer: LayerId(0),
+            tokens: 4,
+            cpu_order: vec![
+                ExpertTask::uncached(ExpertId(0), 1),
+                ExpertTask::uncached(ExpertId(1), 1),
+                ExpertTask::cached(ExpertId(4), 1),
+            ],
+            gpu_order: vec![
+                PlannedTask {
+                    task: ExpertTask::cached(ExpertId(3), 4),
+                    placement: DevicePlacement::Gpu,
+                },
+                PlannedTask {
+                    task: ExpertTask::uncached(ExpertId(2), 3),
+                    placement: DevicePlacement::GpuAfterTransfer,
+                },
+            ],
+            pcie_order: vec![ExpertTask::uncached(ExpertId(2), 3)],
+            shared_on_gpu: false,
+            transfer_profile: None,
+            predicted_makespan: SimDuration::from_micros(4),
+        }
+    }
+
+    #[test]
+    fn fig5_plan_validates() {
+        assert_eq!(fig5_plan().validate(&fig5_tasks()), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_missing_compute() {
+        let mut p = fig5_plan();
+        p.cpu_order.pop();
+        assert_eq!(
+            p.validate(&fig5_tasks()),
+            Err(PlanInvalid::WrongComputeCount(ExpertId(4)))
+        );
+    }
+
+    #[test]
+    fn validation_catches_duplicate_compute() {
+        let mut p = fig5_plan();
+        p.cpu_order.push(ExpertTask::cached(ExpertId(3), 4));
+        assert_eq!(
+            p.validate(&fig5_tasks()),
+            Err(PlanInvalid::WrongComputeCount(ExpertId(3)))
+        );
+    }
+
+    #[test]
+    fn validation_catches_cached_transfer() {
+        let mut p = fig5_plan();
+        p.pcie_order.push(ExpertTask::cached(ExpertId(3), 4));
+        assert_eq!(
+            p.validate(&fig5_tasks()),
+            Err(PlanInvalid::TransferredCached(ExpertId(3)))
+        );
+    }
+
+    #[test]
+    fn validation_catches_unconsumed_transfer() {
+        let mut p = fig5_plan();
+        p.gpu_order[1].placement = DevicePlacement::Gpu;
+        assert_eq!(
+            p.validate(&fig5_tasks()),
+            Err(PlanInvalid::TransferNotConsumed(ExpertId(2)))
+        );
+    }
+
+    #[test]
+    fn validation_catches_missing_transfer() {
+        let mut p = fig5_plan();
+        p.pcie_order.clear();
+        assert_eq!(
+            p.validate(&fig5_tasks()),
+            Err(PlanInvalid::MissingTransfer(ExpertId(2)))
+        );
+    }
+
+    #[test]
+    fn to_ops_executes_to_predicted_makespan() {
+        let plan = fig5_plan();
+        let cost = UnitCostModel::paper_fig5();
+        let tasks = fig5_tasks();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let ops = plan.to_ops(&ctx);
+        let executed = PlanExecutor::new().execute(ops).unwrap();
+        assert_eq!(executed.makespan, plan.predicted_makespan);
+    }
+
+    #[test]
+    fn empty_plan_is_valid_and_zero_cost() {
+        let p = SchedulePlan::empty(LayerId(1), 0);
+        assert_eq!(p.validate(&[]), Ok(()));
+        assert_eq!(p.predicted_makespan, SimDuration::ZERO);
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(1), &[], &cost);
+        assert!(p.to_ops(&ctx).is_empty());
+    }
+
+    #[test]
+    fn invalid_display_nonempty() {
+        for e in [
+            PlanInvalid::WrongComputeCount(ExpertId(0)),
+            PlanInvalid::TransferredCached(ExpertId(0)),
+            PlanInvalid::TransferNotConsumed(ExpertId(0)),
+            PlanInvalid::MissingTransfer(ExpertId(0)),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The unit of scheduling: one activated expert with its token load.
+
+use hybrimoe_model::ExpertId;
+use serde::{Deserialize, Serialize};
+
+/// One activated expert of the layer being scheduled.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::ExpertId;
+/// use hybrimoe_sched::ExpertTask;
+///
+/// let t = ExpertTask::cached(ExpertId(3), 4);
+/// assert!(t.cached);
+/// assert_eq!(t.load, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExpertTask {
+    /// The expert within the current layer.
+    pub expert: ExpertId,
+    /// Number of tokens routed to it (≥ 1 for activated experts).
+    pub load: u32,
+    /// Whether its weights are resident in the GPU cache at schedule time.
+    pub cached: bool,
+}
+
+impl ExpertTask {
+    /// An activated expert whose weights are on the GPU.
+    pub const fn cached(expert: ExpertId, load: u32) -> Self {
+        ExpertTask {
+            expert,
+            load,
+            cached: true,
+        }
+    }
+
+    /// An activated expert whose weights are only in host memory.
+    pub const fn uncached(expert: ExpertId, load: u32) -> Self {
+        ExpertTask {
+            expert,
+            load,
+            cached: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let c = ExpertTask::cached(ExpertId(1), 2);
+        let u = ExpertTask::uncached(ExpertId(1), 2);
+        assert!(c.cached && !u.cached);
+        assert_eq!(c.expert, u.expert);
+    }
+}

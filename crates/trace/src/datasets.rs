@@ -1,0 +1,182 @@
+//! Prompt-length distributions of the paper's evaluation datasets.
+//!
+//! The prefill experiments (Fig. 7) sample prompts "of different lengths
+//! from multiple datasets, including MT Bench, Vicuna Bench and ChatGPT
+//! Prompts" and report latency in buckets around 32/128/512/1024 tokens.
+//! Only the *length* of a prompt affects the measured quantities, so the
+//! datasets are modeled by their published length statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An evaluation dataset, modeled by its prompt-length distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// MT-Bench: multi-turn questions, medium-length prompts.
+    MtBench,
+    /// Vicuna-Bench: single-turn questions, short prompts.
+    VicunaBench,
+    /// ChatGPT-Prompts: role-play system prompts, short-to-long.
+    ChatGptPrompts,
+}
+
+impl Dataset {
+    /// All datasets used by the paper.
+    pub const ALL: [Dataset; 3] = [
+        Dataset::MtBench,
+        Dataset::VicunaBench,
+        Dataset::ChatGptPrompts,
+    ];
+
+    /// A short stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Dataset::MtBench => "mt-bench",
+            Dataset::VicunaBench => "vicuna-bench",
+            Dataset::ChatGptPrompts => "chatgpt-prompts",
+        }
+    }
+
+    /// Log-normal parameters `(mu, sigma)` of the token-length
+    /// distribution.
+    fn lognormal_params(self) -> (f64, f64) {
+        match self {
+            // Medians ~64, ~45 and ~90 tokens with long right tails.
+            Dataset::MtBench => (4.16, 0.80),
+            Dataset::VicunaBench => (3.80, 0.55),
+            Dataset::ChatGptPrompts => (4.50, 0.95),
+        }
+    }
+
+    /// Samples `n` prompt lengths (tokens), clamped to `[4, 4096]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_trace::Dataset;
+    ///
+    /// let lens = Dataset::MtBench.sample_lengths(100, 1);
+    /// assert_eq!(lens.len(), 100);
+    /// assert!(lens.iter().all(|l| (4..=4096).contains(l)));
+    /// ```
+    pub fn sample_lengths(self, n: usize, seed: u64) -> Vec<u32> {
+        let (mu, sigma) = self.lognormal_params();
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64) << 32);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let len = (mu + sigma * z).exp();
+                (len.round() as u32).clamp(4, 4096)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The prefill-length buckets of the paper's Fig. 7 (~32/128/512/1024).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LengthBucket {
+    /// Around 32 tokens.
+    B32,
+    /// Around 128 tokens.
+    B128,
+    /// Around 512 tokens.
+    B512,
+    /// Around 1024 tokens.
+    B1024,
+}
+
+impl LengthBucket {
+    /// All buckets, ascending.
+    pub const ALL: [LengthBucket; 4] = [
+        LengthBucket::B32,
+        LengthBucket::B128,
+        LengthBucket::B512,
+        LengthBucket::B1024,
+    ];
+
+    /// The nominal token count of the bucket.
+    pub const fn tokens(self) -> u32 {
+        match self {
+            LengthBucket::B32 => 32,
+            LengthBucket::B128 => 128,
+            LengthBucket::B512 => 512,
+            LengthBucket::B1024 => 1024,
+        }
+    }
+
+    /// Buckets a sampled length to the nearest nominal size (log distance).
+    pub fn of(length: u32) -> LengthBucket {
+        let l = (length.max(1) as f64).ln();
+        LengthBucket::ALL
+            .into_iter()
+            .min_by(|a, b| {
+                let da = (l - (a.tokens() as f64).ln()).abs();
+                let db = (l - (b.tokens() as f64).ln()).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("non-empty buckets")
+    }
+}
+
+impl std::fmt::Display for LengthBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.tokens())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Dataset::MtBench.sample_lengths(10, 7);
+        let b = Dataset::MtBench.sample_lengths(10, 7);
+        assert_eq!(a, b);
+        let c = Dataset::MtBench.sample_lengths(10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn datasets_have_distinct_medians() {
+        let med = |d: Dataset| {
+            let mut l = d.sample_lengths(1001, 3);
+            l.sort_unstable();
+            l[500]
+        };
+        let v = med(Dataset::VicunaBench);
+        let m = med(Dataset::MtBench);
+        let c = med(Dataset::ChatGptPrompts);
+        assert!(v < m && m < c, "medians {v} {m} {c}");
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        assert_eq!(LengthBucket::of(30), LengthBucket::B32);
+        assert_eq!(LengthBucket::of(100), LengthBucket::B128);
+        assert_eq!(LengthBucket::of(400), LengthBucket::B512);
+        assert_eq!(LengthBucket::of(2000), LengthBucket::B1024);
+        assert_eq!(LengthBucket::of(0), LengthBucket::B32);
+    }
+
+    #[test]
+    fn bucket_tokens_ascending() {
+        let t: Vec<u32> = LengthBucket::ALL.iter().map(|b| b.tokens()).collect();
+        assert_eq!(t, vec![32, 128, 512, 1024]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataset::MtBench.to_string(), "mt-bench");
+        assert_eq!(LengthBucket::B512.to_string(), "512");
+    }
+}

@@ -1,0 +1,529 @@
+//! The AR(1) hidden-state trace generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hybrimoe_model::{LayerId, LayerRouting, ModelConfig, RouterOutput};
+
+use crate::{ActivationTrace, LayerRecord, TraceStep};
+
+/// Tunable parameters of the synthetic activation process.
+///
+/// Defaults are chosen so the generated traces match the paper's measured
+/// statistics: an expert-frequency CDF close to the diagonal (Fig. 3(a)),
+/// reuse probability rising with score rank (Fig. 3(b)), and adjacent-layer
+/// similarity high enough for prefetching to pay off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// AR(1) coefficient of the hidden state across layers (residual-stream
+    /// similarity). Higher → adjacent layers route more similarly.
+    pub layer_correlation: f64,
+    /// AR(1) coefficient of the hidden state across decode iterations
+    /// (temporal continuity of language). Higher → more expert reuse.
+    pub temporal_correlation: f64,
+    /// Gain applied to router logits. Higher → sharper routing (more skew
+    /// within an iteration).
+    pub gate_gain: f64,
+    /// AR(1) coefficient of the router projections across layers. Adjacent
+    /// layers of trained MoE models route similarly ("high activation
+    /// similarity between adjacent layers", §III); correlated projections
+    /// reproduce that.
+    pub projection_correlation: f64,
+    /// Standard deviation of the persistent per-(layer, expert) popularity
+    /// bias added to the router logits. Zero gives perfectly uniform
+    /// long-run frequencies; the paper's Fig. 3(a) CDFs show mild skew.
+    pub expert_bias: f64,
+    /// Dimension of the latent hidden state.
+    pub latent_dim: usize,
+    /// How many future layers each record predicts (the paper uses 3).
+    pub lookahead: usize,
+    /// Correlation between tokens of one prefill prompt (shared topic).
+    pub prompt_cohesion: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            layer_correlation: 0.82,
+            temporal_correlation: 0.35,
+            gate_gain: 2.2,
+            projection_correlation: 0.72,
+            expert_bias: 0.7,
+            latent_dim: 32,
+            lookahead: 3,
+            prompt_cohesion: 0.55,
+        }
+    }
+}
+
+/// Generates deterministic synthetic activation traces for one model.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::ModelConfig;
+/// use hybrimoe_trace::TraceGenerator;
+///
+/// let g = TraceGenerator::new(ModelConfig::mixtral(), 1);
+/// let a = g.decode_trace(8);
+/// let b = g.decode_trace(8);
+/// assert_eq!(a, b); // same seed → identical trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    model: ModelConfig,
+    config: TraceConfig,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with default [`TraceConfig`].
+    pub fn new(model: ModelConfig, seed: u64) -> Self {
+        TraceGenerator {
+            model,
+            config: TraceConfig::default(),
+            seed,
+        }
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(model: ModelConfig, seed: u64, config: TraceConfig) -> Self {
+        TraceGenerator {
+            model,
+            config,
+            seed,
+        }
+    }
+
+    /// The model this generator describes.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Generates a decode trace: `iterations` autoregressive steps of one
+    /// token each.
+    ///
+    /// The token latent *and* every layer's innovation evolve with the
+    /// temporal AR(1) coefficient, so the hidden state at **every** depth is
+    /// equally correlated across iterations — fresh per-iteration layer
+    /// noise would destroy temporal reuse in deep layers.
+    pub fn decode_trace(&self, iterations: usize) -> ActivationTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bundle = self.model_params(&mut rng);
+        let d = self.config.latent_dim;
+        let rho_t = self.config.temporal_correlation;
+        let layers = self.model.layers as usize;
+
+        let mut token_latent = gaussian_vec(&mut rng, d);
+        let mut innovations: Vec<Vec<f64>> =
+            (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect();
+
+        let mut steps = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            evolve(&mut token_latent, rho_t, &mut rng);
+            for inno in &mut innovations {
+                evolve(inno, rho_t, &mut rng);
+            }
+            let layer_records =
+                self.forward(&bundle, &[token_latent.clone()], |_, l| innovations[l].clone());
+            steps.push(TraceStep {
+                tokens: 1,
+                layers: layer_records,
+            });
+        }
+        ActivationTrace {
+            model_name: self.model.name.clone(),
+            seed: self.seed,
+            steps,
+        }
+    }
+
+    /// Generates a batched decode trace: `sequences` independent requests
+    /// decoded in lockstep for `iterations` steps (small-batch serving).
+    /// Each step routes `sequences` tokens, one per request, so per-expert
+    /// loads range over `0..=sequences` — the intermediate regime between
+    /// single-token decode and prefill.
+    pub fn decode_trace_batched(&self, iterations: usize, sequences: u32) -> ActivationTrace {
+        assert!(sequences > 0, "batch must contain at least one sequence");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xBA7C_4ED0);
+        let bundle = self.model_params(&mut rng);
+        let d = self.config.latent_dim;
+        let rho_t = self.config.temporal_correlation;
+        let layers = self.model.layers as usize;
+        let n = sequences as usize;
+
+        // Independent latent chains and per-layer innovations per sequence.
+        let mut token_latents: Vec<Vec<f64>> =
+            (0..n).map(|_| gaussian_vec(&mut rng, d)).collect();
+        let mut innovations: Vec<Vec<Vec<f64>>> = (0..n)
+            .map(|_| (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect())
+            .collect();
+
+        let mut steps = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            for latent in &mut token_latents {
+                evolve(latent, rho_t, &mut rng);
+            }
+            for seq in &mut innovations {
+                for inno in seq.iter_mut() {
+                    evolve(inno, rho_t, &mut rng);
+                }
+            }
+            let layer_records =
+                self.forward(&bundle, &token_latents, |t, l| innovations[t][l].clone());
+            steps.push(TraceStep {
+                tokens: sequences,
+                layers: layer_records,
+            });
+        }
+        ActivationTrace {
+            model_name: self.model.name.clone(),
+            seed: self.seed,
+            steps,
+        }
+    }
+
+    /// Generates a prefill trace: one forward pass over a batch of `tokens`
+    /// prompt tokens.
+    pub fn prefill_trace(&self, tokens: u32) -> ActivationTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_F111);
+        let bundle = self.model_params(&mut rng);
+        let d = self.config.latent_dim;
+        let cohesion = self.config.prompt_cohesion;
+        let layers = self.model.layers as usize;
+
+        // Tokens of one prompt share a topic latent plus private noise.
+        let topic = gaussian_vec(&mut rng, d);
+        let latents: Vec<Vec<f64>> = (0..tokens)
+            .map(|_| {
+                let noise = gaussian_vec(&mut rng, d);
+                topic
+                    .iter()
+                    .zip(noise.iter())
+                    .map(|(t, n)| cohesion * t + (1.0 - cohesion * cohesion).sqrt() * n)
+                    .collect()
+            })
+            .collect();
+        // Per-token, per-layer innovations (a single pass: no temporal
+        // dimension to correlate).
+        let innovations: Vec<Vec<Vec<f64>>> = (0..tokens as usize)
+            .map(|_| (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect())
+            .collect();
+        let layer_records = self.forward(&bundle, &latents, |t, l| innovations[t][l].clone());
+        ActivationTrace {
+            model_name: self.model.name.clone(),
+            seed: self.seed,
+            steps: vec![TraceStep {
+                tokens,
+                layers: layer_records,
+            }],
+        }
+    }
+
+    /// The per-seed model parameters: router projections (AR(1)-correlated
+    /// across layers) and a persistent per-(layer, expert) popularity bias.
+    fn model_params(&self, rng: &mut StdRng) -> ModelParams {
+        let e = self.model.routed_experts as usize;
+        let d = self.config.latent_dim;
+        let rho = self.config.projection_correlation;
+        let noise_scale = (1.0 - rho * rho).max(0.0).sqrt();
+        let mut current: Vec<f64> = (0..e * d).map(|_| gaussian(rng)).collect();
+        let mut projections = Vec::with_capacity(self.model.layers as usize);
+        projections.push(current.clone());
+        for _ in 1..self.model.layers {
+            for v in current.iter_mut() {
+                *v = rho * *v + noise_scale * gaussian(rng);
+            }
+            projections.push(current.clone());
+        }
+        let biases: Vec<Vec<f64>> = (0..self.model.layers)
+            .map(|_| {
+                (0..e)
+                    .map(|_| self.config.expert_bias * gaussian(rng))
+                    .collect()
+            })
+            .collect();
+        ModelParams {
+            projections,
+            biases,
+        }
+    }
+
+    /// Runs the latent process through all layers for a batch of token
+    /// latents, producing true and predicted routings. `innovation(t, l)`
+    /// supplies the layer-transition noise of token `t` entering layer
+    /// `l+1`.
+    fn forward(
+        &self,
+        params: &ModelParams,
+        token_latents: &[Vec<f64>],
+        innovation: impl Fn(usize, usize) -> Vec<f64>,
+    ) -> Vec<LayerRecord> {
+        let layers = self.model.layers as usize;
+        let k = self.model.activated_experts as usize;
+        let experts = self.model.routed_experts;
+        let rho_l = self.config.layer_correlation;
+        let noise_scale = (1.0 - rho_l * rho_l).max(0.0).sqrt();
+
+        // Per-token hidden state evolving across layers.
+        let mut hidden: Vec<Vec<f64>> = token_latents.to_vec();
+        let mut records = Vec::with_capacity(layers);
+        for l in 0..layers {
+            // True routing from the current hidden states.
+            let outputs: Vec<RouterOutput> = hidden
+                .iter()
+                .map(|h| RouterOutput::route(&self.logits(params, l, h), k))
+                .collect();
+            let routing = LayerRouting::from_tokens(LayerId(l as u16), experts, &outputs);
+
+            // Predicted routings: current hidden state through the *later*
+            // routers (paper Fig. 6).
+            let mut predicted = Vec::new();
+            for ahead in 1..=self.config.lookahead {
+                if l + ahead >= layers {
+                    break;
+                }
+                let pred_outputs: Vec<RouterOutput> = hidden
+                    .iter()
+                    .map(|h| RouterOutput::route(&self.logits(params, l + ahead, h), k))
+                    .collect();
+                predicted.push(LayerRouting::from_tokens(
+                    LayerId((l + ahead) as u16),
+                    experts,
+                    &pred_outputs,
+                ));
+            }
+            records.push(LayerRecord { routing, predicted });
+
+            // Evolve each token's hidden state into the next layer.
+            for (t, h) in hidden.iter_mut().enumerate() {
+                let inno = innovation(t, l);
+                for (v, n) in h.iter_mut().zip(inno.iter()) {
+                    *v = rho_l * *v + noise_scale * n;
+                }
+            }
+        }
+        records
+    }
+
+    /// Router logits for one token at one layer.
+    fn logits(&self, params: &ModelParams, layer: usize, hidden: &[f64]) -> Vec<f32> {
+        let d = self.config.latent_dim;
+        let e = self.model.routed_experts as usize;
+        let norm = (d as f64).sqrt();
+        let projection = &params.projections[layer];
+        let bias = &params.biases[layer];
+        (0..e)
+            .map(|i| {
+                let row = &projection[i * d..(i + 1) * d];
+                let dot: f64 = row.iter().zip(hidden.iter()).map(|(a, b)| a * b).sum();
+                (self.config.gate_gain * dot / norm + bias[i]) as f32
+            })
+            .collect()
+    }
+}
+
+/// Per-seed router parameters.
+#[derive(Debug, Clone)]
+struct ModelParams {
+    /// Per-layer projection matrices, `experts x latent_dim`.
+    projections: Vec<Vec<f64>>,
+    /// Per-layer, per-expert popularity biases.
+    biases: Vec<Vec<f64>>,
+}
+
+/// One AR(1) step: `h ← ρ·h + sqrt(1-ρ²)·ε` (keeps unit variance).
+fn evolve(h: &mut [f64], rho: f64, rng: &mut StdRng) {
+    let noise_scale = (1.0 - rho * rho).max(0.0).sqrt();
+    for v in h.iter_mut() {
+        *v = rho * *v + noise_scale * gaussian(rng);
+    }
+}
+
+/// A standard normal sample (Box-Muller, deterministic from the rng).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn gaussian_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| gaussian(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::ModelConfig;
+
+    #[test]
+    fn decode_trace_shape() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 3);
+        let t = g.decode_trace(5);
+        assert_eq!(t.steps.len(), 5);
+        for step in &t.steps {
+            assert_eq!(step.tokens, 1);
+            assert_eq!(step.layers.len(), 4);
+            for rec in &step.layers {
+                assert_eq!(rec.routing.loads().len(), 8);
+                // One token activates exactly K experts with load 1.
+                assert_eq!(rec.routing.loads().iter().sum::<u32>(), 2);
+                assert!(rec.routing.loads().iter().all(|l| *l <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_truncates_at_model_end() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 3);
+        let t = g.decode_trace(1);
+        let layers = &t.steps[0].layers;
+        assert_eq!(layers[0].predicted.len(), 3);
+        assert_eq!(layers[1].predicted.len(), 2);
+        assert_eq!(layers[3].predicted.len(), 0);
+        // Predicted layer ids are consecutive.
+        assert_eq!(layers[0].predicted[0].layer(), LayerId(1));
+        assert_eq!(layers[0].predicted[2].layer(), LayerId(3));
+    }
+
+    #[test]
+    fn batched_decode_shape_and_loads() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 7);
+        let t = g.decode_trace_batched(3, 4);
+        assert_eq!(t.steps.len(), 3);
+        for step in &t.steps {
+            assert_eq!(step.tokens, 4);
+            for rec in &step.layers {
+                // 4 sequences x top-2 routing.
+                assert_eq!(rec.routing.loads().iter().sum::<u32>(), 8);
+                assert!(rec.routing.loads().iter().all(|l| *l <= 4));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn batched_decode_rejects_empty_batch() {
+        let _ = TraceGenerator::new(ModelConfig::tiny_test(), 7).decode_trace_batched(1, 0);
+    }
+
+    #[test]
+    fn prefill_loads_sum_to_tokens_times_k() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 9);
+        let t = g.prefill_trace(32);
+        let rec = &t.steps[0].layers[0];
+        assert_eq!(rec.routing.tokens(), 32);
+        assert_eq!(rec.routing.loads().iter().sum::<u32>(), 32 * 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = ModelConfig::tiny_test();
+        let a = TraceGenerator::new(m.clone(), 5).decode_trace(3);
+        let b = TraceGenerator::new(m.clone(), 5).decode_trace(3);
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(m, 6).decode_trace(3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nearer_predictions_are_more_accurate() {
+        // Measure top-K overlap between predicted and true routings at
+        // distance 1 vs distance 3: distance 1 must be at least as accurate.
+        let g = TraceGenerator::new(ModelConfig::deepseek(), 11);
+        let t = g.decode_trace(60);
+        let mut overlap = [0.0f64; 3];
+        let mut counts = [0usize; 3];
+        for step in &t.steps {
+            for (l, rec) in step.layers.iter().enumerate() {
+                for (d, pred) in rec.predicted.iter().enumerate() {
+                    let target = &step.layers[l + d + 1].routing;
+                    let true_set: std::collections::HashSet<u16> = target
+                        .activated()
+                        .iter()
+                        .map(|(e, _)| e.0)
+                        .collect();
+                    let pred_set: std::collections::HashSet<u16> = pred
+                        .activated()
+                        .iter()
+                        .map(|(e, _)| e.0)
+                        .collect();
+                    let inter = true_set.intersection(&pred_set).count();
+                    overlap[d] += inter as f64 / true_set.len().max(1) as f64;
+                    counts[d] += 1;
+                }
+            }
+        }
+        let acc: Vec<f64> = (0..3).map(|d| overlap[d] / counts[d] as f64).collect();
+        assert!(
+            acc[0] >= acc[2],
+            "accuracy should decay with distance: {acc:?}"
+        );
+        // Distance-1 prediction must be usefully better than chance
+        // (random K of 64 would overlap ~9%).
+        assert!(acc[0] > 0.3, "distance-1 accuracy too low: {acc:?}");
+    }
+
+    #[test]
+    fn temporal_reuse_above_chance() {
+        // The probability that an activated expert is activated again next
+        // iteration must exceed the uniform baseline K/N.
+        let m = ModelConfig::deepseek();
+        let g = TraceGenerator::new(m.clone(), 13);
+        let t = g.decode_trace(80);
+        let mut reused = 0usize;
+        let mut total = 0usize;
+        for w in t.steps.windows(2) {
+            for l in 0..w[0].layers.len() {
+                let a: std::collections::HashSet<u16> = w[0].layers[l]
+                    .routing
+                    .activated()
+                    .iter()
+                    .map(|(e, _)| e.0)
+                    .collect();
+                let b: std::collections::HashSet<u16> = w[1].layers[l]
+                    .routing
+                    .activated()
+                    .iter()
+                    .map(|(e, _)| e.0)
+                    .collect();
+                reused += a.intersection(&b).count();
+                total += a.len();
+            }
+        }
+        let reuse_rate = reused as f64 / total as f64;
+        let chance = m.activated_experts as f64 / m.routed_experts as f64;
+        assert!(
+            reuse_rate > 1.5 * chance,
+            "reuse {reuse_rate:.3} vs chance {chance:.3}"
+        );
+    }
+
+    #[test]
+    fn long_run_frequencies_are_not_too_skewed() {
+        // Fig. 3(a): expert frequency CDF is far flatter than neuron-level
+        // sparsity. Check the top 20% of experts carry less than half of
+        // all activations.
+        let m = ModelConfig::deepseek();
+        let g = TraceGenerator::new(m.clone(), 17);
+        let t = g.decode_trace(120);
+        let mut counts = vec![0u64; m.routed_experts as usize];
+        for step in &t.steps {
+            for rec in &step.layers {
+                for (e, _) in rec.routing.activated() {
+                    counts[e.0 as usize] += 1;
+                }
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top20: u64 = counts.iter().take(counts.len() / 5).sum();
+        let share = top20 as f64 / total as f64;
+        assert!(share < 0.5, "top-20% share too skewed: {share:.3}");
+    }
+}

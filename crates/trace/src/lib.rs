@@ -1,0 +1,49 @@
+//! # hybrimoe-trace
+//!
+//! Synthetic MoE activation traces with the statistical structure the
+//! HybriMoE paper measures on real models (§III):
+//!
+//! * **near-uniform long-run expert frequency** — unlike neuron-level
+//!   sparsity, no small "hot set" exists (Fig. 3(a));
+//! * **temporal correlation** — experts with high router scores now are
+//!   likelier to be activated next iteration (Fig. 3(b)), the signal MRS
+//!   caching exploits;
+//! * **cross-layer similarity** — adjacent layers route similarly because
+//!   the residual stream changes slowly, the signal prefetching exploits;
+//! * **uneven prefill workload** — token loads per expert are highly skewed
+//!   within one forward pass (Fig. 3(c)).
+//!
+//! The generator drives a latent hidden state through an AR(1) process
+//! across layers and iterations and derives router logits from per-layer
+//! random projections; all four properties emerge from that single
+//! mechanism, mirroring how they arise in real transformers. Each trace
+//! also records *predicted* routings for the next layers computed from the
+//! **current** layer's hidden state — exactly the paper's prefetch
+//! prediction mechanism (§IV-C) — so prediction accuracy decays naturally
+//! with lookahead distance.
+//!
+//! ## Example
+//!
+//! ```
+//! use hybrimoe_model::ModelConfig;
+//! use hybrimoe_trace::TraceGenerator;
+//!
+//! let generator = TraceGenerator::new(ModelConfig::deepseek(), 42);
+//! let trace = generator.decode_trace(16);
+//! assert_eq!(trace.steps.len(), 16);
+//! // Every step routes every layer:
+//! assert_eq!(trace.steps[0].layers.len(), 26);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+mod generator;
+pub mod neuron;
+pub mod stats;
+mod trace;
+
+pub use datasets::{Dataset, LengthBucket};
+pub use generator::{TraceConfig, TraceGenerator};
+pub use trace::{ActivationTrace, LayerRecord, TraceStep};

@@ -1,0 +1,102 @@
+//! Skewed neuron-level activation baseline.
+//!
+//! Fig. 3(a) contrasts MoE expert activation with the neuron-level sparsity
+//! of dense models (the OPT curve): neuron activations are heavily
+//! concentrated on a small "hot" set, which is why LFU-style policies work
+//! for PowerInfer but not for MoE. This module generates that baseline
+//! curve from a Zipf-distributed activation model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a neuron-activation frequency profile and returns its cumulative
+/// activation-share curve (same convention as
+/// [`stats::activation_cdf`](crate::stats::activation_cdf)).
+///
+/// `neurons` is the population size, `zipf_s` the skew exponent (OPT-style
+/// measurements correspond to `s ≈ 1.0`), `samples` the number of
+/// activation events to draw.
+///
+/// # Example
+///
+/// ```
+/// let cdf = hybrimoe_trace::neuron::neuron_activation_cdf(512, 1.0, 20_000, 1);
+/// // Heavily skewed: the top 10% of neurons carry most activations.
+/// let top10 = cdf[cdf.len() / 10 - 1];
+/// assert!(top10 > 0.4, "top10 share {top10}");
+/// ```
+pub fn neuron_activation_cdf(neurons: usize, zipf_s: f64, samples: usize, seed: u64) -> Vec<f64> {
+    assert!(neurons > 0, "population must be nonzero");
+    // Zipf pmf over ranks 1..=neurons.
+    let weights: Vec<f64> = (1..=neurons).map(|r| 1.0 / (r as f64).powf(zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut counts = vec![0u64; neurons];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..samples {
+        let mut u = rng.gen_range(0.0..total);
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if u < *w {
+                idx = i;
+                break;
+            }
+            u -= w;
+            idx = i;
+        }
+        counts[idx] += 1;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total_count: u64 = counts.iter().sum();
+    let mut acc = 0u64;
+    counts
+        .iter()
+        .map(|c| {
+            acc += c;
+            if total_count == 0 {
+                0.0
+            } else {
+                acc as f64 / total_count as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_to_one() {
+        let cdf = neuron_activation_cdf(128, 1.0, 5_000, 3);
+        assert_eq!(cdf.len(), 128);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neuron_curve_is_more_skewed_than_expert_curve() {
+        use crate::TraceGenerator;
+        use hybrimoe_model::ModelConfig;
+
+        let neuron = neuron_activation_cdf(64, 1.1, 20_000, 5);
+        let expert_trace = TraceGenerator::new(ModelConfig::deepseek(), 5).decode_trace(100);
+        let expert = crate::stats::activation_cdf(&expert_trace);
+        // Compare share covered by the top quarter of the population.
+        let q_n = neuron[neuron.len() / 4 - 1];
+        let q_e = expert[expert.len() / 4 - 1];
+        assert!(q_n > q_e + 0.1, "neuron {q_n:.3} vs expert {q_e:.3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = neuron_activation_cdf(32, 1.0, 1_000, 9);
+        let b = neuron_activation_cdf(32, 1.0, 1_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zero_population_rejected() {
+        let _ = neuron_activation_cdf(0, 1.0, 10, 1);
+    }
+}

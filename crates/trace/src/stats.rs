@@ -1,0 +1,259 @@
+//! Activation statistics over traces — the measurements behind the paper's
+//! motivation figures (Fig. 3).
+
+use std::collections::HashSet;
+
+use crate::ActivationTrace;
+
+/// The cumulative activation-frequency curve of Fig. 3(a): experts sorted by
+/// descending activation count, returning the cumulative share of all
+/// activations covered by the top `i+1` experts.
+///
+/// A perfectly uniform model traces the diagonal; a skewed (neuron-like)
+/// model shoots up early.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::ModelConfig;
+/// use hybrimoe_trace::{stats, TraceGenerator};
+///
+/// let t = TraceGenerator::new(ModelConfig::tiny_test(), 1).decode_trace(32);
+/// let cdf = stats::activation_cdf(&t);
+/// assert!((cdf.last().copied().unwrap() - 1.0).abs() < 1e-9);
+/// ```
+pub fn activation_cdf(trace: &ActivationTrace) -> Vec<f64> {
+    let mut counts: Vec<u64> = Vec::new();
+    for step in &trace.steps {
+        for rec in &step.layers {
+            let loads = rec.routing.loads();
+            if counts.len() < loads.len() {
+                counts.resize(loads.len(), 0);
+            }
+            for (i, l) in loads.iter().enumerate() {
+                if *l > 0 {
+                    counts[i] += 1;
+                }
+            }
+        }
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0u64;
+    counts
+        .iter()
+        .map(|c| {
+            acc += c;
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+/// The reuse-probability-by-score-rank curve of Fig. 3(b): for each score
+/// rank `r` (0 = highest mean router score at iteration `t`), the empirical
+/// probability that the rank-`r` expert is activated at iteration `t+1`.
+///
+/// Returns one probability per expert rank. High-score experts reusing more
+/// often is the signal that justifies MRS caching.
+pub fn reuse_probability_by_rank(trace: &ActivationTrace) -> Vec<f64> {
+    let mut hits: Vec<u64> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    for w in trace.steps.windows(2) {
+        let (prev, next) = (&w[0], &w[1]);
+        for (l, rec) in prev.layers.iter().enumerate() {
+            let Some(next_rec) = next.layers.get(l) else {
+                continue;
+            };
+            let scores = rec.routing.mean_scores();
+            let n = scores.len();
+            if hits.len() < n {
+                hits.resize(n, 0);
+                totals.resize(n, 0);
+            }
+            let mut ranked: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let activated: HashSet<u16> = next_rec
+                .routing
+                .activated()
+                .iter()
+                .map(|(e, _)| e.0)
+                .collect();
+            for (rank, (expert, _)) in ranked.iter().enumerate() {
+                totals[rank] += 1;
+                if activated.contains(&(*expert as u16)) {
+                    hits[rank] += 1;
+                }
+            }
+        }
+    }
+    hits.iter()
+        .zip(totals.iter())
+        .map(|(h, t)| if *t == 0 { 0.0 } else { *h as f64 / *t as f64 })
+        .collect()
+}
+
+/// The per-expert token loads of one layer of a prefill step (Fig. 3(c)).
+///
+/// Returns `None` if the step or layer does not exist.
+pub fn workload_distribution(
+    trace: &ActivationTrace,
+    step: usize,
+    layer: usize,
+) -> Option<Vec<u32>> {
+    Some(trace.steps.get(step)?.layers.get(layer)?.routing.loads().to_vec())
+}
+
+/// Mean Jaccard similarity of activated-expert sets between adjacent layers
+/// (the structure inter-layer prefetching exploits).
+pub fn interlayer_similarity(trace: &ActivationTrace) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for step in &trace.steps {
+        for w in step.layers.windows(2) {
+            let a: HashSet<u16> = w[0].routing.activated().iter().map(|(e, _)| e.0).collect();
+            let b: HashSet<u16> = w[1].routing.activated().iter().map(|(e, _)| e.0).collect();
+            let inter = a.intersection(&b).count();
+            let union = a.union(&b).count();
+            if union > 0 {
+                sum += inter as f64 / union as f64;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Mean probability that an expert activated at iteration `t` is activated
+/// again at `t+1` (temporal reuse).
+pub fn temporal_reuse(trace: &ActivationTrace) -> f64 {
+    let mut reused = 0usize;
+    let mut total = 0usize;
+    for w in trace.steps.windows(2) {
+        for (l, rec) in w[0].layers.iter().enumerate() {
+            let Some(next_rec) = w[1].layers.get(l) else {
+                continue;
+            };
+            let a: HashSet<u16> = rec.routing.activated().iter().map(|(e, _)| e.0).collect();
+            let b: HashSet<u16> = next_rec
+                .routing
+                .activated()
+                .iter()
+                .map(|(e, _)| e.0)
+                .collect();
+            reused += a.intersection(&b).count();
+            total += a.len();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        reused as f64 / total as f64
+    }
+}
+
+/// The Gini coefficient of per-expert loads in a single routing (0 =
+/// perfectly even, →1 = concentrated); used to characterize prefill
+/// workload imbalance.
+pub fn load_gini(loads: &[u32]) -> f64 {
+    let n = loads.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = loads.iter().map(|l| *l as u64).collect();
+    sorted.sort_unstable();
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, v) in sorted.iter().enumerate() {
+        weighted += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * *v as f64;
+    }
+    weighted / (n as f64 * total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGenerator;
+    use hybrimoe_model::ModelConfig;
+
+    fn trace() -> ActivationTrace {
+        TraceGenerator::new(ModelConfig::deepseek(), 21).decode_trace(40)
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = activation_cdf(&trace());
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reuse_probability_decreases_with_rank() {
+        let p = reuse_probability_by_rank(&trace());
+        assert!(!p.is_empty());
+        // Top-ranked experts must reuse more than bottom-ranked on average.
+        let k = p.len() / 4;
+        let head: f64 = p[..k].iter().sum::<f64>() / k as f64;
+        let tail: f64 = p[p.len() - k..].iter().sum::<f64>() / k as f64;
+        assert!(head > tail, "head {head:.3} tail {tail:.3}");
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn workload_distribution_shape() {
+        let t = TraceGenerator::new(ModelConfig::deepseek(), 3).prefill_trace(128);
+        let loads = workload_distribution(&t, 0, 0).unwrap();
+        assert_eq!(loads.len(), 64);
+        assert_eq!(loads.iter().sum::<u32>(), 128 * 6);
+        assert!(workload_distribution(&t, 1, 0).is_none());
+        assert!(workload_distribution(&t, 0, 99).is_none());
+    }
+
+    #[test]
+    fn interlayer_similarity_above_chance() {
+        let sim = interlayer_similarity(&trace());
+        // Random 6-of-64 sets have Jaccard ~0.05; the residual stream
+        // should push this well up.
+        assert!(sim > 0.12, "similarity {sim:.3}");
+        assert!(sim < 1.0);
+    }
+
+    #[test]
+    fn temporal_reuse_in_unit_range() {
+        let r = temporal_reuse(&trace());
+        assert!((0.0..=1.0).contains(&r));
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(load_gini(&[]), 0.0);
+        assert_eq!(load_gini(&[0, 0]), 0.0);
+        assert!(load_gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        let skewed = load_gini(&[100, 0, 0, 0]);
+        assert!(skewed > 0.7, "{skewed}");
+    }
+
+    #[test]
+    fn empty_trace_statistics_are_zero() {
+        let empty = ActivationTrace {
+            model_name: "x".into(),
+            seed: 0,
+            steps: Vec::new(),
+        };
+        assert!(activation_cdf(&empty).is_empty());
+        assert!(reuse_probability_by_rank(&empty).is_empty());
+        assert_eq!(interlayer_similarity(&empty), 0.0);
+        assert_eq!(temporal_reuse(&empty), 0.0);
+    }
+}

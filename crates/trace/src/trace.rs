@@ -1,0 +1,118 @@
+//! Trace data structures.
+
+use hybrimoe_model::LayerRouting;
+use serde::{Deserialize, Serialize};
+
+/// One layer's record within a forward pass: the true routing plus the
+/// predicted routings of the following layers (computed from *this* layer's
+/// hidden state, as the paper's prefetcher does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRecord {
+    /// The true routing of this layer.
+    pub routing: LayerRouting,
+    /// Predicted routings for the next layers (nearest first, up to the
+    /// generator's lookahead depth). Predictions use the current hidden
+    /// state on the later routers, so their accuracy decays with distance.
+    pub predicted: Vec<LayerRouting>,
+}
+
+/// One forward pass: a single decode token or one prefill batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Tokens in this forward pass (1 for decode).
+    pub tokens: u32,
+    /// Per-layer records, in layer order.
+    pub layers: Vec<LayerRecord>,
+}
+
+/// A recorded sequence of forward passes for one model.
+///
+/// Traces serialize to JSON so experiments can be replayed bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::ModelConfig;
+/// use hybrimoe_trace::TraceGenerator;
+///
+/// let trace = TraceGenerator::new(ModelConfig::tiny_test(), 7).decode_trace(4);
+/// let json = trace.to_json().unwrap();
+/// let back = hybrimoe_trace::ActivationTrace::from_json(&json).unwrap();
+/// assert_eq!(trace, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationTrace {
+    /// Name of the model that produced the trace.
+    pub model_name: String,
+    /// Seed the generator used.
+    pub seed: u64,
+    /// The recorded forward passes.
+    pub steps: Vec<TraceStep>,
+}
+
+impl ActivationTrace {
+    /// Serializes the trace to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Total number of layer records across all steps.
+    pub fn layer_records(&self) -> usize {
+        self.steps.iter().map(|s| s.layers.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::{LayerId, LayerRouting};
+
+    fn tiny_trace() -> ActivationTrace {
+        ActivationTrace {
+            model_name: "t".to_owned(),
+            seed: 1,
+            steps: vec![TraceStep {
+                tokens: 1,
+                layers: vec![LayerRecord {
+                    routing: LayerRouting::from_parts(
+                        LayerId(0),
+                        1,
+                        vec![1, 0],
+                        vec![0.9, 0.1],
+                    ),
+                    predicted: Vec::new(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = tiny_trace();
+        let json = t.to_json().unwrap();
+        assert_eq!(ActivationTrace::from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn layer_records_counts() {
+        assert_eq!(tiny_trace().layer_records(), 1);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ActivationTrace::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Chatbot serving scenario: a multi-turn conversation decoded token by
+//! token on an edge box (the paper's motivating workload). Prompts are
+//! sampled from the ChatGPT-Prompts length distribution, each answer is
+//! decoded for a fixed budget, and the report shows TTFT + per-token
+//! latency per turn for HybriMoE vs the strongest baseline.
+//!
+//! ```text
+//! cargo run -p hybrimoe-examples --release --bin chatbot_decode
+//! ```
+
+use hybrimoe::report::Table;
+use hybrimoe::{Engine, EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::{Dataset, TraceGenerator};
+
+const TURNS: usize = 3;
+const ANSWER_TOKENS: usize = 24;
+const CACHE_RATIO: f64 = 0.25;
+
+fn main() {
+    let model = ModelConfig::qwen2();
+    let prompts = Dataset::ChatGptPrompts.sample_lengths(TURNS, 7);
+    println!(
+        "Chatbot on {} @ {:.0}% cache — {} turns from {}\n",
+        model.name,
+        CACHE_RATIO * 100.0,
+        TURNS,
+        Dataset::ChatGptPrompts
+    );
+
+    let mut table = Table::new(vec![
+        "turn".into(),
+        "prompt".into(),
+        "framework".into(),
+        "TTFT".into(),
+        "ms/token".into(),
+        "hit rate".into(),
+    ]);
+
+    for framework in [Framework::KTransformers, Framework::HybriMoe] {
+        // One persistent engine per framework: the cache stays warm across
+        // turns, exactly like a long-lived serving process.
+        let mut engine = Engine::new(EngineConfig::preset(
+            framework,
+            model.clone(),
+            CACHE_RATIO,
+        ));
+        for (turn, prompt_len) in prompts.iter().enumerate() {
+            let seed = 1000 + turn as u64;
+            let prefill = TraceGenerator::new(model.clone(), seed).prefill_trace(*prompt_len);
+            let decode =
+                TraceGenerator::new(model.clone(), seed ^ 0xD).decode_trace(ANSWER_TOKENS);
+            let p = engine.run(&prefill);
+            let d = engine.run(&decode);
+            table.push_row(vec![
+                (turn + 1).to_string(),
+                format!("{prompt_len} tok"),
+                framework.to_string(),
+                format!("{:.0} ms", p.ttft().as_millis_f64()),
+                format!("{:.1}", d.mean_step_latency().as_millis_f64()),
+                format!("{:.0}%", d.hit_rate() * 100.0),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("HybriMoE keeps both first-token and inter-token latency lower while the");
+    println!("cache adapts to each turn's routing distribution.");
+}

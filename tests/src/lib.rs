@@ -1,0 +1,30 @@
+//! Shared helpers for the HybriMoE integration test suite.
+
+use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::{ActivationTrace, TraceGenerator};
+
+/// Seed used across the integration tests.
+pub const SEED: u64 = 0x1E57;
+
+/// Runs a framework preset over a decode trace.
+pub fn decode(framework: Framework, model: &ModelConfig, ratio: f64, steps: usize) -> StageMetrics {
+    let trace = decode_trace(model, steps);
+    Engine::new(EngineConfig::preset(framework, model.clone(), ratio)).run(&trace)
+}
+
+/// Runs a framework preset over a prefill trace.
+pub fn prefill(framework: Framework, model: &ModelConfig, ratio: f64, tokens: u32) -> StageMetrics {
+    let trace = prefill_trace(model, tokens);
+    Engine::new(EngineConfig::preset(framework, model.clone(), ratio)).run(&trace)
+}
+
+/// The shared decode trace for `model`.
+pub fn decode_trace(model: &ModelConfig, steps: usize) -> ActivationTrace {
+    TraceGenerator::new(model.clone(), SEED).decode_trace(steps)
+}
+
+/// The shared prefill trace for `model`.
+pub fn prefill_trace(model: &ModelConfig, tokens: u32) -> ActivationTrace {
+    TraceGenerator::new(model.clone(), SEED).prefill_trace(tokens)
+}

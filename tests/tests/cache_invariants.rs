@@ -1,0 +1,140 @@
+//! Property-based invariants on the expert cache: capacity is never
+//! exceeded, pinned experts are never evicted, statistics balance, and all
+//! three policies maintain these invariants under random workloads.
+
+use hybrimoe_cache::{CachePolicy, ExpertCache, Lfu, Lru, Mrs};
+use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Lookup(u16, u16),
+    Insert(u16, u16),
+    InsertIfFree(u16, u16),
+    Pin(u16, u16),
+    Unpin(u16, u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec(
+        (0u8..5, 0u16..4, 0u16..16).prop_map(|(kind, l, e)| match kind {
+            0 => OpSpec::Lookup(l, e),
+            1 => OpSpec::Insert(l, e),
+            2 => OpSpec::InsertIfFree(l, e),
+            3 => OpSpec::Pin(l, e),
+            _ => OpSpec::Unpin(l, e),
+        }),
+        1..120,
+    )
+}
+
+fn policies() -> Vec<Box<dyn CachePolicy>> {
+    vec![
+        Box::new(Lru::new()),
+        Box::new(Lfu::new()),
+        Box::new(Mrs::new(0.3)),
+    ]
+}
+
+fn key(l: u16, e: u16) -> ExpertKey {
+    ExpertKey::new(LayerId(l), ExpertId(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn capacity_never_exceeded(ops in arb_ops(), capacity in 0usize..12) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(capacity, policy);
+            let mut pinned = std::collections::HashSet::new();
+            for op in &ops {
+                match op {
+                    OpSpec::Lookup(l, e) => {
+                        cache.lookup(key(*l, *e));
+                    }
+                    OpSpec::Insert(l, e) => {
+                        cache.insert(key(*l, *e));
+                    }
+                    OpSpec::InsertIfFree(l, e) => {
+                        cache.insert_if_free(key(*l, *e));
+                    }
+                    OpSpec::Pin(l, e) => {
+                        cache.pin(key(*l, *e));
+                        pinned.insert(key(*l, *e));
+                    }
+                    OpSpec::Unpin(l, e) => {
+                        cache.unpin(key(*l, *e));
+                        pinned.remove(&key(*l, *e));
+                    }
+                }
+                prop_assert!(cache.len() <= capacity.max(cache.len().min(capacity)));
+                prop_assert!(cache.len() <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_resident_experts_survive(ops in arb_ops()) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(4, policy);
+            // Insert and pin one key up front.
+            let protected = key(0, 0);
+            cache.insert(protected);
+            cache.pin(protected);
+            for op in &ops {
+                match op {
+                    OpSpec::Lookup(l, e) => {
+                        cache.lookup(key(*l, *e));
+                    }
+                    // Never unpin or re-pin in this scenario.
+                    OpSpec::Insert(l, e) | OpSpec::InsertIfFree(l, e)
+                    | OpSpec::Pin(l, e) | OpSpec::Unpin(l, e) => {
+                        cache.insert(key(*l, *e));
+                    }
+                }
+                prop_assert!(cache.contains(protected), "pinned key evicted");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_balance(ops in arb_ops()) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(6, policy);
+            let mut lookups = 0u64;
+            for op in &ops {
+                match op {
+                    OpSpec::Lookup(l, e) => {
+                        cache.lookup(key(*l, *e));
+                        lookups += 1;
+                    }
+                    OpSpec::Insert(l, e) => {
+                        cache.insert(key(*l, *e));
+                    }
+                    OpSpec::InsertIfFree(l, e) => {
+                        cache.insert_if_free(key(*l, *e));
+                    }
+                    _ => {}
+                }
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.lookups(), lookups);
+            // Residency = insertions - evictions.
+            prop_assert_eq!(
+                cache.len() as u64,
+                stats.insertions - stats.evictions
+            );
+            prop_assert!(stats.prefetch_insertions <= stats.insertions);
+        }
+    }
+
+    #[test]
+    fn lookup_after_insert_always_hits(l in 0u16..4, e in 0u16..16) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(2, policy);
+            cache.insert(key(l, e));
+            prop_assert!(cache.lookup(key(l, e)));
+        }
+    }
+}

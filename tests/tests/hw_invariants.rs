@@ -1,0 +1,101 @@
+//! Property-based invariants on the hardware substrate: timeline
+//! well-formedness, executor consistency, and cost-model monotonicity.
+
+use hybrimoe_hw::{
+    AffineCostModel, CostModel, Device, ExpertProfile, Op, PlanExecutor, Platform, SimDuration,
+    SimTime, Timeline,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn timelines_never_overlap(
+        ops in proptest::collection::vec((0u64..100, 1u64..50), 1..40),
+    ) {
+        let mut tl = Timeline::new(Device::Cpu);
+        for (release, dur) in ops {
+            tl.push(
+                SimTime::from_nanos(release),
+                SimDuration::from_nanos(dur),
+                "op",
+            );
+        }
+        prop_assert!(tl.is_well_formed());
+        // Busy time can never exceed the horizon.
+        let horizon = tl.ready_at().elapsed_since(SimTime::ZERO);
+        prop_assert!(tl.busy_time() <= horizon);
+    }
+
+    #[test]
+    fn executor_respects_device_order_and_dependencies(
+        durations in proptest::collection::vec(1u64..20, 2..12),
+    ) {
+        // A chain: transfer i gates compute i on the GPU; CPU runs the rest.
+        let mut ops = Vec::new();
+        let mut id = 0u32;
+        for (i, d) in durations.iter().enumerate() {
+            let dur = SimDuration::from_micros(*d);
+            if i % 2 == 0 {
+                let xfer = Op::new(id, Device::Pcie, dur, format!("x{i}"));
+                let xid = xfer.id;
+                id += 1;
+                let comp = Op::new(id, Device::Gpu, dur, format!("g{i}")).after(xid);
+                id += 1;
+                ops.push(xfer);
+                ops.push(comp);
+            } else {
+                ops.push(Op::new(id, Device::Cpu, dur, format!("c{i}")));
+                id += 1;
+            }
+        }
+        let executed = PlanExecutor::new().execute(ops.clone()).unwrap();
+        prop_assert_eq!(executed.ops.len(), ops.len());
+        // Dependencies respected.
+        for op in &ops {
+            for dep in &op.deps {
+                let dep_end = executed.end_of(*dep).unwrap();
+                let start = executed.start_of(op.id).unwrap();
+                prop_assert!(start >= dep_end);
+            }
+        }
+        // Per-device, ops run in the given order.
+        for device in Device::ALL {
+            let starts: Vec<_> = ops
+                .iter()
+                .filter(|o| o.device == device)
+                .map(|o| executed.start_of(o.id).unwrap())
+                .collect();
+            prop_assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        }
+        for tl in executed.timelines.iter() {
+            prop_assert!(tl.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_tokens(
+        bytes in 1_000u64..200_000_000,
+        flops in 1_000u64..500_000_000,
+        t1 in 1u32..512,
+        t2 in 1u32..512,
+    ) {
+        prop_assume!(t1 < t2);
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let e = ExpertProfile::new(bytes, flops);
+        prop_assert!(m.cpu_compute(&e, t1, true) <= m.cpu_compute(&e, t2, true));
+        prop_assert!(m.gpu_compute(&e, t1) <= m.gpu_compute(&e, t2));
+        // Cold is never cheaper than warm.
+        prop_assert!(m.cpu_compute(&e, t1, false) >= m.cpu_compute(&e, t1, true));
+    }
+
+    #[test]
+    fn transfer_monotone_in_bytes(b1 in 1u64..1_000_000_000, b2 in 1u64..1_000_000_000) {
+        prop_assume!(b1 < b2);
+        let m = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        prop_assert!(
+            m.transfer(&ExpertProfile::new(b1, 1)) <= m.transfer(&ExpertProfile::new(b2, 1))
+        );
+    }
+}

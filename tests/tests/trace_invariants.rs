@@ -1,0 +1,85 @@
+//! Property-based invariants on trace generation and the routing math.
+
+use hybrimoe_model::{ModelConfig, RouterOutput};
+use hybrimoe_trace::{ActivationTrace, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decode_loads_always_sum_to_k(seed in 0u64..1000, steps in 1usize..6) {
+        let model = ModelConfig::tiny_test();
+        let trace = TraceGenerator::new(model.clone(), seed).decode_trace(steps);
+        for step in &trace.steps {
+            for rec in &step.layers {
+                prop_assert_eq!(
+                    rec.routing.loads().iter().sum::<u32>(),
+                    model.activated_experts as u32
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_loads_always_sum_to_tokens_times_k(seed in 0u64..1000, tokens in 1u32..64) {
+        let model = ModelConfig::tiny_test();
+        let trace = TraceGenerator::new(model.clone(), seed).prefill_trace(tokens);
+        let rec = &trace.steps[0].layers[0];
+        prop_assert_eq!(
+            rec.routing.loads().iter().sum::<u32>(),
+            tokens * model.activated_experts as u32
+        );
+    }
+
+    #[test]
+    fn score_mass_per_token_is_one(seed in 0u64..1000) {
+        let model = ModelConfig::tiny_test();
+        let trace = TraceGenerator::new(model, seed).decode_trace(2);
+        for step in &trace.steps {
+            for rec in &step.layers {
+                let mass: f32 = rec.routing.score_mass().iter().sum();
+                prop_assert!((mass - step.tokens as f32).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_round_trip_through_json(seed in 0u64..100) {
+        let trace = TraceGenerator::new(ModelConfig::tiny_test(), seed).decode_trace(2);
+        let json = trace.to_json().unwrap();
+        prop_assert_eq!(ActivationTrace::from_json(&json).unwrap(), trace);
+    }
+
+    #[test]
+    fn router_selects_k_distinct_experts(
+        logits in proptest::collection::vec(-5.0f32..5.0, 4..32),
+        k in 1usize..4,
+    ) {
+        prop_assume!(k <= logits.len());
+        let out = RouterOutput::route(&logits, k);
+        prop_assert_eq!(out.selected.len(), k);
+        let distinct: std::collections::HashSet<u16> =
+            out.expert_ids().map(|e| e.0).collect();
+        prop_assert_eq!(distinct.len(), k);
+        // Combine weights are a distribution.
+        let total: f32 = out.selected.iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-4);
+        // Scores are a distribution over all experts.
+        let mass: f32 = out.scores.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn predicted_layers_are_always_future_layers(seed in 0u64..200) {
+        let model = ModelConfig::tiny_test();
+        let trace = TraceGenerator::new(model, seed).decode_trace(2);
+        for step in &trace.steps {
+            for (l, rec) in step.layers.iter().enumerate() {
+                for (d, pred) in rec.predicted.iter().enumerate() {
+                    prop_assert_eq!(pred.layer().0 as usize, l + d + 1);
+                }
+            }
+        }
+    }
+}
