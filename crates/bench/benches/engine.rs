@@ -21,11 +21,8 @@ fn bench_engine(c: &mut Criterion) {
                 &trace,
                 |b, trace| {
                     b.iter(|| {
-                        let mut engine = Engine::new(EngineConfig::preset(
-                            framework,
-                            model.clone(),
-                            0.25,
-                        ));
+                        let mut engine =
+                            Engine::new(EngineConfig::preset(framework, model.clone(), 0.25));
                         std::hint::black_box(engine.run(trace))
                     });
                 },

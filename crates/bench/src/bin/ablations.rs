@@ -18,9 +18,7 @@ use hybrimoe::{Engine, EngineConfig, Framework};
 use hybrimoe_cache::{CachePolicy, ExpertCache, Mrs};
 use hybrimoe_hw::{AffineCostModel, Platform};
 use hybrimoe_model::{ExpertId, ExpertKey, LayerId, ModelConfig};
-use hybrimoe_sched::{
-    oracle_makespan, ExpertTask, HybridScheduler, ScheduleContext, Scheduler,
-};
+use hybrimoe_sched::{oracle_makespan, ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
 use hybrimoe_trace::TraceGenerator;
 
 const SEED: u64 = 0xAB1A;
@@ -143,11 +141,7 @@ fn steal_ablation() {
     // layer. (2) The calibrated A6000 platform, where the GPU is an order
     // of magnitude faster per expert: the steal rule (correctly) never
     // fires. Both are printed; the second is an honest negative result.
-    let mut table = Table::new(vec![
-        "regime".into(),
-        "with steal".into(),
-        "without".into(),
-    ]);
+    let mut table = Table::new(vec!["regime".into(), "with steal".into(), "without".into()]);
 
     let unit = hybrimoe_hw::UnitCostModel::paper_fig5();
     let unit_tasks: Vec<ExpertTask> = (0..4)
@@ -156,7 +150,10 @@ fn steal_ablation() {
     let ctx = ScheduleContext::for_test(LayerId(0), &unit_tasks, &unit);
     table.push_row(vec![
         "comparable CPU/GPU (Fig. 5 units)".into(),
-        format!("{}", HybridScheduler::new().schedule(&ctx).predicted_makespan),
+        format!(
+            "{}",
+            HybridScheduler::new().schedule(&ctx).predicted_makespan
+        ),
         format!(
             "{}",
             HybridScheduler::without_cpu_steal()
@@ -180,7 +177,10 @@ fn steal_ablation() {
     );
     table.push_row(vec![
         "calibrated A6000 (GPU much faster)".into(),
-        format!("{}", HybridScheduler::new().schedule(&ctx).predicted_makespan),
+        format!(
+            "{}",
+            HybridScheduler::new().schedule(&ctx).predicted_makespan
+        ),
         format!(
             "{}",
             HybridScheduler::without_cpu_steal()

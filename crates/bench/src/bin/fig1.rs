@@ -26,12 +26,18 @@ fn main() {
     let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
 
     let scenarios: [(&str, Box<dyn Scheduler>); 3] = [
-        ("(a) on-demand loading (GPU only)", Box::new(GpuOnlyScheduler::new())),
+        (
+            "(a) on-demand loading (GPU only)",
+            Box::new(GpuOnlyScheduler::new()),
+        ),
         (
             "(b) unbalanced hybrid (fixed mapping)",
             Box::new(FixedMappingScheduler::new()),
         ),
-        ("(c) balanced hybrid (HybriMoE)", Box::new(HybridScheduler::new())),
+        (
+            "(c) balanced hybrid (HybriMoE)",
+            Box::new(HybridScheduler::new()),
+        ),
     ];
     let mut results = Vec::new();
     for (title, scheduler) in scenarios {
@@ -40,7 +46,10 @@ fn main() {
         let executed = PlanExecutor::new()
             .execute(plan.to_ops(&ctx))
             .expect("acyclic");
-        println!("-- {title}: makespan {} units --", executed.makespan.as_micros_f64());
+        println!(
+            "-- {title}: makespan {} units --",
+            executed.makespan.as_micros_f64()
+        );
         println!("{}\n", Gantt::render(&executed.timelines, 56));
         results.push(executed.makespan);
     }

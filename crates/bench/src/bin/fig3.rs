@@ -44,9 +44,8 @@ fn main() {
 fn panel_a() {
     println!("== Fig. 3(a): cumulative activation frequency (CDF) ==\n");
     let neuron_cdf = neuron::neuron_activation_cdf(512, 1.05, 100_000, SEED);
-    let mixtral = stats::activation_cdf(
-        &TraceGenerator::new(ModelConfig::mixtral(), SEED).decode_trace(256),
-    );
+    let mixtral =
+        stats::activation_cdf(&TraceGenerator::new(ModelConfig::mixtral(), SEED).decode_trace(256));
     let deepseek = stats::activation_cdf(
         &TraceGenerator::new(ModelConfig::deepseek(), SEED).decode_trace(256),
     );
@@ -95,7 +94,10 @@ fn panel_c() {
     let mut sorted = loads.clone();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     println!("top-8 loads: {:?}", &sorted[..8]);
-    println!("zero-load experts: {}", loads.iter().filter(|l| **l == 0).count());
+    println!(
+        "zero-load experts: {}",
+        loads.iter().filter(|l| **l == 0).count()
+    );
     println!("Gini coefficient: {:.3}", stats::load_gini(&loads));
     for (i, l) in loads.iter().enumerate().take(16) {
         println!("E{i:02} {:5} |{}", l, "#".repeat((l * 40 / max) as usize));
@@ -151,9 +153,8 @@ fn panel_e() {
         "GPU total".into(),
     ]);
     for n in 1..=6u32 {
-        let cpu: hybrimoe_hw::SimDuration = (0..n)
-            .map(|i| cost.cpu_compute(&expert, load, i > 0))
-            .sum();
+        let cpu: hybrimoe_hw::SimDuration =
+            (0..n).map(|i| cost.cpu_compute(&expert, load, i > 0)).sum();
         let gpu: hybrimoe_hw::SimDuration = (0..n).map(|_| cost.gpu_compute(&expert, load)).sum();
         table.push_row(vec![n.to_string(), millis(cpu), millis(gpu)]);
     }
@@ -165,11 +166,7 @@ fn panel_f() {
     println!("== Fig. 3(f): CPU and GPU time across workload sizes ==\n");
     let cost = AffineCostModel::from_platform(&Platform::a6000_xeon10());
     let expert = ModelConfig::deepseek().routed_profile();
-    let mut table = Table::new(vec![
-        "tokens".into(),
-        "CPU".into(),
-        "GPU".into(),
-    ]);
+    let mut table = Table::new(vec!["tokens".into(), "CPU".into(), "GPU".into()]);
     for tokens in [1u32, 8, 32, 128, 256, 512, 1024] {
         table.push_row(vec![
             tokens.to_string(),

@@ -25,7 +25,10 @@ fn main() {
     let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
 
     for (title, plan) in [
-        ("HybriMoE hybrid schedule", HybridScheduler::new().schedule(&ctx)),
+        (
+            "HybriMoE hybrid schedule",
+            HybridScheduler::new().schedule(&ctx),
+        ),
         (
             "Fixed mapping (kTransformers-style)",
             FixedMappingScheduler::new().schedule(&ctx),

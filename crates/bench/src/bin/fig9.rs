@@ -21,7 +21,12 @@ const SEED: u64 = 0xF19_2025;
 
 /// Replays a decode trace against a cache and returns the steady-state hit
 /// rate (the first quarter of iterations warms the cache).
-fn hit_rate(trace: &ActivationTrace, model: &ModelConfig, policy: Box<dyn CachePolicy>, ratio: f64) -> f64 {
+fn hit_rate(
+    trace: &ActivationTrace,
+    model: &ModelConfig,
+    policy: Box<dyn CachePolicy>,
+    ratio: f64,
+) -> f64 {
     let capacity = model.cache_capacity_for_ratio(ratio);
     let mut cache = ExpertCache::new(capacity, policy);
     let warmup = trace.steps.len() / 4;
@@ -44,7 +49,9 @@ fn hit_rate(trace: &ActivationTrace, model: &ModelConfig, policy: Box<dyn CacheP
 }
 
 fn main() {
-    println!("== Fig. 9: MRS vs LRU cache hit rate, {ITERATIONS} decode iterations, seed {SEED:#x} ==\n");
+    println!(
+        "== Fig. 9: MRS vs LRU cache hit rate, {ITERATIONS} decode iterations, seed {SEED:#x} ==\n"
+    );
     let ratios = [0.30, 0.40, 0.50, 0.60, 0.70];
     let mut table = Table::new(
         std::iter::once("model / policy".to_owned())

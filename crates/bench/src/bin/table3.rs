@@ -52,11 +52,7 @@ fn main() {
     );
 
     for stage in ["Prefill", "Decode"] {
-        let mut table = Table::new(vec![
-            "technique".into(),
-            "latency".into(),
-            "speedup".into(),
-        ]);
+        let mut table = Table::new(vec!["technique".into(), "latency".into(), "speedup".into()]);
         let mut baseline_ns = 0u64;
         for (name, config) in variants(&model) {
             // The paper's prefill table has no caching-only row (the cache

@@ -25,7 +25,9 @@ fn model_by_name(name: &str) -> Option<ModelConfig> {
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  trace_tool gen <mixtral|deepseek|qwen2|tiny> <decode|prefill> <n> <seed> [out.json]");
+    eprintln!(
+        "  trace_tool gen <mixtral|deepseek|qwen2|tiny> <decode|prefill> <n> <seed> [out.json]"
+    );
     eprintln!("  trace_tool stats <trace.json>");
     std::process::exit(2);
 }

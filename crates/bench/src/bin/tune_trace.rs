@@ -43,8 +43,7 @@ fn main() {
                 expert_bias: bias,
                 ..TraceConfig::default()
             };
-            let trace = TraceGenerator::with_config(model.clone(), 0xF19, config)
-                .decode_trace(192);
+            let trace = TraceGenerator::with_config(model.clone(), 0xF19, config).decode_trace(192);
             let reuse = stats::reuse_probability_by_rank(&trace);
             let top = reuse[0];
             let tail = reuse[reuse.len() / 2];

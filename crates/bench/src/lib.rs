@@ -54,9 +54,8 @@ pub fn run_decode(
     seed: u64,
 ) -> StageMetrics {
     let trace = TraceGenerator::new(model.clone(), seed).decode_trace(steps);
-    let mut engine = Engine::new(
-        EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
-    );
+    let mut engine =
+        Engine::new(EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed));
     engine.run(&trace)
 }
 
@@ -69,9 +68,8 @@ pub fn run_prefill(
     seed: u64,
 ) -> StageMetrics {
     let trace = TraceGenerator::new(model.clone(), seed).prefill_trace(tokens);
-    let mut engine = Engine::new(
-        EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
-    );
+    let mut engine =
+        Engine::new(EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed));
     engine.run(&trace)
 }
 
@@ -114,6 +112,9 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(secs(hybrimoe_hw::SimDuration::from_millis(1500)), "1.500s");
-        assert_eq!(millis(hybrimoe_hw::SimDuration::from_micros(12_340)), "12.3ms");
+        assert_eq!(
+            millis(hybrimoe_hw::SimDuration::from_micros(12_340)),
+            "12.3ms"
+        );
     }
 }

@@ -210,10 +210,7 @@ impl ExpertCache {
     /// The resident experts of `layer`, ascending by expert id.
     pub fn cached_in_layer(&self, layer: LayerId) -> Vec<ExpertId> {
         self.resident
-            .range(
-                ExpertKey::new(layer, ExpertId(0))
-                    ..=ExpertKey::new(layer, ExpertId(u16::MAX)),
-            )
+            .range(ExpertKey::new(layer, ExpertId(0))..=ExpertKey::new(layer, ExpertId(u16::MAX)))
             .map(|k| k.expert)
             .collect()
     }
@@ -327,7 +324,10 @@ mod tests {
         c.insert(key(1, 1));
         c.insert(key(1, 7));
         c.insert(key(2, 0));
-        assert_eq!(c.cached_in_layer(LayerId(1)), vec![ExpertId(1), ExpertId(7)]);
+        assert_eq!(
+            c.cached_in_layer(LayerId(1)),
+            vec![ExpertId(1), ExpertId(7)]
+        );
         assert_eq!(c.cached_in_layer(LayerId(3)), Vec::<ExpertId>::new());
     }
 

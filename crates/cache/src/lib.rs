@@ -42,6 +42,8 @@ mod lfu;
 mod lru;
 mod mrs;
 mod policy;
+#[cfg(test)]
+mod policy_tests;
 mod stats;
 
 pub use cache::{ExpertCache, InsertOutcome};

@@ -90,10 +90,7 @@ mod tests {
     fn unknown_candidates_treated_as_oldest() {
         let mut lru = Lru::new();
         lru.on_insert(key(0, 0), 5);
-        assert_eq!(
-            lru.choose_victim(&[key(0, 0), key(0, 9)]),
-            Some(key(0, 9))
-        );
+        assert_eq!(lru.choose_victim(&[key(0, 0), key(0, 9)]), Some(key(0, 9)));
     }
 
     #[test]
@@ -109,10 +106,7 @@ mod tests {
         lru.on_evict(key(0, 0));
         // Re-inserted later with a fresh timestamp; old one must not linger.
         lru.on_insert(key(0, 1), 1);
-        assert_eq!(
-            lru.choose_victim(&[key(0, 0), key(0, 1)]),
-            Some(key(0, 0))
-        );
+        assert_eq!(lru.choose_victim(&[key(0, 0), key(0, 1)]), Some(key(0, 0)));
     }
 
     #[test]
@@ -120,9 +114,6 @@ mod tests {
         let mut lru = Lru::new();
         lru.on_insert(key(0, 3), 1);
         lru.on_insert(key(0, 1), 1);
-        assert_eq!(
-            lru.choose_victim(&[key(0, 1), key(0, 3)]),
-            Some(key(0, 1))
-        );
+        assert_eq!(lru.choose_victim(&[key(0, 1), key(0, 3)]), Some(key(0, 1)));
     }
 }

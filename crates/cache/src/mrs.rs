@@ -93,9 +93,7 @@ impl CachePolicy for Mrs {
 
     fn on_routing(&mut self, routing: &LayerRouting, activated_k: u16) {
         let mean = routing.mean_scores();
-        let p = self
-            .p_override
-            .unwrap_or_else(|| (2 * activated_k).max(1)) as usize;
+        let p = self.p_override.unwrap_or_else(|| (2 * activated_k).max(1)) as usize;
         // Find the top-p cutoff value.
         let mut sorted: Vec<f32> = mean.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
@@ -197,7 +195,7 @@ mod tests {
     #[test]
     fn top_p_defaults_to_twice_k() {
         let mut mrs = Mrs::new(1.0); // alpha=1: S = TopP(s)
-        // 6 experts, k=1 → p=2: only the top two experts get credit.
+                                     // 6 experts, k=1 → p=2: only the top two experts get credit.
         mrs.on_routing(
             &routing_from_logits(0, &[5.0, 4.0, 3.0, 2.0, 1.0, 0.0], 1),
             1,

@@ -350,15 +350,18 @@ mod tests {
         ] {
             assert!(!p.build().name().is_empty());
         }
-        for c in [CachePolicyKind::Lru, CachePolicyKind::Lfu, CachePolicyKind::Mrs] {
+        for c in [
+            CachePolicyKind::Lru,
+            CachePolicyKind::Lfu,
+            CachePolicyKind::Mrs,
+        ] {
             assert!(!c.build(0.3).name().is_empty());
         }
     }
 
     #[test]
     fn framework_names_unique() {
-        let names: std::collections::HashSet<_> =
-            Framework::ALL.iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = Framework::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 4);
         assert_eq!(Framework::HybriMoe.to_string(), "HybriMoE");
     }

@@ -67,14 +67,10 @@ impl Engine {
         let mut resident_layers = 0u16;
         match config.placement {
             PlacementKind::WholeLayers => {
-                resident_layers =
-                    (capacity / config.model.routed_experts.max(1) as usize) as u16;
+                resident_layers = (capacity / config.model.routed_experts.max(1) as usize) as u16;
                 for l in 0..resident_layers.min(config.model.layers) {
                     for e in 0..config.model.routed_experts {
-                        let key = ExpertKey::new(
-                            LayerId(l),
-                            hybrimoe_model::ExpertId(e),
-                        );
+                        let key = ExpertKey::new(LayerId(l), hybrimoe_model::ExpertId(e));
                         cache.insert(key);
                         if config.pinned {
                             cache.pin(key);
@@ -152,11 +148,9 @@ impl Engine {
             // device the layer is mapped to at decode — for prefill batches
             // even CPU layers push the heavy matmuls to the GPU (cuBLAS
             // offload). Everyone else keeps it on the GPU.
-            let prefill_batch =
-                tokens >= hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD;
-            let attn_on_gpu = !self.config.attention_follows_layer
-                || prefill_batch
-                || self.layer_resident(layer);
+            let prefill_batch = tokens >= hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD;
+            let attn_on_gpu =
+                !self.config.attention_follows_layer || prefill_batch || self.layer_resident(layer);
             let attn_time = if attn_on_gpu {
                 self.cost.gpu_compute(&attn_profile, tokens)
             } else {
@@ -237,8 +231,7 @@ impl Engine {
             let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
             let transfer_time = self.cost.transfer(&routed_profile);
 
-            budget =
-                self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
+            budget = self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
 
             // Enqueue new prefetch candidates for the predicted layers.
             let queue_slots = MAX_INFLIGHT.saturating_sub(self.inflight.len());
@@ -264,8 +257,7 @@ impl Engine {
             // missed experts likely to be needed again).
             if self.config.refill_on_miss {
                 let scores = rec.routing.mean_scores();
-                let mut missed: Vec<&ExpertTask> =
-                    tasks.iter().filter(|t| !t.cached).collect();
+                let mut missed: Vec<&ExpertTask> = tasks.iter().filter(|t| !t.cached).collect();
                 missed.retain(|t| !plan.transferred_experts().any(|e| e == t.expert));
                 missed.sort_by(|a, b| {
                     let sa = scores.get(a.expert.0 as usize).copied().unwrap_or(0.0);
@@ -389,8 +381,7 @@ fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
     if capacity == 0 {
         return;
     }
-    let warm_trace =
-        TraceGenerator::new(model.clone(), config.seed ^ 0x57A2_77A2).decode_trace(24);
+    let warm_trace = TraceGenerator::new(model.clone(), config.seed ^ 0x57A2_77A2).decode_trace(24);
 
     let layers = model.layers as usize;
     let experts = model.routed_experts as usize;
@@ -507,7 +498,12 @@ mod tests {
         let trace = tiny_trace(7, 10);
         let h = tiny_engine(Framework::HybriMoe, 0.25).run(&trace);
         let k = tiny_engine(Framework::KTransformers, 0.25).run(&trace);
-        assert!(h.total <= k.total, "hybri {} vs ktrans {}", h.total, k.total);
+        assert!(
+            h.total <= k.total,
+            "hybri {} vs ktrans {}",
+            h.total,
+            k.total
+        );
     }
 
     #[test]

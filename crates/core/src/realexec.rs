@@ -21,7 +21,9 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use hybrimoe_kernels::threadpool::default_threads;
-use hybrimoe_model::{ExpertKey, LayerId, ModelConfig, RouterOutput, WeightStore, WeightStoreError};
+use hybrimoe_model::{
+    ExpertKey, LayerId, ModelConfig, RouterOutput, WeightStore, WeightStoreError,
+};
 use hybrimoe_sched::SchedulePlan;
 
 /// The result of really executing one MoE layer.
@@ -169,15 +171,14 @@ impl RealLayerExecutor {
             let ffn = self.store.expert(key)?;
             let start = Instant::now();
             for (t, (x, routing)) in token_inputs.iter().enumerate() {
-                let Some((_, weight)) = routing
-                    .selected
-                    .iter()
-                    .find(|(e, _)| e.0 == expert)
-                else {
+                let Some((_, weight)) = routing.selected.iter().find(|(e, _)| e.0 == expert) else {
                     continue;
                 };
                 let y = ffn.forward_threads(x, threads);
-                for (o, v) in output[t * hidden..(t + 1) * hidden].iter_mut().zip(y.iter()) {
+                for (o, v) in output[t * hidden..(t + 1) * hidden]
+                    .iter_mut()
+                    .zip(y.iter())
+                {
                     *o += weight * v;
                 }
             }
@@ -214,7 +215,9 @@ mod tests {
         (0..n)
             .map(|t| {
                 let x: Vec<f32> = (0..hidden)
-                    .map(|i| (((t as u64 * 131 + i as u64 * 7 + seed) % 100) as f32 / 50.0 - 1.0) * 0.1)
+                    .map(|i| {
+                        (((t as u64 * 131 + i as u64 * 7 + seed) % 100) as f32 / 50.0 - 1.0) * 0.1
+                    })
                     .collect();
                 let logits: Vec<f32> = (0..experts)
                     .map(|e| (((t + e * 13 + seed as usize) % 17) as f32) / 4.0)
@@ -273,7 +276,10 @@ mod tests {
         let plan = tasks_and_plan(&model, &inputs, 2, true);
         let mut exec = RealLayerExecutor::new(model, 7);
         let out = exec.execute_layer(LayerId(0), &plan, &inputs).unwrap();
-        assert_eq!(out.cpu_tasks + out.gpu_tasks, plan.cpu_order.len() + plan.gpu_order.len());
+        assert_eq!(
+            out.cpu_tasks + out.gpu_tasks,
+            plan.cpu_order.len() + plan.gpu_order.len()
+        );
         assert!(out.cpu_wall + out.gpu_wall > Duration::ZERO);
     }
 

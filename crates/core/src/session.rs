@@ -64,14 +64,19 @@ impl Session {
     }
 
     /// Runs a full turn (prompt + answer) and returns `(prefill, decode)`.
-    pub fn turn(&mut self, prompt_tokens: u32, answer_tokens: usize) -> (StageMetrics, StageMetrics) {
+    pub fn turn(
+        &mut self,
+        prompt_tokens: u32,
+        answer_tokens: usize,
+    ) -> (StageMetrics, StageMetrics) {
         (self.prompt(prompt_tokens), self.generate(answer_tokens))
     }
 
     fn generator(&self) -> TraceGenerator {
         TraceGenerator::new(
             self.engine.config().model.clone(),
-            self.seed.wrapping_add(self.turn.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            self.seed
+                .wrapping_add(self.turn.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         )
     }
 }

@@ -52,8 +52,8 @@ impl Gantt {
             if makespan == SimDuration::ZERO {
                 0
             } else {
-                ((t.as_nanos() as f64 / makespan.as_nanos() as f64) * (width as f64 - 1.0))
-                    .round() as usize
+                ((t.as_nanos() as f64 / makespan.as_nanos() as f64) * (width as f64 - 1.0)).round()
+                    as usize
             }
         };
         let mut rows = Vec::new();

@@ -279,10 +279,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(
             SimDuration::from_secs_f64(0.001),
             SimDuration::from_millis(1)
@@ -293,10 +290,7 @@ mod tests {
     fn duration_from_secs_saturates_on_bad_input() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(f64::INFINITY),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
     }
 
     #[test]
@@ -343,10 +337,7 @@ mod tests {
         assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
         assert_eq!(SimDuration::from_micros(5).to_string(), "5.000us");
         assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
-        assert_eq!(
-            SimDuration::from_millis(5_000).to_string(),
-            "5.000s"
-        );
+        assert_eq!(SimDuration::from_millis(5_000).to_string(), "5.000s");
         assert_eq!(SimTime::from_nanos(1_500).to_string(), "@1.500us");
     }
 }

@@ -133,13 +133,7 @@ impl Timeline {
     /// Checks the internal invariant: intervals are ordered and
     /// non-overlapping.
     pub fn is_well_formed(&self) -> bool {
-        self.intervals
-            .windows(2)
-            .all(|w| w[0].end <= w[1].start || w[0].start <= w[1].start)
-            && self
-                .intervals
-                .windows(2)
-                .all(|w| w[0].end <= w[1].start)
+        self.intervals.windows(2).all(|w| w[0].end <= w[1].start)
     }
 }
 

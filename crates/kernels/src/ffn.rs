@@ -72,9 +72,8 @@ impl ExpertFfn {
         let mut rng = StdRng::seed_from_u64(seed);
         let scale_h = (1.0 / (hidden as f32)).sqrt();
         let scale_i = (1.0 / (inter as f32)).sqrt();
-        let mut gen = |n: usize, s: f32| -> Vec<f32> {
-            (0..n).map(|_| rng.gen_range(-s..s)).collect()
-        };
+        let mut gen =
+            |n: usize, s: f32| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-s..s)).collect() };
         let w_gate = gen(inter * hidden, scale_h);
         let w_up = gen(inter * hidden, scale_h);
         let w_down = gen(hidden * inter, scale_i);
@@ -180,10 +179,7 @@ mod tests {
         for t in 0..3 {
             let single = ffn.forward(&x[t * 32..(t + 1) * 32]);
             for i in 0..32 {
-                assert!(
-                    (batch[t * 32 + i] - single[i]).abs() < 1e-4,
-                    "t={t} i={i}"
-                );
+                assert!((batch[t * 32 + i] - single[i]).abs() < 1e-4, "t={t} i={i}");
             }
         }
     }

@@ -82,12 +82,11 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, t
         slices.push(band);
         rest = tail;
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (band, &(r0, r1)) in slices.into_iter().zip(bands.iter()) {
-            scope.spawn(move |_| gemm_band(a, b, band, r0, r1, k, n));
+            scope.spawn(move || gemm_band(a, b, band, r0, r1, k, n));
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 fn band_ranges(m: usize, threads: usize) -> Vec<(usize, usize)> {

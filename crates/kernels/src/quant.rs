@@ -159,7 +159,8 @@ impl QuantizedMatrix {
         for r in 0..self.rows {
             for b in 0..blocks_per_row {
                 let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
-                let dst = &mut out[r * self.cols + b * Q4_BLOCK..r * self.cols + (b + 1) * Q4_BLOCK];
+                let dst =
+                    &mut out[r * self.cols + b * Q4_BLOCK..r * self.cols + (b + 1) * Q4_BLOCK];
                 decode_block(&self.data[off..off + Q4_BLOCK_BYTES], dst);
             }
         }

@@ -34,7 +34,7 @@ where
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let start = t * chunk;
             let end = ((t + 1) * chunk).min(n);
@@ -42,10 +42,9 @@ where
                 break;
             }
             let body = &body;
-            scope.spawn(move |_| body(start, end));
+            scope.spawn(move || body(start, end));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// The number of worker threads to use by default: the machine's available

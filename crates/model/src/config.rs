@@ -160,9 +160,8 @@ impl ModelConfig {
     /// Iterates over every routed expert key of the model, layer-major.
     pub fn expert_keys(&self) -> impl Iterator<Item = ExpertKey> + '_ {
         let experts = self.routed_experts;
-        (0..self.layers).flat_map(move |l| {
-            (0..experts).map(move |e| ExpertKey::new(LayerId(l), ExpertId(e)))
-        })
+        (0..self.layers)
+            .flat_map(move |l| (0..experts).map(move |e| ExpertKey::new(LayerId(l), ExpertId(e))))
     }
 
     /// Whether `key` addresses a valid routed expert of this model.

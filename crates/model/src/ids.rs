@@ -138,9 +138,6 @@ mod tests {
     fn display_formats() {
         assert_eq!(LayerId(7).to_string(), "L7");
         assert_eq!(ExpertId(9).to_string(), "E9");
-        assert_eq!(
-            ExpertKey::new(LayerId(7), ExpertId(9)).to_string(),
-            "L7/E9"
-        );
+        assert_eq!(ExpertKey::new(LayerId(7), ExpertId(9)).to_string(), "L7/E9");
     }
 }

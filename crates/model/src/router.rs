@@ -91,7 +91,12 @@ impl RouterOutput {
         let total: f32 = top.iter().map(|(_, s)| s).sum();
         let selected = top
             .into_iter()
-            .map(|(i, s)| (ExpertId(i as u16), if total > 0.0 { s / total } else { 0.0 }))
+            .map(|(i, s)| {
+                (
+                    ExpertId(i as u16),
+                    if total > 0.0 { s / total } else { 0.0 },
+                )
+            })
             .collect();
         RouterOutput { scores, selected }
     }
@@ -285,16 +290,14 @@ mod tests {
 
     #[test]
     fn activated_lists_only_loaded_experts() {
-        let routing =
-            LayerRouting::from_parts(LayerId(0), 2, vec![0, 3, 0, 1], vec![0.0; 4]);
+        let routing = LayerRouting::from_parts(LayerId(0), 2, vec![0, 3, 0, 1], vec![0.0; 4]);
         let act = routing.activated();
         assert_eq!(act, vec![(ExpertId(1), 3), (ExpertId(3), 1)]);
     }
 
     #[test]
     fn mean_scores_divide_by_tokens() {
-        let routing =
-            LayerRouting::from_parts(LayerId(0), 4, vec![0; 2], vec![2.0, 4.0]);
+        let routing = LayerRouting::from_parts(LayerId(0), 4, vec![0; 2], vec![2.0, 4.0]);
         assert_eq!(routing.mean_scores(), vec![0.5, 1.0]);
         let empty = LayerRouting::from_parts(LayerId(0), 0, vec![0; 2], vec![2.0, 4.0]);
         assert_eq!(empty.mean_scores(), vec![0.0, 0.0]);

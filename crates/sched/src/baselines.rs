@@ -323,14 +323,7 @@ mod tests {
             ExpertTask::cached(ExpertId(0), 40),
             ExpertTask::uncached(ExpertId(1), 40),
         ];
-        let ctx = ScheduleContext::new(
-            LayerId(0),
-            40,
-            &tasks,
-            ExpertProfile::new(1, 1),
-            None,
-            &c,
-        );
+        let ctx = ScheduleContext::new(LayerId(0), 40, &tasks, ExpertProfile::new(1, 1), None, &c);
         let plan = FixedMappingScheduler::new().schedule(&ctx);
         plan.validate(&tasks).unwrap();
         assert!(plan.cpu_order.is_empty(), "no CPU compute at prefill");

@@ -134,7 +134,9 @@ impl Scheduler for HybridScheduler {
 
             // CPU: uncached head, else steal lowest-load cached entry.
             if let Some(head) = cpu_q.first() {
-                let d = ctx.cost.cpu_compute(&ctx.routed_profile, head.load, cpu_warm);
+                let d = ctx
+                    .cost
+                    .cpu_compute(&ctx.routed_profile, head.load, cpu_warm);
                 consider(cpu_t + d, 0, Candidate::CpuQueueHead);
             } else if self.cpu_steal {
                 // Steal only experts that are genuinely cached (not in
@@ -216,10 +218,13 @@ impl Scheduler for HybridScheduler {
                     let arrival = pcie_t + ctx.cost.transfer(&ctx.routed_profile);
                     pcie_t = arrival;
                     plan.pcie_order.push(task);
-                    insert_by_load(&mut gpu_q, GpuEntry {
-                        task,
-                        ready: Some(arrival),
-                    });
+                    insert_by_load(
+                        &mut gpu_q,
+                        GpuEntry {
+                            task,
+                            ready: Some(arrival),
+                        },
+                    );
                 }
             }
         }

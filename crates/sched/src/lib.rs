@@ -53,8 +53,8 @@ pub use hybrid::HybridScheduler;
 pub use oracle::{oracle_makespan, ORACLE_MAX_TASKS};
 pub use plan::{DevicePlacement, PlannedTask, SchedulePlan};
 pub use prefetch::{
-    ImpactDrivenPrefetcher, NextLayerTopKPrefetcher, NoPrefetcher, PredictedLayer,
-    PrefetchContext, Prefetcher,
+    ImpactDrivenPrefetcher, NextLayerTopKPrefetcher, NoPrefetcher, PredictedLayer, PrefetchContext,
+    Prefetcher,
 };
 pub use task::ExpertTask;
 

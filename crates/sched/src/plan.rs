@@ -129,7 +129,11 @@ impl SchedulePlan {
     /// by a `GpuAfterTransfer` compute and vice versa.
     pub fn validate(&self, tasks: &[ExpertTask]) -> Result<(), PlanInvalid> {
         for t in tasks {
-            let on_cpu = self.cpu_order.iter().filter(|c| c.expert == t.expert).count();
+            let on_cpu = self
+                .cpu_order
+                .iter()
+                .filter(|c| c.expert == t.expert)
+                .count();
             let on_gpu = self
                 .gpu_order
                 .iter()
@@ -216,10 +220,7 @@ impl SchedulePlan {
                 format!("{}/{}", self.layer, g.task.expert),
             );
             if g.placement == DevicePlacement::GpuAfterTransfer {
-                if let Some((_, dep)) = transfer_ids
-                    .iter()
-                    .find(|(e, _)| *e == g.task.expert)
-                {
+                if let Some((_, dep)) = transfer_ids.iter().find(|(e, _)| *e == g.task.expert) {
                     op = op.after(*dep);
                 }
             }

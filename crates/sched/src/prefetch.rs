@@ -310,7 +310,9 @@ mod tests {
     fn no_prefetcher_returns_empty() {
         let cost = UnitCostModel::paper_fig5();
         let look = [predicted(1, vec![ExpertTask::uncached(ExpertId(0), 5)])];
-        assert!(NoPrefetcher::new().plan(&ctx(&look, 8, 100, &cost)).is_empty());
+        assert!(NoPrefetcher::new()
+            .plan(&ctx(&look, 8, 100, &cost))
+            .is_empty());
     }
 
     #[test]
@@ -348,8 +350,8 @@ mod tests {
     #[test]
     fn budget_caps_count() {
         let cost = UnitCostModel::paper_fig5(); // transfers take 3us
-        // Two high-gain candidates across two layers (the single-layer
-        // variant is exercised by impact_prefers_high_gain_expert).
+                                                // Two high-gain candidates across two layers (the single-layer
+                                                // variant is exercised by impact_prefers_high_gain_expert).
         let look = [
             predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
             predicted(2, vec![ExpertTask::uncached(ExpertId(0), 8)]),
@@ -396,9 +398,7 @@ mod tests {
         let picks = NextLayerTopKPrefetcher::new().plan(&ctx(&look, 8, 100, &cost));
         assert_eq!(picks[0], ExpertKey::new(LayerId(1), ExpertId(1)));
         // The cached expert is never prefetched.
-        assert!(picks
-            .iter()
-            .all(|k| k.expert != ExpertId(2)));
+        assert!(picks.iter().all(|k| k.expert != ExpertId(2)));
     }
 
     #[test]

@@ -129,8 +129,9 @@ impl TraceGenerator {
             for inno in &mut innovations {
                 evolve(inno, rho_t, &mut rng);
             }
-            let layer_records =
-                self.forward(&bundle, &[token_latent.clone()], |_, l| innovations[l].clone());
+            let layer_records = self.forward(&bundle, &[token_latent.clone()], |_, l| {
+                innovations[l].clone()
+            });
             steps.push(TraceStep {
                 tokens: 1,
                 layers: layer_records,
@@ -158,8 +159,7 @@ impl TraceGenerator {
         let n = sequences as usize;
 
         // Independent latent chains and per-layer innovations per sequence.
-        let mut token_latents: Vec<Vec<f64>> =
-            (0..n).map(|_| gaussian_vec(&mut rng, d)).collect();
+        let mut token_latents: Vec<Vec<f64>> = (0..n).map(|_| gaussian_vec(&mut rng, d)).collect();
         let mut innovations: Vec<Vec<Vec<f64>>> = (0..n)
             .map(|_| (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect())
             .collect();
@@ -443,16 +443,10 @@ mod tests {
             for (l, rec) in step.layers.iter().enumerate() {
                 for (d, pred) in rec.predicted.iter().enumerate() {
                     let target = &step.layers[l + d + 1].routing;
-                    let true_set: std::collections::HashSet<u16> = target
-                        .activated()
-                        .iter()
-                        .map(|(e, _)| e.0)
-                        .collect();
-                    let pred_set: std::collections::HashSet<u16> = pred
-                        .activated()
-                        .iter()
-                        .map(|(e, _)| e.0)
-                        .collect();
+                    let true_set: std::collections::HashSet<u16> =
+                        target.activated().iter().map(|(e, _)| e.0).collect();
+                    let pred_set: std::collections::HashSet<u16> =
+                        pred.activated().iter().map(|(e, _)| e.0).collect();
                     let inter = true_set.intersection(&pred_set).count();
                     overlap[d] += inter as f64 / true_set.len().max(1) as f64;
                     counts[d] += 1;

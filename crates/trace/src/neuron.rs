@@ -28,7 +28,9 @@ use rand::{Rng, SeedableRng};
 pub fn neuron_activation_cdf(neurons: usize, zipf_s: f64, samples: usize, seed: u64) -> Vec<f64> {
     assert!(neurons > 0, "population must be nonzero");
     // Zipf pmf over ranks 1..=neurons.
-    let weights: Vec<f64> = (1..=neurons).map(|r| 1.0 / (r as f64).powf(zipf_s)).collect();
+    let weights: Vec<f64> = (1..=neurons)
+        .map(|r| 1.0 / (r as f64).powf(zipf_s))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut counts = vec![0u64; neurons];
     let mut rng = StdRng::seed_from_u64(seed);

@@ -103,7 +103,16 @@ pub fn workload_distribution(
     step: usize,
     layer: usize,
 ) -> Option<Vec<u32>> {
-    Some(trace.steps.get(step)?.layers.get(layer)?.routing.loads().to_vec())
+    Some(
+        trace
+            .steps
+            .get(step)?
+            .layers
+            .get(layer)?
+            .routing
+            .loads()
+            .to_vec(),
+    )
 }
 
 /// Mean Jaccard similarity of activated-expert sets between adjacent layers

@@ -87,12 +87,7 @@ mod tests {
             steps: vec![TraceStep {
                 tokens: 1,
                 layers: vec![LayerRecord {
-                    routing: LayerRouting::from_parts(
-                        LayerId(0),
-                        1,
-                        vec![1, 0],
-                        vec![0.9, 0.1],
-                    ),
+                    routing: LayerRouting::from_parts(LayerId(0), 1, vec![1, 0], vec![0.9, 0.1]),
                     predicted: Vec::new(),
                 }],
             }],

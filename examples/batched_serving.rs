@@ -32,11 +32,8 @@ fn main() {
     for batch in [1u32, 2, 4, 8] {
         let trace = TraceGenerator::new(model.clone(), 31).decode_trace_batched(16, batch);
         for framework in [Framework::KTransformers, Framework::HybriMoe] {
-            let mut engine = Engine::new(EngineConfig::preset(
-                framework,
-                model.clone(),
-                cache_ratio,
-            ));
+            let mut engine =
+                Engine::new(EngineConfig::preset(framework, model.clone(), cache_ratio));
             let m = engine.run(&trace);
             let per_step = m.mean_step_latency().as_millis_f64();
             table.push_row(vec![

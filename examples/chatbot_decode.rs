@@ -40,16 +40,11 @@ fn main() {
     for framework in [Framework::KTransformers, Framework::HybriMoe] {
         // One persistent engine per framework: the cache stays warm across
         // turns, exactly like a long-lived serving process.
-        let mut engine = Engine::new(EngineConfig::preset(
-            framework,
-            model.clone(),
-            CACHE_RATIO,
-        ));
+        let mut engine = Engine::new(EngineConfig::preset(framework, model.clone(), CACHE_RATIO));
         for (turn, prompt_len) in prompts.iter().enumerate() {
             let seed = 1000 + turn as u64;
             let prefill = TraceGenerator::new(model.clone(), seed).prefill_trace(*prompt_len);
-            let decode =
-                TraceGenerator::new(model.clone(), seed ^ 0xD).decode_trace(ANSWER_TOKENS);
+            let decode = TraceGenerator::new(model.clone(), seed ^ 0xD).decode_trace(ANSWER_TOKENS);
             let p = engine.run(&prefill);
             let d = engine.run(&decode);
             table.push_row(vec![

@@ -57,8 +57,14 @@ fn main() {
     );
 
     let schedulers: [(&str, Box<dyn Scheduler>); 3] = [
-        ("GPU-only on-demand (AdapMoE)", Box::new(GpuOnlyScheduler::new())),
-        ("fixed mapping (kTransformers)", Box::new(FixedMappingScheduler::new())),
+        (
+            "GPU-only on-demand (AdapMoE)",
+            Box::new(GpuOnlyScheduler::new()),
+        ),
+        (
+            "fixed mapping (kTransformers)",
+            Box::new(FixedMappingScheduler::new()),
+        ),
         ("hybrid (HybriMoE)", Box::new(HybridScheduler::new())),
     ];
     for (name, scheduler) in schedulers {
@@ -67,10 +73,7 @@ fn main() {
         let executed = PlanExecutor::new()
             .execute(plan.to_ops(&ctx))
             .expect("acyclic plan");
-        println!(
-            "-- {name}: {:.2} ms --",
-            executed.makespan.as_millis_f64()
-        );
+        println!("-- {name}: {:.2} ms --", executed.makespan.as_millis_f64());
         println!("{}\n", Gantt::render(&executed.timelines, 64));
     }
 }

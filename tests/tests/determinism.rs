@@ -1,0 +1,57 @@
+//! Reproducibility regression: the whole pipeline — trace generation,
+//! scheduling, prefetching, caching, simulated execution — must be a pure
+//! function of the seed. Bench comparisons across PRs rely on this: if two
+//! runs of the same configuration diverge, every figure/table binary
+//! becomes noise.
+
+use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::TraceGenerator;
+
+fn run_once(framework: Framework, seed: u64, decode_steps: usize) -> StageMetrics {
+    let model = ModelConfig::deepseek();
+    let config = EngineConfig::preset(framework, model.clone(), 0.25);
+    let mut engine = Engine::new(config);
+    let trace = TraceGenerator::new(model, seed).decode_trace(decode_steps);
+    engine.run(&trace)
+}
+
+#[test]
+fn same_seed_gives_identical_stage_metrics() {
+    for framework in [
+        Framework::LlamaCpp,
+        Framework::AdapMoe,
+        Framework::KTransformers,
+        Framework::HybriMoe,
+    ] {
+        let a = run_once(framework, 42, 12);
+        let b = run_once(framework, 42, 12);
+        assert_eq!(a, b, "{framework:?}: same seed, different metrics");
+    }
+}
+
+#[test]
+fn same_seed_gives_identical_traces() {
+    let model = ModelConfig::deepseek();
+    let t1 = TraceGenerator::new(model.clone(), 7).decode_trace(16);
+    let t2 = TraceGenerator::new(model, 7).decode_trace(16);
+    assert_eq!(t1, t2, "trace generation is not seed-deterministic");
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let model = ModelConfig::deepseek();
+    let t1 = TraceGenerator::new(model.clone(), 1).decode_trace(16);
+    let t2 = TraceGenerator::new(model, 2).decode_trace(16);
+    assert_ne!(t1, t2, "seed does not influence the trace");
+}
+
+#[test]
+fn prefill_is_seed_deterministic_end_to_end() {
+    let model = ModelConfig::deepseek();
+    let config = EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25);
+    let trace = TraceGenerator::new(model, 1234).prefill_trace(64);
+    let a = Engine::new(config.clone()).run(&trace);
+    let b = Engine::new(config).run(&trace);
+    assert_eq!(a, b, "prefill replay diverged between engines");
+}

@@ -55,8 +55,12 @@ fn different_seeds_change_the_trace_but_not_the_contract() {
     let t2 = TraceGenerator::new(model.clone(), 2).decode_trace(4);
     assert_ne!(t1, t2);
     for trace in [t1, t2] {
-        let m = Engine::new(EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.5))
-            .run(&trace);
+        let m = Engine::new(EngineConfig::preset(
+            Framework::HybriMoe,
+            model.clone(),
+            0.5,
+        ))
+        .run(&trace);
         assert_eq!(m.cpu_experts() + m.gpu_experts(), m.cache.lookups());
     }
 }
@@ -98,7 +102,11 @@ fn prefill_latency_grows_with_prompt_length() {
 #[test]
 fn persistent_engine_keeps_cache_warm_across_runs() {
     let model = ModelConfig::deepseek();
-    let mut engine = Engine::new(EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25));
+    let mut engine = Engine::new(EngineConfig::preset(
+        Framework::HybriMoe,
+        model.clone(),
+        0.25,
+    ));
     let t1 = TraceGenerator::new(model.clone(), SEED).decode_trace(16);
     let first = engine.run(&t1);
     let second = engine.run(&t1);

@@ -117,11 +117,7 @@ fn hybrid_matches_oracle_on_real_traces() {
 fn ktransformers_prefill_loads_on_demand() {
     let model = ModelConfig::mixtral();
     let trace = prefill_trace(&model, 128);
-    let mut engine = Engine::new(EngineConfig::preset(
-        Framework::KTransformers,
-        model,
-        0.25,
-    ));
+    let mut engine = Engine::new(EngineConfig::preset(Framework::KTransformers, model, 0.25));
     let m = engine.run(&trace);
     assert_eq!(m.cpu_experts(), 0, "no CPU expert compute at prefill");
     assert!(m.demand_transfers() > 0, "misses are fetched on demand");
@@ -141,8 +137,7 @@ fn weaker_pcie_favors_hybrid_over_gpu_centric() {
         )
         .run(&trace);
         let a = Engine::new(
-            EngineConfig::preset(Framework::AdapMoe, model.clone(), 0.25)
-                .with_platform(platform),
+            EngineConfig::preset(Framework::AdapMoe, model.clone(), 0.25).with_platform(platform),
         )
         .run(&trace);
         a.total.as_nanos() as f64 / h.total.as_nanos() as f64

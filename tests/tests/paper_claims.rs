@@ -158,6 +158,8 @@ fn ablation_components_compose() {
     assert!(sched <= baseline, "scheduling must not slow decode");
     assert!(cached <= baseline, "caching must not slow decode");
     assert!(prefetched <= baseline, "prefetching must not slow decode");
-    assert!(all <= sched.min(cached).min(prefetched) + baseline / 10,
-        "the full system should be in the ballpark of the best single technique or better");
+    assert!(
+        all <= sched.min(cached).min(prefetched) + baseline / 10,
+        "the full system should be in the ballpark of the best single technique or better"
+    );
 }

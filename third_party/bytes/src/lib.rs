@@ -1,0 +1,153 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! Provides the subset of [`Bytes`] this workspace uses: construction from
+//! a `Vec<u8>` or slice, cheap reference-counted clones, and read access
+//! through `Deref<Target = [u8]>`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `slice` into a new buffer.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes { data: slice.into() }
+    }
+
+    /// Length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A copy of the contents as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.data.len())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.data == other.as_slice()
+    }
+}
+
+// JSON-friendly representation: a hex string keeps packed weight buffers
+// compact and round-trips exactly.
+impl serde::Serialize for Bytes {
+    fn to_value(&self) -> serde::Value {
+        let mut hex = String::with_capacity(self.data.len() * 2);
+        for b in self.data.iter() {
+            hex.push_str(&format!("{b:02x}"));
+        }
+        serde::Value::Str(hex)
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(hex) if hex.len() % 2 == 0 && hex.is_ascii() => {
+                let digits = hex.as_bytes();
+                let mut data = Vec::with_capacity(digits.len() / 2);
+                for pair in digits.chunks_exact(2) {
+                    let byte = std::str::from_utf8(pair)
+                        .ok()
+                        .and_then(|s| u8::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| serde::Error::custom("invalid hex in byte string"))?;
+                    data.push(byte);
+                }
+                Ok(Bytes::from(data))
+            }
+            _ => Err(serde::Error::custom("expected hex string for Bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_share_contents() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_and_bad_hex() {
+        use serde::{Deserialize, Serialize, Value};
+
+        let b = Bytes::from(vec![0x00u8, 0xAB, 0xFF]);
+        assert_eq!(b.to_value(), Value::Str("00abff".into()));
+        assert_eq!(Bytes::from_value(&b.to_value()).unwrap(), b);
+        // Non-hex, odd-length, and multi-byte UTF-8 inputs must error, not
+        // panic on a char-boundary slice.
+        assert!(Bytes::from_value(&Value::Str("zz".into())).is_err());
+        assert!(Bytes::from_value(&Value::Str("abc".into())).is_err());
+        assert!(Bytes::from_value(&Value::Str("𝄞𝄞".into())).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Generates the stub-`serde` [`Serialize`]/[`Deserialize`] impls (the
+//! `to_value`/`from_value` pair) for the shapes this workspace actually
+//! derives: structs with named fields, tuple structs, and enums whose
+//! variants are all units. Anything fancier (generics, data-carrying
+//! variants, `#[serde(...)]` attributes) is rejected with a compile error
+//! rather than silently mis-serialized.
+//!
+//! The input item is parsed directly from the [`proc_macro::TokenStream`];
+//! no `syn`/`quote` dependency is available in this build environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving item.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    Named(String, Vec<String>),
+    /// `struct Name(A, B);` — field count.
+    Tuple(String, usize),
+    /// `enum Name { V1, V2 }` — variant names, all unit.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes (`#[...]`, including doc comments) from `iter`.
+fn skip_attributes(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '!' => {
+                iter.next();
+            }
+            _ => {}
+        }
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            if g.delimiter() == Delimiter::Bracket {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Consumes a `pub` / `pub(crate)` / `pub(in ...)` prefix if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens up to a top-level `,`, tracking `<...>` nesting so commas
+/// inside generic arguments don't split a field type. Returns false at end.
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle_depth = 0usize;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{name}`")),
+                }
+                fields.push(name.to_string());
+                if !skip_type(&mut iter) {
+                    break;
+                }
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in group {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_unit_variants(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                match iter.peek() {
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "variant `{name}` carries data; the serde stub derive only supports unit variants"
+                        ));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip to the next comma.
+                        iter.next();
+                        skip_type(&mut iter);
+                        variants.push(name.to_string());
+                        continue;
+                    }
+                    _ => {}
+                }
+                variants.push(name.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    None => break,
+                    Some(other) => return Err(format!("unexpected token `{other}` after variant")),
+                }
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}` is generic; the serde stub derive only supports non-generic items"
+            ));
+        }
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Named(name, parse_named_fields(g.stream())?))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::Tuple(name, count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Shape::Named(name, Vec::new()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Enum(name, parse_unit_variants(g.stream())?))
+        }
+        (kind, _) => Err(format!("cannot derive for `{kind} {name}`")),
+    }
+}
+
+/// Derives the stub-serde `Serialize` impl (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, n) => {
+            let entries: String = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the stub-serde `Deserialize` impl (`fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Named(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(m, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Map(m) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected map for \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, n) => {
+            let inits: String = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} =>\n\
+                                 ::std::result::Result::Ok({name}({inits})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected sequence for \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected string for enum \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
