@@ -249,7 +249,7 @@ fn oracle_gap() {
 }
 
 /// Q4 vs Q8 expert copies: transfer time against measured quantization
-/// error (the HOBBIT-style mixed-precision trade, paper ref. [7]).
+/// error (the HOBBIT-style mixed-precision trade, paper ref.\ 7).
 fn quant_tradeoff() {
     use hybrimoe_hw::{CostModel, ExpertProfile};
     use hybrimoe_kernels::{Q8Matrix, QuantizedMatrix};

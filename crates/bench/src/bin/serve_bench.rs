@@ -1,0 +1,92 @@
+//! Continuous-batching serving benchmark: sweeps arrival rate × cache
+//! ratio × framework and reports per-request latency percentiles and
+//! aggregate throughput.
+//!
+//! ```text
+//! cargo run -p hybrimoe_bench --release --bin serve_bench            # table + JSON
+//! cargo run -p hybrimoe_bench --release --bin serve_bench -- --json # JSON only
+//! ```
+//!
+//! The JSON (last line block of stdout) is an array with one object per
+//! experiment, suitable for cross-PR trend tracking.
+
+use hybrimoe::report::serve_table;
+use hybrimoe::serve::ServeSummary;
+use hybrimoe::Framework;
+use hybrimoe_bench::{run_serve, ServeLoad, SEED};
+use hybrimoe_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Arrival rates of the sweep, in requests per second.
+const ARRIVAL_RATES: [f64; 3] = [2.0, 5.0, 10.0];
+
+/// Cache ratios of the sweep (the paper's tight and middle points).
+const CACHE_RATIOS: [f64; 2] = [0.25, 0.50];
+
+/// Frameworks compared.
+const FRAMEWORKS: [Framework; 2] = [Framework::KTransformers, Framework::HybriMoe];
+
+/// One row of the sweep output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeRow {
+    framework: String,
+    summary: ServeSummary,
+}
+
+fn main() {
+    let json_only = std::env::args().any(|a| a == "--json");
+    let model = ModelConfig::deepseek();
+    let load = ServeLoad::default();
+
+    if !json_only {
+        println!(
+            "Continuous-batching serving — {} | {} requests, {} prompt + {} output tokens, \
+             max batch {}, poisson arrivals, seed {SEED:#x}\n",
+            model.name, load.requests, load.prompt_tokens, load.decode_tokens, load.max_batch
+        );
+    }
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for rate in ARRIVAL_RATES {
+        for ratio in CACHE_RATIOS {
+            for framework in FRAMEWORKS {
+                let report = run_serve(framework, &model, ratio, rate, load, SEED);
+                rows.push(ServeRow {
+                    framework: framework.to_string(),
+                    summary: report.summary(),
+                });
+            }
+        }
+    }
+
+    if !json_only {
+        let table_rows: Vec<(String, ServeSummary)> = rows
+            .iter()
+            .map(|r| (r.framework.clone(), r.summary.clone()))
+            .collect();
+        println!("{}", serve_table(&table_rows));
+        for rate in ARRIVAL_RATES {
+            let pick = |f: Framework| {
+                rows.iter()
+                    .find(|r| {
+                        r.framework == f.to_string()
+                            && r.summary.cache_ratio == 0.25
+                            && (r.summary.arrival_rate_per_sec - rate).abs() < 1e-9
+                    })
+                    .expect("sweep covers this point")
+            };
+            let h = pick(Framework::HybriMoe);
+            let k = pick(Framework::KTransformers);
+            println!(
+                "rate {rate:>4.1}/s @ ratio 0.25: HybriMoE {:.1} tok/s vs KTransformers {:.1} tok/s",
+                h.summary.output_tokens_per_sec, k.summary.output_tokens_per_sec
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("summaries serialize")
+    );
+}

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
 use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
 use hybrimoe_model::ModelConfig;
 use hybrimoe_trace::TraceGenerator;
@@ -71,6 +72,72 @@ pub fn run_prefill(
     let mut engine =
         Engine::new(EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed));
     engine.run(&trace)
+}
+
+/// Parameters of one serving experiment shared across the sweep axes.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLoad {
+    /// Requests to serve.
+    pub requests: usize,
+    /// Prompt tokens per request.
+    pub prompt_tokens: u32,
+    /// Output tokens per request.
+    pub decode_tokens: u32,
+    /// Continuous-batch bound.
+    pub max_batch: usize,
+    /// Whether arrivals are Poisson (else deterministic spacing).
+    pub poisson: bool,
+}
+
+impl Default for ServeLoad {
+    fn default() -> Self {
+        ServeLoad {
+            requests: 24,
+            prompt_tokens: 64,
+            decode_tokens: 16,
+            max_batch: 8,
+            poisson: true,
+        }
+    }
+}
+
+/// Runs one continuous-batching serving experiment.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::Framework;
+/// use hybrimoe_bench::{run_serve, ServeLoad};
+/// use hybrimoe_model::ModelConfig;
+///
+/// let load = ServeLoad {
+///     requests: 3,
+///     prompt_tokens: 8,
+///     decode_tokens: 2,
+///     max_batch: 2,
+///     poisson: false,
+/// };
+/// let report = run_serve(Framework::HybriMoe, &ModelConfig::tiny_test(), 0.5, 50.0, load, 1);
+/// assert_eq!(report.requests.len(), 3);
+/// ```
+pub fn run_serve(
+    framework: Framework,
+    model: &ModelConfig,
+    cache_ratio: f64,
+    arrival_rate_per_sec: f64,
+    load: ServeLoad,
+    seed: u64,
+) -> ServeReport {
+    ServeSim::new(ServeConfig {
+        engine: EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
+        arrivals: ArrivalProcess::per_second(arrival_rate_per_sec, load.poisson),
+        requests: load.requests,
+        prompt_tokens: load.prompt_tokens,
+        decode_tokens: load.decode_tokens,
+        max_batch: load.max_batch,
+        seed,
+    })
+    .run()
 }
 
 /// Runs a decode stage for an explicit configuration (ablations).

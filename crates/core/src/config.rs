@@ -189,7 +189,14 @@ pub struct EngineConfig {
     pub mrs_alpha: f64,
     /// Seed for the warmup trace that drives initial placement.
     pub seed: u64,
+    /// Maximum queued background PCIe transfers (prefetches and refills).
+    /// Bounding the queue keeps prefetches from going stale; `0` disables
+    /// background transfers entirely (on-demand transfers still happen).
+    pub max_inflight: usize,
 }
+
+/// Default bound on queued background transfers.
+pub const DEFAULT_MAX_INFLIGHT: usize = 4;
 
 impl EngineConfig {
     /// The configuration of one of the paper's frameworks.
@@ -210,6 +217,7 @@ impl EngineConfig {
             attention_follows_layer: false,
             mrs_alpha: 0.3,
             seed: 0xB0B,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
         };
         match framework {
             Framework::HybriMoe => base,
@@ -288,6 +296,13 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the background-transfer queue bound (`0` disables
+    /// background transfers).
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
+
     /// The cache capacity in experts implied by the ratio.
     pub fn cache_capacity(&self) -> usize {
         self.model.cache_capacity_for_ratio(self.cache_ratio)
@@ -357,6 +372,17 @@ mod tests {
         ] {
             assert!(!c.build(0.3).name().is_empty());
         }
+    }
+
+    #[test]
+    fn presets_use_default_inflight_bound() {
+        for f in Framework::ALL {
+            let c = EngineConfig::preset(f, ModelConfig::tiny_test(), 0.5);
+            assert_eq!(c.max_inflight, DEFAULT_MAX_INFLIGHT);
+        }
+        let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
+            .with_max_inflight(0);
+        assert_eq!(c.max_inflight, 0);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The HybriMoE inference engine.
 
+use std::collections::VecDeque;
+
 use hybrimoe_cache::{CacheStats, ExpertCache};
 use hybrimoe_hw::{AffineCostModel, CostModel, Device, PlanExecutor, SimDuration};
 use hybrimoe_model::{ExpertKey, LayerId};
 use hybrimoe_sched::{
-    ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, Scheduler,
+    ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, ScheduleScratch,
+    Scheduler,
 };
 use hybrimoe_trace::{ActivationTrace, TraceGenerator, TraceStep};
 
@@ -19,6 +22,17 @@ use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
 /// (and cache refill). The warmup phase (§IV-A) happens in [`Engine::new`]:
 /// a short calibration trace drives the initial cache placement and primes
 /// the score estimates of the cache policy.
+///
+/// # Incremental stepping
+///
+/// The fundamental unit of work is one forward pass: [`Engine::step`] runs
+/// a single [`TraceStep`] (a decode token batch or a prefill batch) and
+/// returns its [`StepMetrics`]. [`Engine::run`] is a thin loop over `step`
+/// bracketed by [`Engine::begin_stage`]/[`Engine::end_stage`], which
+/// aggregate per-step metrics and cache-statistics deltas into
+/// [`StageMetrics`]. A serving layer drives `step` directly, feeding it
+/// merged batches formed from concurrently active requests (see
+/// [`crate::serve`]).
 ///
 /// # Example
 ///
@@ -49,40 +63,38 @@ pub struct Engine {
     /// layer boundaries: a Mixtral-sized expert takes longer than one
     /// decode layer, so restricting transfers to a single layer's idle
     /// window would starve prefetching entirely.
-    inflight: std::collections::VecDeque<(ExpertKey, SimDuration)>,
+    inflight: VecDeque<(ExpertKey, SimDuration)>,
+    /// Reused per-layer task/protect buffers (no steady-state allocation).
+    scratch: ScheduleScratch,
+    /// The currently open stage, if any.
+    stage: Option<StageAccum>,
 }
 
-/// Maximum queued background transfers; keeps prefetches from going stale.
-const MAX_INFLIGHT: usize = 4;
+/// Accumulates the metrics of an open stage.
+#[derive(Debug)]
+struct StageAccum {
+    base: CacheStats,
+    steps: Vec<StepMetrics>,
+}
 
 impl Engine {
     /// Builds the engine and runs the warmup phase (initial placement and
-    /// policy priming).
+    /// policy priming). Equivalent to [`Engine::cold`] followed by
+    /// [`Engine::warmup`].
     pub fn new(config: EngineConfig) -> Engine {
+        let mut engine = Engine::cold(config);
+        engine.warmup();
+        engine
+    }
+
+    /// Builds the engine **without** warming up: the cache starts empty and
+    /// the policy unprimed. Call [`Engine::warmup`] before measuring, or
+    /// run cold deliberately (e.g. to study cold-start behaviour).
+    pub fn cold(config: EngineConfig) -> Engine {
         let cost = AffineCostModel::from_platform(&config.platform);
         let capacity = config.cache_capacity();
         let policy = config.cache_policy.build(config.mrs_alpha);
-        let mut cache = ExpertCache::new(capacity, policy);
-
-        let mut resident_layers = 0u16;
-        match config.placement {
-            PlacementKind::WholeLayers => {
-                resident_layers = (capacity / config.model.routed_experts.max(1) as usize) as u16;
-                for l in 0..resident_layers.min(config.model.layers) {
-                    for e in 0..config.model.routed_experts {
-                        let key = ExpertKey::new(LayerId(l), hybrimoe_model::ExpertId(e));
-                        cache.insert(key);
-                        if config.pinned {
-                            cache.pin(key);
-                        }
-                    }
-                }
-            }
-            PlacementKind::PerLayerFrequency => {
-                place_by_frequency(&mut cache, &config);
-            }
-        }
-        cache.reset_stats();
+        let cache = ExpertCache::new(capacity, policy);
 
         Engine {
             scheduler: config.scheduler.build(),
@@ -90,9 +102,50 @@ impl Engine {
             cost,
             cache,
             config,
-            resident_layers,
-            inflight: std::collections::VecDeque::new(),
+            resident_layers: 0,
+            inflight: VecDeque::new(),
+            scratch: ScheduleScratch::new(),
+            stage: None,
         }
+    }
+
+    /// Runs the warmup phase (§IV-A): fills the cache according to the
+    /// configured placement, pins it if the framework is static, primes the
+    /// policy's score estimates, and resets the cache statistics so
+    /// measurement starts clean. Warming an already-warm engine re-primes
+    /// the policy, re-applies the placement (which can evict residents that
+    /// drifted from it while the cache was full), and resets the
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage is open: resetting statistics mid-stage would
+    /// invalidate the stage's baseline snapshot.
+    pub fn warmup(&mut self) {
+        assert!(self.stage.is_none(), "cannot warm up while a stage is open");
+        // Background transfers queued by a previous workload would leak
+        // into the next measurement; warmup starts clean.
+        self.inflight.clear();
+        match self.config.placement {
+            PlacementKind::WholeLayers => {
+                let capacity = self.cache.capacity();
+                self.resident_layers =
+                    (capacity / self.config.model.routed_experts.max(1) as usize) as u16;
+                let placement: Vec<ExpertKey> = (0..self
+                    .resident_layers
+                    .min(self.config.model.layers))
+                    .flat_map(|l| {
+                        (0..self.config.model.routed_experts)
+                            .map(move |e| ExpertKey::new(LayerId(l), hybrimoe_model::ExpertId(e)))
+                    })
+                    .collect();
+                apply_placement(&mut self.cache, &placement, self.config.pinned);
+            }
+            PlacementKind::PerLayerFrequency => {
+                place_by_frequency(&mut self.cache, &self.config);
+            }
+        }
+        self.cache.reset_stats();
     }
 
     /// The engine configuration.
@@ -105,32 +158,72 @@ impl Engine {
         &self.cache
     }
 
-    /// Runs every step of `trace` and returns the stage metrics.
+    /// Opens a stage: subsequent [`Engine::step`] calls accumulate into it
+    /// until [`Engine::end_stage`] closes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage is already open.
+    pub fn begin_stage(&mut self) {
+        assert!(self.stage.is_none(), "a stage is already open");
+        self.stage = Some(StageAccum {
+            base: self.cache.stats(),
+            steps: Vec::new(),
+        });
+    }
+
+    /// Closes the open stage and returns its aggregated metrics (per-step
+    /// metrics plus the cache-statistics delta over the stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stage is open.
+    pub fn end_stage(&mut self) -> StageMetrics {
+        let stage = self
+            .stage
+            .take()
+            .expect("no open stage: call begin_stage first");
+        StageMetrics::from_steps(stage.steps, diff_stats(stage.base, self.cache.stats()))
+    }
+
+    /// Runs every step of `trace` and returns the stage metrics. A thin
+    /// loop over the incremental API:
+    /// [`begin_stage`](Self::begin_stage) → [`step`](Self::step)* →
+    /// [`end_stage`](Self::end_stage).
     ///
     /// # Panics
     ///
     /// Panics if the trace was generated for a different model (layer or
-    /// expert counts disagree).
+    /// expert counts disagree) or a stage is already open.
     pub fn run(&mut self, trace: &ActivationTrace) -> StageMetrics {
-        let before = self.cache.stats();
-        let steps: Vec<StepMetrics> = trace.steps.iter().map(|s| self.run_step(s)).collect();
-        let after = self.cache.stats();
-        StageMetrics::from_steps(steps, diff_stats(before, after))
+        self.begin_stage();
+        for step in &trace.steps {
+            self.step(step);
+        }
+        self.end_stage()
     }
 
-    /// Runs one forward pass (a decode token or a prefill batch).
-    pub fn run_step(&mut self, step: &TraceStep) -> StepMetrics {
+    /// Runs one forward pass (a decode token batch or a prefill batch) and
+    /// returns its metrics. If a stage is open, the step is also
+    /// accumulated into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step was generated for a different model.
+    pub fn step(&mut self, step: &TraceStep) -> StepMetrics {
         assert_eq!(
             step.layers.len(),
             self.config.model.layers as usize,
             "trace was generated for a different model"
         );
-        let model = self.config.model.clone();
         let tokens = step.tokens;
-        let routed_profile = model.routed_profile();
-        let shared_profile = model.shared_profile();
-        let attn_profile = model.attention_profile();
-        let k = model.activated_experts;
+        // Profiles and counts are Copy; no need to clone the model config
+        // on the hot path.
+        let routed_profile = self.config.model.routed_profile();
+        let shared_profile = self.config.model.shared_profile();
+        let attn_profile = self.config.model.attention_profile();
+        let k = self.config.model.activated_experts;
+        let max_inflight = self.config.max_inflight;
 
         let mut latency = SimDuration::ZERO;
         let mut busy = [SimDuration::ZERO; 3];
@@ -162,32 +255,31 @@ impl Engine {
                 Device::Cpu.index()
             }] += attn_time;
 
-            // 3. Cache lookups define the task set.
-            let tasks: Vec<ExpertTask> = rec
-                .routing
-                .activated()
-                .into_iter()
-                .map(|(expert, load)| {
-                    let cached = self.cache.lookup(ExpertKey::new(layer, expert));
-                    ExpertTask {
-                        expert,
-                        load,
-                        cached,
-                    }
-                })
-                .collect();
+            // 3. Cache lookups define the task set; the activated experts
+            // are also the protected set (never evicted while in flight).
+            // Scratch buffers are reused across layers and steps.
+            let (tasks, protect) = self.scratch.begin_layer();
+            for (expert, load) in rec.routing.activated() {
+                let key = ExpertKey::new(layer, expert);
+                protect.push(key);
+                tasks.push(ExpertTask {
+                    expert,
+                    load,
+                    cached: self.cache.lookup(key),
+                });
+            }
 
             // 4. Schedule and execute the layer.
             let ctx = ScheduleContext::new(
                 layer,
                 tokens,
-                &tasks,
+                tasks,
                 routed_profile,
                 shared_profile,
                 &self.cost,
             );
             let plan = self.scheduler.schedule(&ctx);
-            debug_assert_eq!(plan.validate(&tasks), Ok(()), "invalid plan from scheduler");
+            debug_assert_eq!(plan.validate(tasks), Ok(()), "invalid plan from scheduler");
             let executed = PlanExecutor::new()
                 .execute(plan.to_ops(&ctx))
                 .expect("plans lower to acyclic ops");
@@ -204,10 +296,7 @@ impl Engine {
             // but never the experts of the layer in flight). llama.cpp-style
             // streamed weights (transfer_profile set) are discarded after
             // the matmul and never enter the cache.
-            let protect: Vec<ExpertKey> = tasks
-                .iter()
-                .map(|t| ExpertKey::new(layer, t.expert))
-                .collect();
+            //
             // During a prefill batch each layer is visited exactly once, so
             // evicting a placed expert of a *later* layer to cache a
             // transfer is strictly harmful within the pass; inserts go to
@@ -218,7 +307,7 @@ impl Engine {
                 for e in plan.transferred_experts() {
                     let key = ExpertKey::new(layer, e);
                     if evict_ok {
-                        self.cache.insert_protected(key, &protect);
+                        self.cache.insert_protected(key, protect);
                     } else {
                         self.cache.insert_if_free(key);
                     }
@@ -231,12 +320,20 @@ impl Engine {
             let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
             let transfer_time = self.cost.transfer(&routed_profile);
 
-            budget = self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
+            budget = drain_inflight(
+                &mut self.inflight,
+                &mut self.cache,
+                budget,
+                evict_ok,
+                protect,
+                &mut busy,
+                &mut prefetches,
+            );
 
             // Enqueue new prefetch candidates for the predicted layers.
-            let queue_slots = MAX_INFLIGHT.saturating_sub(self.inflight.len());
+            let queue_slots = max_inflight.saturating_sub(self.inflight.len());
             if queue_slots > 0 && !rec.predicted.is_empty() {
-                let lookahead = self.build_lookahead(rec);
+                let lookahead = build_lookahead(&self.cache, rec);
                 let pctx = PrefetchContext {
                     current_layer: layer,
                     lookahead: &lookahead,
@@ -248,7 +345,13 @@ impl Engine {
                     cost: &self.cost,
                 };
                 for key in self.prefetcher.plan(&pctx) {
-                    self.enqueue_background(key, transfer_time);
+                    enqueue_background(
+                        &mut self.inflight,
+                        &self.cache,
+                        max_inflight,
+                        key,
+                        transfer_time,
+                    );
                 }
             }
 
@@ -267,18 +370,32 @@ impl Engine {
                         .then(a.expert.cmp(&b.expert))
                 });
                 for t in missed {
-                    self.enqueue_background(ExpertKey::new(layer, t.expert), transfer_time);
+                    enqueue_background(
+                        &mut self.inflight,
+                        &self.cache,
+                        max_inflight,
+                        ExpertKey::new(layer, t.expert),
+                        transfer_time,
+                    );
                 }
             }
 
             // Newly enqueued transfers may start in this layer's leftover
             // idle time.
-            self.drain_inflight(budget, evict_ok, &protect, &mut busy, &mut prefetches);
+            drain_inflight(
+                &mut self.inflight,
+                &mut self.cache,
+                budget,
+                evict_ok,
+                protect,
+                &mut busy,
+                &mut prefetches,
+            );
 
             latency += attn_time + moe_makespan;
         }
 
-        StepMetrics {
+        let metrics = StepMetrics {
             tokens,
             latency,
             device_busy: busy,
@@ -286,90 +403,117 @@ impl Engine {
             gpu_experts,
             demand_transfers,
             prefetches,
+        };
+        if let Some(stage) = &mut self.stage {
+            stage.steps.push(metrics.clone());
         }
-    }
-
-    /// Spends idle PCIe `budget` on the in-flight background transfers;
-    /// completed ones become resident (evicting per policy only when
-    /// `evict_ok`; prefill passes insert into free slots only). Returns the
-    /// leftover budget.
-    fn drain_inflight(
-        &mut self,
-        mut budget: SimDuration,
-        evict_ok: bool,
-        protect: &[ExpertKey],
-        busy: &mut [SimDuration; 3],
-        prefetches: &mut u32,
-    ) -> SimDuration {
-        while budget > SimDuration::ZERO {
-            let Some((key, remaining)) = self.inflight.front_mut() else {
-                break;
-            };
-            if *remaining > budget {
-                *remaining -= budget;
-                busy[Device::Pcie.index()] += budget;
-                return SimDuration::ZERO;
-            }
-            budget -= *remaining;
-            busy[Device::Pcie.index()] += *remaining;
-            let key = *key;
-            self.inflight.pop_front();
-            let outcome = if evict_ok {
-                self.cache.insert_protected(key, protect)
-            } else {
-                self.cache.insert_if_free(key)
-            };
-            if outcome.is_resident() {
-                *prefetches += 1;
-            }
-        }
-        budget
-    }
-
-    /// Queues a background transfer unless the expert is already resident,
-    /// already queued, or the queue is full.
-    fn enqueue_background(&mut self, key: ExpertKey, transfer_time: SimDuration) {
-        if self.inflight.len() >= MAX_INFLIGHT
-            || self.cache.contains(key)
-            || self.inflight.iter().any(|(k, _)| *k == key)
-        {
-            return;
-        }
-        self.inflight.push_back((key, transfer_time));
+        metrics
     }
 
     /// Whether every routed expert of `layer` is resident (whole-layer
-    /// mapping semantics).
+    /// mapping semantics). Kept lazy: the residency scan only runs for
+    /// configurations whose attention placement depends on it.
     fn layer_resident(&self, layer: LayerId) -> bool {
         if self.config.placement == PlacementKind::WholeLayers {
             return layer.0 < self.resident_layers;
         }
         self.cache.cached_in_layer(layer).len() == self.config.model.routed_experts as usize
     }
+}
 
-    /// Converts a record's predicted routings into prefetch inputs with
-    /// current cache residency.
-    fn build_lookahead(&self, rec: &hybrimoe_trace::LayerRecord) -> Vec<PredictedLayer> {
-        rec.predicted
-            .iter()
-            .map(|routing| {
-                let layer = routing.layer();
-                let tasks = routing
-                    .activated()
-                    .into_iter()
-                    .map(|(expert, load)| ExpertTask {
-                        expert,
-                        load,
-                        cached: self.cache.contains(ExpertKey::new(layer, expert)),
-                    })
-                    .collect();
-                PredictedLayer {
-                    layer,
-                    tasks,
-                    scores: routing.mean_scores(),
-                }
-            })
-            .collect()
+/// Spends idle PCIe `budget` on the in-flight background transfers;
+/// completed ones become resident (evicting per policy only when
+/// `evict_ok`; prefill passes insert into free slots only). Returns the
+/// leftover budget.
+#[allow(clippy::too_many_arguments)]
+fn drain_inflight(
+    inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
+    cache: &mut ExpertCache,
+    mut budget: SimDuration,
+    evict_ok: bool,
+    protect: &[ExpertKey],
+    busy: &mut [SimDuration; 3],
+    prefetches: &mut u32,
+) -> SimDuration {
+    while budget > SimDuration::ZERO {
+        let Some((key, remaining)) = inflight.front_mut() else {
+            break;
+        };
+        if *remaining > budget {
+            *remaining -= budget;
+            busy[Device::Pcie.index()] += budget;
+            return SimDuration::ZERO;
+        }
+        budget -= *remaining;
+        busy[Device::Pcie.index()] += *remaining;
+        let key = *key;
+        inflight.pop_front();
+        let outcome = if evict_ok {
+            cache.insert_protected(key, protect)
+        } else {
+            cache.insert_if_free(key)
+        };
+        if outcome.is_resident() {
+            *prefetches += 1;
+        }
+    }
+    budget
+}
+
+/// Queues a background transfer unless the expert is already resident,
+/// already queued, or the queue is full.
+fn enqueue_background(
+    inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
+    cache: &ExpertCache,
+    max_inflight: usize,
+    key: ExpertKey,
+    transfer_time: SimDuration,
+) {
+    if inflight.len() >= max_inflight
+        || cache.contains(key)
+        || inflight.iter().any(|(k, _)| *k == key)
+    {
+        return;
+    }
+    inflight.push_back((key, transfer_time));
+}
+
+/// Converts a record's predicted routings into prefetch inputs with
+/// current cache residency.
+fn build_lookahead(cache: &ExpertCache, rec: &hybrimoe_trace::LayerRecord) -> Vec<PredictedLayer> {
+    rec.predicted
+        .iter()
+        .map(|routing| {
+            let layer = routing.layer();
+            let tasks = routing
+                .activated()
+                .into_iter()
+                .map(|(expert, load)| ExpertTask {
+                    expert,
+                    load,
+                    cached: cache.contains(ExpertKey::new(layer, expert)),
+                })
+                .collect();
+            PredictedLayer {
+                layer,
+                tasks,
+                scores: routing.mean_scores(),
+            }
+        })
+        .collect()
+}
+
+/// Inserts a placement into the cache, protecting the whole placement set
+/// so that on a drifted full cache (re-warming an unpinned engine) the
+/// evicted experts are the drifted residents — never the placement keys
+/// inserted moments earlier, which a score-based policy would otherwise
+/// rank lowest. On a cold cache this is identical to plain insertion.
+fn apply_placement(cache: &mut ExpertCache, placement: &[ExpertKey], pin: bool) {
+    for key in placement {
+        cache.insert_protected(*key, placement);
+        if pin {
+            cache.pin(*key);
+        }
     }
 }
 
@@ -397,6 +541,7 @@ fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
     // Even per-layer quotas; earlier layers absorb the remainder.
     let base = capacity / layers;
     let remainder = capacity % layers;
+    let mut placement: Vec<ExpertKey> = Vec::with_capacity(capacity);
     for l in 0..layers {
         let quota = base + usize::from(l < remainder);
         let mut ranked: Vec<(u32, u16)> = (0..experts)
@@ -404,13 +549,13 @@ fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
             .collect();
         ranked.sort_by_key(|(c, e)| (std::cmp::Reverse(*c), *e));
         for (_, e) in ranked.into_iter().take(quota.min(experts)) {
-            let key = ExpertKey::new(LayerId(l as u16), hybrimoe_model::ExpertId(e));
-            cache.insert(key);
-            if config.pinned {
-                cache.pin(key);
-            }
+            placement.push(ExpertKey::new(
+                LayerId(l as u16),
+                hybrimoe_model::ExpertId(e),
+            ));
         }
     }
+    apply_placement(cache, &placement, config.pinned);
 
     // Prime score/recency estimates with the warmup routings.
     for step in &warm_trace.steps {
@@ -557,5 +702,121 @@ mod tests {
         let m = e.run(&trace);
         assert_eq!(m.hit_rate(), 0.0);
         assert!(m.total > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn run_equals_manual_step_loop() {
+        let trace = tiny_trace(19, 6);
+        let via_run = tiny_engine(Framework::HybriMoe, 0.5).run(&trace);
+
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        e.begin_stage();
+        let mut manual = Vec::new();
+        for s in &trace.steps {
+            manual.push(e.step(s));
+        }
+        let via_steps = e.end_stage();
+        assert_eq!(via_run, via_steps);
+        assert_eq!(via_run.steps, manual);
+    }
+
+    #[test]
+    fn steps_outside_a_stage_are_standalone() {
+        let trace = tiny_trace(21, 3);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        let m = e.step(&trace.steps[0]);
+        assert!(m.latency > SimDuration::ZERO);
+        // No stage open: end_stage must panic, so open/close an empty one.
+        e.begin_stage();
+        let empty = e.end_stage();
+        assert!(empty.steps.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    fn nested_stages_rejected() {
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        e.begin_stage();
+        e.begin_stage();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open stage")]
+    fn end_without_begin_rejected() {
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        let _ = e.end_stage();
+    }
+
+    #[test]
+    #[should_panic(expected = "stage is open")]
+    fn warmup_mid_stage_rejected() {
+        let mut e = tiny_engine(Framework::HybriMoe, 0.5);
+        e.begin_stage();
+        e.warmup();
+    }
+
+    #[test]
+    fn rewarming_reapplies_placement_on_drifted_cache() {
+        // Unpinned whole-layer placement with a dynamic scheduler: the run
+        // drifts the cache, and re-warming must restore full residency of
+        // the placed layers rather than letting fresh zero-score placement
+        // keys evict each other.
+        let config = EngineConfig::preset(Framework::LlamaCpp, ModelConfig::tiny_test(), 0.25)
+            .with_scheduler(crate::SchedulerKind::Hybrid);
+        let mut e = Engine::new(config);
+        e.run(&tiny_trace(29, 10));
+        e.warmup();
+        for l in 0..e.resident_layers {
+            assert_eq!(
+                e.cache().cached_in_layer(LayerId(l)).len(),
+                e.config().model.routed_experts as usize,
+                "layer {l} not fully resident after re-warm"
+            );
+        }
+    }
+
+    #[test]
+    fn rewarming_clears_background_queue() {
+        let trace = tiny_trace(27, 8);
+        let mut e = tiny_engine(Framework::HybriMoe, 0.25);
+        e.run(&trace);
+        e.warmup();
+        // A fresh stage after re-warming starts with clean statistics and
+        // no carried-over transfers from the previous workload.
+        assert_eq!(e.cache().stats(), CacheStats::default());
+        assert!(e.inflight.is_empty());
+    }
+
+    #[test]
+    fn cold_engine_starts_empty_and_warmup_fills() {
+        let config = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5);
+        let mut e = Engine::cold(config);
+        assert!(e.cache().is_empty());
+        e.warmup();
+        assert_eq!(e.cache().len(), 16);
+        assert_eq!(e.cache().stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn zero_max_inflight_disables_background_transfers() {
+        let trace = tiny_trace(23, 12);
+        let config = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.25)
+            .with_max_inflight(0);
+        let mut e = Engine::new(config);
+        let m = e.run(&trace);
+        // The run completes (no deadlock) and performs no background work.
+        assert_eq!(m.steps.len(), 12);
+        assert_eq!(m.prefetches(), 0);
+        assert!(m.total > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn max_inflight_bounds_are_respected() {
+        // A deeper queue can only help (more background transfers land).
+        let trace = tiny_trace(25, 12);
+        let base = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.25);
+        let narrow = Engine::new(base.clone().with_max_inflight(1)).run(&trace);
+        let wide = Engine::new(base.with_max_inflight(8)).run(&trace);
+        assert!(wide.prefetches() >= narrow.prefetches());
     }
 }

@@ -46,10 +46,12 @@ mod engine;
 mod metrics;
 pub mod realexec;
 pub mod report;
+pub mod serve;
 mod session;
 
 pub use config::{
     CachePolicyKind, EngineConfig, Framework, PlacementKind, PrefetcherKind, SchedulerKind,
+    DEFAULT_MAX_INFLIGHT,
 };
 pub use engine::Engine;
 pub use metrics::{StageMetrics, StepMetrics};

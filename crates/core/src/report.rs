@@ -107,6 +107,61 @@ impl fmt::Display for Table {
     }
 }
 
+/// Renders serving summaries as an aligned comparison table, one row per
+/// experiment — the human-readable companion of the JSON a sweep emits.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::report::serve_table;
+/// use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeSim};
+/// use hybrimoe::{EngineConfig, Framework};
+/// use hybrimoe_hw::SimDuration;
+/// use hybrimoe_model::ModelConfig;
+///
+/// let report = ServeSim::new(ServeConfig {
+///     engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
+///     arrivals: ArrivalProcess::Deterministic { interval: SimDuration::from_millis(2) },
+///     requests: 2,
+///     prompt_tokens: 8,
+///     decode_tokens: 2,
+///     max_batch: 2,
+///     seed: 1,
+/// })
+/// .run();
+/// let table = serve_table(&[("HybriMoE".into(), report.summary())]);
+/// assert!(table.to_string().contains("HybriMoE"));
+/// ```
+pub fn serve_table(rows: &[(String, crate::serve::ServeSummary)]) -> Table {
+    let mut table = Table::new(vec![
+        "framework".into(),
+        "arrivals".into(),
+        "rate/s".into(),
+        "ratio".into(),
+        "batch".into(),
+        "tok/s".into(),
+        "TTFT p50".into(),
+        "TTFT p99".into(),
+        "TPOT p50".into(),
+        "latency p99".into(),
+    ]);
+    for (label, s) in rows {
+        table.push_row(vec![
+            label.clone(),
+            s.arrivals.clone(),
+            format!("{:.1}", s.arrival_rate_per_sec),
+            format!("{:.2}", s.cache_ratio),
+            format!("{:.1}", s.mean_batch),
+            format!("{:.1}", s.output_tokens_per_sec),
+            format!("{:.1}ms", s.ttft_p50_ms),
+            format!("{:.1}ms", s.ttft_p99_ms),
+            format!("{:.1}ms", s.tpot_p50_ms),
+            format!("{:.1}ms", s.latency_p99_ms),
+        ]);
+    }
+    table
+}
+
 /// Formats a speedup factor as e.g. `"1.33x"`.
 pub fn speedup(baseline_ns: u64, ours_ns: u64) -> String {
     if ours_ns == 0 {

@@ -1,0 +1,160 @@
+//! Seeded request arrival processes.
+
+use hybrimoe_hw::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How request arrival times are drawn.
+///
+/// Both processes are pure functions of their parameters and the seed, so
+/// serving experiments replay bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::serve::ArrivalProcess;
+/// use hybrimoe_hw::SimDuration;
+///
+/// let det = ArrivalProcess::Deterministic {
+///     interval: SimDuration::from_millis(10),
+/// };
+/// let times = det.schedule(3, 1);
+/// assert_eq!(times[1] - times[0], SimDuration::from_millis(10));
+///
+/// let poisson = ArrivalProcess::Poisson {
+///     mean_interval: SimDuration::from_millis(10),
+/// };
+/// assert_eq!(poisson.schedule(5, 7), poisson.schedule(5, 7)); // seeded
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals: request `i` arrives at `i * interval`.
+    Deterministic {
+        /// Spacing between consecutive arrivals.
+        interval: SimDuration,
+    },
+    /// A Poisson process: i.i.d. exponential inter-arrival gaps with the
+    /// given mean (rate `1 / mean_interval`), starting from the first gap.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_interval: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// An arrival process of `rate` requests per second: deterministic if
+    /// `poisson` is false, exponential gaps otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn per_second(rate: f64, poisson: bool) -> ArrivalProcess {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        let gap = SimDuration::from_secs_f64(1.0 / rate);
+        if poisson {
+            ArrivalProcess::Poisson { mean_interval: gap }
+        } else {
+            ArrivalProcess::Deterministic { interval: gap }
+        }
+    }
+
+    /// The mean inter-arrival gap.
+    pub fn mean_interval(&self) -> SimDuration {
+        match self {
+            ArrivalProcess::Deterministic { interval } => *interval,
+            ArrivalProcess::Poisson { mean_interval } => *mean_interval,
+        }
+    }
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Deterministic { .. } => "deterministic",
+            ArrivalProcess::Poisson { .. } => "poisson",
+        }
+    }
+
+    /// Draws `count` arrival times, non-decreasing from the clock origin.
+    pub fn schedule(&self, count: usize, seed: u64) -> Vec<SimTime> {
+        match self {
+            ArrivalProcess::Deterministic { interval } => (0..count as u64)
+                .map(|i| SimTime::ZERO + *interval * i)
+                .collect(),
+            ArrivalProcess::Poisson { mean_interval } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xA881_11A7);
+                let mut now = SimTime::ZERO;
+                (0..count)
+                    .map(|_| {
+                        // Exponential gap via inverse transform; the draw is
+                        // in (0, 1] so the log is finite.
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        now += mean_interval.mul_f64(-u.ln());
+                        now
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_spacing_is_exact() {
+        let p = ArrivalProcess::Deterministic {
+            interval: SimDuration::from_micros(250),
+        };
+        let t = p.schedule(4, 99);
+        assert_eq!(t[0], SimTime::ZERO);
+        for w in t.windows(2) {
+            assert_eq!(w[1] - w[0], SimDuration::from_micros(250));
+        }
+    }
+
+    #[test]
+    fn poisson_is_seeded_and_monotone() {
+        let p = ArrivalProcess::Poisson {
+            mean_interval: SimDuration::from_millis(1),
+        };
+        let a = p.schedule(32, 5);
+        let b = p.schedule(32, 5);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        let c = p.schedule(32, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_roughly_right() {
+        let mean = SimDuration::from_millis(2);
+        let p = ArrivalProcess::Poisson {
+            mean_interval: mean,
+        };
+        let t = p.schedule(2000, 11);
+        let total = t.last().unwrap().elapsed_since(SimTime::ZERO);
+        let avg_ns = total.as_nanos() as f64 / 2000.0;
+        let rel = avg_ns / mean.as_nanos() as f64;
+        assert!((0.9..1.1).contains(&rel), "mean gap off: {rel}");
+    }
+
+    #[test]
+    fn per_second_builds_both_kinds() {
+        let d = ArrivalProcess::per_second(100.0, false);
+        assert_eq!(d.mean_interval(), SimDuration::from_millis(10));
+        assert_eq!(d.name(), "deterministic");
+        let p = ArrivalProcess::per_second(100.0, true);
+        assert_eq!(p.mean_interval(), SimDuration::from_millis(10));
+        assert_eq!(p.name(), "poisson");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::per_second(0.0, false);
+    }
+}

@@ -1,0 +1,63 @@
+//! Continuous-batching serving on top of the incremental engine step API.
+//!
+//! [`Engine::run`](crate::Engine::run) replays one pre-generated trace end
+//! to end — a single-user measurement. Real serving is different: requests
+//! arrive over time, overlap, and each one cares about *its own* latency.
+//! This module models that regime the way vLLM-style systems do, at the
+//! granularity the engine exposes — one forward pass per engine step:
+//!
+//! * an [`ArrivalProcess`] draws seeded request arrival times
+//!   (deterministic spacing or a Poisson process);
+//! * each request decodes through its own incremental
+//!   [`DecodeStream`](hybrimoe_trace::DecodeStream);
+//! * every engine step, the **continuous batcher** re-forms the batch:
+//!   waiting requests join (their prefill pass merges into the batch),
+//!   finished requests leave, and at most
+//!   [`ServeConfig::max_batch`] requests run concurrently;
+//! * the merged [`TraceStep`](hybrimoe_trace::TraceStep) goes through
+//!   [`Engine::step`](crate::Engine::step), and the simulated clock
+//!   advances by the step latency;
+//! * per-request TTFT/TPOT/latency and aggregate throughput come out as a
+//!   [`ServeReport`].
+//!
+//! One modeling consequence of merging prefills into the running batch:
+//! the engine and the schedulers classify a forward pass as prefill or
+//! decode by its token count (the batch-aware baseline semantics of the
+//! paper's Table I), so a step that absorbs a prompt is handled with
+//! prefill policies — conservative cache insertion included — for that
+//! step. [`ServeSim::new`] rejects `max_batch` values large enough for a
+//! *pure-decode* batch to cross the threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeSim};
+//! use hybrimoe::{EngineConfig, Framework};
+//! use hybrimoe_hw::SimDuration;
+//! use hybrimoe_model::ModelConfig;
+//!
+//! let config = ServeConfig {
+//!     engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
+//!     arrivals: ArrivalProcess::Deterministic {
+//!         interval: SimDuration::from_millis(5),
+//!     },
+//!     requests: 4,
+//!     prompt_tokens: 16,
+//!     decode_tokens: 8,
+//!     max_batch: 2,
+//!     seed: 42,
+//! };
+//! let report = ServeSim::new(config).run();
+//! assert_eq!(report.requests.len(), 4);
+//! assert!(report.summary().output_tokens_per_sec > 0.0);
+//! ```
+
+mod arrivals;
+mod request;
+mod sim;
+mod summary;
+
+pub use arrivals::ArrivalProcess;
+pub use request::{RequestMetrics, RequestSpec};
+pub use sim::{ServeConfig, ServeSim, StepStat};
+pub use summary::{ServeReport, ServeSummary};

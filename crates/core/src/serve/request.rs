@@ -1,0 +1,118 @@
+//! Requests and their per-request latency metrics.
+
+use hybrimoe_hw::{SimDuration, SimTime};
+use hybrimoe_trace::DecodeStream;
+use serde::{Deserialize, Serialize};
+
+/// One request as submitted to the server: a prompt to prefill and a fixed
+/// number of tokens to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// Request id (also its arrival order).
+    pub id: u32,
+    /// Arrival time on the simulated clock.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Output length in tokens (decode steps after prefill).
+    pub decode_tokens: u32,
+}
+
+/// The realized latency profile of one completed request.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::serve::RequestMetrics;
+/// use hybrimoe_hw::{SimDuration, SimTime};
+///
+/// let m = RequestMetrics {
+///     id: 0,
+///     arrival: SimTime::ZERO,
+///     first_token: SimTime::ZERO + SimDuration::from_millis(3),
+///     completion: SimTime::ZERO + SimDuration::from_millis(11),
+///     prompt_tokens: 16,
+///     decode_tokens: 4,
+/// };
+/// assert_eq!(m.ttft(), SimDuration::from_millis(3));
+/// assert_eq!(m.tpot(), SimDuration::from_millis(2));
+/// assert_eq!(m.latency(), SimDuration::from_millis(11));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// Request id.
+    pub id: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// When the prefill pass finished (the first output token).
+    pub first_token: SimTime,
+    /// When the last output token finished.
+    pub completion: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u32,
+    /// Output length in tokens.
+    pub decode_tokens: u32,
+}
+
+impl RequestMetrics {
+    /// Time to first token: queueing delay plus prefill.
+    pub fn ttft(&self) -> SimDuration {
+        self.first_token.elapsed_since(self.arrival)
+    }
+
+    /// Mean time per output token after the first (zero for requests that
+    /// decode nothing).
+    pub fn tpot(&self) -> SimDuration {
+        if self.decode_tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        self.completion.elapsed_since(self.first_token) / self.decode_tokens as u64
+    }
+
+    /// End-to-end request latency (arrival to completion).
+    pub fn latency(&self) -> SimDuration {
+        self.completion.elapsed_since(self.arrival)
+    }
+}
+
+/// A request currently decoding in the continuous batch.
+#[derive(Debug)]
+pub(crate) struct ActiveRequest {
+    pub spec: RequestSpec,
+    pub stream: DecodeStream,
+    pub first_token: SimTime,
+    pub decoded: u32,
+}
+
+impl ActiveRequest {
+    /// Metrics for a request completing at `completion`.
+    pub fn finish(&self, completion: SimTime) -> RequestMetrics {
+        RequestMetrics {
+            id: self.spec.id,
+            arrival: self.spec.arrival,
+            first_token: self.first_token,
+            completion,
+            prompt_tokens: self.spec.prompt_tokens,
+            decode_tokens: self.spec.decode_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_decode_request_has_zero_tpot() {
+        let m = RequestMetrics {
+            id: 1,
+            arrival: SimTime::ZERO,
+            first_token: SimTime::ZERO + SimDuration::from_millis(2),
+            completion: SimTime::ZERO + SimDuration::from_millis(2),
+            prompt_tokens: 8,
+            decode_tokens: 0,
+        };
+        assert_eq!(m.tpot(), SimDuration::ZERO);
+        assert_eq!(m.latency(), m.ttft());
+    }
+}

@@ -1,0 +1,282 @@
+//! The continuous-batching simulation loop.
+
+use std::collections::VecDeque;
+
+use hybrimoe_hw::{SimDuration, SimTime};
+use hybrimoe_trace::{TraceGenerator, TraceStep};
+use serde::{Deserialize, Serialize};
+
+use crate::serve::request::ActiveRequest;
+use crate::serve::{ArrivalProcess, RequestMetrics, RequestSpec, ServeReport};
+use crate::{Engine, EngineConfig};
+
+/// Configuration of one serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The engine (framework preset, model, cache ratio) under test.
+    pub engine: EngineConfig,
+    /// The request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of requests to serve.
+    pub requests: usize,
+    /// Prompt length of every request, in tokens.
+    pub prompt_tokens: u32,
+    /// Output length of every request, in tokens.
+    pub decode_tokens: u32,
+    /// Maximum concurrently running requests (the continuous batch bound).
+    pub max_batch: usize,
+    /// Seed driving arrivals and per-request traces.
+    pub seed: u64,
+}
+
+/// What one engine step of the serving loop looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepStat {
+    /// When the step started.
+    pub start: SimTime,
+    /// Requests in the batch (decoding plus newly admitted).
+    pub batch: u32,
+    /// Newly admitted requests whose prefill merged into this step.
+    pub prefills: u32,
+    /// Tokens in the merged forward pass.
+    pub tokens: u32,
+    /// Step latency.
+    pub latency: SimDuration,
+}
+
+/// A deterministic continuous-batching server simulation.
+///
+/// Each iteration of the loop is one engine step: requests whose arrival
+/// time has passed join the batch (their prefill pass merges in), every
+/// running request contributes its next decode token, the merged pass runs
+/// through [`Engine::step`], and the clock advances by the step latency.
+/// Requests leave as soon as their output length is reached, freeing batch
+/// slots for the next arrivals — no request waits for an epoch boundary.
+///
+/// See the [module docs](crate::serve) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ServeSim {
+    config: ServeConfig,
+}
+
+impl ServeSim {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `requests` is zero, or if `max_batch`
+    /// reaches [`PREFILL_BATCH_THRESHOLD`]: the engine and the schedulers
+    /// classify the prefill/decode regime of a forward pass by its token
+    /// count, so a pure-decode batch that large would be misclassified as
+    /// prefill and silently disable decode-time cache adaptation.
+    ///
+    /// [`PREFILL_BATCH_THRESHOLD`]: hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+    pub fn new(config: ServeConfig) -> ServeSim {
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            (config.max_batch as u32) < hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD,
+            "max_batch {} would make pure-decode batches look like prefill (threshold {})",
+            config.max_batch,
+            hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+        );
+        assert!(config.requests > 0, "must serve at least one request");
+        ServeSim { config }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(&self) -> ServeReport {
+        let cfg = &self.config;
+        let mut engine = Engine::new(cfg.engine.clone());
+
+        let mut pending: VecDeque<RequestSpec> = cfg
+            .arrivals
+            .schedule(cfg.requests, cfg.seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| RequestSpec {
+                id: i as u32,
+                arrival,
+                prompt_tokens: cfg.prompt_tokens,
+                decode_tokens: cfg.decode_tokens,
+            })
+            .collect();
+        let mut waiting: VecDeque<RequestSpec> = VecDeque::new();
+        let mut running: Vec<ActiveRequest> = Vec::new();
+        let mut completed: Vec<RequestMetrics> = Vec::new();
+        let mut steps: Vec<StepStat> = Vec::new();
+        let mut now = SimTime::ZERO;
+
+        while completed.len() < cfg.requests {
+            // Join: arrivals up to the current clock enter the queue.
+            while pending.front().is_some_and(|s| s.arrival <= now) {
+                waiting.push_back(pending.pop_front().expect("front checked"));
+            }
+            if running.is_empty() && waiting.is_empty() {
+                // Idle: jump to the next arrival.
+                now = pending.front().expect("requests remain").arrival;
+                continue;
+            }
+
+            // Admit waiting requests into free batch slots (FIFO); their
+            // prefill passes merge into this step.
+            let slots = cfg.max_batch.saturating_sub(running.len());
+            let mut admitted: Vec<ActiveRequest> = Vec::new();
+            let mut prefill_steps: Vec<TraceStep> = Vec::new();
+            for _ in 0..slots {
+                let Some(spec) = waiting.pop_front() else {
+                    break;
+                };
+                let generator =
+                    TraceGenerator::new(cfg.engine.model.clone(), request_seed(cfg.seed, spec.id));
+                // One router-parameter bundle serves both the prompt and
+                // the decode stream of the request.
+                let (prefill, stream) = generator.request(spec.prompt_tokens);
+                prefill_steps.push(prefill);
+                admitted.push(ActiveRequest {
+                    spec,
+                    stream,
+                    first_token: SimTime::ZERO, // set when the step lands
+                    decoded: 0,
+                });
+            }
+
+            // Every running request contributes its next decode token.
+            let decode_steps: Vec<TraceStep> =
+                running.iter_mut().map(|r| r.stream.next_step()).collect();
+
+            let parts: Vec<&TraceStep> = prefill_steps.iter().chain(decode_steps.iter()).collect();
+            let start = now;
+            // A single-member batch needs no merge (and no deep clone).
+            let (metrics, step_tokens) = if let [single] = parts.as_slice() {
+                (engine.step(single), single.tokens)
+            } else {
+                let merged = TraceStep::merge(&parts);
+                (engine.step(&merged), merged.tokens)
+            };
+            now += metrics.latency;
+            steps.push(StepStat {
+                start,
+                batch: (running.len() + admitted.len()) as u32,
+                prefills: admitted.len() as u32,
+                tokens: step_tokens,
+                latency: metrics.latency,
+            });
+
+            // Leave: decoding requests earned one token; admitted requests
+            // earned their first. Finished requests exit the batch.
+            for r in running.iter_mut() {
+                r.decoded += 1;
+            }
+            for mut r in admitted {
+                r.first_token = now;
+                if r.spec.decode_tokens == 0 {
+                    completed.push(r.finish(now));
+                } else {
+                    running.push(r);
+                }
+            }
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].decoded >= running[i].spec.decode_tokens {
+                    let done = running.remove(i);
+                    completed.push(done.finish(now));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        completed.sort_by_key(|m| m.id);
+        ServeReport::new(cfg, completed, steps, now.elapsed_since(SimTime::ZERO))
+    }
+}
+
+/// The trace seed of one request: decorrelated from its neighbours but a
+/// pure function of the experiment seed and the request id.
+fn request_seed(seed: u64, id: u32) -> u64 {
+    seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Framework;
+    use hybrimoe_model::ModelConfig;
+
+    fn tiny_sim(max_batch: usize, requests: usize) -> ServeSim {
+        ServeSim::new(ServeConfig {
+            engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
+            arrivals: ArrivalProcess::Deterministic {
+                interval: SimDuration::from_millis(1),
+            },
+            requests,
+            prompt_tokens: 8,
+            decode_tokens: 4,
+            max_batch,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn every_request_completes_with_ordered_timestamps() {
+        let report = tiny_sim(3, 6).run();
+        assert_eq!(report.requests.len(), 6);
+        for m in &report.requests {
+            assert!(m.first_token >= m.arrival);
+            assert!(m.completion >= m.first_token);
+            assert_eq!(m.decode_tokens, 4);
+        }
+        // Requests are reported in id order.
+        let ids: Vec<u32> = report.requests.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn batch_bound_is_respected() {
+        let report = tiny_sim(2, 8).run();
+        assert!(report.steps.iter().all(|s| s.batch <= 2));
+        // With arrivals faster than decoding, the batch should actually
+        // fill up at some point.
+        assert!(report.steps.iter().any(|s| s.batch == 2));
+    }
+
+    #[test]
+    fn serial_server_matches_sequential_sessions_shape() {
+        // max_batch = 1 degenerates into one request at a time.
+        let report = tiny_sim(1, 3).run();
+        assert!(report.steps.iter().all(|s| s.batch == 1));
+        // Each request needs 1 prefill + 4 decode steps.
+        assert_eq!(report.steps.len(), 3 * 5);
+    }
+
+    #[test]
+    fn zero_decode_requests_finish_at_prefill() {
+        let mut sim = tiny_sim(2, 2);
+        sim.config.decode_tokens = 0;
+        let report = ServeSim::new(sim.config().clone()).run();
+        for m in &report.requests {
+            assert_eq!(m.completion, m.first_token);
+            assert_eq!(m.tpot(), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = tiny_sim(3, 5).run();
+        let b = tiny_sim(3, 5).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        let mut cfg = tiny_sim(1, 1).config().clone();
+        cfg.max_batch = 0;
+        let _ = ServeSim::new(cfg);
+    }
+}

@@ -4,7 +4,7 @@
 //! error, ~1.9× the bytes (9 vs 5 bits per weight with `f32` scales). Used
 //! by the mixed-precision offloading ablation — transferring a Q4 copy of
 //! an expert is ~1.9× cheaper on PCIe than the Q8 copy with a small
-//! accuracy cost, the trade explored by HOBBIT (paper ref. [7]).
+//! accuracy cost, the trade explored by HOBBIT (paper ref.\ 7).
 
 use std::fmt;
 

@@ -205,6 +205,42 @@ impl LayerRouting {
             .collect()
     }
 
+    /// Merges another routing of the **same layer** into this one, adding
+    /// loads, score masses and token counts — the aggregation a
+    /// continuous-batching server performs when several requests' tokens go
+    /// through one forward pass together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers or expert counts disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::{LayerId, LayerRouting};
+    ///
+    /// let mut a = LayerRouting::from_parts(LayerId(0), 1, vec![1, 0], vec![0.9, 0.1]);
+    /// let b = LayerRouting::from_parts(LayerId(0), 1, vec![0, 1], vec![0.2, 0.8]);
+    /// a.merge(&b);
+    /// assert_eq!(a.tokens(), 2);
+    /// assert_eq!(a.loads(), &[1, 1]);
+    /// ```
+    pub fn merge(&mut self, other: &LayerRouting) {
+        assert_eq!(self.layer, other.layer, "merging routings across layers");
+        assert_eq!(
+            self.loads.len(),
+            other.loads.len(),
+            "merging routings across models"
+        );
+        self.tokens += other.tokens;
+        for (l, o) in self.loads.iter_mut().zip(other.loads.iter()) {
+            *l += o;
+        }
+        for (m, o) in self.score_mass.iter_mut().zip(other.score_mass.iter()) {
+            *m += o;
+        }
+    }
+
     /// Normalized mean score per expert (score mass divided by tokens),
     /// the `s` of the MRS update rule (Eq. 3).
     pub fn mean_scores(&self) -> Vec<f32> {
@@ -293,6 +329,24 @@ mod tests {
         let routing = LayerRouting::from_parts(LayerId(0), 2, vec![0, 3, 0, 1], vec![0.0; 4]);
         let act = routing.activated();
         assert_eq!(act, vec![(ExpertId(1), 3), (ExpertId(3), 1)]);
+    }
+
+    #[test]
+    fn merge_adds_loads_mass_and_tokens() {
+        let mut a = LayerRouting::from_parts(LayerId(2), 2, vec![1, 0, 1], vec![0.5, 0.2, 0.3]);
+        let b = LayerRouting::from_parts(LayerId(2), 1, vec![0, 2, 0], vec![0.1, 0.8, 0.1]);
+        a.merge(&b);
+        assert_eq!(a.tokens(), 3);
+        assert_eq!(a.loads(), &[1, 2, 1]);
+        assert!((a.score_mass()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "across layers")]
+    fn merge_rejects_layer_mismatch() {
+        let mut a = LayerRouting::from_parts(LayerId(0), 1, vec![1], vec![1.0]);
+        let b = LayerRouting::from_parts(LayerId(1), 1, vec![1], vec![1.0]);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,9 +1,52 @@
 //! Inputs to a scheduling decision.
 
 use hybrimoe_hw::{CostModel, ExpertProfile};
-use hybrimoe_model::LayerId;
+use hybrimoe_model::{ExpertKey, LayerId};
 
 use crate::ExpertTask;
+
+/// Reusable buffers for building one [`ScheduleContext`] after another.
+///
+/// A serving engine schedules every layer of every engine step; allocating
+/// fresh task and protect vectors per layer churns the allocator on the hot
+/// path, and the cost grows with batch size (more activated experts per
+/// layer). A `ScheduleScratch` owns those buffers and is cleared — not
+/// freed — between layers, so steady-state scheduling allocates nothing.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+/// use hybrimoe_sched::{ExpertTask, ScheduleScratch};
+///
+/// let mut scratch = ScheduleScratch::new();
+/// let (tasks, protect) = scratch.begin_layer();
+/// tasks.push(ExpertTask::cached(ExpertId(0), 1));
+/// protect.push(ExpertKey::new(LayerId(0), ExpertId(0)));
+/// let (tasks, _) = scratch.begin_layer();
+/// assert!(tasks.is_empty()); // cleared, capacity retained
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleScratch {
+    tasks: Vec<ExpertTask>,
+    protect: Vec<ExpertKey>,
+}
+
+impl ScheduleScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        ScheduleScratch::default()
+    }
+
+    /// Clears both buffers (retaining capacity) and hands them out for the
+    /// next layer's bookkeeping: the activated task set and the protected
+    /// expert keys (shielded from eviction while the layer is in flight).
+    pub fn begin_layer(&mut self) -> (&mut Vec<ExpertTask>, &mut Vec<ExpertKey>) {
+        self.tasks.clear();
+        self.protect.clear();
+        (&mut self.tasks, &mut self.protect)
+    }
+}
 
 /// Everything a [`Scheduler`](crate::Scheduler) needs to plan one layer.
 ///

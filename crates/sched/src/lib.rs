@@ -48,7 +48,7 @@ mod plan;
 pub mod prefetch;
 mod task;
 
-pub use context::ScheduleContext;
+pub use context::{ScheduleContext, ScheduleScratch};
 pub use hybrid::HybridScheduler;
 pub use oracle::{oracle_makespan, ORACLE_MAX_TASKS};
 pub use plan::{DevicePlacement, PlannedTask, SchedulePlan};

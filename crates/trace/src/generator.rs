@@ -108,39 +108,62 @@ impl TraceGenerator {
     /// Generates a decode trace: `iterations` autoregressive steps of one
     /// token each.
     ///
-    /// The token latent *and* every layer's innovation evolve with the
-    /// temporal AR(1) coefficient, so the hidden state at **every** depth is
-    /// equally correlated across iterations — fresh per-iteration layer
-    /// noise would destroy temporal reuse in deep layers.
+    /// Equivalent to draining [`TraceGenerator::decode_stream`] for
+    /// `iterations` steps; the two produce bit-identical routings for the
+    /// same seed.
     pub fn decode_trace(&self, iterations: usize) -> ActivationTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let bundle = self.model_params(&mut rng);
-        let d = self.config.latent_dim;
-        let rho_t = self.config.temporal_correlation;
-        let layers = self.model.layers as usize;
-
-        let mut token_latent = gaussian_vec(&mut rng, d);
-        let mut innovations: Vec<Vec<f64>> =
-            (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect();
-
-        let mut steps = Vec::with_capacity(iterations);
-        for _ in 0..iterations {
-            evolve(&mut token_latent, rho_t, &mut rng);
-            for inno in &mut innovations {
-                evolve(inno, rho_t, &mut rng);
-            }
-            let layer_records = self.forward(&bundle, &[token_latent.clone()], |_, l| {
-                innovations[l].clone()
-            });
-            steps.push(TraceStep {
-                tokens: 1,
-                layers: layer_records,
-            });
-        }
+        let mut stream = self.decode_stream();
+        let steps = (0..iterations).map(|_| stream.next_step()).collect();
         ActivationTrace {
             model_name: self.model.name.clone(),
             seed: self.seed,
             steps,
+        }
+    }
+
+    /// Opens an **incremental** decode stream: each call to
+    /// [`DecodeStream::next_step`] produces the next autoregressive token's
+    /// forward pass without pre-generating the whole trace. This is the
+    /// per-request generation path of the serving layer, where a request's
+    /// output length is not known up front.
+    ///
+    /// The token latent *and* every layer's innovation evolve with the
+    /// temporal AR(1) coefficient, so the hidden state at **every** depth is
+    /// equally correlated across iterations — fresh per-iteration layer
+    /// noise would destroy temporal reuse in deep layers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::ModelConfig;
+    /// use hybrimoe_trace::TraceGenerator;
+    ///
+    /// let g = TraceGenerator::new(ModelConfig::tiny_test(), 3);
+    /// let mut stream = g.decode_stream();
+    /// let step = stream.next_step();
+    /// assert_eq!(step, g.decode_trace(1).steps[0]);
+    /// ```
+    pub fn decode_stream(&self) -> DecodeStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bundle = self.model_params(&mut rng);
+        self.stream_from(bundle, rng)
+    }
+
+    /// Builds a decode stream from an already-derived parameter bundle and
+    /// the rng positioned right after it — the single construction path
+    /// that keeps [`decode_stream`](Self::decode_stream) and
+    /// [`request`](Self::request) bit-identical on the decode side.
+    fn stream_from(&self, bundle: ModelParams, mut rng: StdRng) -> DecodeStream {
+        let d = self.config.latent_dim;
+        let layers = self.model.layers as usize;
+        let token_latent = gaussian_vec(&mut rng, d);
+        let innovations: Vec<Vec<f64>> = (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect();
+        DecodeStream {
+            generator: self.clone(),
+            bundle,
+            rng,
+            token_latent,
+            innovations,
         }
     }
 
@@ -188,20 +211,72 @@ impl TraceGenerator {
         }
     }
 
+    /// Generates a prefill pass as a single [`TraceStep`] — the serving
+    /// layer's entry point, where a request's prompt is one step merged into
+    /// the continuous batch.
+    pub fn prefill_step(&self, tokens: u32) -> TraceStep {
+        self.prefill_trace(tokens)
+            .steps
+            .pop()
+            .expect("prefill trace has one step")
+    }
+
     /// Generates a prefill trace: one forward pass over a batch of `tokens`
     /// prompt tokens.
     pub fn prefill_trace(&self, tokens: u32) -> ActivationTrace {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_F111);
         let bundle = self.model_params(&mut rng);
+        let step = self.prefill_step_with(&bundle, &mut rng, tokens);
+        ActivationTrace {
+            model_name: self.model.name.clone(),
+            seed: self.seed,
+            steps: vec![step],
+        }
+    }
+
+    /// Opens a full request view: the prompt's prefill pass plus an
+    /// incremental decode stream, sharing **one** set of per-seed router
+    /// parameters — a request's prompt and output go through the same
+    /// model weights, and deriving the parameter bundle once halves the
+    /// per-request setup cost of a serving admission.
+    ///
+    /// The decode stream is bit-identical to
+    /// [`TraceGenerator::decode_stream`]; the prefill pass routes with the
+    /// decode-side parameters and therefore differs from
+    /// [`TraceGenerator::prefill_trace`] (which draws its own bundle).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::ModelConfig;
+    /// use hybrimoe_trace::TraceGenerator;
+    ///
+    /// let g = TraceGenerator::new(ModelConfig::tiny_test(), 3);
+    /// let (prefill, mut stream) = g.request(16);
+    /// assert_eq!(prefill.tokens, 16);
+    /// assert_eq!(stream.next_step(), g.decode_stream().next_step());
+    /// ```
+    pub fn request(&self, prompt_tokens: u32) -> (TraceStep, DecodeStream) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bundle = self.model_params(&mut rng);
+
+        let mut prefill_rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_F111);
+        let prefill = self.prefill_step_with(&bundle, &mut prefill_rng, prompt_tokens);
+        (prefill, self.stream_from(bundle, rng))
+    }
+
+    /// One prefill pass over `tokens` prompt tokens with the given router
+    /// parameters, drawing latents from `rng`.
+    fn prefill_step_with(&self, bundle: &ModelParams, rng: &mut StdRng, tokens: u32) -> TraceStep {
         let d = self.config.latent_dim;
         let cohesion = self.config.prompt_cohesion;
         let layers = self.model.layers as usize;
 
         // Tokens of one prompt share a topic latent plus private noise.
-        let topic = gaussian_vec(&mut rng, d);
+        let topic = gaussian_vec(rng, d);
         let latents: Vec<Vec<f64>> = (0..tokens)
             .map(|_| {
-                let noise = gaussian_vec(&mut rng, d);
+                let noise = gaussian_vec(rng, d);
                 topic
                     .iter()
                     .zip(noise.iter())
@@ -212,16 +287,12 @@ impl TraceGenerator {
         // Per-token, per-layer innovations (a single pass: no temporal
         // dimension to correlate).
         let innovations: Vec<Vec<Vec<f64>>> = (0..tokens as usize)
-            .map(|_| (0..layers).map(|_| gaussian_vec(&mut rng, d)).collect())
+            .map(|_| (0..layers).map(|_| gaussian_vec(rng, d)).collect())
             .collect();
-        let layer_records = self.forward(&bundle, &latents, |t, l| innovations[t][l].clone());
-        ActivationTrace {
-            model_name: self.model.name.clone(),
-            seed: self.seed,
-            steps: vec![TraceStep {
-                tokens,
-                layers: layer_records,
-            }],
+        let layer_records = self.forward(bundle, &latents, |t, l| innovations[t][l].clone());
+        TraceStep {
+            tokens,
+            layers: layer_records,
         }
     }
 
@@ -337,6 +408,53 @@ struct ModelParams {
     biases: Vec<Vec<f64>>,
 }
 
+/// An incremental autoregressive decode: one [`TraceStep`] per call, with
+/// the AR(1) hidden state carried across calls. Obtained from
+/// [`TraceGenerator::decode_stream`]; also usable as an [`Iterator`]
+/// (infinite — bound it with `take`).
+#[derive(Debug, Clone)]
+pub struct DecodeStream {
+    generator: TraceGenerator,
+    bundle: ModelParams,
+    rng: StdRng,
+    token_latent: Vec<f64>,
+    innovations: Vec<Vec<f64>>,
+}
+
+impl DecodeStream {
+    /// Advances the latent process one iteration and routes the next token
+    /// through every layer.
+    pub fn next_step(&mut self) -> TraceStep {
+        let rho_t = self.generator.config.temporal_correlation;
+        evolve(&mut self.token_latent, rho_t, &mut self.rng);
+        for inno in &mut self.innovations {
+            evolve(inno, rho_t, &mut self.rng);
+        }
+        let layer_records = self.generator.forward(
+            &self.bundle,
+            std::slice::from_ref(&self.token_latent),
+            |_, l| self.innovations[l].clone(),
+        );
+        TraceStep {
+            tokens: 1,
+            layers: layer_records,
+        }
+    }
+
+    /// The model this stream decodes for.
+    pub fn model(&self) -> &ModelConfig {
+        &self.generator.model
+    }
+}
+
+impl Iterator for DecodeStream {
+    type Item = TraceStep;
+
+    fn next(&mut self) -> Option<TraceStep> {
+        Some(self.next_step())
+    }
+}
+
 /// One AR(1) step: `h ← ρ·h + sqrt(1-ρ²)·ε` (keeps unit variance).
 fn evolve(h: &mut [f64], rho: f64, rng: &mut StdRng) {
     let noise_scale = (1.0 - rho * rho).max(0.0).sqrt();
@@ -410,6 +528,54 @@ mod tests {
     #[should_panic(expected = "at least one sequence")]
     fn batched_decode_rejects_empty_batch() {
         let _ = TraceGenerator::new(ModelConfig::tiny_test(), 7).decode_trace_batched(1, 0);
+    }
+
+    #[test]
+    fn decode_stream_matches_decode_trace() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 21);
+        let trace = g.decode_trace(6);
+        let streamed: Vec<TraceStep> = g.decode_stream().take(6).collect();
+        assert_eq!(trace.steps, streamed);
+    }
+
+    #[test]
+    fn decode_stream_is_stateful() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 23);
+        let mut s = g.decode_stream();
+        let a = s.next_step();
+        let b = s.next_step();
+        // Consecutive steps are distinct draws of the same process.
+        assert_ne!(a, b);
+        assert_eq!(s.model().name, "tiny-test");
+    }
+
+    #[test]
+    fn prefill_step_is_the_trace_step() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 25);
+        assert_eq!(g.prefill_step(16), g.prefill_trace(16).steps[0]);
+        assert_eq!(g.prefill_step(16).tokens, 16);
+    }
+
+    #[test]
+    fn request_decode_half_matches_decode_stream() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 27);
+        let (prefill, stream) = g.request(8);
+        assert_eq!(prefill.tokens, 8);
+        assert_eq!(prefill.layers.len(), 4);
+        // One token of a request's prompt activates exactly K experts.
+        assert_eq!(prefill.layers[0].routing.loads().iter().sum::<u32>(), 16);
+        let streamed: Vec<TraceStep> = stream.take(4).collect();
+        let reference: Vec<TraceStep> = g.decode_stream().take(4).collect();
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn request_is_deterministic_per_seed() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 29);
+        let (p1, mut s1) = g.request(8);
+        let (p2, mut s2) = g.request(8);
+        assert_eq!(p1, p2);
+        assert_eq!(s1.next_step(), s2.next_step());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod stats;
 mod trace;
 
 pub use datasets::{Dataset, LengthBucket};
-pub use generator::{TraceConfig, TraceGenerator};
+pub use generator::{DecodeStream, TraceConfig, TraceGenerator};
 pub use trace::{ActivationTrace, LayerRecord, TraceStep};

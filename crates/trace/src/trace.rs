@@ -25,6 +25,55 @@ pub struct TraceStep {
     pub layers: Vec<LayerRecord>,
 }
 
+impl TraceStep {
+    /// Merges the forward passes of several concurrent requests into the
+    /// single batched pass a continuous-batching server runs: per layer,
+    /// loads and score masses add up, and the predicted routings of the
+    /// lookahead layers merge elementwise. All inputs must come from the
+    /// same model (same layer count, expert count and lookahead depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or the steps' shapes disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::ModelConfig;
+    /// use hybrimoe_trace::{TraceGenerator, TraceStep};
+    ///
+    /// let m = ModelConfig::tiny_test();
+    /// let a = TraceGenerator::new(m.clone(), 1).decode_trace(1).steps.remove(0);
+    /// let b = TraceGenerator::new(m, 2).decode_trace(1).steps.remove(0);
+    /// let merged = TraceStep::merge(&[&a, &b]);
+    /// assert_eq!(merged.tokens, 2);
+    /// ```
+    pub fn merge(steps: &[&TraceStep]) -> TraceStep {
+        let (first, rest) = steps.split_first().expect("merging zero trace steps");
+        let mut out = (*first).clone();
+        for step in rest {
+            assert_eq!(
+                out.layers.len(),
+                step.layers.len(),
+                "merging steps of different models"
+            );
+            out.tokens += step.tokens;
+            for (dst, src) in out.layers.iter_mut().zip(step.layers.iter()) {
+                dst.routing.merge(&src.routing);
+                assert_eq!(
+                    dst.predicted.len(),
+                    src.predicted.len(),
+                    "merging steps with different lookahead depths"
+                );
+                for (p, q) in dst.predicted.iter_mut().zip(src.predicted.iter()) {
+                    p.merge(q);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// A recorded sequence of forward passes for one model.
 ///
 /// Traces serialize to JSON so experiments can be replayed bit-for-bit.
@@ -109,5 +158,39 @@ mod tests {
     #[test]
     fn malformed_json_rejected() {
         assert!(ActivationTrace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn merge_sums_tokens_and_loads() {
+        let step = |load| TraceStep {
+            tokens: 1,
+            layers: vec![LayerRecord {
+                routing: LayerRouting::from_parts(LayerId(0), 1, vec![load, 0], vec![0.5, 0.5]),
+                predicted: vec![LayerRouting::from_parts(
+                    LayerId(1),
+                    1,
+                    vec![0, load],
+                    vec![0.5, 0.5],
+                )],
+            }],
+        };
+        let (a, b) = (step(1), step(2));
+        let merged = TraceStep::merge(&[&a, &b]);
+        assert_eq!(merged.tokens, 2);
+        assert_eq!(merged.layers[0].routing.loads(), &[3, 0]);
+        assert_eq!(merged.layers[0].predicted[0].loads(), &[0, 3]);
+    }
+
+    #[test]
+    fn merge_of_one_is_identity() {
+        let t = tiny_trace();
+        let merged = TraceStep::merge(&[&t.steps[0]]);
+        assert_eq!(merged, t.steps[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trace steps")]
+    fn merge_rejects_empty() {
+        let _ = TraceStep::merge(&[]);
     }
 }

@@ -1,0 +1,48 @@
+//! Continuous-batching serving: requests arrive over time (Poisson), join
+//! the running batch as slots free up, decode token by token through the
+//! incremental `Engine::step` API, and leave on completion. Per-request
+//! TTFT/TPOT and aggregate throughput come out of the `ServeReport`.
+//!
+//! ```text
+//! cargo run -p hybrimoe --release --example continuous_serving
+//! ```
+
+use hybrimoe::report::serve_table;
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeSim};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::deepseek();
+    let cache_ratio = 0.25;
+    println!(
+        "Continuous-batching serving — {} @ {:.0}% cache\n\
+         16 requests, 64-token prompts, 16 output tokens, max batch 8\n",
+        model.name,
+        cache_ratio * 100.0
+    );
+
+    let mut rows = Vec::new();
+    for rate in [2.0, 8.0] {
+        for framework in [Framework::KTransformers, Framework::HybriMoe] {
+            let report = ServeSim::new(ServeConfig {
+                engine: EngineConfig::preset(framework, model.clone(), cache_ratio),
+                arrivals: ArrivalProcess::per_second(rate, true),
+                requests: 16,
+                prompt_tokens: 64,
+                decode_tokens: 16,
+                max_batch: 8,
+                seed: 2025,
+            })
+            .run();
+            rows.push((framework.to_string(), report.summary()));
+        }
+    }
+    println!("{}", serve_table(&rows));
+    println!(
+        "Under load the continuous batcher keeps the GPU cache hot across\n\
+         overlapping requests; the hybrid scheduler turns the bigger batched\n\
+         loads into CPU work and transfers the fixed mapping cannot use, so\n\
+         HybriMoE's throughput advantage *grows* with the arrival rate."
+    );
+}

@@ -2,8 +2,8 @@
 //! exceeded, pinned experts are never evicted, statistics balance, and all
 //! three policies maintain these invariants under random workloads.
 
-use hybrimoe_cache::{CachePolicy, ExpertCache, Lfu, Lru, Mrs};
-use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+use hybrimoe_cache::{CachePolicy, ExpertCache, InsertOutcome, Lfu, Lru, Mrs};
+use hybrimoe_model::{ExpertId, ExpertKey, LayerId, LayerRouting, RouterOutput};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -135,6 +135,212 @@ proptest! {
             let mut cache = ExpertCache::new(2, policy);
             cache.insert(key(l, e));
             prop_assert!(cache.lookup(key(l, e)));
+        }
+    }
+}
+
+/// A batched-workload op: cache operations interleaved with whole-batch
+/// routing observations, as the serving engine produces them.
+#[derive(Debug, Clone)]
+enum BatchedOp {
+    Lookup(u16, u16),
+    Insert(u16, u16),
+    InsertProtected(u16, u16, u16),
+    InsertIfFree(u16, u16),
+    Pin(u16, u16),
+    Unpin(u16, u16),
+    /// `NoteRouting(layer, batch)`: a batch of tokens routes on `layer`
+    /// (scores derived deterministically from the tuple).
+    NoteRouting(u16, u8),
+}
+
+fn arb_batched_ops() -> impl Strategy<Value = Vec<BatchedOp>> {
+    proptest::collection::vec(
+        (0u8..7, 0u16..4, 0u16..16, 1u8..6).prop_map(|(kind, l, e, b)| match kind {
+            0 => BatchedOp::Lookup(l, e),
+            1 => BatchedOp::Insert(l, e),
+            2 => BatchedOp::InsertProtected(l, e, e / 2),
+            3 => BatchedOp::InsertIfFree(l, e),
+            4 => BatchedOp::Pin(l, e),
+            5 => BatchedOp::Unpin(l, e),
+            _ => BatchedOp::NoteRouting(l, b),
+        }),
+        1..150,
+    )
+}
+
+/// Deterministic batched routing for `NoteRouting`: `batch` tokens whose
+/// logits depend only on (layer, batch), 16 experts, top-2.
+fn routing_for(l: u16, batch: u8) -> LayerRouting {
+    let tokens: Vec<RouterOutput> = (0..batch)
+        .map(|t| {
+            let logits: Vec<f32> = (0..16)
+                .map(|e| ((e as u32 * 7 + t as u32 * 3 + l as u32 * 11) % 13) as f32 / 2.0)
+                .collect();
+            RouterOutput::route(&logits, 2)
+        })
+        .collect();
+    LayerRouting::from_tokens(LayerId(l), 16, &tokens)
+}
+
+/// Replays `ops` on a fresh cache; returns (resident keys, stats debug).
+fn replay(
+    policy: Box<dyn CachePolicy>,
+    capacity: usize,
+    ops: &[BatchedOp],
+) -> (Vec<ExpertKey>, String) {
+    let mut cache = ExpertCache::new(capacity, policy);
+    for op in ops {
+        match op {
+            BatchedOp::Lookup(l, e) => {
+                cache.lookup(key(*l, *e));
+            }
+            BatchedOp::Insert(l, e) => {
+                cache.insert(key(*l, *e));
+            }
+            BatchedOp::InsertProtected(l, e, p) => {
+                cache.insert_protected(key(*l, *e), &[key(*l, *p)]);
+            }
+            BatchedOp::InsertIfFree(l, e) => {
+                cache.insert_if_free(key(*l, *e));
+            }
+            BatchedOp::Pin(l, e) => cache.pin(key(*l, *e)),
+            BatchedOp::Unpin(l, e) => cache.unpin(key(*l, *e)),
+            BatchedOp::NoteRouting(l, b) => cache.note_routing(&routing_for(*l, *b), 2),
+        }
+    }
+    (
+        cache.resident_keys().collect(),
+        format!("{:?}", cache.stats()),
+    )
+}
+
+// The new suites run under `ProptestConfig::default()`, whose case count CI
+// pins via the PROPTEST_CASES environment variable.
+proptest! {
+    /// Order consistency: the cache is a pure function of its op sequence.
+    /// Replaying the same random batched workload twice yields the same
+    /// resident set and statistics for every policy.
+    #[test]
+    fn replay_is_order_consistent(ops in arb_batched_ops(), capacity in 0usize..10) {
+        for (a, b) in policies().into_iter().zip(policies()) {
+            let ra = replay(a, capacity, &ops);
+            let rb = replay(b, capacity, &ops);
+            prop_assert_eq!(ra, rb);
+        }
+    }
+
+    /// Every [`InsertOutcome`] tells the truth about the state transition
+    /// it reports, and capacity/pinning invariants hold after each op.
+    #[test]
+    fn insert_outcomes_match_state_transitions(
+        ops in arb_batched_ops(),
+        capacity in 0usize..10,
+    ) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(capacity, policy);
+            let mut pinned = std::collections::HashSet::new();
+            for op in &ops {
+                if let BatchedOp::Pin(l, e) = op {
+                    pinned.insert(key(*l, *e));
+                }
+                if let BatchedOp::Unpin(l, e) = op {
+                    pinned.remove(&key(*l, *e));
+                }
+                let insert: Option<(ExpertKey, Option<ExpertKey>, bool)> = match op {
+                    BatchedOp::Insert(l, e) => Some((key(*l, *e), None, true)),
+                    BatchedOp::InsertProtected(l, e, p) => {
+                        Some((key(*l, *e), Some(key(*l, *p)), true))
+                    }
+                    BatchedOp::InsertIfFree(l, e) => Some((key(*l, *e), None, false)),
+                    BatchedOp::Lookup(l, e) => {
+                        cache.lookup(key(*l, *e));
+                        None
+                    }
+                    BatchedOp::NoteRouting(l, b) => {
+                        cache.note_routing(&routing_for(*l, *b), 2);
+                        None
+                    }
+                    BatchedOp::Pin(l, e) => {
+                        cache.pin(key(*l, *e));
+                        None
+                    }
+                    BatchedOp::Unpin(l, e) => {
+                        cache.unpin(key(*l, *e));
+                        None
+                    }
+                };
+                if let Some((k, protect, may_evict)) = insert {
+                    let was_resident = cache.contains(k);
+                    let was_full = cache.is_full();
+                    let len_before = cache.len();
+                    let outcome = match (protect, may_evict) {
+                        (Some(p), true) => cache.insert_protected(k, &[p]),
+                        (None, true) => cache.insert(k),
+                        (_, false) => cache.insert_if_free(k),
+                    };
+                    match outcome {
+                        InsertOutcome::AlreadyResident => {
+                            prop_assert!(was_resident);
+                            prop_assert_eq!(cache.len(), len_before);
+                        }
+                        InsertOutcome::Inserted => {
+                            prop_assert!(!was_resident && !was_full);
+                            prop_assert_eq!(cache.len(), len_before + 1);
+                            prop_assert!(cache.contains(k));
+                        }
+                        InsertOutcome::InsertedEvicting(victim) => {
+                            prop_assert!(!was_resident && was_full && may_evict);
+                            prop_assert!(!pinned.contains(&victim), "evicted pinned {victim:?}");
+                            if let Some(p) = protect {
+                                prop_assert!(victim != p, "evicted protected {victim:?}");
+                            }
+                            prop_assert!(!cache.contains(victim));
+                            prop_assert!(cache.contains(k));
+                            prop_assert_eq!(cache.len(), len_before);
+                        }
+                        InsertOutcome::Refused => {
+                            prop_assert!(!was_resident);
+                            prop_assert!(!cache.contains(k));
+                            prop_assert_eq!(cache.len(), len_before);
+                        }
+                    }
+                }
+                prop_assert!(cache.len() <= capacity);
+            }
+        }
+    }
+
+    /// Pinned residents survive arbitrary batched workloads, including
+    /// `insert_protected` eviction pressure.
+    #[test]
+    fn pinned_residents_survive_batched_workloads(ops in arb_batched_ops()) {
+        for policy in policies() {
+            let mut cache = ExpertCache::new(3, policy);
+            let protected = key(0, 0);
+            cache.insert(protected);
+            cache.pin(protected);
+            for op in &ops {
+                match op {
+                    BatchedOp::Lookup(l, e) => {
+                        cache.lookup(key(*l, *e));
+                    }
+                    BatchedOp::NoteRouting(l, b) => {
+                        cache.note_routing(&routing_for(*l, *b), 2);
+                    }
+                    // Map every mutation (except unpinning the sentinel)
+                    // onto eviction-pressure inserts.
+                    BatchedOp::Insert(l, e)
+                    | BatchedOp::InsertProtected(l, e, _)
+                    | BatchedOp::InsertIfFree(l, e)
+                    | BatchedOp::Pin(l, e)
+                    | BatchedOp::Unpin(l, e) => {
+                        cache.insert_protected(key(*l, *e), &[key(*l, e / 2)]);
+                    }
+                }
+                prop_assert!(cache.contains(protected), "pinned key evicted");
+                prop_assert!(cache.is_pinned(protected));
+            }
         }
     }
 }

@@ -4,7 +4,9 @@
 //! runs of the same configuration diverge, every figure/table binary
 //! becomes noise.
 
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
 use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
+use hybrimoe_hw::SimDuration;
 use hybrimoe_model::ModelConfig;
 use hybrimoe_trace::TraceGenerator;
 
@@ -54,4 +56,45 @@ fn prefill_is_seed_deterministic_end_to_end() {
     let a = Engine::new(config.clone()).run(&trace);
     let b = Engine::new(config).run(&trace);
     assert_eq!(a, b, "prefill replay diverged between engines");
+}
+
+fn serve_once(framework: Framework, seed: u64) -> ServeReport {
+    ServeSim::new(ServeConfig {
+        engine: EngineConfig::preset(framework, ModelConfig::deepseek(), 0.25),
+        arrivals: ArrivalProcess::Poisson {
+            mean_interval: SimDuration::from_millis(120),
+        },
+        requests: 6,
+        prompt_tokens: 16,
+        decode_tokens: 4,
+        max_batch: 4,
+        seed,
+    })
+    .run()
+}
+
+/// The continuous-batching path is a pure function of the seed: arrivals,
+/// per-request traces, batch formation and engine state all replay, so
+/// TTFT/TPOT/throughput are bit-identical across runs.
+#[test]
+fn serving_metrics_are_bit_identical_across_runs() {
+    for framework in [Framework::KTransformers, Framework::HybriMoe] {
+        let a = serve_once(framework, 42);
+        let b = serve_once(framework, 42);
+        assert_eq!(a, b, "{framework:?}: same seed, different serving report");
+        // The derived metrics (including every float) pin down too.
+        assert_eq!(a.summary(), b.summary());
+        for (x, y) in a.requests.iter().zip(b.requests.iter()) {
+            assert_eq!(x.ttft(), y.ttft());
+            assert_eq!(x.tpot(), y.tpot());
+            assert_eq!(x.latency(), y.latency());
+        }
+    }
+}
+
+#[test]
+fn serving_seed_changes_the_outcome() {
+    let a = serve_once(Framework::HybriMoe, 1);
+    let b = serve_once(Framework::HybriMoe, 2);
+    assert_ne!(a, b, "serving seed has no effect");
 }

@@ -3,9 +3,11 @@
 //! prediction agrees with the ground-truth plan executor, and the hybrid
 //! schedule never loses to the fixed mapping.
 
-use hybrimoe_hw::{PlanExecutor, SimDuration, UnitCostModel};
+use hybrimoe_hw::{Device, PlanExecutor, SimDuration, UnitCostModel};
 use hybrimoe_model::{ExpertId, LayerId};
-use hybrimoe_sched::baselines::{FixedMappingScheduler, GpuOnlyScheduler};
+use hybrimoe_sched::baselines::{
+    FixedMappingScheduler, GpuOnlyScheduler, StaticSplitScheduler, PREFILL_BATCH_THRESHOLD,
+};
 use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
 use proptest::prelude::*;
 
@@ -21,6 +23,17 @@ fn arb_tasks() -> impl Strategy<Value = Vec<ExpertTask>> {
             })
             .collect()
     })
+}
+
+/// Every scheduler the engine can be configured with.
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(HybridScheduler::new()),
+        Box::new(HybridScheduler::without_cpu_steal()),
+        Box::new(FixedMappingScheduler::new()),
+        Box::new(GpuOnlyScheduler::new()),
+        Box::new(StaticSplitScheduler::new()),
+    ]
 }
 
 fn arb_cost() -> impl Strategy<Value = UnitCostModel> {
@@ -103,5 +116,116 @@ proptest! {
         for x in &plan.pcie_order {
             prop_assert!(!x.cached, "cached expert {} transferred", x.expert);
         }
+    }
+}
+
+// The new suites run under `ProptestConfig::default()`, whose case count CI
+// pins via the PROPTEST_CASES environment variable.
+proptest! {
+    /// Conservation across **all** schedulers, llama.cpp included: every
+    /// activated expert is computed exactly once, on exactly one device.
+    #[test]
+    fn every_activated_expert_computed_exactly_once(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+    ) {
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            prop_assert_eq!(plan.validate(&tasks), Ok(()), "{} invalid", scheduler.name());
+            for t in &tasks {
+                let computes = plan.cpu_experts().filter(|e| *e == t.expert).count()
+                    + plan.gpu_experts().filter(|e| *e == t.expert).count();
+                prop_assert_eq!(
+                    computes, 1,
+                    "{}: expert {} computed {} times", scheduler.name(), t.expert, computes
+                );
+            }
+        }
+    }
+
+    /// The paper's objective (Eq. 2): the realized makespan is exactly
+    /// `max(CPU, GPU)` finish time — PCIe never has a dangling tail because
+    /// every committed transfer is consumed by a GPU compute.
+    #[test]
+    fn makespan_equals_max_of_cpu_and_gpu_timelines(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+    ) {
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            let executed = PlanExecutor::new().execute(plan.to_ops(&ctx)).unwrap();
+            let cpu_end = executed.timelines.get(Device::Cpu).ready_at();
+            let gpu_end = executed.timelines.get(Device::Gpu).ready_at();
+            let expected = cpu_end.max(gpu_end).elapsed_since(hybrimoe_hw::SimTime::ZERO);
+            prop_assert_eq!(
+                executed.makespan, expected,
+                "{}: makespan {} != max(CPU {}, GPU {})",
+                scheduler.name(), executed.makespan, cpu_end, gpu_end
+            );
+            prop_assert_eq!(executed.makespan, plan.predicted_makespan, "{} misPredicted", scheduler.name());
+        }
+    }
+
+    /// The same invariants hold in the prefill regime, where the batch-aware
+    /// baselines switch policy (kTransformers stops using the CPU, llama.cpp
+    /// streams dequantized weights).
+    #[test]
+    fn prefill_contexts_keep_all_invariants(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+    ) {
+        let tokens = PREFILL_BATCH_THRESHOLD + 8;
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            tokens,
+            &tasks,
+            hybrimoe_hw::ExpertProfile::new(100, 10),
+            None,
+            &cost,
+        );
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            prop_assert_eq!(plan.validate(&tasks), Ok(()), "{} invalid at prefill", scheduler.name());
+            let executed = PlanExecutor::new().execute(plan.to_ops(&ctx)).unwrap();
+            prop_assert_eq!(
+                executed.makespan, plan.predicted_makespan,
+                "{} prefill prediction off", scheduler.name()
+            );
+        }
+    }
+
+    /// HybriMoE's predicted makespan never exceeds the fixed mapping's on
+    /// the same context, decode or prefill.
+    #[test]
+    fn hybrid_never_loses_to_fixed_mapping_any_regime(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+        prefill in any::<bool>(),
+    ) {
+        let tokens = if prefill {
+            PREFILL_BATCH_THRESHOLD
+        } else {
+            tasks.iter().map(|t| t.load).max().unwrap_or(1)
+        };
+        let ctx = ScheduleContext::new(
+            LayerId(0),
+            tokens,
+            &tasks,
+            hybrimoe_hw::ExpertProfile::new(100, 10),
+            None,
+            &cost,
+        );
+        let hybrid = HybridScheduler::new().schedule(&ctx);
+        let fixed = FixedMappingScheduler::new().schedule(&ctx);
+        prop_assert!(
+            hybrid.predicted_makespan <= fixed.predicted_makespan,
+            "hybrid {} > fixed {} (prefill={}) on {:?}",
+            hybrid.predicted_makespan,
+            fixed.predicted_makespan,
+            prefill,
+            tasks
+        );
     }
 }

@@ -1,0 +1,137 @@
+//! Integration tests for the continuous-batching serving layer: request
+//! lifecycle invariants, batch-bound compliance, load monotonicity, and the
+//! headline serving claim (HybriMoE sustains at least kTransformers'
+//! throughput under every arrival rate).
+
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_hw::{SimDuration, SimTime};
+use hybrimoe_model::ModelConfig;
+
+fn tiny_config(framework: Framework, ratio: f64, mean_us: u64) -> ServeConfig {
+    ServeConfig {
+        engine: EngineConfig::preset(framework, ModelConfig::tiny_test(), ratio),
+        arrivals: ArrivalProcess::Poisson {
+            mean_interval: SimDuration::from_micros(mean_us),
+        },
+        requests: 12,
+        prompt_tokens: 16,
+        decode_tokens: 6,
+        max_batch: 4,
+        seed: 0xC0FFEE,
+    }
+}
+
+fn run(config: ServeConfig) -> ServeReport {
+    ServeSim::new(config).run()
+}
+
+#[test]
+fn request_lifecycle_is_well_ordered() {
+    let report = run(tiny_config(Framework::HybriMoe, 0.5, 400));
+    assert_eq!(report.requests.len(), 12);
+    for m in &report.requests {
+        assert!(m.first_token >= m.arrival, "first token before arrival");
+        assert!(m.completion >= m.first_token, "completion before TTFT");
+        assert!(m.ttft() > SimDuration::ZERO);
+        assert!(m.tpot() > SimDuration::ZERO);
+    }
+    // Steps advance monotonically on the simulated clock.
+    for w in report.steps.windows(2) {
+        assert!(w[1].start >= w[0].start + w[0].latency);
+    }
+}
+
+#[test]
+fn batch_bound_holds_and_saturates_under_pressure() {
+    // Arrivals far faster than service: the batch must hit (and never
+    // exceed) the bound.
+    let report = run(tiny_config(Framework::HybriMoe, 0.5, 1));
+    assert!(report.steps.iter().all(|s| s.batch <= 4));
+    assert!(report.steps.iter().any(|s| s.batch == 4));
+    let s = report.summary();
+    assert!(s.mean_batch > 1.0, "no batching under pressure: {s:?}");
+}
+
+#[test]
+fn light_load_decodes_mostly_alone() {
+    // Arrivals far slower than service: requests rarely overlap.
+    let report = run(tiny_config(Framework::HybriMoe, 0.5, 2_000_000));
+    let s = report.summary();
+    assert!(
+        s.mean_batch < 1.5,
+        "unexpected batching at light load: {s:?}"
+    );
+    // Idle gaps mean the makespan stretches to roughly the arrival span.
+    let last = report.requests.iter().map(|m| m.completion).max().unwrap();
+    assert!(last.elapsed_since(SimTime::ZERO) >= SimDuration::from_millis(20));
+}
+
+#[test]
+fn throughput_grows_with_arrival_rate_until_saturation() {
+    let slow = run(tiny_config(Framework::HybriMoe, 0.5, 4_000)).summary();
+    let fast = run(tiny_config(Framework::HybriMoe, 0.5, 100)).summary();
+    assert!(
+        fast.output_tokens_per_sec > slow.output_tokens_per_sec,
+        "more offered load should raise throughput: fast {} vs slow {}",
+        fast.output_tokens_per_sec,
+        slow.output_tokens_per_sec
+    );
+    // Queueing delay shows up in TTFT.
+    assert!(fast.ttft_p99_ms >= slow.ttft_p50_ms);
+}
+
+/// The serving headline: HybriMoE sustains at least the fixed mapping's
+/// decode throughput at the paper's tightest cache ratio, across arrival
+/// rates from light to saturating.
+#[test]
+fn hybrimoe_serving_throughput_not_below_ktransformers() {
+    for mean_us in [2_000u64, 500, 50] {
+        let h = run(tiny_config(Framework::HybriMoe, 0.25, mean_us)).summary();
+        let k = run(tiny_config(Framework::KTransformers, 0.25, mean_us)).summary();
+        assert!(
+            h.output_tokens_per_sec >= k.output_tokens_per_sec,
+            "mean gap {mean_us}us: hybri {} tok/s < ktrans {} tok/s",
+            h.output_tokens_per_sec,
+            k.output_tokens_per_sec
+        );
+    }
+}
+
+#[test]
+fn deterministic_arrivals_serve_in_order() {
+    let mut config = tiny_config(Framework::HybriMoe, 0.5, 0);
+    config.arrivals = ArrivalProcess::Deterministic {
+        interval: SimDuration::from_millis(1),
+    };
+    let report = run(config);
+    // FIFO admission + identical lengths → first tokens in arrival order.
+    for w in report.requests.windows(2) {
+        assert!(w[0].first_token <= w[1].first_token);
+        assert!(w[0].arrival <= w[1].arrival);
+    }
+}
+
+#[test]
+fn summary_accounting_is_exact() {
+    let report = run(tiny_config(Framework::HybriMoe, 0.5, 300));
+    let s = report.summary();
+    assert_eq!(s.requests, 12);
+    assert_eq!(s.prompt_tokens, 12 * 16);
+    assert_eq!(s.output_tokens, 12 * 6);
+    assert_eq!(s.engine_steps, report.steps.len() as u64);
+    // Every output token was produced by exactly one decode slot of one
+    // step; prefill tokens account for the rest.
+    let step_tokens: u64 = report.steps.iter().map(|st| st.tokens as u64).sum();
+    assert_eq!(step_tokens, s.prompt_tokens + s.output_tokens);
+    let makespan_end = report.requests.iter().map(|m| m.completion).max().unwrap();
+    assert_eq!(makespan_end.elapsed_since(SimTime::ZERO), report.makespan);
+}
+
+#[test]
+fn serving_report_round_trips_through_json() {
+    let report = run(tiny_config(Framework::HybriMoe, 0.5, 500));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: ServeReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+}

@@ -2,8 +2,9 @@
 //!
 //! Implements the property-testing surface this workspace uses — the
 //! [`proptest!`] harness macro, `prop_assert*` / [`prop_assume!`],
-//! range/tuple/[`Just`]/[`prop_oneof!`]/`prop_map`/[`collection::vec`]
-//! strategies and [`any`] — over a deterministic per-test RNG (seeded from
+//! range/tuple/[`Just`](strategy::Just)/[`prop_oneof!`]/`prop_map`/
+//! [`collection::vec`](collection::vec()) strategies and
+//! [`any`](strategy::any()) — over a deterministic per-test RNG (seeded from
 //! the test name, so failures reproduce across runs). Unlike real
 //! proptest there is **no shrinking**: a failing case reports its inputs
 //! via the assertion message instead of a minimized counterexample.
@@ -20,8 +21,16 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
+            // Like real proptest, the PROPTEST_CASES environment variable
+            // overrides the default case count (explicit `with_cases` still
+            // wins) — CI pins it so property-suite time stays bounded.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|c| *c > 0)
+                .unwrap_or(64);
             Config {
-                cases: 64,
+                cases,
                 max_global_rejects: 4096,
             }
         }
@@ -396,7 +405,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Number of elements a [`vec`] strategy may generate.
+    /// Number of elements a [`vec()`] strategy may generate.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -419,7 +428,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`]: `Vec`s of `element` with a length in `size`.
+    /// Output of [`vec()`]: `Vec`s of `element` with a length in `size`.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
