@@ -3,12 +3,14 @@
 //! aggregate throughput.
 //!
 //! ```text
-//! cargo run -p hybrimoe_bench --release --bin serve_bench            # table + JSON
-//! cargo run -p hybrimoe_bench --release --bin serve_bench -- --json # JSON only
+//! cargo run -p hybrimoe_bench --release --bin serve_bench                        # table + JSON
+//! cargo run -p hybrimoe_bench --release --bin serve_bench -- --json             # JSON only
+//! cargo run -p hybrimoe_bench --release --bin serve_bench -- --json --out x.json # also write a file
 //! ```
 //!
-//! The JSON (last line block of stdout) is an array with one object per
-//! experiment, suitable for cross-PR trend tracking.
+//! The JSON (last line block of stdout, and the `--out` file when given) is
+//! an array with one object per experiment, suitable for cross-PR trend
+//! tracking; `BENCH_serve.json` at the repo root is the committed snapshot.
 
 use hybrimoe::report::serve_table;
 use hybrimoe::serve::ServeSummary;
@@ -34,7 +36,17 @@ struct ServeRow {
 }
 
 fn main() {
-    let json_only = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let out_path = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
     let model = ModelConfig::deepseek();
     let load = ServeLoad::default();
 
@@ -85,8 +97,13 @@ fn main() {
         println!();
     }
 
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&rows).expect("summaries serialize")
-    );
+    let json = serde_json::to_string_pretty(&rows).expect("summaries serialize");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if !json_only {
+            println!("wrote {path}");
+        }
+    }
+    println!("{json}");
 }

@@ -10,6 +10,42 @@ use hybrimoe_sched::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{ExecutionBackend, RealCpuBackend, SimBackend};
+use crate::realexec::RealExecOptions;
+
+/// Which execution backend runs each layer's schedule (see
+/// [`crate::backend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Analytic simulation on the platform cost model (the default; the
+    /// only backend that scales to the paper's full-size models).
+    Sim,
+    /// Real CPU execution with the quantized kernels; needs traces carrying
+    /// [`TokenStates`](hybrimoe_trace::TokenStates) and a model that fits
+    /// the weight budget in [`EngineConfig::real_exec`].
+    RealCpu,
+}
+
+impl BackendKind {
+    /// Instantiates the backend for an engine configuration.
+    pub fn build(self, config: &EngineConfig) -> Box<dyn ExecutionBackend> {
+        match self {
+            BackendKind::Sim => Box::new(SimBackend::new()),
+            BackendKind::RealCpu => Box::new(RealCpuBackend::new(
+                config.model.clone(),
+                config.seed,
+                config.real_exec,
+            )),
+        }
+    }
+
+    /// Whether this backend consumes per-token hidden states (so trace
+    /// generation must capture them).
+    pub fn needs_token_states(self) -> bool {
+        self == BackendKind::RealCpu
+    }
+}
+
 /// Which intra-layer scheduler the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchedulerKind {
@@ -193,6 +229,12 @@ pub struct EngineConfig {
     /// Bounding the queue keeps prefetches from going stale; `0` disables
     /// background transfers entirely (on-demand transfers still happen).
     pub max_inflight: usize,
+    /// Which execution backend runs the schedules (analytic simulation by
+    /// default).
+    pub backend: BackendKind,
+    /// Resource limits of the real-execution backend (ignored by
+    /// [`BackendKind::Sim`]).
+    pub real_exec: RealExecOptions,
 }
 
 /// Default bound on queued background transfers.
@@ -218,6 +260,8 @@ impl EngineConfig {
             mrs_alpha: 0.3,
             seed: 0xB0B,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            backend: BackendKind::Sim,
+            real_exec: RealExecOptions::default(),
         };
         match framework {
             Framework::HybriMoe => base,
@@ -303,6 +347,19 @@ impl EngineConfig {
         self
     }
 
+    /// Overrides the execution backend (default: analytic simulation).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the real-execution resource limits (weight budget and
+    /// thread cap; only [`BackendKind::RealCpu`] reads them).
+    pub fn with_real_exec(mut self, options: RealExecOptions) -> Self {
+        self.real_exec = options;
+        self
+    }
+
     /// The cache capacity in experts implied by the ratio.
     pub fn cache_capacity(&self) -> usize {
         self.model.cache_capacity_for_ratio(self.cache_ratio)
@@ -383,6 +440,27 @@ mod tests {
         let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
             .with_max_inflight(0);
         assert_eq!(c.max_inflight, 0);
+    }
+
+    #[test]
+    fn presets_default_to_sim_backend() {
+        for f in Framework::ALL {
+            let c = EngineConfig::preset(f, ModelConfig::tiny_test(), 0.5);
+            assert_eq!(c.backend, BackendKind::Sim);
+            assert!(!c.backend.needs_token_states());
+            assert_eq!(c.real_exec, RealExecOptions::default());
+        }
+        let opts = RealExecOptions {
+            weight_budget_bytes: 1 << 20,
+            max_threads: 2,
+        };
+        let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
+            .with_backend(BackendKind::RealCpu)
+            .with_real_exec(opts);
+        assert!(c.backend.needs_token_states());
+        assert_eq!(c.real_exec, opts);
+        assert_eq!(c.backend.build(&c).name(), "real-cpu");
+        assert_eq!(BackendKind::Sim.build(&c).name(), "sim");
     }
 
     #[test]

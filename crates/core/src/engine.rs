@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use hybrimoe_cache::{CacheStats, ExpertCache};
-use hybrimoe_hw::{AffineCostModel, CostModel, Device, PlanExecutor, SimDuration};
+use hybrimoe_hw::{AffineCostModel, CalibrationProfile, CostModel, Device, SimDuration};
 use hybrimoe_model::{ExpertKey, LayerId};
 use hybrimoe_sched::{
     ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, ScheduleScratch,
@@ -11,6 +11,8 @@ use hybrimoe_sched::{
 };
 use hybrimoe_trace::{ActivationTrace, TraceGenerator, TraceStep};
 
+use crate::backend::{ExecutionBackend, LayerRequest};
+use crate::realexec::RealLayerOutput;
 use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
 
 /// Runs MoE inference over activation traces on the modeled hybrid
@@ -34,6 +36,17 @@ use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
 /// merged batches formed from concurrently active requests (see
 /// [`crate::serve`]).
 ///
+/// # Execution backends
+///
+/// Schedule *construction* (routing, cache lookups, scheduling) is always
+/// analytic; schedule *execution* is delegated to the configured
+/// [`ExecutionBackend`]: the default [`SimBackend`](crate::SimBackend)
+/// replays plans on the simulated device timelines, while
+/// [`RealCpuBackend`](crate::RealCpuBackend) runs every expert partition
+/// with the quantized CPU kernels and reports measured wall-clock (see
+/// [`crate::backend`]). The real backend requires traces generated with
+/// [`TraceGenerator::with_token_states`].
+///
 /// # Example
 ///
 /// ```
@@ -56,6 +69,9 @@ pub struct Engine {
     cache: ExpertCache,
     scheduler: Box<dyn Scheduler>,
     prefetcher: Box<dyn Prefetcher>,
+    /// Executes each layer's schedule: analytic simulation or real kernels
+    /// (see [`crate::backend`]). Schedule construction is backend-agnostic.
+    backend: Box<dyn ExecutionBackend>,
     /// Number of fully GPU-resident layers (whole-layer placement).
     resident_layers: u16,
     /// Background PCIe transfers in flight (prefetches and refills), each
@@ -99,6 +115,7 @@ impl Engine {
         Engine {
             scheduler: config.scheduler.build(),
             prefetcher: config.prefetcher.build(),
+            backend: config.backend.build(&config),
             cost,
             cache,
             config,
@@ -156,6 +173,25 @@ impl Engine {
     /// The current cache (resident set and statistics).
     pub fn cache(&self) -> &ExpertCache {
         &self.cache
+    }
+
+    /// The execution backend running the schedules.
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        self.backend.as_ref()
+    }
+
+    /// Drains the numerical layer outputs of the most recent step, in layer
+    /// order. Empty unless the engine runs a real-execution backend.
+    pub fn take_real_outputs(&mut self) -> Vec<RealLayerOutput> {
+        self.backend.take_step_outputs()
+    }
+
+    /// The CPU calibration the backend has accumulated so far, if it
+    /// measures real kernels. Feed it back through
+    /// [`Platform::with_calibration`](hybrimoe_hw::Platform::with_calibration)
+    /// to ground the simulator's CPU constants in measured runs.
+    pub fn backend_calibration(&self) -> Option<CalibrationProfile> {
+        self.backend.calibration()
     }
 
     /// Opens a stage: subsequent [`Engine::step`] calls accumulate into it
@@ -217,6 +253,7 @@ impl Engine {
             "trace was generated for a different model"
         );
         let tokens = step.tokens;
+        self.backend.begin_step();
         // Profiles and counts are Copy; no need to clone the model config
         // on the hot path.
         let routed_profile = self.config.model.routed_profile();
@@ -280,16 +317,19 @@ impl Engine {
             );
             let plan = self.scheduler.schedule(&ctx);
             debug_assert_eq!(plan.validate(tasks), Ok(()), "invalid plan from scheduler");
-            let executed = PlanExecutor::new()
-                .execute(plan.to_ops(&ctx))
-                .expect("plans lower to acyclic ops");
-            let moe_makespan = executed.makespan;
+            let outcome = self.backend.execute_layer(&LayerRequest {
+                layer,
+                plan: &plan,
+                ctx: &ctx,
+                states: rec.states.as_ref(),
+            });
+            let moe_makespan = outcome.makespan;
 
             cpu_experts += plan.cpu_order.len() as u32;
             gpu_experts += plan.gpu_order.len() as u32;
             demand_transfers += plan.pcie_order.len() as u32;
             for d in Device::ALL {
-                busy[d.index()] += executed.timelines.get(d).busy_time();
+                busy[d.index()] += outcome.busy[d.index()];
             }
 
             // 5. On-demand transfers become resident (may evict per policy,
@@ -316,7 +356,7 @@ impl Engine {
 
             // 6. Idle PCIe time advances background transfers (prefetches
             // and cache refills), which pipeline across layer boundaries.
-            let pcie_busy = executed.timelines.get(Device::Pcie).busy_time();
+            let pcie_busy = outcome.busy[Device::Pcie.index()];
             let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
             let transfer_time = self.cost.transfer(&routed_profile);
 

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod config;
 mod engine;
 mod metrics;
@@ -49,12 +50,16 @@ pub mod report;
 pub mod serve;
 mod session;
 
+pub use backend::{
+    CpuMeasurement, ExecutionBackend, LayerOutcome, LayerRequest, RealCpuBackend, SimBackend,
+};
 pub use config::{
-    CachePolicyKind, EngineConfig, Framework, PlacementKind, PrefetcherKind, SchedulerKind,
-    DEFAULT_MAX_INFLIGHT,
+    BackendKind, CachePolicyKind, EngineConfig, Framework, PlacementKind, PrefetcherKind,
+    SchedulerKind, DEFAULT_MAX_INFLIGHT,
 };
 pub use engine::Engine;
 pub use metrics::{StageMetrics, StepMetrics};
+pub use realexec::RealExecOptions;
 pub use session::Session;
 
 // Re-export the substrate crates so downstream users need only one

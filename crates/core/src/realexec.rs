@@ -25,6 +25,40 @@ use hybrimoe_model::{
     ExpertKey, LayerId, ModelConfig, RouterOutput, WeightStore, WeightStoreError,
 };
 use hybrimoe_sched::SchedulePlan;
+use serde::{Deserialize, Serialize};
+
+/// Resource limits of a [`RealLayerExecutor`] (and of the
+/// [`RealCpuBackend`](crate::RealCpuBackend) built on it).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::realexec::RealExecOptions;
+///
+/// let opts = RealExecOptions::default();
+/// assert_eq!(opts.weight_budget_bytes, 512 * 1024 * 1024);
+/// assert_eq!(opts.max_threads, 10);
+/// let single = RealExecOptions { max_threads: 1, ..Default::default() };
+/// assert_eq!(single.max_threads, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RealExecOptions {
+    /// Memory budget of the synthetic [`WeightStore`], in bytes.
+    pub weight_budget_bytes: u64,
+    /// Cap on worker threads; the executor uses the machine's available
+    /// parallelism up to this many (the paper restricts its Xeon to 10
+    /// cores, §VI-A1).
+    pub max_threads: usize,
+}
+
+impl Default for RealExecOptions {
+    fn default() -> Self {
+        RealExecOptions {
+            weight_budget_bytes: 512 * 1024 * 1024,
+            max_threads: 10,
+        }
+    }
+}
 
 /// The result of really executing one MoE layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,13 +132,17 @@ pub struct RealLayerExecutor {
 }
 
 impl RealLayerExecutor {
-    /// Creates an executor with a 512 MB weight budget and the machine's
-    /// available parallelism (capped at 10 threads, like the paper's
-    /// platform).
+    /// Creates an executor with the default [`RealExecOptions`] (512 MiB
+    /// weight budget, at most 10 threads, like the paper's platform).
     pub fn new(model: ModelConfig, seed: u64) -> Self {
+        RealLayerExecutor::with_options(model, seed, RealExecOptions::default())
+    }
+
+    /// Creates an executor with explicit resource limits.
+    pub fn with_options(model: ModelConfig, seed: u64, options: RealExecOptions) -> Self {
         RealLayerExecutor {
-            store: WeightStore::new(model, seed, 512 * 1024 * 1024),
-            threads: default_threads(10),
+            store: WeightStore::new(model, seed, options.weight_budget_bytes),
+            threads: default_threads(options.max_threads.max(1)),
         }
     }
 
@@ -113,27 +151,43 @@ impl RealLayerExecutor {
         self.store.config()
     }
 
+    /// The worker-thread count the kernels run with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Executes one layer for real.
     ///
-    /// `token_inputs` holds each token's hidden state (`hidden` floats) and
-    /// its routing decision; `plan` is the schedule whose placement is
-    /// timed. The output combines each token's selected experts with its
-    /// renormalized router weights (Eq. 1 of the paper).
+    /// `inputs` holds each token's hidden state (`hidden` floats) and
+    /// `routes` the matching routing decisions (same order); `plan` is the
+    /// schedule whose placement is timed. The output combines each token's
+    /// selected experts with its renormalized router weights (Eq. 1 of the
+    /// paper). Experts accumulate into the output in ascending id order
+    /// regardless of the plan's device orders, so the result is
+    /// **bit-identical across placements** — the property the scheduler
+    /// correctness suite pins.
     ///
     /// # Errors
     ///
     /// Returns [`RealExecError::InvalidPlan`] if the plan does not compute
     /// every activated expert exactly once, [`RealExecError::BadInput`] on
-    /// dimension mismatches, and [`RealExecError::Weights`] if an expert
-    /// cannot be materialized within the memory budget.
+    /// dimension or token-count mismatches, and [`RealExecError::Weights`]
+    /// if an expert cannot be materialized within the memory budget.
     pub fn execute_layer(
         &mut self,
         layer: LayerId,
         plan: &SchedulePlan,
-        token_inputs: &[(Vec<f32>, RouterOutput)],
+        inputs: &[Vec<f32>],
+        routes: &[RouterOutput],
     ) -> Result<RealLayerOutput, RealExecError> {
         let hidden = self.model().routed_shape.hidden() as usize;
-        for (x, _) in token_inputs {
+        if inputs.len() != routes.len() {
+            return Err(RealExecError::BadInput {
+                expected: inputs.len(),
+                actual: routes.len(),
+            });
+        }
+        for x in inputs {
             if x.len() != hidden {
                 return Err(RealExecError::BadInput {
                     expected: hidden,
@@ -143,9 +197,9 @@ impl RealLayerExecutor {
         }
 
         // The activated set must match the plan's compute partition.
-        let activated: HashSet<u16> = token_inputs
+        let activated: HashSet<u16> = routes
             .iter()
-            .flat_map(|(_, r)| r.expert_ids().map(|e| e.0))
+            .flat_map(|r| r.expert_ids().map(|e| e.0))
             .collect();
         let cpu_set: HashSet<u16> = plan.cpu_experts().map(|e| e.0).collect();
         let gpu_set: HashSet<u16> = plan.gpu_experts().map(|e| e.0).collect();
@@ -160,9 +214,14 @@ impl RealLayerExecutor {
                 "plan covers {planned:?}, activated {activated:?}"
             )));
         }
+        // Fixed accumulation order: float addition is not associative, so
+        // summing expert contributions in plan order would make the output
+        // depend on the placement.
+        let mut planned: Vec<u16> = planned.into_iter().collect();
+        planned.sort_unstable();
 
         // Compute each expert's contribution for the tokens routed to it.
-        let mut output = vec![0.0f32; token_inputs.len() * hidden];
+        let mut output = vec![0.0f32; inputs.len() * hidden];
         let mut cpu_wall = Duration::ZERO;
         let mut gpu_wall = Duration::ZERO;
         for &expert in &planned {
@@ -170,7 +229,7 @@ impl RealLayerExecutor {
             let threads = self.threads;
             let ffn = self.store.expert(key)?;
             let start = Instant::now();
-            for (t, (x, routing)) in token_inputs.iter().enumerate() {
+            for (t, (x, routing)) in inputs.iter().zip(routes.iter()).enumerate() {
                 let Some((_, weight)) = routing.selected.iter().find(|(e, _)| e.0 == expert) else {
                     continue;
                 };
@@ -208,7 +267,11 @@ mod tests {
     use hybrimoe_sched::baselines::FixedMappingScheduler;
     use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
 
-    fn token_inputs(model: &ModelConfig, n: usize, seed: u64) -> Vec<(Vec<f32>, RouterOutput)> {
+    fn token_inputs(
+        model: &ModelConfig,
+        n: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<RouterOutput>) {
         let hidden = model.routed_shape.hidden() as usize;
         let experts = model.routed_experts as usize;
         let k = model.activated_experts as usize;
@@ -224,18 +287,17 @@ mod tests {
                     .collect();
                 (x, RouterOutput::route(&logits, k))
             })
-            .collect()
+            .unzip()
     }
 
     fn tasks_and_plan(
         model: &ModelConfig,
-        inputs: &[(Vec<f32>, RouterOutput)],
+        routes: &[RouterOutput],
         cached_mod: u16,
         hybrid: bool,
     ) -> SchedulePlan {
         let experts = model.routed_experts;
-        let outputs: Vec<RouterOutput> = inputs.iter().map(|(_, r)| r.clone()).collect();
-        let routing = LayerRouting::from_tokens(LayerId(0), experts, &outputs);
+        let routing = LayerRouting::from_tokens(LayerId(0), experts, routes);
         let tasks: Vec<ExpertTask> = routing
             .activated()
             .into_iter()
@@ -259,12 +321,16 @@ mod tests {
         // The core correctness property: two different valid schedules of
         // the same layer produce bit-identical outputs.
         let model = ModelConfig::tiny_test();
-        let inputs = token_inputs(&model, 3, 9);
-        let plan_a = tasks_and_plan(&model, &inputs, 2, true);
-        let plan_b = tasks_and_plan(&model, &inputs, 2, false);
+        let (inputs, routes) = token_inputs(&model, 3, 9);
+        let plan_a = tasks_and_plan(&model, &routes, 2, true);
+        let plan_b = tasks_and_plan(&model, &routes, 2, false);
         let mut exec = RealLayerExecutor::new(model, 7);
-        let a = exec.execute_layer(LayerId(0), &plan_a, &inputs).unwrap();
-        let b = exec.execute_layer(LayerId(0), &plan_b, &inputs).unwrap();
+        let a = exec
+            .execute_layer(LayerId(0), &plan_a, &inputs, &routes)
+            .unwrap();
+        let b = exec
+            .execute_layer(LayerId(0), &plan_b, &inputs, &routes)
+            .unwrap();
         assert_eq!(a.output, b.output);
         assert!(a.output.iter().any(|v| *v != 0.0));
     }
@@ -272,10 +338,12 @@ mod tests {
     #[test]
     fn wall_times_and_counts_reported() {
         let model = ModelConfig::tiny_test();
-        let inputs = token_inputs(&model, 2, 3);
-        let plan = tasks_and_plan(&model, &inputs, 2, true);
+        let (inputs, routes) = token_inputs(&model, 2, 3);
+        let plan = tasks_and_plan(&model, &routes, 2, true);
         let mut exec = RealLayerExecutor::new(model, 7);
-        let out = exec.execute_layer(LayerId(0), &plan, &inputs).unwrap();
+        let out = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
         assert_eq!(
             out.cpu_tasks + out.gpu_tasks,
             plan.cpu_order.len() + plan.gpu_order.len()
@@ -286,15 +354,17 @@ mod tests {
     #[test]
     fn incomplete_plan_rejected() {
         let model = ModelConfig::tiny_test();
-        let inputs = token_inputs(&model, 2, 5);
-        let mut plan = tasks_and_plan(&model, &inputs, 2, true);
+        let (inputs, routes) = token_inputs(&model, 2, 5);
+        let mut plan = tasks_and_plan(&model, &routes, 2, true);
         if !plan.cpu_order.is_empty() {
             plan.cpu_order.pop();
         } else {
             plan.gpu_order.pop();
         }
         let mut exec = RealLayerExecutor::new(model, 7);
-        let err = exec.execute_layer(LayerId(0), &plan, &inputs).unwrap_err();
+        let err = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap_err();
         assert!(matches!(err, RealExecError::InvalidPlan(_)), "{err}");
         assert!(!err.to_string().is_empty());
     }
@@ -302,25 +372,57 @@ mod tests {
     #[test]
     fn bad_input_dimension_rejected() {
         let model = ModelConfig::tiny_test();
-        let mut inputs = token_inputs(&model, 1, 5);
-        inputs[0].0.pop();
-        let plan = tasks_and_plan(&model, &token_inputs(&model, 1, 5), 2, true);
+        let (mut inputs, routes) = token_inputs(&model, 1, 5);
+        inputs[0].pop();
+        let plan = tasks_and_plan(&model, &routes, 2, true);
         let mut exec = RealLayerExecutor::new(model, 7);
-        let err = exec.execute_layer(LayerId(0), &plan, &inputs).unwrap_err();
+        let err = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap_err();
+        assert!(matches!(err, RealExecError::BadInput { .. }));
+    }
+
+    #[test]
+    fn mismatched_input_and_route_counts_rejected() {
+        let model = ModelConfig::tiny_test();
+        let (inputs, routes) = token_inputs(&model, 2, 5);
+        let plan = tasks_and_plan(&model, &routes, 2, true);
+        let mut exec = RealLayerExecutor::new(model, 7);
+        let err = exec
+            .execute_layer(LayerId(0), &plan, &inputs[..1], &routes)
+            .unwrap_err();
         assert!(matches!(err, RealExecError::BadInput { .. }));
     }
 
     #[test]
     fn deterministic_outputs_across_executors() {
         let model = ModelConfig::tiny_test();
-        let inputs = token_inputs(&model, 2, 11);
-        let plan = tasks_and_plan(&model, &inputs, 2, true);
+        let (inputs, routes) = token_inputs(&model, 2, 11);
+        let plan = tasks_and_plan(&model, &routes, 2, true);
         let a = RealLayerExecutor::new(model.clone(), 7)
-            .execute_layer(LayerId(0), &plan, &inputs)
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
             .unwrap();
         let b = RealLayerExecutor::new(model, 7)
-            .execute_layer(LayerId(0), &plan, &inputs)
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
             .unwrap();
         assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn options_bound_budget_and_threads() {
+        let model = ModelConfig::tiny_test();
+        let per = model.routed_shape.packed_bytes();
+        let opts = RealExecOptions {
+            weight_budget_bytes: per, // room for exactly one expert
+            max_threads: 1,
+        };
+        let mut exec = RealLayerExecutor::with_options(model.clone(), 7, opts);
+        assert_eq!(exec.threads(), 1);
+        let (inputs, routes) = token_inputs(&model, 2, 3);
+        let plan = tasks_and_plan(&model, &routes, 2, true);
+        let err = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap_err();
+        assert!(matches!(err, RealExecError::Weights(_)), "{err}");
     }
 }

@@ -131,8 +131,14 @@ impl ServeSim {
                 let Some(spec) = waiting.pop_front() else {
                     break;
                 };
-                let generator =
+                let mut generator =
                     TraceGenerator::new(cfg.engine.model.clone(), request_seed(cfg.seed, spec.id));
+                if cfg.engine.backend.needs_token_states() {
+                    // A real-execution backend computes actual layer
+                    // outputs, so every request's trace must carry its
+                    // hidden states.
+                    generator = generator.with_token_states();
+                }
                 // One router-parameter bundle serves both the prompt and
                 // the decode stream of the request.
                 let (prefill, stream) = generator.request(spec.prompt_tokens);

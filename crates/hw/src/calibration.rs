@@ -44,6 +44,44 @@ pub struct CalibrationProfile {
 }
 
 impl CalibrationProfile {
+    /// Distills raw measurement totals into a profile of effective achieved
+    /// rates: `flops` and `bytes` of work observed over `wall_secs` of
+    /// kernel wall-clock, across `samples` tasks. The whole wall-clock is
+    /// attributed to both the FLOPs and the bytes (conservative effective
+    /// rates, the same convention as the kernel-level warmup calibration),
+    /// so the explicit overhead terms are zero. Returns `None` for
+    /// degenerate measurements (no samples or no elapsed time).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_hw::CalibrationProfile;
+    ///
+    /// let cal = CalibrationProfile::from_effective_rates(2_000_000_000, 500_000_000, 1.0, 8)
+    ///     .unwrap();
+    /// assert_eq!(cal.cpu_gflops, 2.0);
+    /// assert_eq!(cal.cpu_mem_bw_gbps, 0.5);
+    /// assert!(cal.is_plausible());
+    /// assert!(CalibrationProfile::from_effective_rates(1, 1, 0.0, 8).is_none());
+    /// ```
+    pub fn from_effective_rates(
+        flops: u64,
+        bytes: u64,
+        wall_secs: f64,
+        samples: u32,
+    ) -> Option<CalibrationProfile> {
+        if samples == 0 || !wall_secs.is_finite() || wall_secs <= 0.0 {
+            return None;
+        }
+        Some(CalibrationProfile {
+            cpu_gflops: (flops as f64 / wall_secs / 1e9).max(0.01),
+            cpu_mem_bw_gbps: (bytes as f64 / wall_secs / 1e9).max(0.01),
+            cpu_task_overhead: SimDuration::ZERO,
+            cpu_cold_penalty: SimDuration::ZERO,
+            samples,
+        })
+    }
+
     /// Whether the measured values are physically plausible (positive finite
     /// rates). Used to reject degenerate warmup runs.
     pub fn is_plausible(&self) -> bool {

@@ -1,7 +1,6 @@
 //! The HybriMoE hybrid scheduling algorithm (paper §IV-B).
 
 use hybrimoe_hw::SimTime;
-use hybrimoe_model::ExpertId;
 
 use crate::{DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
 
@@ -244,16 +243,11 @@ fn insert_by_load(gpu_q: &mut Vec<GpuEntry>, entry: GpuEntry) {
     gpu_q.insert(pos, entry);
 }
 
-#[allow(dead_code)]
-fn expert_ids(tasks: &[ExpertTask]) -> Vec<ExpertId> {
-    tasks.iter().map(|t| t.expert).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hybrimoe_hw::{PlanExecutor, UnitCostModel};
-    use hybrimoe_model::LayerId;
+    use hybrimoe_model::{ExpertId, LayerId};
 
     fn us(n: f64) -> f64 {
         n

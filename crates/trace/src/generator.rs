@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use hybrimoe_model::{LayerId, LayerRouting, ModelConfig, RouterOutput};
 
-use crate::{ActivationTrace, LayerRecord, TraceStep};
+use crate::{ActivationTrace, LayerRecord, TokenStates, TraceStep};
 
 /// Tunable parameters of the synthetic activation process.
 ///
@@ -74,6 +74,7 @@ pub struct TraceGenerator {
     model: ModelConfig,
     config: TraceConfig,
     seed: u64,
+    capture_states: bool,
 }
 
 impl TraceGenerator {
@@ -83,6 +84,7 @@ impl TraceGenerator {
             model,
             config: TraceConfig::default(),
             seed,
+            capture_states: false,
         }
     }
 
@@ -92,7 +94,33 @@ impl TraceGenerator {
             model,
             config,
             seed,
+            capture_states: false,
         }
+    }
+
+    /// Enables [`TokenStates`](crate::TokenStates) capture: every generated
+    /// [`LayerRecord`] additionally carries each token's hidden-state input
+    /// (expanded deterministically from the latent process to the model's
+    /// hidden dimension) and its per-token [`RouterOutput`] — the inputs a
+    /// real-execution backend needs. Capture draws no extra randomness, so
+    /// the routings are bit-identical to the same seed without capture.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::ModelConfig;
+    /// use hybrimoe_trace::TraceGenerator;
+    ///
+    /// let model = ModelConfig::tiny_test();
+    /// let g = TraceGenerator::new(model.clone(), 3).with_token_states();
+    /// let t = g.decode_trace(1);
+    /// let states = t.steps[0].layers[0].states.as_ref().unwrap();
+    /// assert_eq!(states.tokens(), 1);
+    /// assert_eq!(states.inputs[0].len(), model.routed_shape.hidden() as usize);
+    /// ```
+    pub fn with_token_states(mut self) -> Self {
+        self.capture_states = true;
+        self
     }
 
     /// The model this generator describes.
@@ -344,6 +372,7 @@ impl TraceGenerator {
         // Per-token hidden state evolving across layers.
         let mut hidden: Vec<Vec<f64>> = token_latents.to_vec();
         let mut records = Vec::with_capacity(layers);
+        let model_hidden = self.model.routed_shape.hidden() as usize;
         for l in 0..layers {
             // True routing from the current hidden states.
             let outputs: Vec<RouterOutput> = hidden
@@ -351,6 +380,18 @@ impl TraceGenerator {
                 .map(|h| RouterOutput::route(&self.logits(params, l, h), k))
                 .collect();
             let routing = LayerRouting::from_tokens(LayerId(l as u16), experts, &outputs);
+
+            // Real-execution inputs: the latent expanded to the model's
+            // hidden dimension plus this layer's per-token routes. Captured
+            // *before* the latent evolves, so the states are the layer's
+            // actual inputs.
+            let states = self.capture_states.then(|| TokenStates {
+                inputs: hidden
+                    .iter()
+                    .map(|h| expand_latent(h, model_hidden))
+                    .collect(),
+                routes: outputs.clone(),
+            });
 
             // Predicted routings: current hidden state through the *later*
             // routers (paper Fig. 6).
@@ -369,7 +410,11 @@ impl TraceGenerator {
                     &pred_outputs,
                 ));
             }
-            records.push(LayerRecord { routing, predicted });
+            records.push(LayerRecord {
+                routing,
+                predicted,
+                states,
+            });
 
             // Evolve each token's hidden state into the next layer.
             for (t, h) in hidden.iter_mut().enumerate() {
@@ -453,6 +498,20 @@ impl Iterator for DecodeStream {
     fn next(&mut self) -> Option<TraceStep> {
         Some(self.next_step())
     }
+}
+
+/// Expands a latent vector to the model's hidden dimension: each repetition
+/// block reuses the latent at a decaying scale, keeping the magnitude in
+/// the ~0.1 range the quantized kernels are exercised with. Deterministic
+/// (no randomness), so token states replay bit-for-bit.
+fn expand_latent(latent: &[f64], hidden: usize) -> Vec<f32> {
+    if latent.is_empty() {
+        return vec![0.0; hidden];
+    }
+    let d = latent.len();
+    (0..hidden)
+        .map(|i| (latent[i % d] * 0.1 / (1 + i / d) as f64) as f32)
+        .collect()
 }
 
 /// One AR(1) step: `h ← ρ·h + sqrt(1-ρ²)·ε` (keeps unit variance).
@@ -585,6 +644,47 @@ mod tests {
         let rec = &t.steps[0].layers[0];
         assert_eq!(rec.routing.tokens(), 32);
         assert_eq!(rec.routing.loads().iter().sum::<u32>(), 32 * 2);
+    }
+
+    #[test]
+    fn token_state_capture_does_not_change_routings() {
+        let m = ModelConfig::tiny_test();
+        let plain = TraceGenerator::new(m.clone(), 33).decode_trace(4);
+        let with = TraceGenerator::new(m.clone(), 33)
+            .with_token_states()
+            .decode_trace(4);
+        assert_eq!(plain.steps.len(), with.steps.len());
+        for (p, w) in plain.steps.iter().zip(with.steps.iter()) {
+            for (pl, wl) in p.layers.iter().zip(w.layers.iter()) {
+                assert_eq!(pl.routing, wl.routing);
+                assert_eq!(pl.predicted, wl.predicted);
+                assert!(pl.states.is_none());
+                let states = wl.states.as_ref().unwrap();
+                assert_eq!(states.tokens() as u32, w.tokens);
+                assert!(states
+                    .inputs
+                    .iter()
+                    .all(|x| x.len() == m.routed_shape.hidden() as usize));
+                // The per-token routes aggregate back to the layer routing.
+                let rebuilt = hybrimoe_model::LayerRouting::from_tokens(
+                    wl.routing.layer(),
+                    m.routed_experts,
+                    &states.routes,
+                );
+                assert_eq!(rebuilt, wl.routing);
+            }
+        }
+    }
+
+    #[test]
+    fn request_captures_states_for_prefill_and_decode() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 35).with_token_states();
+        let (prefill, mut stream) = g.request(8);
+        let states = prefill.layers[0].states.as_ref().unwrap();
+        assert_eq!(states.tokens(), 8);
+        assert!(states.inputs.iter().any(|x| x.iter().any(|v| *v != 0.0)));
+        let step = stream.next_step();
+        assert_eq!(step.layers[0].states.as_ref().unwrap().tokens(), 1);
     }
 
     #[test]

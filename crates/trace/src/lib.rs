@@ -46,4 +46,4 @@ mod trace;
 
 pub use datasets::{Dataset, LengthBucket};
 pub use generator::{DecodeStream, TraceConfig, TraceGenerator};
-pub use trace::{ActivationTrace, LayerRecord, TraceStep};
+pub use trace::{ActivationTrace, LayerRecord, TokenStates, TraceStep};

@@ -1,7 +1,37 @@
 //! Trace data structures.
 
-use hybrimoe_model::LayerRouting;
+use hybrimoe_model::{LayerRouting, RouterOutput};
 use serde::{Deserialize, Serialize};
+
+/// Per-token hidden states and routing decisions at one layer — the
+/// concrete inputs a real-execution backend needs to compute the layer's
+/// numerical output (the analytic simulator only needs the aggregated
+/// [`LayerRouting`]). Produced by
+/// [`TraceGenerator::with_token_states`](crate::TraceGenerator::with_token_states);
+/// deterministic per seed like everything else in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenStates {
+    /// Per-token hidden-state input to the layer, `hidden` floats each,
+    /// in batch order.
+    pub inputs: Vec<Vec<f32>>,
+    /// Per-token routing decisions, same order as `inputs`.
+    pub routes: Vec<RouterOutput>,
+}
+
+impl TokenStates {
+    /// Number of tokens recorded.
+    pub fn tokens(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Appends another batch's states (continuous-batching merge): the
+    /// other step's tokens follow this step's tokens, matching the order
+    /// in which [`LayerRouting::merge`] adds their loads.
+    pub fn merge(&mut self, other: &TokenStates) {
+        self.inputs.extend(other.inputs.iter().cloned());
+        self.routes.extend(other.routes.iter().cloned());
+    }
+}
 
 /// One layer's record within a forward pass: the true routing plus the
 /// predicted routings of the following layers (computed from *this* layer's
@@ -14,6 +44,11 @@ pub struct LayerRecord {
     /// generator's lookahead depth). Predictions use the current hidden
     /// state on the later routers, so their accuracy decays with distance.
     pub predicted: Vec<LayerRouting>,
+    /// Per-token hidden states and routes for real execution, when the
+    /// trace was generated with
+    /// [`TraceGenerator::with_token_states`](crate::TraceGenerator::with_token_states).
+    /// `None` for simulation-only traces.
+    pub states: Option<TokenStates>,
 }
 
 /// One forward pass: a single decode token or one prefill batch.
@@ -67,6 +102,11 @@ impl TraceStep {
                 );
                 for (p, q) in dst.predicted.iter_mut().zip(src.predicted.iter()) {
                     p.merge(q);
+                }
+                match (&mut dst.states, &src.states) {
+                    (Some(d), Some(s)) => d.merge(s),
+                    (None, None) => {}
+                    _ => panic!("merging steps with and without token states"),
                 }
             }
         }
@@ -138,6 +178,7 @@ mod tests {
                 layers: vec![LayerRecord {
                     routing: LayerRouting::from_parts(LayerId(0), 1, vec![1, 0], vec![0.9, 0.1]),
                     predicted: Vec::new(),
+                    states: None,
                 }],
             }],
         }
@@ -172,6 +213,7 @@ mod tests {
                     vec![0, load],
                     vec![0.5, 0.5],
                 )],
+                states: None,
             }],
         };
         let (a, b) = (step(1), step(2));
@@ -192,5 +234,49 @@ mod tests {
     #[should_panic(expected = "zero trace steps")]
     fn merge_rejects_empty() {
         let _ = TraceStep::merge(&[]);
+    }
+
+    fn step_with_states(value: f32) -> TraceStep {
+        TraceStep {
+            tokens: 1,
+            layers: vec![LayerRecord {
+                routing: LayerRouting::from_parts(LayerId(0), 1, vec![1, 0], vec![0.9, 0.1]),
+                predicted: Vec::new(),
+                states: Some(TokenStates {
+                    inputs: vec![vec![value; 4]],
+                    routes: vec![RouterOutput::route(&[1.0, 0.0], 1)],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_token_states_in_part_order() {
+        let (a, b) = (step_with_states(0.1), step_with_states(0.2));
+        let merged = TraceStep::merge(&[&a, &b]);
+        let states = merged.layers[0].states.as_ref().unwrap();
+        assert_eq!(states.tokens(), 2);
+        assert_eq!(states.inputs[0], vec![0.1; 4]);
+        assert_eq!(states.inputs[1], vec![0.2; 4]);
+        assert_eq!(states.routes.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "with and without token states")]
+    fn merge_rejects_mixed_state_presence() {
+        let a = step_with_states(0.1);
+        let b = tiny_trace().steps.remove(0);
+        let _ = TraceStep::merge(&[&a, &b]);
+    }
+
+    #[test]
+    fn states_survive_json_round_trip() {
+        let t = ActivationTrace {
+            model_name: "t".to_owned(),
+            seed: 1,
+            steps: vec![step_with_states(0.3)],
+        };
+        let json = t.to_json().unwrap();
+        assert_eq!(ActivationTrace::from_json(&json).unwrap(), t);
     }
 }
