@@ -1,0 +1,157 @@
+//! CI perf-regression gate: re-runs the serving sweep and diffs it against
+//! the committed `BENCH_serve.json` snapshot.
+//!
+//! ```text
+//! cargo run -p hybrimoe_bench --release --bin bench_check                 # gate vs BENCH_serve.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --baseline x.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --fresh serve_bench.json
+//! ```
+//!
+//! `--fresh <path>` reuses an already-computed sweep JSON (e.g. the
+//! artifact the CI smoke job's `serve_bench --json --out` step just
+//! wrote) instead of re-running the whole sweep — the sweep is
+//! deterministic, so the two are interchangeable.
+//!
+//! The gate fails (exit code 1) if HybriMoE's decode throughput at cache
+//! ratio 0.25 drops more than [`TOLERANCE`] below the snapshot on any
+//! swept arrival rate (at any swept GPU count). The simulation is
+//! deterministic, so on an unchanged engine the fresh run reproduces the
+//! snapshot exactly; a failure means a code change slowed the modeled
+//! system down — refresh the snapshot deliberately with
+//! `serve_bench --json --out BENCH_serve.json` if the regression is
+//! intended and justified.
+//!
+//! Gate points present in the fresh sweep but absent from the snapshot are
+//! reported and tolerated (they appear when the sweep grows an axis);
+//! snapshot gate points missing from the fresh sweep fail the gate (the
+//! sweep silently shrank).
+
+use hybrimoe_bench::{serve_sweep, ServeLoad, ServeRow, SEED};
+use hybrimoe_model::ModelConfig;
+
+/// Maximum tolerated relative throughput drop at a gate point.
+const TOLERANCE: f64 = 0.15;
+
+/// The cache ratio the gate watches (the paper's tight memory point).
+const GATE_RATIO: f64 = 0.25;
+
+/// The framework the gate protects.
+const GATE_FRAMEWORK: &str = "HybriMoE";
+
+/// A gate point's identity within the sweep.
+fn gate_key(row: &ServeRow) -> Option<(u64, usize)> {
+    if row.framework != GATE_FRAMEWORK || row.summary.cache_ratio != GATE_RATIO {
+        return None;
+    }
+    // Arrival rates are exact f64 constants shared by both sides; key on
+    // bits to avoid float-compare pitfalls.
+    Some((
+        row.summary.arrival_rate_per_sec.to_bits(),
+        row.summary.num_gpus,
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let raw = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline: Vec<ServeRow> = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot parse baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "bench_check: gating {GATE_FRAMEWORK} throughput at ratio {GATE_RATIO} \
+         (tolerance -{:.0}%) against {baseline_path}",
+        TOLERANCE * 100.0
+    );
+    let fresh_path = args
+        .iter()
+        .position(|a| a == "--fresh")
+        .and_then(|i| args.get(i + 1).cloned());
+    let fresh: Vec<ServeRow> = match fresh_path {
+        Some(path) => {
+            println!("bench_check: reusing fresh sweep from {path}");
+            let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("bench_check: cannot read fresh sweep {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str(&raw).unwrap_or_else(|e| {
+                eprintln!("bench_check: cannot parse fresh sweep {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => serve_sweep(&ModelConfig::deepseek(), ServeLoad::default(), SEED),
+    };
+
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for row in fresh.iter().filter(|r| gate_key(r).is_some()) {
+        let key = gate_key(row).expect("filtered");
+        let Some(base) = baseline.iter().find(|b| gate_key(b) == Some(key)) else {
+            println!(
+                "  new gate point (not in snapshot): rate {:.1}/s, {} GPU(s) -> {:.2} tok/s",
+                row.summary.arrival_rate_per_sec,
+                row.summary.num_gpus,
+                row.summary.output_tokens_per_sec
+            );
+            continue;
+        };
+        compared += 1;
+        let was = base.summary.output_tokens_per_sec;
+        let now = row.summary.output_tokens_per_sec;
+        let delta = if was > 0.0 { now / was - 1.0 } else { 0.0 };
+        let verdict = if now < was * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "rate {:.1}/s, {} GPU(s): {now:.2} tok/s is {:.1}% below snapshot {was:.2}",
+                row.summary.arrival_rate_per_sec,
+                row.summary.num_gpus,
+                -delta * 100.0
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  rate {:.1}/s, {} GPU(s): snapshot {was:>8.2} tok/s, fresh {now:>8.2} tok/s \
+             ({:+.1}%) {verdict}",
+            row.summary.arrival_rate_per_sec,
+            row.summary.num_gpus,
+            delta * 100.0
+        );
+    }
+
+    // Snapshot gate points the fresh sweep no longer covers: the sweep
+    // shrank, which would silently disarm the gate.
+    for base in baseline.iter().filter(|b| gate_key(b).is_some()) {
+        let key = gate_key(base).expect("filtered");
+        if !fresh.iter().any(|r| gate_key(r) == Some(key)) {
+            failures.push(format!(
+                "gate point rate {:.1}/s, {} GPU(s) vanished from the sweep",
+                base.summary.arrival_rate_per_sec, base.summary.num_gpus
+            ));
+        }
+    }
+
+    if compared == 0 && failures.is_empty() {
+        eprintln!("bench_check: snapshot has no gate points; refresh BENCH_serve.json");
+        std::process::exit(2);
+    }
+    if failures.is_empty() {
+        println!("bench_check: {compared} gate point(s) within tolerance");
+    } else {
+        eprintln!("bench_check: FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

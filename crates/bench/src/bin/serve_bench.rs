@@ -1,6 +1,6 @@
 //! Continuous-batching serving benchmark: sweeps arrival rate × cache
-//! ratio × framework and reports per-request latency percentiles and
-//! aggregate throughput.
+//! ratio × GPU count × framework and reports per-request latency
+//! percentiles and aggregate throughput.
 //!
 //! ```text
 //! cargo run -p hybrimoe_bench --release --bin serve_bench                        # table + JSON
@@ -10,30 +10,14 @@
 //!
 //! The JSON (last line block of stdout, and the `--out` file when given) is
 //! an array with one object per experiment, suitable for cross-PR trend
-//! tracking; `BENCH_serve.json` at the repo root is the committed snapshot.
+//! tracking; `BENCH_serve.json` at the repo root is the committed snapshot
+//! that the `bench_check` CI gate diffs fresh runs against.
 
 use hybrimoe::report::serve_table;
 use hybrimoe::serve::ServeSummary;
 use hybrimoe::Framework;
-use hybrimoe_bench::{run_serve, ServeLoad, SEED};
+use hybrimoe_bench::{serve_sweep, ServeLoad, ServeRow, SEED, SERVE_ARRIVAL_RATES};
 use hybrimoe_model::ModelConfig;
-use serde::{Deserialize, Serialize};
-
-/// Arrival rates of the sweep, in requests per second.
-const ARRIVAL_RATES: [f64; 3] = [2.0, 5.0, 10.0];
-
-/// Cache ratios of the sweep (the paper's tight and middle points).
-const CACHE_RATIOS: [f64; 2] = [0.25, 0.50];
-
-/// Frameworks compared.
-const FRAMEWORKS: [Framework; 2] = [Framework::KTransformers, Framework::HybriMoe];
-
-/// One row of the sweep output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct ServeRow {
-    framework: String,
-    summary: ServeSummary,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -58,18 +42,7 @@ fn main() {
         );
     }
 
-    let mut rows: Vec<ServeRow> = Vec::new();
-    for rate in ARRIVAL_RATES {
-        for ratio in CACHE_RATIOS {
-            for framework in FRAMEWORKS {
-                let report = run_serve(framework, &model, ratio, rate, load, SEED);
-                rows.push(ServeRow {
-                    framework: framework.to_string(),
-                    summary: report.summary(),
-                });
-            }
-        }
-    }
+    let rows: Vec<ServeRow> = serve_sweep(&model, load, SEED);
 
     if !json_only {
         let table_rows: Vec<(String, ServeSummary)> = rows
@@ -77,21 +50,35 @@ fn main() {
             .map(|r| (r.framework.clone(), r.summary.clone()))
             .collect();
         println!("{}", serve_table(&table_rows));
-        for rate in ARRIVAL_RATES {
-            let pick = |f: Framework| {
-                rows.iter()
-                    .find(|r| {
-                        r.framework == f.to_string()
-                            && r.summary.cache_ratio == 0.25
-                            && (r.summary.arrival_rate_per_sec - rate).abs() < 1e-9
-                    })
-                    .expect("sweep covers this point")
-            };
-            let h = pick(Framework::HybriMoe);
-            let k = pick(Framework::KTransformers);
+        let pick = |f: Framework, rate: f64, gpus: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.framework == f.to_string()
+                        && r.summary.cache_ratio == 0.25
+                        && r.summary.num_gpus == gpus
+                        && (r.summary.arrival_rate_per_sec - rate).abs() < 1e-9
+                })
+                .expect("sweep covers this point")
+        };
+        for rate in SERVE_ARRIVAL_RATES {
+            let h = pick(Framework::HybriMoe, rate, 1);
+            let k = pick(Framework::KTransformers, rate, 1);
             println!(
-                "rate {rate:>4.1}/s @ ratio 0.25: HybriMoE {:.1} tok/s vs KTransformers {:.1} tok/s",
+                "rate {rate:>4.1}/s @ ratio 0.25, 1 GPU: HybriMoE {:.1} tok/s vs \
+                 KTransformers {:.1} tok/s",
                 h.summary.output_tokens_per_sec, k.summary.output_tokens_per_sec
+            );
+        }
+        for rate in SERVE_ARRIVAL_RATES {
+            let g1 = pick(Framework::HybriMoe, rate, 1);
+            let g2 = pick(Framework::HybriMoe, rate, 2);
+            let g4 = pick(Framework::HybriMoe, rate, 4);
+            println!(
+                "rate {rate:>4.1}/s @ ratio 0.25, HybriMoE sharding: 1 GPU {:.1} | 2 GPUs {:.1} \
+                 | 4 GPUs {:.1} tok/s",
+                g1.summary.output_tokens_per_sec,
+                g2.summary.output_tokens_per_sec,
+                g4.summary.output_tokens_per_sec
             );
         }
         println!();

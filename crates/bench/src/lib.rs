@@ -20,10 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim, ServeSummary};
 use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
 use hybrimoe_model::ModelConfig;
 use hybrimoe_trace::TraceGenerator;
+use serde::{Deserialize, Serialize};
 
 /// Number of decode steps used by the decode experiments.
 pub const DECODE_STEPS: usize = 32;
@@ -34,6 +35,19 @@ pub const CACHE_RATIOS: [f64; 3] = [0.25, 0.50, 0.75];
 /// The default measurement seed (printed by every binary for
 /// reproducibility).
 pub const SEED: u64 = 0x5EED_2025;
+
+/// Arrival rates of the serving sweep, in requests per second.
+pub const SERVE_ARRIVAL_RATES: [f64; 3] = [2.0, 5.0, 10.0];
+
+/// Cache ratios of the serving sweep (the paper's tight and middle
+/// points).
+pub const SERVE_CACHE_RATIOS: [f64; 2] = [0.25, 0.50];
+
+/// GPU counts of the serving sweep (expert sharding across shards).
+pub const SERVE_GPU_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Frameworks compared by the serving sweep.
+pub const SERVE_FRAMEWORKS: [Framework; 2] = [Framework::KTransformers, Framework::HybriMoe];
 
 /// Runs a decode stage for `framework` and returns its metrics.
 ///
@@ -128,8 +142,33 @@ pub fn run_serve(
     load: ServeLoad,
     seed: u64,
 ) -> ServeReport {
+    run_serve_gpus(
+        framework,
+        model,
+        cache_ratio,
+        arrival_rate_per_sec,
+        load,
+        seed,
+        1,
+    )
+}
+
+/// Runs one continuous-batching serving experiment on a platform with
+/// `num_gpus` GPU shards.
+#[allow(clippy::too_many_arguments)]
+pub fn run_serve_gpus(
+    framework: Framework,
+    model: &ModelConfig,
+    cache_ratio: f64,
+    arrival_rate_per_sec: f64,
+    load: ServeLoad,
+    seed: u64,
+    num_gpus: usize,
+) -> ServeReport {
     ServeSim::new(ServeConfig {
-        engine: EngineConfig::preset(framework, model.clone(), cache_ratio).with_seed(seed),
+        engine: EngineConfig::preset(framework, model.clone(), cache_ratio)
+            .with_seed(seed)
+            .with_num_gpus(num_gpus),
         arrivals: ArrivalProcess::per_second(arrival_rate_per_sec, load.poisson),
         requests: load.requests,
         prompt_tokens: load.prompt_tokens,
@@ -138,6 +177,39 @@ pub fn run_serve(
         seed,
     })
     .run()
+}
+
+/// One row of the serving sweep: a framework label plus the experiment's
+/// aggregate summary (which carries rate, ratio and GPU count).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Framework label (`Framework::to_string`).
+    pub framework: String,
+    /// Aggregate metrics of the experiment.
+    pub summary: ServeSummary,
+}
+
+/// Runs the full serving sweep (arrival rate × cache ratio × GPU count ×
+/// framework) that `serve_bench` reports and `bench_check` gates. The
+/// sweep is deterministic: same model, load and seed give bit-identical
+/// rows.
+pub fn serve_sweep(model: &ModelConfig, load: ServeLoad, seed: u64) -> Vec<ServeRow> {
+    let mut rows = Vec::new();
+    for rate in SERVE_ARRIVAL_RATES {
+        for ratio in SERVE_CACHE_RATIOS {
+            for num_gpus in SERVE_GPU_COUNTS {
+                for framework in SERVE_FRAMEWORKS {
+                    let report =
+                        run_serve_gpus(framework, model, ratio, rate, load, seed, num_gpus);
+                    rows.push(ServeRow {
+                        framework: framework.to_string(),
+                        summary: report.summary(),
+                    });
+                }
+            }
+        }
+    }
+    rows
 }
 
 /// Runs a decode stage for an explicit configuration (ablations).

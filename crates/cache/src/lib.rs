@@ -14,7 +14,10 @@
 //!
 //! The [`ExpertCache`] container tracks which experts are resident in GPU
 //! memory, supports pinning (shared experts are never evicted), and records
-//! hit/miss/eviction statistics.
+//! hit/miss/eviction statistics. On multi-GPU platforms a
+//! [`ShardedExpertCache`] keeps one cache (and one policy instance) per
+//! GPU shard, routed by the expert→shard affinity map, so residency and
+//! score estimates stay device-local.
 //!
 //! ## Example
 //!
@@ -44,6 +47,7 @@ mod mrs;
 mod policy;
 #[cfg(test)]
 mod policy_tests;
+mod sharded;
 mod stats;
 
 pub use cache::{ExpertCache, InsertOutcome};
@@ -51,4 +55,5 @@ pub use lfu::Lfu;
 pub use lru::Lru;
 pub use mrs::Mrs;
 pub use policy::CachePolicy;
+pub use sharded::ShardedExpertCache;
 pub use stats::CacheStats;

@@ -23,7 +23,8 @@
 
 use std::time::Duration;
 
-use hybrimoe_hw::{CalibrationProfile, Device, PlanExecutor, SimDuration};
+use hybrimoe_hw::{device_count, CalibrationProfile, Device, PlanExecutor, SimDuration};
+use hybrimoe_model::shard_of;
 use hybrimoe_model::LayerId;
 use hybrimoe_sched::{ScheduleContext, SchedulePlan};
 use hybrimoe_trace::TokenStates;
@@ -46,12 +47,14 @@ pub struct LayerRequest<'a> {
 }
 
 /// What executing one layer cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayerOutcome {
-    /// End-to-end time of the layer's MoE portion.
+    /// End-to-end time of the layer's MoE portion: the maximum finish time
+    /// over every device timeline.
     pub makespan: SimDuration,
-    /// Busy time per device (canonical order CPU, GPU, PCIe).
-    pub busy: [SimDuration; 3],
+    /// Busy time per device in canonical order (`CPU, GPU0.., PCIE0..`);
+    /// length `1 + 2 * num_gpus` of the scheduling context.
+    pub busy: Vec<SimDuration>,
 }
 
 /// Executes scheduled layers: analytically (simulation) or for real.
@@ -100,15 +103,12 @@ impl ExecutionBackend for SimBackend {
 
     fn execute_layer(&mut self, request: &LayerRequest<'_>) -> LayerOutcome {
         let executed = PlanExecutor::new()
+            .with_gpus(request.ctx.num_gpus.max(1))
             .execute(request.plan.to_ops(request.ctx))
             .expect("plans lower to acyclic ops");
-        let mut busy = [SimDuration::ZERO; 3];
-        for d in Device::ALL {
-            busy[d.index()] = executed.timelines.get(d).busy_time();
-        }
         LayerOutcome {
             makespan: executed.makespan,
-            busy,
+            busy: executed.timelines.busy_times(),
         }
     }
 }
@@ -215,20 +215,31 @@ impl ExecutionBackend for RealCpuBackend {
         }
         self.measured.wall += out.cpu_wall;
 
-        // PCIe stays analytic — this environment has no real link.
+        // PCIe stays analytic — this environment has no real link. Each
+        // transfer rides the lane of its target shard.
+        let n = request.ctx.num_gpus.max(1);
         let wire = request.plan.transfer_profile.unwrap_or(profile);
-        let mut pcie = SimDuration::ZERO;
-        for _ in &request.plan.pcie_order {
-            pcie += request.ctx.cost.transfer(&wire);
+        let mut pcie = vec![SimDuration::ZERO; n];
+        for x in &request.plan.pcie_order {
+            pcie[shard_of(x.expert, n)] += request.ctx.cost.transfer(&wire);
         }
 
+        // Busy vector in canonical order: CPU, each GPU shard's measured
+        // wall (shards run concurrently on real hardware, so the makespan
+        // takes the max shard), each PCIe lane's analytic time.
         let cpu = SimDuration::from_secs_f64(out.cpu_wall.as_secs_f64());
-        let gpu = SimDuration::from_secs_f64(out.gpu_wall.as_secs_f64());
-        self.outputs.push(out);
-        LayerOutcome {
-            makespan: cpu.max(gpu).max(pcie),
-            busy: [cpu, gpu, pcie],
+        let mut busy = vec![SimDuration::ZERO; device_count(n)];
+        busy[Device::Cpu.ordinal(n)] = cpu;
+        let mut makespan = cpu;
+        for g in 0..n {
+            let wall = out.gpu_walls.get(g).copied().unwrap_or_default();
+            let gpu = SimDuration::from_secs_f64(wall.as_secs_f64());
+            busy[Device::gpu(g as u8).ordinal(n)] = gpu;
+            busy[Device::pcie(g as u8).ordinal(n)] = pcie[g];
+            makespan = makespan.max(gpu).max(pcie[g]);
         }
+        self.outputs.push(out);
+        LayerOutcome { makespan, busy }
     }
 
     fn begin_step(&mut self) {
@@ -301,12 +312,7 @@ mod tests {
             states: None,
         });
         assert_eq!(outcome.makespan, executed.makespan);
-        for d in Device::ALL {
-            assert_eq!(
-                outcome.busy[d.index()],
-                executed.timelines.get(d).busy_time()
-            );
-        }
+        assert_eq!(outcome.busy, executed.timelines.busy_times());
     }
 
     #[test]

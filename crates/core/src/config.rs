@@ -229,6 +229,12 @@ pub struct EngineConfig {
     /// Bounding the queue keeps prefetches from going stale; `0` disables
     /// background transfers entirely (on-demand transfers still happen).
     pub max_inflight: usize,
+    /// Number of GPU shards. Experts are distributed across the GPUs by the
+    /// static affinity map ([`shard_of`](hybrimoe_model::shard_of)): each
+    /// GPU owns a cache shard and a PCIe lane, and the scheduler fills all
+    /// device timelines by minimum completion time. `1` reproduces the
+    /// paper's single-GPU system exactly.
+    pub num_gpus: usize,
     /// Which execution backend runs the schedules (analytic simulation by
     /// default).
     pub backend: BackendKind,
@@ -260,6 +266,7 @@ impl EngineConfig {
             mrs_alpha: 0.3,
             seed: 0xB0B,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            num_gpus: 1,
             backend: BackendKind::Sim,
             real_exec: RealExecOptions::default(),
         };
@@ -297,8 +304,10 @@ impl EngineConfig {
         }
     }
 
-    /// Overrides the platform (default: the paper's A6000 + Xeon).
+    /// Overrides the platform (default: the paper's A6000 + Xeon) and
+    /// adopts its GPU count.
     pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.num_gpus = platform.num_gpus.max(1);
         self.platform = platform;
         self
     }
@@ -344,6 +353,18 @@ impl EngineConfig {
     /// background transfers).
     pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
         self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Overrides the GPU count (expert sharding across identical GPUs).
+    /// Keeps the platform description in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero or exceeds 64.
+    pub fn with_num_gpus(mut self, num_gpus: usize) -> Self {
+        self.platform = self.platform.with_gpus(num_gpus);
+        self.num_gpus = num_gpus;
         self
     }
 
@@ -429,6 +450,19 @@ mod tests {
         ] {
             assert!(!c.build(0.3).name().is_empty());
         }
+    }
+
+    #[test]
+    fn num_gpus_defaults_to_one_and_syncs_platform() {
+        let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5);
+        assert_eq!(c.num_gpus, 1);
+        assert_eq!(c.platform.num_gpus, 1);
+        let multi = c.clone().with_num_gpus(4);
+        assert_eq!(multi.num_gpus, 4);
+        assert_eq!(multi.platform.num_gpus, 4);
+        // with_platform adopts the platform's GPU count.
+        let adopted = c.with_platform(Platform::test_round_numbers().with_gpus(2));
+        assert_eq!(adopted.num_gpus, 2);
     }
 
     #[test]

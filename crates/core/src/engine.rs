@@ -2,9 +2,11 @@
 
 use std::collections::VecDeque;
 
-use hybrimoe_cache::{CacheStats, ExpertCache};
-use hybrimoe_hw::{AffineCostModel, CalibrationProfile, CostModel, Device, SimDuration};
-use hybrimoe_model::{ExpertKey, LayerId};
+use hybrimoe_cache::{CacheStats, ShardedExpertCache};
+use hybrimoe_hw::{
+    device_count, AffineCostModel, CalibrationProfile, CostModel, Device, SimDuration,
+};
+use hybrimoe_model::{shard_of, ExpertKey, LayerId};
 use hybrimoe_sched::{
     ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, ScheduleScratch,
     Scheduler,
@@ -66,7 +68,7 @@ use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
 pub struct Engine {
     config: EngineConfig,
     cost: AffineCostModel,
-    cache: ExpertCache,
+    cache: ShardedExpertCache,
     scheduler: Box<dyn Scheduler>,
     prefetcher: Box<dyn Prefetcher>,
     /// Executes each layer's schedule: analytic simulation or real kernels
@@ -109,8 +111,11 @@ impl Engine {
     pub fn cold(config: EngineConfig) -> Engine {
         let cost = AffineCostModel::from_platform(&config.platform);
         let capacity = config.cache_capacity();
-        let policy = config.cache_policy.build(config.mrs_alpha);
-        let cache = ExpertCache::new(capacity, policy);
+        // One cache shard (and one policy instance) per GPU: residency and
+        // score estimates are device-local under the affinity map.
+        let cache = ShardedExpertCache::new(capacity, config.num_gpus.max(1), || {
+            config.cache_policy.build(config.mrs_alpha)
+        });
 
         Engine {
             scheduler: config.scheduler.build(),
@@ -170,8 +175,8 @@ impl Engine {
         &self.config
     }
 
-    /// The current cache (resident set and statistics).
-    pub fn cache(&self) -> &ExpertCache {
+    /// The current cache shards (resident sets and statistics).
+    pub fn cache(&self) -> &ShardedExpertCache {
         &self.cache
     }
 
@@ -261,9 +266,10 @@ impl Engine {
         let attn_profile = self.config.model.attention_profile();
         let k = self.config.model.activated_experts;
         let max_inflight = self.config.max_inflight;
+        let num_gpus = self.config.num_gpus.max(1);
 
         let mut latency = SimDuration::ZERO;
-        let mut busy = [SimDuration::ZERO; 3];
+        let mut busy = vec![SimDuration::ZERO; device_count(num_gpus)];
         let mut cpu_experts = 0u32;
         let mut gpu_experts = 0u32;
         let mut demand_transfers = 0u32;
@@ -286,11 +292,15 @@ impl Engine {
             } else {
                 self.cost.cpu_compute(&attn_profile, tokens, false)
             };
-            busy[if attn_on_gpu {
-                Device::Gpu.index()
+            // Attention (and the other non-MoE work) runs on GPU 0: it is
+            // not expert-sharded, so it stays on the shard holding the
+            // pinned shared experts.
+            let attn_device = if attn_on_gpu {
+                Device::gpu(0)
             } else {
-                Device::Cpu.index()
-            }] += attn_time;
+                Device::Cpu
+            };
+            busy[attn_device.ordinal(num_gpus)] += attn_time;
 
             // 3. Cache lookups define the task set; the activated experts
             // are also the protected set (never evicted while in flight).
@@ -314,7 +324,8 @@ impl Engine {
                 routed_profile,
                 shared_profile,
                 &self.cost,
-            );
+            )
+            .with_gpus(num_gpus);
             let plan = self.scheduler.schedule(&ctx);
             debug_assert_eq!(plan.validate(tasks), Ok(()), "invalid plan from scheduler");
             let outcome = self.backend.execute_layer(&LayerRequest {
@@ -328,8 +339,9 @@ impl Engine {
             cpu_experts += plan.cpu_order.len() as u32;
             gpu_experts += plan.gpu_order.len() as u32;
             demand_transfers += plan.pcie_order.len() as u32;
-            for d in Device::ALL {
-                busy[d.index()] += outcome.busy[d.index()];
+            debug_assert_eq!(outcome.busy.len(), busy.len());
+            for (acc, b) in busy.iter_mut().zip(outcome.busy.iter()) {
+                *acc += *b;
             }
 
             // 5. On-demand transfers become resident (may evict per policy,
@@ -356,13 +368,19 @@ impl Engine {
 
             // 6. Idle PCIe time advances background transfers (prefetches
             // and cache refills), which pipeline across layer boundaries.
-            let pcie_busy = outcome.busy[Device::Pcie.index()];
+            // The budget is the idle time of the *busiest* lane — a single
+            // conservative window shared by the FIFO background queue
+            // (identical to the single-lane budget when `num_gpus` is 1).
+            let pcie_busy = (0..num_gpus)
+                .map(|g| outcome.busy[Device::pcie(g as u8).ordinal(num_gpus)])
+                .fold(SimDuration::ZERO, SimDuration::max);
             let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
             let transfer_time = self.cost.transfer(&routed_profile);
 
             budget = drain_inflight(
                 &mut self.inflight,
                 &mut self.cache,
+                num_gpus,
                 budget,
                 evict_ok,
                 protect,
@@ -383,6 +401,7 @@ impl Engine {
                     routed_profile,
                     shared_profile,
                     cost: &self.cost,
+                    num_gpus,
                 };
                 for key in self.prefetcher.plan(&pctx) {
                     enqueue_background(
@@ -425,6 +444,7 @@ impl Engine {
             drain_inflight(
                 &mut self.inflight,
                 &mut self.cache,
+                num_gpus,
                 budget,
                 evict_ok,
                 protect,
@@ -463,29 +483,32 @@ impl Engine {
 
 /// Spends idle PCIe `budget` on the in-flight background transfers;
 /// completed ones become resident (evicting per policy only when
-/// `evict_ok`; prefill passes insert into free slots only). Returns the
-/// leftover budget.
+/// `evict_ok`; prefill passes insert into free slots only). Each transfer
+/// occupies the PCIe lane of its target expert's affinity shard. Returns
+/// the leftover budget.
 #[allow(clippy::too_many_arguments)]
 fn drain_inflight(
     inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
-    cache: &mut ExpertCache,
+    cache: &mut ShardedExpertCache,
+    num_gpus: usize,
     mut budget: SimDuration,
     evict_ok: bool,
     protect: &[ExpertKey],
-    busy: &mut [SimDuration; 3],
+    busy: &mut [SimDuration],
     prefetches: &mut u32,
 ) -> SimDuration {
     while budget > SimDuration::ZERO {
         let Some((key, remaining)) = inflight.front_mut() else {
             break;
         };
+        let lane = Device::pcie(shard_of(key.expert, num_gpus) as u8).ordinal(num_gpus);
         if *remaining > budget {
             *remaining -= budget;
-            busy[Device::Pcie.index()] += budget;
+            busy[lane] += budget;
             return SimDuration::ZERO;
         }
         budget -= *remaining;
-        busy[Device::Pcie.index()] += *remaining;
+        busy[lane] += *remaining;
         let key = *key;
         inflight.pop_front();
         let outcome = if evict_ok {
@@ -504,7 +527,7 @@ fn drain_inflight(
 /// already queued, or the queue is full.
 fn enqueue_background(
     inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
-    cache: &ExpertCache,
+    cache: &ShardedExpertCache,
     max_inflight: usize,
     key: ExpertKey,
     transfer_time: SimDuration,
@@ -520,7 +543,10 @@ fn enqueue_background(
 
 /// Converts a record's predicted routings into prefetch inputs with
 /// current cache residency.
-fn build_lookahead(cache: &ExpertCache, rec: &hybrimoe_trace::LayerRecord) -> Vec<PredictedLayer> {
+fn build_lookahead(
+    cache: &ShardedExpertCache,
+    rec: &hybrimoe_trace::LayerRecord,
+) -> Vec<PredictedLayer> {
     rec.predicted
         .iter()
         .map(|routing| {
@@ -548,10 +574,10 @@ fn build_lookahead(cache: &ExpertCache, rec: &hybrimoe_trace::LayerRecord) -> Ve
 /// evicted experts are the drifted residents — never the placement keys
 /// inserted moments earlier, which a score-based policy would otherwise
 /// rank lowest. On a cold cache this is identical to plain insertion.
-fn apply_placement(cache: &mut ExpertCache, placement: &[ExpertKey], pin: bool) {
+fn apply_placement(cache: &mut ShardedExpertCache, placement: &[ExpertKey], pin: bool) {
     for key in placement {
-        cache.insert_protected(*key, placement);
-        if pin {
+        let outcome = cache.insert_protected(*key, placement);
+        if pin && outcome.is_resident() {
             cache.pin(*key);
         }
     }
@@ -559,7 +585,7 @@ fn apply_placement(cache: &mut ExpertCache, placement: &[ExpertKey], pin: bool) 
 
 /// Initial placement: fill per-layer quotas with the experts that were
 /// activated most often in a short warmup trace.
-fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
+fn place_by_frequency(cache: &mut ShardedExpertCache, config: &EngineConfig) {
     let model = &config.model;
     let capacity = cache.capacity();
     if capacity == 0 {
@@ -578,21 +604,32 @@ fn place_by_frequency(cache: &mut ExpertCache, config: &EngineConfig) {
         }
     }
 
-    // Even per-layer quotas; earlier layers absorb the remainder.
-    let base = capacity / layers;
-    let remainder = capacity % layers;
+    // Fill each shard's own capacity with even per-layer quotas (earlier
+    // layers absorb the remainder), ranking only the shard's experts: the
+    // affinity map fixes which shard an expert may live on, so a
+    // shard-blind global selection would overfill some shards (dropping
+    // their most frequent experts) while leaving others with free slots.
+    // With one shard this is exactly the flat per-layer quota fill.
+    let num_shards = cache.num_shards();
     let mut placement: Vec<ExpertKey> = Vec::with_capacity(capacity);
-    for l in 0..layers {
-        let quota = base + usize::from(l < remainder);
-        let mut ranked: Vec<(u32, u16)> = (0..experts)
-            .map(|e| (counts[l * experts + e], e as u16))
-            .collect();
-        ranked.sort_by_key(|(c, e)| (std::cmp::Reverse(*c), *e));
-        for (_, e) in ranked.into_iter().take(quota.min(experts)) {
-            placement.push(ExpertKey::new(
-                LayerId(l as u16),
-                hybrimoe_model::ExpertId(e),
-            ));
+    for s in 0..num_shards {
+        let shard_capacity = cache.shard(s).capacity();
+        let base = shard_capacity / layers;
+        let remainder = shard_capacity % layers;
+        for l in 0..layers {
+            let quota = base + usize::from(l < remainder);
+            let mut ranked: Vec<(u32, u16)> = (0..experts)
+                .filter(|e| shard_of(hybrimoe_model::ExpertId(*e as u16), num_shards) == s)
+                .map(|e| (counts[l * experts + e], e as u16))
+                .collect();
+            ranked.sort_by_key(|(c, e)| (std::cmp::Reverse(*c), *e));
+            let available = ranked.len();
+            for (_, e) in ranked.into_iter().take(quota.min(available)) {
+                placement.push(ExpertKey::new(
+                    LayerId(l as u16),
+                    hybrimoe_model::ExpertId(e),
+                ));
+            }
         }
     }
     apply_placement(cache, &placement, config.pinned);
@@ -660,9 +697,9 @@ mod tests {
     fn pinned_frameworks_keep_their_placement() {
         let trace = tiny_trace(5, 8);
         let mut e = tiny_engine(Framework::KTransformers, 0.25);
-        let before: Vec<ExpertKey> = e.cache().resident_keys().collect();
+        let before: Vec<ExpertKey> = e.cache().resident_keys();
         e.run(&trace);
-        let after: Vec<ExpertKey> = e.cache().resident_keys().collect();
+        let after: Vec<ExpertKey> = e.cache().resident_keys();
         assert_eq!(before, after);
     }
 

@@ -11,16 +11,38 @@ pub struct StepMetrics {
     pub tokens: u32,
     /// End-to-end latency of the step.
     pub latency: SimDuration,
-    /// Busy time per device (canonical order CPU, GPU, PCIe).
-    pub device_busy: [SimDuration; 3],
+    /// Busy time per device in canonical order (`CPU, GPU0.., PCIE0..`);
+    /// length `1 + 2 * num_gpus`.
+    pub device_busy: Vec<SimDuration>,
     /// Experts computed on the CPU.
     pub cpu_experts: u32,
-    /// Experts computed on the GPU.
+    /// Experts computed on the GPUs.
     pub gpu_experts: u32,
     /// Experts transferred on demand within layers.
     pub demand_transfers: u32,
     /// Experts prefetched for later layers.
     pub prefetches: u32,
+}
+
+impl StepMetrics {
+    /// The GPU count implied by the busy-vector layout.
+    pub fn num_gpus(&self) -> usize {
+        (self.device_busy.len().saturating_sub(1) / 2).max(1)
+    }
+
+    /// Busy time of one device during the step (zero for devices outside
+    /// the platform).
+    pub fn busy(&self, device: Device) -> SimDuration {
+        let n = self.num_gpus();
+        match device.gpu_id() {
+            Some(g) if (g.0 as usize) >= n => SimDuration::ZERO,
+            _ => self
+                .device_busy
+                .get(device.ordinal(n))
+                .copied()
+                .unwrap_or(SimDuration::ZERO),
+        }
+    }
 }
 
 /// Metrics of a whole stage (a prefill pass or a decode sequence).
@@ -79,15 +101,12 @@ impl StageMetrics {
     }
 
     /// Mean utilization of `device` across steps (busy time over latency).
+    /// Devices outside the platform report zero.
     pub fn utilization(&self, device: Device) -> f64 {
         if self.total == SimDuration::ZERO {
             return 0.0;
         }
-        let busy: SimDuration = self
-            .steps
-            .iter()
-            .map(|s| s.device_busy[device.index()])
-            .sum();
+        let busy: SimDuration = self.steps.iter().map(|s| s.busy(device)).sum();
         busy.as_nanos() as f64 / self.total.as_nanos() as f64
     }
 
@@ -96,7 +115,7 @@ impl StageMetrics {
         self.steps.iter().map(|s| s.cpu_experts as u64).sum()
     }
 
-    /// Total experts computed on the GPU.
+    /// Total experts computed on the GPUs.
     pub fn gpu_experts(&self) -> u64 {
         self.steps.iter().map(|s| s.gpu_experts as u64).sum()
     }
@@ -120,7 +139,7 @@ mod tests {
         StepMetrics {
             tokens: 1,
             latency: SimDuration::from_micros(latency_us),
-            device_busy: [
+            device_busy: vec![
                 SimDuration::from_micros(latency_us / 2),
                 SimDuration::from_micros(latency_us / 4),
                 SimDuration::ZERO,
@@ -147,8 +166,27 @@ mod tests {
     fn utilization_per_device() {
         let m = StageMetrics::from_steps(vec![step(20), step(20)], CacheStats::default());
         assert!((m.utilization(Device::Cpu) - 0.5).abs() < 1e-9);
-        assert!((m.utilization(Device::Gpu) - 0.25).abs() < 1e-9);
-        assert_eq!(m.utilization(Device::Pcie), 0.0);
+        assert!((m.utilization(Device::gpu(0)) - 0.25).abs() < 1e-9);
+        assert_eq!(m.utilization(Device::pcie(0)), 0.0);
+        // Devices beyond the platform's GPU count report zero.
+        assert_eq!(m.utilization(Device::gpu(3)), 0.0);
+    }
+
+    #[test]
+    fn multi_gpu_busy_layout() {
+        let s = StepMetrics {
+            tokens: 1,
+            latency: SimDuration::from_micros(10),
+            device_busy: vec![SimDuration::from_micros(1); 5], // N = 2
+            cpu_experts: 0,
+            gpu_experts: 0,
+            demand_transfers: 0,
+            prefetches: 0,
+        };
+        assert_eq!(s.num_gpus(), 2);
+        assert_eq!(s.busy(Device::gpu(1)), SimDuration::from_micros(1));
+        assert_eq!(s.busy(Device::pcie(1)), SimDuration::from_micros(1));
+        assert_eq!(s.busy(Device::gpu(2)), SimDuration::ZERO);
     }
 
     #[test]

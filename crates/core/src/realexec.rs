@@ -67,13 +67,20 @@ pub struct RealLayerOutput {
     pub output: Vec<f32>,
     /// Wall-clock time spent on the CPU-assigned experts.
     pub cpu_wall: Duration,
-    /// Wall-clock time spent on the GPU-assigned experts (also executed on
-    /// the CPU here — no GPU in this environment — but timed separately so
-    /// the partition's balance can be inspected).
+    /// Total wall-clock time spent on the GPU-assigned experts (also
+    /// executed on the CPU here — no GPU in this environment — but timed
+    /// separately so the partition's balance can be inspected). Equals the
+    /// sum of [`RealLayerOutput::gpu_walls`].
     pub gpu_wall: Duration,
+    /// Wall-clock time per GPU shard, indexed by
+    /// [`GpuId`](hybrimoe_hw::GpuId); length covers the highest shard the
+    /// plan targets. On a multi-GPU platform each shard would run its
+    /// partition concurrently, so the layer's GPU-side makespan is the
+    /// *maximum* entry while `gpu_wall` is the serial total.
+    pub gpu_walls: Vec<Duration>,
     /// Number of experts the plan assigned to the CPU.
     pub cpu_tasks: usize,
-    /// Number of experts the plan assigned to the GPU.
+    /// Number of experts the plan assigned to the GPUs.
     pub gpu_tasks: usize,
 }
 
@@ -203,6 +210,18 @@ impl RealLayerExecutor {
             .collect();
         let cpu_set: HashSet<u16> = plan.cpu_experts().map(|e| e.0).collect();
         let gpu_set: HashSet<u16> = plan.gpu_experts().map(|e| e.0).collect();
+        // Which shard each GPU-assigned expert runs on (for per-shard
+        // timing).
+        let shard_of_expert: std::collections::HashMap<u16, usize> = plan
+            .gpu_order
+            .iter()
+            .filter_map(|g| {
+                g.placement
+                    .gpu()
+                    .map(|gpu| (g.task.expert.0, gpu.0 as usize))
+            })
+            .collect();
+        let num_shards = shard_of_expert.values().copied().max().map_or(1, |m| m + 1);
         if !cpu_set.is_disjoint(&gpu_set) {
             return Err(RealExecError::InvalidPlan(
                 "an expert is assigned to both devices".to_owned(),
@@ -224,6 +243,7 @@ impl RealLayerExecutor {
         let mut output = vec![0.0f32; inputs.len() * hidden];
         let mut cpu_wall = Duration::ZERO;
         let mut gpu_wall = Duration::ZERO;
+        let mut gpu_walls = vec![Duration::ZERO; num_shards];
         for &expert in &planned {
             let key = ExpertKey::new(layer, hybrimoe_model::ExpertId(expert));
             let threads = self.threads;
@@ -246,6 +266,8 @@ impl RealLayerExecutor {
                 cpu_wall += elapsed;
             } else {
                 gpu_wall += elapsed;
+                let shard = shard_of_expert.get(&expert).copied().unwrap_or(0);
+                gpu_walls[shard] += elapsed;
             }
         }
 
@@ -253,6 +275,7 @@ impl RealLayerExecutor {
             output,
             cpu_wall,
             gpu_wall,
+            gpu_walls,
             cpu_tasks: cpu_set.len(),
             gpu_tasks: gpu_set.len(),
         })
@@ -349,6 +372,52 @@ mod tests {
             plan.cpu_order.len() + plan.gpu_order.len()
         );
         assert!(out.cpu_wall + out.gpu_wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn gpu_walls_are_timed_per_shard() {
+        // A 2-GPU plan: each shard's wall-clock is timed separately, and
+        // the per-shard walls account for exactly the total GPU time.
+        let model = ModelConfig::tiny_test();
+        let hidden = model.routed_shape.hidden() as usize;
+        let k = model.activated_experts as usize;
+        // Route every token to experts 0 (shard 0) and 1 (shard 1).
+        let (inputs, routes): (Vec<Vec<f32>>, Vec<RouterOutput>) = (0..3)
+            .map(|t| {
+                let x: Vec<f32> = (0..hidden)
+                    .map(|i| ((t * 37 + i * 11) % 100) as f32 / 500.0 - 0.1)
+                    .collect();
+                let mut logits = vec![0.0f32; model.routed_experts as usize];
+                logits[0] = 5.0;
+                logits[1] = 4.0;
+                (x, RouterOutput::route(&logits, k))
+            })
+            .unzip();
+        let routing = LayerRouting::from_tokens(LayerId(0), model.routed_experts, &routes);
+        let tasks: Vec<ExpertTask> = routing
+            .activated()
+            .into_iter()
+            .map(|(e, load)| ExpertTask::cached(e, load))
+            .collect();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(2);
+        let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+        let shards_hit: std::collections::HashSet<_> = plan
+            .gpu_order
+            .iter()
+            .filter_map(|g| g.placement.gpu())
+            .collect();
+        assert!(shards_hit.len() > 1, "routing should hit both shards");
+
+        let mut exec = RealLayerExecutor::new(model, 7);
+        let out = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+        assert_eq!(out.gpu_walls.len(), 2);
+        assert_eq!(out.gpu_walls.iter().sum::<Duration>(), out.gpu_wall);
+        for (g, wall) in out.gpu_walls.iter().enumerate() {
+            assert!(*wall > Duration::ZERO, "shard {g} untimed");
+        }
     }
 
     #[test]

@@ -138,6 +138,7 @@ pub fn serve_table(rows: &[(String, crate::serve::ServeSummary)]) -> Table {
         "arrivals".into(),
         "rate/s".into(),
         "ratio".into(),
+        "gpus".into(),
         "batch".into(),
         "tok/s".into(),
         "TTFT p50".into(),
@@ -151,6 +152,7 @@ pub fn serve_table(rows: &[(String, crate::serve::ServeSummary)]) -> Table {
             s.arrivals.clone(),
             format!("{:.1}", s.arrival_rate_per_sec),
             format!("{:.2}", s.cache_ratio),
+            format!("{}", s.num_gpus),
             format!("{:.1}", s.mean_batch),
             format!("{:.1}", s.output_tokens_per_sec),
             format!("{:.1}ms", s.ttft_p50_ms),

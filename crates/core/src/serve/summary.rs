@@ -13,6 +13,8 @@ pub struct ServeReport {
     pub model: String,
     /// Cache ratio of the engine under test.
     pub cache_ratio: f64,
+    /// GPU shards of the engine under test.
+    pub num_gpus: usize,
     /// Continuous-batch bound.
     pub max_batch: usize,
     /// Arrival process name (`"deterministic"` or `"poisson"`).
@@ -44,6 +46,7 @@ impl ServeReport {
         ServeReport {
             model: config.engine.model.name.clone(),
             cache_ratio: config.engine.cache_ratio,
+            num_gpus: config.engine.num_gpus.max(1),
             max_batch: config.max_batch,
             arrivals: config.arrivals.name().to_owned(),
             mean_interarrival: config.arrivals.mean_interval(),
@@ -63,6 +66,7 @@ impl ServeReport {
         ServeSummary {
             model: self.model.clone(),
             cache_ratio: self.cache_ratio,
+            num_gpus: self.num_gpus,
             max_batch: self.max_batch,
             arrivals: self.arrivals.clone(),
             arrival_rate_per_sec: rate_of(self.mean_interarrival),
@@ -103,6 +107,8 @@ pub struct ServeSummary {
     pub model: String,
     /// Cache ratio.
     pub cache_ratio: f64,
+    /// GPU shards.
+    pub num_gpus: usize,
     /// Continuous-batch bound.
     pub max_batch: usize,
     /// Arrival process name.
@@ -205,6 +211,7 @@ mod tests {
         .run();
         let s = report.summary();
         assert_eq!(s.requests, 4);
+        assert_eq!(s.num_gpus, 1);
         assert_eq!(s.output_tokens, 12);
         assert_eq!(s.prompt_tokens, 32);
         assert!(s.output_tokens_per_sec > 0.0);

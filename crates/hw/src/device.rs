@@ -1,15 +1,43 @@
-//! The three resources of the hybrid platform.
+//! The resources of the hybrid platform: one CPU, `N` GPUs, and one PCIe
+//! lane per GPU.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Identifier of one GPU (and of its dedicated PCIe lane) on a multi-GPU
+/// platform. GPU ids are dense, starting at 0.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::GpuId;
+///
+/// assert_eq!(GpuId(2).to_string(), "GPU2");
+/// assert!(GpuId(0) < GpuId(1));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GpuId(pub u8);
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
 /// A hardware resource that can hold exactly one operation at a time.
 ///
-/// The hybrid platform of the paper has three: the host CPU, the GPU, and the
-/// PCIe link moving expert weights between them. Computation ops run on
+/// The hybrid platform of the paper has one CPU, one GPU and one PCIe link;
+/// the multi-GPU generalization instantiates `N` GPUs, each with its own
+/// PCIe lane for host-to-device expert transfers. Computation ops run on
 /// [`Device::Cpu`] or [`Device::Gpu`]; weight transfers occupy
 /// [`Device::Pcie`].
+///
+/// The canonical device order of a platform with `n` GPUs is
+/// `CPU, GPU0..GPUn-1, PCIE0..PCIEn-1` (see [`devices`]); a device's
+/// position in that order is its [`Device::ordinal`].
 ///
 /// # Example
 ///
@@ -17,52 +45,115 @@ use serde::{Deserialize, Serialize};
 /// use hybrimoe_hw::Device;
 ///
 /// assert!(Device::Cpu.is_compute());
-/// assert!(!Device::Pcie.is_compute());
-/// assert_eq!(Device::ALL.len(), 3);
+/// assert!(!Device::pcie(0).is_compute());
+/// assert_eq!(Device::gpu(1).ordinal(2), 2);
+/// assert_eq!(hybrimoe_hw::devices(1).count(), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Device {
     /// The host CPU (expert weights always resident in host memory).
     Cpu,
-    /// The GPU (computes only experts resident in its cache).
-    Gpu,
-    /// The PCIe link (host-to-GPU expert weight transfers).
-    Pcie,
+    /// One GPU (computes only experts resident in its cache).
+    Gpu(GpuId),
+    /// The PCIe lane feeding one GPU (host-to-GPU expert weight transfers).
+    Pcie(GpuId),
 }
 
 impl Device {
-    /// All devices, in canonical order.
-    pub const ALL: [Device; 3] = [Device::Cpu, Device::Gpu, Device::Pcie];
+    /// The GPU with index `gpu`.
+    pub const fn gpu(gpu: u8) -> Device {
+        Device::Gpu(GpuId(gpu))
+    }
+
+    /// The PCIe lane feeding GPU `gpu`.
+    pub const fn pcie(gpu: u8) -> Device {
+        Device::Pcie(GpuId(gpu))
+    }
 
     /// Whether this device executes expert computation (as opposed to moving
     /// data).
     pub const fn is_compute(self) -> bool {
-        matches!(self, Device::Cpu | Device::Gpu)
+        matches!(self, Device::Cpu | Device::Gpu(_))
     }
 
-    /// A stable short name, used in Gantt charts and reports.
-    pub const fn name(self) -> &'static str {
+    /// The GPU this device belongs to: the GPU itself, or the GPU its PCIe
+    /// lane feeds. `None` for the CPU.
+    pub const fn gpu_id(self) -> Option<GpuId> {
         match self {
-            Device::Cpu => "CPU",
-            Device::Gpu => "GPU",
-            Device::Pcie => "PCIE",
+            Device::Cpu => None,
+            Device::Gpu(g) | Device::Pcie(g) => Some(g),
         }
     }
 
-    /// A dense index into [`Device::ALL`].
-    pub const fn index(self) -> usize {
+    /// The dense position of this device in the canonical order of a
+    /// platform with `num_gpus` GPUs: `CPU, GPU0.., PCIE0..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's GPU index is out of range for `num_gpus`.
+    pub fn ordinal(self, num_gpus: usize) -> usize {
         match self {
             Device::Cpu => 0,
-            Device::Gpu => 1,
-            Device::Pcie => 2,
+            Device::Gpu(g) => {
+                assert!(
+                    (g.0 as usize) < num_gpus,
+                    "{self} out of range ({num_gpus} GPUs)"
+                );
+                1 + g.0 as usize
+            }
+            Device::Pcie(g) => {
+                assert!(
+                    (g.0 as usize) < num_gpus,
+                    "{self} out of range ({num_gpus} GPUs)"
+                );
+                1 + num_gpus + g.0 as usize
+            }
         }
     }
 }
 
 impl fmt::Display for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
+        match self {
+            Device::Cpu => f.write_str("CPU"),
+            Device::Gpu(g) => write!(f, "{g}"),
+            Device::Pcie(g) => write!(f, "PCIE{}", g.0),
+        }
     }
+}
+
+/// The devices of a platform with `num_gpus` GPUs, in canonical order:
+/// `CPU, GPU0..GPUn-1, PCIE0..PCIEn-1`.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{devices, Device};
+///
+/// let order: Vec<Device> = devices(2).collect();
+/// assert_eq!(
+///     order,
+///     vec![
+///         Device::Cpu,
+///         Device::gpu(0),
+///         Device::gpu(1),
+///         Device::pcie(0),
+///         Device::pcie(1),
+///     ]
+/// );
+/// ```
+pub fn devices(num_gpus: usize) -> impl Iterator<Item = Device> {
+    let gpus = 0..num_gpus as u8;
+    let lanes = 0..num_gpus as u8;
+    std::iter::once(Device::Cpu)
+        .chain(gpus.map(Device::gpu))
+        .chain(lanes.map(Device::pcie))
+}
+
+/// Number of devices of a platform with `num_gpus` GPUs (one CPU plus a
+/// GPU and a PCIe lane per GPU).
+pub const fn device_count(num_gpus: usize) -> usize {
+    1 + 2 * num_gpus
 }
 
 #[cfg(test)]
@@ -70,23 +161,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn indices_match_all_ordering() {
-        for (i, d) in Device::ALL.iter().enumerate() {
-            assert_eq!(d.index(), i);
+    fn ordinals_match_canonical_order() {
+        for num_gpus in 1..=4 {
+            for (i, d) in devices(num_gpus).enumerate() {
+                assert_eq!(d.ordinal(num_gpus), i, "{d} at N={num_gpus}");
+            }
+            assert_eq!(devices(num_gpus).count(), device_count(num_gpus));
         }
     }
 
     #[test]
     fn compute_classification() {
         assert!(Device::Cpu.is_compute());
-        assert!(Device::Gpu.is_compute());
-        assert!(!Device::Pcie.is_compute());
+        assert!(Device::gpu(0).is_compute());
+        assert!(Device::gpu(3).is_compute());
+        assert!(!Device::pcie(0).is_compute());
+        assert!(!Device::pcie(3).is_compute());
+    }
+
+    #[test]
+    fn gpu_id_association() {
+        assert_eq!(Device::Cpu.gpu_id(), None);
+        assert_eq!(Device::gpu(2).gpu_id(), Some(GpuId(2)));
+        assert_eq!(Device::pcie(2).gpu_id(), Some(GpuId(2)));
     }
 
     #[test]
     fn display_names() {
         assert_eq!(Device::Cpu.to_string(), "CPU");
-        assert_eq!(Device::Gpu.to_string(), "GPU");
-        assert_eq!(Device::Pcie.to_string(), "PCIE");
+        assert_eq!(Device::gpu(0).to_string(), "GPU0");
+        assert_eq!(Device::gpu(3).to_string(), "GPU3");
+        assert_eq!(Device::pcie(0).to_string(), "PCIE0");
+        assert_eq!(Device::pcie(3).to_string(), "PCIE3");
+    }
+
+    #[test]
+    fn ordering_is_cpu_then_gpus_then_lanes() {
+        assert!(Device::Cpu < Device::gpu(0));
+        assert!(Device::gpu(1) < Device::gpu(2));
+        assert!(Device::gpu(7) < Device::pcie(0));
+        assert!(Device::pcie(0) < Device::pcie(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_ordinal_rejected() {
+        let _ = Device::gpu(1).ordinal(1);
     }
 }

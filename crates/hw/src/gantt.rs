@@ -27,10 +27,10 @@ pub struct GanttRow {
 ///
 /// let mut set = TimelineSet::new();
 /// set.get_mut(Device::Cpu).push(SimTime::ZERO, SimDuration::from_micros(2), "A");
-/// set.get_mut(Device::Gpu).push(SimTime::ZERO, SimDuration::from_micros(4), "D");
+/// set.get_mut(Device::gpu(0)).push(SimTime::ZERO, SimDuration::from_micros(4), "D");
 /// let chart = Gantt::render(&set, 40);
 /// assert!(chart.to_string().contains("CPU"));
-/// assert!(chart.to_string().contains("GPU"));
+/// assert!(chart.to_string().contains("GPU0"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Gantt {
@@ -81,7 +81,7 @@ impl Gantt {
                 }
             }
             rows.push(GanttRow {
-                device: tl.device().name().to_owned(),
+                device: tl.device().to_string(),
                 cells: String::from_utf8(cells).expect("ascii"),
             });
         }
@@ -92,7 +92,8 @@ impl Gantt {
         }
     }
 
-    /// The rendered rows, in device order (CPU, GPU, PCIE).
+    /// The rendered rows, in canonical device order (CPU, GPUs, PCIe
+    /// lanes).
     pub fn rows(&self) -> &[GanttRow] {
         &self.rows
     }
@@ -132,8 +133,20 @@ mod tests {
         assert_eq!(g.rows().len(), 3);
         let s = g.to_string();
         assert!(s.contains("CPU"));
-        assert!(s.contains("GPU"));
-        assert!(s.contains("PCIE"));
+        assert!(s.contains("GPU0"));
+        assert!(s.contains("PCIE0"));
+    }
+
+    #[test]
+    fn renders_one_row_per_device_at_two_gpus() {
+        let mut set = TimelineSet::with_gpus(2);
+        set.get_mut(Device::gpu(1))
+            .push(SimTime::ZERO, SimDuration::from_micros(1), "B");
+        let g = Gantt::render(&set, 40);
+        assert_eq!(g.rows().len(), 5);
+        let s = g.to_string();
+        assert!(s.contains("GPU1"));
+        assert!(s.contains("PCIE1"));
     }
 
     #[test]
@@ -147,10 +160,10 @@ mod tests {
     #[test]
     fn labels_appear_in_cells() {
         let mut set = TimelineSet::new();
-        set.get_mut(Device::Gpu)
+        set.get_mut(Device::gpu(0))
             .push(SimTime::ZERO, SimDuration::from_micros(10), "expertD");
         let g = Gantt::render(&set, 60);
-        let gpu_row = &g.rows()[Device::Gpu.index()];
+        let gpu_row = &g.rows()[Device::gpu(0).ordinal(1)];
         assert!(gpu_row.cells.contains('e'), "cells: {}", gpu_row.cells);
     }
 

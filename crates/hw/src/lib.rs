@@ -4,16 +4,19 @@
 //! inference, the substrate on which the HybriMoE scheduler, prefetcher and
 //! cache policies are evaluated.
 //!
-//! The model has three resources, mirroring the platform of the paper
-//! (an NVIDIA A6000 GPU, a 10-core Xeon CPU and the PCIe link between them):
+//! The model has three kinds of resource, mirroring the platform of the
+//! paper (an NVIDIA A6000 GPU, a 10-core Xeon CPU and the PCIe link
+//! between them) and generalizing it to `N` identical GPUs:
 //!
 //! * [`Device::Cpu`] — computes experts out of host memory; time grows
 //!   linearly with the token workload and the first expert of a burst pays a
 //!   cold-start penalty (paper Fig. 3(e)).
-//! * [`Device::Gpu`] — computes experts resident in the GPU cache; time is
-//!   nearly flat in the token workload (paper Fig. 3(f)).
-//! * [`Device::Pcie`] — moves expert weights from host to GPU memory at a
-//!   fixed per-expert cost (paper §III, Opportunity 2).
+//! * [`Device::Gpu`] — one of `N` GPUs, each computing experts resident in
+//!   its cache shard; time is nearly flat in the token workload (paper
+//!   Fig. 3(f)).
+//! * [`Device::Pcie`] — the PCIe lane feeding one GPU, moving expert
+//!   weights from host to that GPU's memory at a fixed per-expert cost
+//!   (paper §III, Opportunity 2).
 //!
 //! Everything is deterministic: times are integer nanoseconds
 //! ([`SimDuration`]), so identical inputs produce bit-identical schedules.
@@ -46,7 +49,7 @@ mod timeline;
 
 pub use calibration::CalibrationProfile;
 pub use cost::{AffineCostModel, CostModel, ExpertProfile, UnitCostModel};
-pub use device::Device;
+pub use device::{device_count, devices, Device, GpuId};
 pub use gantt::{Gantt, GanttRow};
 pub use plan::{ExecutedOp, ExecutedPlan, Op, OpId, PlanError, PlanExecutor};
 pub use platform::Platform;

@@ -13,7 +13,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Device, SimDuration, SimTime, Timeline, TimelineSet};
+use crate::{device_count, devices, Device, SimDuration, SimTime, Timeline, TimelineSet};
 
 /// Identifier of an operation within one plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -133,8 +133,14 @@ impl std::error::Error for PlanError {}
 ///
 /// Ops run on each device **in the order given**; an op additionally waits
 /// for all of its dependencies. Among devices whose next op is ready, the op
-/// with the earliest feasible start time is committed first, which makes the
-/// executor deterministic.
+/// with the earliest feasible start time is committed first (ties broken by
+/// canonical device order: CPU, then GPUs, then PCIe lanes), which makes
+/// the executor deterministic.
+///
+/// The executor sizes its timelines for one GPU by default and grows to
+/// cover any higher GPU index appearing in the ops; [`PlanExecutor::with_gpus`]
+/// forces a fixed device count so the resulting [`TimelineSet`] shape does
+/// not depend on which devices a particular plan happens to use.
 ///
 /// # Example
 ///
@@ -142,15 +148,22 @@ impl std::error::Error for PlanError {}
 /// use hybrimoe_hw::{Device, Op, OpId, PlanExecutor, SimDuration};
 ///
 /// // Transfer expert C (3us on PCIe), then compute it on the GPU (1us).
-/// let xfer = Op::new(0, Device::Pcie, SimDuration::from_micros(3), "load C");
-/// let comp = Op::new(1, Device::Gpu, SimDuration::from_micros(1), "C").after(OpId(0));
+/// let xfer = Op::new(0, Device::pcie(0), SimDuration::from_micros(3), "load C");
+/// let comp = Op::new(1, Device::gpu(0), SimDuration::from_micros(1), "C").after(OpId(0));
 /// let executed = PlanExecutor::new().execute(vec![xfer, comp])?;
 /// assert_eq!(executed.makespan, SimDuration::from_micros(4));
 /// # Ok::<(), hybrimoe_hw::PlanError>(())
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct PlanExecutor {
     start: SimTime,
+    num_gpus: usize,
+}
+
+impl Default for PlanExecutor {
+    fn default() -> Self {
+        PlanExecutor::new()
+    }
 }
 
 impl PlanExecutor {
@@ -158,13 +171,26 @@ impl PlanExecutor {
     pub fn new() -> Self {
         PlanExecutor {
             start: SimTime::ZERO,
+            num_gpus: 1,
         }
     }
 
     /// Creates an executor whose timelines start at `start`; the reported
     /// makespan stays relative to `start`.
     pub fn starting_at(start: SimTime) -> Self {
-        PlanExecutor { start }
+        PlanExecutor { start, num_gpus: 1 }
+    }
+
+    /// Forces the executor to model at least `num_gpus` GPUs (and their
+    /// PCIe lanes), so the executed timeline shape is stable across plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn with_gpus(mut self, num_gpus: usize) -> Self {
+        assert!(num_gpus > 0, "a platform needs at least one GPU");
+        self.num_gpus = num_gpus;
+        self
     }
 
     /// Executes `ops` and returns the realized timeline.
@@ -192,31 +218,40 @@ impl PlanExecutor {
             }
         }
 
+        // Grow to cover every GPU index the ops reference.
+        let num_gpus = ops
+            .iter()
+            .filter_map(|op| op.device.gpu_id())
+            .map(|g| g.0 as usize + 1)
+            .fold(self.num_gpus, usize::max);
+        let order: Vec<Device> = devices(num_gpus).collect();
+
         // Per-device FIFO queues preserving the given order.
-        let mut queues: [Vec<&Op>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut queues: Vec<Vec<&Op>> = vec![Vec::new(); device_count(num_gpus)];
         for op in &ops {
-            queues[op.device.index()].push(op);
+            queues[op.device.ordinal(num_gpus)].push(op);
         }
         // Reverse so pop() takes from the front.
         for q in &mut queues {
             q.reverse();
         }
 
-        let mut timelines = TimelineSet::starting_at(self.start);
+        let mut timelines = TimelineSet::starting_at_with_gpus(num_gpus, self.start);
         let mut finished: HashMap<OpId, SimTime> = HashMap::with_capacity(ops.len());
         let mut executed = Vec::with_capacity(ops.len());
         let total = ops.len();
 
         while executed.len() < total {
             // Among device heads whose deps are all finished, pick the one
-            // with the earliest feasible start (ties: device order).
+            // with the earliest feasible start (ties: canonical device
+            // order).
             let mut best: Option<(SimTime, usize)> = None;
             for (di, q) in queues.iter().enumerate() {
                 let Some(head) = q.last() else { continue };
                 let Some(release) = deps_ready(head, &finished, self.start) else {
                     continue;
                 };
-                let tl: &Timeline = timelines.get(Device::ALL[di]);
+                let tl: &Timeline = timelines.get(order[di]);
                 let (start, _) = tl.peek(release, head.duration);
                 if best.is_none_or(|(bs, _)| start < bs) {
                     best = Some((start, di));
@@ -285,8 +320,8 @@ mod tests {
     fn parallel_devices_overlap() {
         let ops = vec![
             Op::new(0, Device::Cpu, us(4), "cpu"),
-            Op::new(1, Device::Gpu, us(3), "gpu"),
-            Op::new(2, Device::Pcie, us(2), "xfer"),
+            Op::new(1, Device::gpu(0), us(3), "gpu"),
+            Op::new(2, Device::pcie(0), us(2), "xfer"),
         ];
         let ex = PlanExecutor::new().execute(ops).unwrap();
         assert_eq!(ex.makespan, us(4));
@@ -298,9 +333,9 @@ mod tests {
     #[test]
     fn transfer_gates_gpu_compute() {
         let ops = vec![
-            Op::new(0, Device::Pcie, us(3), "load C"),
-            Op::new(1, Device::Gpu, us(1), "D"),
-            Op::new(2, Device::Gpu, us(1), "C").after(OpId(0)),
+            Op::new(0, Device::pcie(0), us(3), "load C"),
+            Op::new(1, Device::gpu(0), us(1), "D"),
+            Op::new(2, Device::gpu(0), us(1), "C").after(OpId(0)),
         ];
         let ex = PlanExecutor::new().execute(ops).unwrap();
         // GPU runs D first (1us), then must wait for the transfer to finish
@@ -318,9 +353,9 @@ mod tests {
             Op::new(0, Device::Cpu, us(1), "A"),
             Op::new(1, Device::Cpu, us(1), "B"),
             Op::new(2, Device::Cpu, us(1), "E"),
-            Op::new(3, Device::Gpu, us(1), "D"),
-            Op::new(4, Device::Pcie, us(3), "load C"),
-            Op::new(5, Device::Gpu, us(1), "C").after(OpId(4)),
+            Op::new(3, Device::gpu(0), us(1), "D"),
+            Op::new(4, Device::pcie(0), us(3), "load C"),
+            Op::new(5, Device::gpu(0), us(1), "C").after(OpId(4)),
         ];
         let ex = PlanExecutor::new().execute(ops).unwrap();
         assert_eq!(ex.makespan, us(4));
@@ -330,7 +365,7 @@ mod tests {
     fn duplicate_id_rejected() {
         let ops = vec![
             Op::new(7, Device::Cpu, us(1), "a"),
-            Op::new(7, Device::Gpu, us(1), "b"),
+            Op::new(7, Device::gpu(0), us(1), "b"),
         ];
         assert_eq!(
             PlanExecutor::new().execute(ops),
@@ -363,7 +398,7 @@ mod tests {
     #[test]
     fn starting_at_shifts_times_not_makespan() {
         let t0 = SimTime::from_nanos(1_000_000);
-        let ops = vec![Op::new(0, Device::Gpu, us(2), "g")];
+        let ops = vec![Op::new(0, Device::gpu(0), us(2), "g")];
         let ex = PlanExecutor::starting_at(t0).execute(ops).unwrap();
         assert_eq!(ex.start_of(OpId(0)).unwrap(), t0);
         assert_eq!(ex.makespan, us(2));

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CalibrationProfile, SimDuration};
+use crate::{devices, CalibrationProfile, Device, SimDuration};
 
 /// A hybrid CPU-GPU platform description, the input to
 /// [`AffineCostModel::from_platform`](crate::AffineCostModel::from_platform).
@@ -11,20 +11,29 @@ use crate::{CalibrationProfile, SimDuration};
 /// they already fold in quantization/dequantization overhead and framework
 /// dispatch cost, which is how the paper's warmup phase measures them (§IV-A).
 ///
+/// A platform may carry several identical GPUs ([`Platform::num_gpus`]),
+/// each with its own PCIe lane; the per-GPU rates (`gpu_tflops`,
+/// `pcie_gbps`, `gpu_mem_bytes`) describe **one** GPU. The presets model
+/// the paper's single-GPU machines; scale out with
+/// [`Platform::with_gpus`].
+///
 /// # Example
 ///
 /// ```
 /// use hybrimoe_hw::Platform;
 ///
 /// let p = Platform::a6000_xeon10();
+/// assert_eq!(p.num_gpus, 1);
 /// assert!(p.gpu_tflops > p.cpu_gflops / 1000.0);
-/// let edge = Platform::rtx4060_laptop();
-/// assert!(edge.gpu_mem_bytes < p.gpu_mem_bytes);
+/// let multi = Platform::rtx4060_laptop().with_gpus(4);
+/// assert_eq!(multi.devices().count(), 9);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Platform {
     /// Human-readable platform name.
     pub name: String,
+    /// Number of identical GPUs (each with its own PCIe lane).
+    pub num_gpus: usize,
     /// Effective CPU throughput for quantized expert GEMM, in GFLOP/s.
     pub cpu_gflops: f64,
     /// Effective CPU memory bandwidth for weight streaming, in GB/s.
@@ -53,6 +62,7 @@ impl Platform {
     pub fn a6000_xeon10() -> Self {
         Platform {
             name: "A6000 + Xeon-5220R(10c)".to_owned(),
+            num_gpus: 1,
             // 10 cores x AVX-512 with on-the-fly Q4 dequant.
             cpu_gflops: 280.0,
             cpu_mem_bw_gbps: 70.0,
@@ -74,6 +84,7 @@ impl Platform {
     pub fn rtx4060_laptop() -> Self {
         Platform {
             name: "RTX4060-Laptop + 8c mobile".to_owned(),
+            num_gpus: 1,
             cpu_gflops: 160.0,
             cpu_mem_bw_gbps: 55.0,
             cpu_task_overhead: SimDuration::from_micros(30),
@@ -92,6 +103,7 @@ impl Platform {
     pub fn test_round_numbers() -> Self {
         Platform {
             name: "test".to_owned(),
+            num_gpus: 1,
             cpu_gflops: 100.0,
             cpu_mem_bw_gbps: 100.0,
             cpu_task_overhead: SimDuration::ZERO,
@@ -103,6 +115,30 @@ impl Platform {
             pcie_latency: SimDuration::ZERO,
             gpu_mem_bytes: 1024 * 1024 * 1024,
         }
+    }
+
+    /// Returns a copy with `num_gpus` identical GPUs (each with its own
+    /// PCIe lane). Expert shards are distributed across them by the
+    /// scheduler's affinity map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero or exceeds 64 (GPU ids are dense `u8`
+    /// indices; 64 bounds the simulation's device count, far beyond any
+    /// realistic node).
+    pub fn with_gpus(mut self, num_gpus: usize) -> Platform {
+        assert!(
+            (1..=64).contains(&num_gpus),
+            "num_gpus must be in 1..=64, got {num_gpus}"
+        );
+        self.num_gpus = num_gpus;
+        self
+    }
+
+    /// The devices of this platform in canonical order: `CPU`, one GPU per
+    /// shard, one PCIe lane per GPU.
+    pub fn devices(&self) -> impl Iterator<Item = Device> {
+        devices(self.num_gpus)
     }
 
     /// Returns a copy with the CPU-side parameters replaced by measured
@@ -133,7 +169,25 @@ mod tests {
             assert!(p.pcie_gbps > 0.0);
             assert!(p.gpu_mem_bytes > 0);
             assert!(!p.name.is_empty());
+            assert_eq!(p.num_gpus, 1, "presets model the paper's 1-GPU rigs");
         }
+    }
+
+    #[test]
+    fn with_gpus_scales_the_device_list() {
+        let p = Platform::test_round_numbers().with_gpus(4);
+        assert_eq!(p.num_gpus, 4);
+        assert_eq!(p.devices().count(), 9);
+        let devs: Vec<Device> = p.devices().collect();
+        assert_eq!(devs[0], Device::Cpu);
+        assert_eq!(devs[4], Device::gpu(3));
+        assert_eq!(devs[8], Device::pcie(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_gpus")]
+    fn zero_gpus_rejected() {
+        let _ = Platform::test_round_numbers().with_gpus(0);
     }
 
     #[test]

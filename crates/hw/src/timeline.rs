@@ -1,12 +1,13 @@
 //! Per-device busy timelines.
 //!
 //! A [`Timeline`] records the ordered, non-overlapping busy intervals of one
-//! [`Device`]; a [`TimelineSet`] bundles the three device timelines of the
-//! hybrid platform and answers makespan/utilization queries over them.
+//! [`Device`]; a [`TimelineSet`] bundles every device timeline of the
+//! hybrid platform (one CPU, `N` GPUs, `N` PCIe lanes) and answers
+//! makespan/utilization queries over them.
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Device, SimDuration, SimTime};
+use crate::{devices, Device, SimDuration, SimTime};
 
 /// One busy interval on a device timeline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,7 +39,7 @@ impl Interval {
 /// ```
 /// use hybrimoe_hw::{Device, SimDuration, SimTime, Timeline};
 ///
-/// let mut tl = Timeline::new(Device::Gpu);
+/// let mut tl = Timeline::new(Device::gpu(0));
 /// let (s1, e1) = tl.push(SimTime::ZERO, SimDuration::from_micros(10), "op1");
 /// // Released early but the device is busy until e1:
 /// let (s2, _) = tl.push(SimTime::ZERO, SimDuration::from_micros(5), "op2");
@@ -137,59 +138,89 @@ impl Timeline {
     }
 }
 
-/// The three device timelines of the hybrid platform.
+/// The device timelines of a hybrid platform with `N` GPUs, in canonical
+/// order (`CPU, GPU0.., PCIE0..`).
 ///
 /// # Example
 ///
 /// ```
 /// use hybrimoe_hw::{Device, SimDuration, SimTime, TimelineSet};
 ///
-/// let mut set = TimelineSet::new();
+/// let mut set = TimelineSet::with_gpus(2);
 /// set.get_mut(Device::Cpu)
 ///     .push(SimTime::ZERO, SimDuration::from_micros(4), "expert A");
-/// set.get_mut(Device::Gpu)
+/// set.get_mut(Device::gpu(1))
 ///     .push(SimTime::ZERO, SimDuration::from_micros(9), "expert D");
 /// assert_eq!(set.makespan(), SimDuration::from_micros(9));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimelineSet {
-    timelines: [Timeline; 3],
+    num_gpus: usize,
+    timelines: Vec<Timeline>,
 }
 
 impl TimelineSet {
-    /// Creates three empty timelines starting at the clock origin.
+    /// Creates the timelines of a single-GPU platform (the paper's setup),
+    /// starting at the clock origin.
     pub fn new() -> Self {
+        TimelineSet::with_gpus(1)
+    }
+
+    /// Creates the timelines of a platform with `num_gpus` GPUs, starting
+    /// at the clock origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn with_gpus(num_gpus: usize) -> Self {
+        TimelineSet::starting_at_with_gpus(num_gpus, SimTime::ZERO)
+    }
+
+    /// Creates single-GPU timelines that all become ready at `ready`.
+    pub fn starting_at(ready: SimTime) -> Self {
+        TimelineSet::starting_at_with_gpus(1, ready)
+    }
+
+    /// Creates the timelines of a platform with `num_gpus` GPUs that all
+    /// become ready at `ready`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn starting_at_with_gpus(num_gpus: usize, ready: SimTime) -> Self {
+        assert!(num_gpus > 0, "a platform needs at least one GPU");
         TimelineSet {
-            timelines: [
-                Timeline::new(Device::Cpu),
-                Timeline::new(Device::Gpu),
-                Timeline::new(Device::Pcie),
-            ],
+            num_gpus,
+            timelines: devices(num_gpus)
+                .map(|d| Timeline::starting_at(d, ready))
+                .collect(),
         }
     }
 
-    /// Creates three empty timelines that all become ready at `ready`.
-    pub fn starting_at(ready: SimTime) -> Self {
-        TimelineSet {
-            timelines: [
-                Timeline::starting_at(Device::Cpu, ready),
-                Timeline::starting_at(Device::Gpu, ready),
-                Timeline::starting_at(Device::Pcie, ready),
-            ],
-        }
+    /// The number of GPUs this set models.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
     }
 
     /// The timeline of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's GPU index is out of range.
     pub fn get(&self, device: Device) -> &Timeline {
-        &self.timelines[device.index()]
+        &self.timelines[device.ordinal(self.num_gpus)]
     }
 
     /// The mutable timeline of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's GPU index is out of range.
     pub fn get_mut(&mut self, device: Device) -> &mut Timeline {
-        &mut self.timelines[device.index()]
+        &mut self.timelines[device.ordinal(self.num_gpus)]
     }
 
-    /// Iterates over the three timelines in canonical device order.
+    /// Iterates over the timelines in canonical device order.
     pub fn iter(&self) -> impl Iterator<Item = &Timeline> {
         self.timelines.iter()
     }
@@ -202,29 +233,38 @@ impl TimelineSet {
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// The makespan measured from the clock origin.
+    /// The makespan measured from the clock origin: the maximum finish time
+    /// over **all** device timelines.
     pub fn makespan(&self) -> SimDuration {
         self.finish_time().elapsed_since(SimTime::ZERO)
     }
 
-    /// The finish time considering only compute devices (CPU and GPU).
+    /// The finish time considering only compute devices (CPU and GPUs).
     ///
     /// The paper's objective (Eq. 2) excludes in-flight transfers whose
     /// results are not consumed; this accessor supports that metric.
     pub fn compute_finish_time(&self) -> SimTime {
-        self.get(Device::Cpu)
-            .ready_at()
-            .max(self.get(Device::Gpu).ready_at())
+        self.timelines
+            .iter()
+            .filter(|tl| tl.device().is_compute())
+            .map(Timeline::ready_at)
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Per-device utilization over the current makespan.
-    pub fn utilizations(&self) -> [(Device, f64); 3] {
+    /// Per-device utilization over the current makespan, in canonical
+    /// device order.
+    pub fn utilizations(&self) -> Vec<(Device, f64)> {
         let horizon = self.makespan();
-        [
-            (Device::Cpu, self.get(Device::Cpu).utilization(horizon)),
-            (Device::Gpu, self.get(Device::Gpu).utilization(horizon)),
-            (Device::Pcie, self.get(Device::Pcie).utilization(horizon)),
-        ]
+        self.timelines
+            .iter()
+            .map(|tl| (tl.device(), tl.utilization(horizon)))
+            .collect()
+    }
+
+    /// Per-device busy times in canonical device order (the layout of
+    /// step-metric busy vectors).
+    pub fn busy_times(&self) -> Vec<SimDuration> {
+        self.timelines.iter().map(Timeline::busy_time).collect()
     }
 }
 
@@ -237,10 +277,11 @@ impl Default for TimelineSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device_count;
 
     #[test]
     fn push_respects_release_time() {
-        let mut tl = Timeline::new(Device::Pcie);
+        let mut tl = Timeline::new(Device::pcie(0));
         let release = SimTime::from_nanos(100);
         let (start, end) = tl.push(release, SimDuration::from_nanos(50), "xfer");
         assert_eq!(start, release);
@@ -258,7 +299,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_commit() {
-        let tl = Timeline::new(Device::Gpu);
+        let tl = Timeline::new(Device::gpu(0));
         let before = tl.clone();
         let _ = tl.peek(SimTime::ZERO, SimDuration::from_nanos(42));
         assert_eq!(tl, before);
@@ -266,7 +307,7 @@ mod tests {
 
     #[test]
     fn zero_length_op_does_not_advance() {
-        let mut tl = Timeline::new(Device::Gpu);
+        let mut tl = Timeline::new(Device::gpu(0));
         tl.push(SimTime::ZERO, SimDuration::ZERO, "marker");
         assert_eq!(tl.ready_at(), SimTime::ZERO);
         assert_eq!(tl.intervals().len(), 1);
@@ -288,9 +329,9 @@ mod tests {
         let mut set = TimelineSet::new();
         set.get_mut(Device::Cpu)
             .push(SimTime::ZERO, SimDuration::from_nanos(5), "c");
-        set.get_mut(Device::Gpu)
+        set.get_mut(Device::gpu(0))
             .push(SimTime::ZERO, SimDuration::from_nanos(9), "g");
-        set.get_mut(Device::Pcie)
+        set.get_mut(Device::pcie(0))
             .push(SimTime::ZERO, SimDuration::from_nanos(7), "p");
         assert_eq!(set.makespan(), SimDuration::from_nanos(9));
         assert_eq!(set.compute_finish_time(), SimTime::from_nanos(9));
@@ -299,9 +340,44 @@ mod tests {
     }
 
     #[test]
+    fn multi_gpu_set_has_a_lane_per_gpu() {
+        let mut set = TimelineSet::with_gpus(3);
+        assert_eq!(set.num_gpus(), 3);
+        assert_eq!(set.iter().count(), device_count(3));
+        for g in 0..3 {
+            set.get_mut(Device::gpu(g)).push(
+                SimTime::ZERO,
+                SimDuration::from_nanos(g as u64 + 1),
+                "c",
+            );
+            set.get_mut(Device::pcie(g))
+                .push(SimTime::ZERO, SimDuration::from_nanos(10), "x");
+        }
+        // Makespan is the max over all device timelines (PCIe included).
+        assert_eq!(set.makespan(), SimDuration::from_nanos(10));
+        // Compute finish excludes the PCIe tails.
+        assert_eq!(set.compute_finish_time(), SimTime::from_nanos(3));
+        assert_eq!(set.busy_times().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_gpu_rejected() {
+        let set = TimelineSet::with_gpus(2);
+        let _ = set.get(Device::gpu(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = TimelineSet::with_gpus(0);
+    }
+
+    #[test]
     fn starting_at_offsets_all_devices() {
         let t0 = SimTime::from_nanos(500);
-        let set = TimelineSet::starting_at(t0);
+        let set = TimelineSet::starting_at_with_gpus(2, t0);
+        assert_eq!(set.iter().count(), 5);
         for tl in set.iter() {
             assert_eq!(tl.ready_at(), t0);
         }

@@ -101,6 +101,29 @@ impl fmt::Display for ExpertKey {
     }
 }
 
+/// The expert→shard affinity map of a multi-GPU deployment: expert `e` may
+/// only be cached on (and transferred to) GPU shard `e mod num_shards`.
+///
+/// A static affinity keeps every shard's cache and score estimates
+/// device-local — an expert never has copies on two GPUs, so residency,
+/// eviction and MRS scoring all stay per-shard decisions. Round-robin by
+/// expert id spreads each layer's experts evenly across shards. With one
+/// shard everything maps to shard 0 (the paper's single-GPU setup).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::{shard_of, ExpertId};
+///
+/// assert_eq!(shard_of(ExpertId(5), 1), 0);
+/// assert_eq!(shard_of(ExpertId(5), 4), 1);
+/// assert_eq!(shard_of(ExpertId(6), 4), 2);
+/// ```
+pub fn shard_of(expert: ExpertId, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0, "a deployment needs at least one shard");
+    expert.0 as usize % num_shards.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +155,21 @@ mod tests {
         }
         assert_eq!(seen.len(), 32);
         assert_eq!(*seen.iter().max().unwrap(), 31);
+    }
+
+    #[test]
+    fn shard_affinity_is_round_robin_and_total() {
+        for shards in 1..=4usize {
+            let mut counts = vec![0usize; shards];
+            for e in 0..64u16 {
+                let s = shard_of(ExpertId(e), shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            // 64 experts split evenly across 1, 2 or 4 shards.
+            assert!(counts.iter().all(|c| *c == 64 / shards || shards == 3));
+        }
+        assert_eq!(shard_of(ExpertId(9), 1), 0);
     }
 
     #[test]

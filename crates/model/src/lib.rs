@@ -35,7 +35,7 @@ pub mod shape;
 pub mod weights;
 
 pub use config::ModelConfig;
-pub use ids::{ExpertId, ExpertKey, LayerId};
+pub use ids::{shard_of, ExpertId, ExpertKey, LayerId};
 pub use router::{softmax, top_k, LayerRouting, RouterOutput};
 pub use shape::ExpertShape;
 pub use weights::{WeightStore, WeightStoreError};

@@ -12,7 +12,8 @@
 //! batches it streams (dequantized) weights to the GPU for the heavy
 //! matmuls, cuBLAS-offload style.
 
-use hybrimoe_hw::{ExpertProfile, SimTime};
+use hybrimoe_hw::{ExpertProfile, GpuId, SimTime};
+use hybrimoe_model::shard_of;
 
 use crate::{DevicePlacement, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
 
@@ -83,20 +84,22 @@ impl Scheduler for FixedMappingScheduler {
         let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
         plan.shared_on_gpu = ctx.shared_profile.is_some();
 
+        let n = ctx.num_gpus.max(1);
         let mut gpu: Vec<_> = ctx.tasks.iter().filter(|t| t.cached).copied().collect();
         gpu.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
         let mut cpu: Vec<_> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
         cpu.sort_by_key(|t| (t.load, t.expert));
 
-        let mut gpu_t = SimTime::ZERO;
+        let mut gpu_t = vec![SimTime::ZERO; n];
         if let Some(shared) = ctx.shared_profile {
-            gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+            gpu_t[0] += ctx.cost.gpu_compute(&shared, ctx.tokens);
         }
         for t in &gpu {
-            gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+            let g = shard_of(t.expert, n);
+            gpu_t[g] += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
             plan.gpu_order.push(PlannedTask {
                 task: *t,
-                placement: DevicePlacement::Gpu,
+                placement: DevicePlacement::Gpu(GpuId(g as u8)),
             });
         }
         let mut cpu_t = SimTime::ZERO;
@@ -104,7 +107,8 @@ impl Scheduler for FixedMappingScheduler {
             cpu_t += ctx.cost.cpu_compute(&ctx.routed_profile, t.load, i > 0);
             plan.cpu_order.push(*t);
         }
-        plan.predicted_makespan = cpu_t.max(gpu_t).elapsed_since(SimTime::ZERO);
+        let finish = gpu_t.iter().fold(cpu_t, |acc, t| acc.max(*t));
+        plan.predicted_makespan = finish.elapsed_since(SimTime::ZERO);
         plan
     }
 }
@@ -188,22 +192,25 @@ impl Scheduler for StaticSplitScheduler {
         let gpu_layer = !ctx.tasks.is_empty() && ctx.tasks.iter().all(|t| t.cached);
 
         if gpu_layer {
+            let n = ctx.num_gpus.max(1);
             let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
             plan.shared_on_gpu = ctx.shared_profile.is_some();
             let mut tasks: Vec<_> = ctx.tasks.to_vec();
             tasks.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
-            let mut gpu_t = SimTime::ZERO;
+            let mut gpu_t = vec![SimTime::ZERO; n];
             if let Some(shared) = ctx.shared_profile {
-                gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+                gpu_t[0] += ctx.cost.gpu_compute(&shared, ctx.tokens);
             }
             for t in &tasks {
-                gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+                let g = shard_of(t.expert, n);
+                gpu_t[g] += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
                 plan.gpu_order.push(PlannedTask {
                     task: *t,
-                    placement: DevicePlacement::Gpu,
+                    placement: DevicePlacement::Gpu(GpuId(g as u8)),
                 });
             }
-            plan.predicted_makespan = gpu_t.elapsed_since(SimTime::ZERO);
+            let finish = gpu_t.iter().fold(SimTime::ZERO, |acc, t| acc.max(*t));
+            plan.predicted_makespan = finish.elapsed_since(SimTime::ZERO);
             return plan;
         }
 
@@ -252,33 +259,37 @@ fn gpu_centric_plan(
     plan.transfer_profile = transfer_profile;
     let wire_profile = transfer_profile.unwrap_or(ctx.routed_profile);
 
+    let n = ctx.num_gpus.max(1);
     let mut cached: Vec<_> = ctx.tasks.iter().filter(|t| t.cached).copied().collect();
     cached.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
     let mut uncached: Vec<_> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
     uncached.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
 
-    let mut gpu_t = SimTime::ZERO;
+    let mut gpu_t = vec![SimTime::ZERO; n];
     if let Some(shared) = ctx.shared_profile {
-        gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+        gpu_t[0] += ctx.cost.gpu_compute(&shared, ctx.tokens);
     }
     for t in &cached {
-        gpu_t += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+        let g = shard_of(t.expert, n);
+        gpu_t[g] += ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
         plan.gpu_order.push(PlannedTask {
             task: *t,
-            placement: DevicePlacement::Gpu,
+            placement: DevicePlacement::Gpu(GpuId(g as u8)),
         });
     }
-    let mut pcie_t = SimTime::ZERO;
+    let mut pcie_t = vec![SimTime::ZERO; n];
     for t in &uncached {
-        pcie_t += ctx.cost.transfer(&wire_profile);
+        let g = shard_of(t.expert, n);
+        pcie_t[g] += ctx.cost.transfer(&wire_profile);
         plan.pcie_order.push(*t);
-        gpu_t = gpu_t.max(pcie_t) + ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
+        gpu_t[g] = gpu_t[g].max(pcie_t[g]) + ctx.cost.gpu_compute(&ctx.routed_profile, t.load);
         plan.gpu_order.push(PlannedTask {
             task: *t,
-            placement: DevicePlacement::GpuAfterTransfer,
+            placement: DevicePlacement::GpuAfterTransfer(GpuId(g as u8)),
         });
     }
-    plan.predicted_makespan = gpu_t.elapsed_since(SimTime::ZERO);
+    let finish = gpu_t.iter().fold(SimTime::ZERO, |acc, t| acc.max(*t));
+    plan.predicted_makespan = finish.elapsed_since(SimTime::ZERO);
     plan
 }
 

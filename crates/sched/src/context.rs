@@ -68,21 +68,29 @@ pub struct ScheduleContext<'a> {
     pub layer: LayerId,
     /// Tokens in the current batch (1 during decode).
     pub tokens: u32,
-    /// The activated experts with loads and residency.
+    /// The activated experts with loads and residency. A cached expert is
+    /// resident on its affinity shard
+    /// ([`shard_of`](hybrimoe_model::shard_of)); with one GPU that is
+    /// always GPU 0.
     pub tasks: &'a [ExpertTask],
     /// Cost profile of one routed expert of this model.
     pub routed_profile: ExpertProfile,
     /// Combined cost profile of the shared experts, if the model has any.
-    /// Shared experts always run on the GPU (they are pinned resident).
+    /// Shared experts always run on the GPU (they are pinned resident on
+    /// GPU 0).
     pub shared_profile: Option<ExpertProfile>,
     /// The platform cost model.
     pub cost: &'a dyn CostModel,
+    /// Number of GPU shards the schedule may target (1 reproduces the
+    /// paper's single-GPU setup).
+    pub num_gpus: usize,
 }
 
 impl<'a> ScheduleContext<'a> {
-    /// Creates a context; `tokens` is taken as the maximum task load (every
-    /// token activates at least one expert, so the batch is at least the
-    /// largest load).
+    /// Creates a single-GPU context; `tokens` is taken as the maximum task
+    /// load (every token activates at least one expert, so the batch is at
+    /// least the largest load). Scale out with
+    /// [`with_gpus`](Self::with_gpus).
     pub fn new(
         layer: LayerId,
         tokens: u32,
@@ -98,12 +106,25 @@ impl<'a> ScheduleContext<'a> {
             routed_profile,
             shared_profile,
             cost,
+            num_gpus: 1,
         }
+    }
+
+    /// Overrides the GPU count (expert shards spread across the GPUs by the
+    /// affinity map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn with_gpus(mut self, num_gpus: usize) -> Self {
+        assert!(num_gpus > 0, "a platform needs at least one GPU");
+        self.num_gpus = num_gpus;
+        self
     }
 
     /// A minimal context for unit tests and worked examples: no shared
     /// experts, a placeholder expert profile (the [`UnitCostModel`]
-    /// ignores it), and `tokens` equal to the maximum load.
+    /// ignores it), one GPU, and `tokens` equal to the maximum load.
     ///
     /// [`UnitCostModel`]: hybrimoe_hw::UnitCostModel
     pub fn for_test(layer: LayerId, tasks: &'a [ExpertTask], cost: &'a dyn CostModel) -> Self {
@@ -115,6 +136,7 @@ impl<'a> ScheduleContext<'a> {
             routed_profile: ExpertProfile::new(1, 1),
             shared_profile: None,
             cost,
+            num_gpus: 1,
         }
     }
 }

@@ -1,6 +1,8 @@
-//! The HybriMoE hybrid scheduling algorithm (paper §IV-B).
+//! The HybriMoE hybrid scheduling algorithm (paper §IV-B), generalized to
+//! `N` GPU shards.
 
-use hybrimoe_hw::SimTime;
+use hybrimoe_hw::{GpuId, SimTime};
+use hybrimoe_model::shard_of;
 
 use crate::{DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
 
@@ -9,21 +11,30 @@ use crate::{DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, ScheduleP
 /// Three priority rules turn the NP-hard mapping problem into queue
 /// disciplines (§IV-B):
 ///
-/// * **GPU priority** — compute cached experts, highest load first;
+/// * **GPU priority** — each GPU computes its shard's cached experts,
+///   highest load first;
 /// * **CPU priority** — compute uncached experts, lowest load first; when
-///   its queue drains, steal the lowest-load *cached* expert from the GPU
+///   its queue drains, steal the lowest-load *cached* expert from any GPU
 ///   queue;
-/// * **Transfer priority** — move uncached experts host→GPU, highest load
-///   first; a transferred expert joins the GPU queue (ordered by load) and
-///   leaves the CPU queue.
+/// * **Transfer priority** — each PCIe lane moves its shard's uncached
+///   experts host→GPU, highest load first; a transferred expert joins its
+///   GPU's queue (ordered by load) and leaves the CPU queue.
 ///
-/// The scheduler then simulates the three timelines: at every step the
-/// candidate operation with the **earliest completion time** is committed
-/// (ties: CPU, then GPU, then PCIe), until every activated expert is
+/// The scheduler then simulates all device timelines (one CPU, `N` GPUs,
+/// `N` PCIe lanes): at every step the candidate operation with the
+/// **earliest completion time** is committed (ties: CPU, then GPUs in shard
+/// order, then PCIe lanes in shard order), until every activated expert is
 /// computed exactly once. The simulation is the schedule: the committed
-/// orders become the plan, and the simulated `max(CPU, GPU)` finish time is
-/// the predicted makespan (Eq. 2 — transfer tails are excluded because every
-/// transfer is consumed by a later GPU compute).
+/// orders become the plan, and the simulated `max(CPU, GPU_0..GPU_{N-1})`
+/// finish time is the predicted makespan (Eq. 2, with the max taken over
+/// every compute device — transfer tails are excluded because every
+/// transfer is consumed by a later GPU compute). With `num_gpus = 1` the
+/// algorithm is exactly the paper's single-GPU schedule.
+///
+/// Expert residency follows the static affinity map
+/// ([`shard_of`](hybrimoe_model::shard_of)): a cached expert lives on its
+/// affinity shard and a transfer lands there, so per-GPU caches never hold
+/// duplicate copies.
 ///
 /// # Example
 ///
@@ -66,7 +77,7 @@ impl Default for HybridScheduler {
     }
 }
 
-/// A task waiting in the GPU queue.
+/// A task waiting in one GPU's queue.
 #[derive(Debug, Clone, Copy)]
 struct GpuEntry {
     task: ExpertTask,
@@ -78,9 +89,12 @@ struct GpuEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Candidate {
     CpuQueueHead,
-    CpuSteal(usize),
-    GpuHead,
-    PcieHead,
+    /// Steal entry `idx` from shard `g`'s GPU queue.
+    CpuSteal(usize, usize),
+    /// Compute shard `g`'s queue head.
+    GpuHead(usize),
+    /// Transfer shard `g`'s lane head.
+    PcieHead(usize),
 }
 
 impl Scheduler for HybridScheduler {
@@ -89,89 +103,108 @@ impl Scheduler for HybridScheduler {
     }
 
     fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        let n = ctx.num_gpus.max(1);
         let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
         plan.shared_on_gpu = ctx.shared_profile.is_some();
 
-        // GPU queue: cached experts, load descending (ties: id ascending).
-        let mut gpu_q: Vec<GpuEntry> = ctx
-            .tasks
-            .iter()
-            .filter(|t| t.cached)
-            .map(|t| GpuEntry {
+        // Per-shard GPU queues: cached experts of the shard, load
+        // descending (ties: id ascending).
+        let mut gpu_q: Vec<Vec<GpuEntry>> = vec![Vec::new(); n];
+        for t in ctx.tasks.iter().filter(|t| t.cached) {
+            gpu_q[shard_of(t.expert, n)].push(GpuEntry {
                 task: *t,
                 ready: None,
-            })
-            .collect();
-        gpu_q.sort_by_key(|e| (std::cmp::Reverse(e.task.load), e.task.expert));
+            });
+        }
+        for q in &mut gpu_q {
+            q.sort_by_key(|e| (std::cmp::Reverse(e.task.load), e.task.expert));
+        }
 
         // CPU queue: uncached experts, load ascending.
         let mut cpu_q: Vec<ExpertTask> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
         cpu_q.sort_by_key(|t| (t.load, t.expert));
 
-        // PCIe queue: uncached experts, load descending.
-        let mut pcie_q: Vec<ExpertTask> = cpu_q.clone();
-        pcie_q.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+        // Per-lane PCIe queues: the shard's uncached experts, load
+        // descending.
+        let mut pcie_q: Vec<Vec<ExpertTask>> = vec![Vec::new(); n];
+        for t in &cpu_q {
+            pcie_q[shard_of(t.expert, n)].push(*t);
+        }
+        for q in &mut pcie_q {
+            q.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+        }
 
         let total = ctx.tasks.len();
         let mut computed = 0usize;
 
         let mut cpu_t = SimTime::ZERO;
-        let mut gpu_t = SimTime::ZERO;
+        let mut gpu_t = vec![SimTime::ZERO; n];
         if let Some(shared) = ctx.shared_profile {
-            gpu_t += ctx.cost.gpu_compute(&shared, ctx.tokens);
+            // Shared experts are pinned on GPU 0 (the paper's single GPU).
+            gpu_t[0] += ctx.cost.gpu_compute(&shared, ctx.tokens);
         }
-        let mut pcie_t = SimTime::ZERO;
+        let mut pcie_t = vec![SimTime::ZERO; n];
         let mut cpu_warm = false;
 
         while computed < total {
-            let mut best: Option<(SimTime, u8, Candidate)> = None;
-            let mut consider = |finish: SimTime, rank: u8, c: Candidate| {
+            // Rank is (class, shard): class 0 = CPU, 1 = GPU, 2 = PCIe;
+            // with one GPU this is exactly the paper's CPU/GPU/PCIe
+            // tie-break.
+            let mut best: Option<(SimTime, (u8, usize), Candidate)> = None;
+            let mut consider = |finish: SimTime, rank: (u8, usize), c: Candidate| {
                 if best.is_none_or(|(bf, br, _)| (finish, rank) < (bf, br)) {
                     best = Some((finish, rank, c));
                 }
             };
 
-            // CPU: uncached head, else steal lowest-load cached entry.
+            // CPU: uncached head, else steal the lowest-load cached entry
+            // across every shard.
             if let Some(head) = cpu_q.first() {
                 let d = ctx
                     .cost
                     .cpu_compute(&ctx.routed_profile, head.load, cpu_warm);
-                consider(cpu_t + d, 0, Candidate::CpuQueueHead);
+                consider(cpu_t + d, (0, 0), Candidate::CpuQueueHead);
             } else if self.cpu_steal {
                 // Steal only experts that are genuinely cached (not in
-                // flight over PCIe) — lowest load first.
+                // flight over PCIe) — lowest load first, across all shards.
                 let steal = gpu_q
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| e.ready.is_none())
-                    .min_by_key(|(_, e)| (e.task.load, e.task.expert));
-                if let Some((idx, entry)) = steal {
+                    .flat_map(|(g, q)| q.iter().enumerate().map(move |(i, e)| (g, i, e)))
+                    .filter(|(_, _, e)| e.ready.is_none())
+                    .min_by_key(|(g, _, e)| (e.task.load, e.task.expert, *g));
+                if let Some((g, idx, entry)) = steal {
                     let d = ctx
                         .cost
                         .cpu_compute(&ctx.routed_profile, entry.task.load, cpu_warm);
-                    consider(cpu_t + d, 0, Candidate::CpuSteal(idx));
+                    consider(cpu_t + d, (0, 0), Candidate::CpuSteal(g, idx));
                 }
             }
 
-            // GPU: queue head (highest load), honoring transfer arrival.
-            if let Some(head) = gpu_q.first() {
-                let start = head.ready.map_or(gpu_t, |r| gpu_t.max(r));
-                let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.task.load);
-                consider(start + d, 1, Candidate::GpuHead);
+            // Each GPU: queue head (highest load), honoring transfer
+            // arrival.
+            for (g, q) in gpu_q.iter().enumerate() {
+                if let Some(head) = q.first() {
+                    let start = head.ready.map_or(gpu_t[g], |r| gpu_t[g].max(r));
+                    let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.task.load);
+                    consider(start + d, (1, g), Candidate::GpuHead(g));
+                }
             }
 
-            // PCIe: queue head (highest load uncached not yet computed).
-            // A transfer is only useful through the GPU compute it feeds,
-            // so its effective completion includes that compute: without
-            // this, the greedy commits transfers that finish early on the
-            // wire but land the expert on the GPU *later* than the CPU
-            // would have finished it.
-            if let Some(head) = pcie_q.first() {
-                let wire = ctx.cost.transfer(&ctx.routed_profile);
-                let arrival = pcie_t + wire;
-                let compute_start = arrival.max(gpu_t);
-                let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.load);
-                consider(compute_start + d, 2, Candidate::PcieHead);
+            // Each PCIe lane: queue head (highest-load uncached of the
+            // shard not yet computed). A transfer is only useful through
+            // the GPU compute it feeds, so its effective completion
+            // includes that compute: without this, the greedy commits
+            // transfers that finish early on the wire but land the expert
+            // on the GPU *later* than the CPU would have finished it.
+            for (g, q) in pcie_q.iter().enumerate() {
+                if let Some(head) = q.first() {
+                    let wire = ctx.cost.transfer(&ctx.routed_profile);
+                    let arrival = pcie_t[g] + wire;
+                    let compute_start = arrival.max(gpu_t[g]);
+                    let d = ctx.cost.gpu_compute(&ctx.routed_profile, head.load);
+                    consider(compute_start + d, (2, g), Candidate::PcieHead(g));
+                }
             }
 
             let Some((finish, _, candidate)) = best else {
@@ -183,42 +216,42 @@ impl Scheduler for HybridScheduler {
             match candidate {
                 Candidate::CpuQueueHead => {
                     let task = cpu_q.remove(0);
-                    pcie_q.retain(|t| t.expert != task.expert);
+                    pcie_q[shard_of(task.expert, n)].retain(|t| t.expert != task.expert);
                     cpu_t = finish;
                     cpu_warm = true;
                     plan.cpu_order.push(task);
                     computed += 1;
                 }
-                Candidate::CpuSteal(idx) => {
-                    let entry = gpu_q.remove(idx);
+                Candidate::CpuSteal(g, idx) => {
+                    let entry = gpu_q[g].remove(idx);
                     cpu_t = finish;
                     cpu_warm = true;
                     plan.cpu_order.push(entry.task);
                     computed += 1;
                 }
-                Candidate::GpuHead => {
-                    let entry = gpu_q.remove(0);
-                    gpu_t = finish;
+                Candidate::GpuHead(g) => {
+                    let entry = gpu_q[g].remove(0);
+                    gpu_t[g] = finish;
                     plan.gpu_order.push(PlannedTask {
                         task: entry.task,
                         placement: if entry.ready.is_some() {
-                            DevicePlacement::GpuAfterTransfer
+                            DevicePlacement::GpuAfterTransfer(GpuId(g as u8))
                         } else {
-                            DevicePlacement::Gpu
+                            DevicePlacement::Gpu(GpuId(g as u8))
                         },
                     });
                     computed += 1;
                 }
-                Candidate::PcieHead => {
+                Candidate::PcieHead(g) => {
                     // `finish` includes the downstream GPU compute (the
                     // selection metric); the wire itself frees earlier.
-                    let task = pcie_q.remove(0);
+                    let task = pcie_q[g].remove(0);
                     cpu_q.retain(|t| t.expert != task.expert);
-                    let arrival = pcie_t + ctx.cost.transfer(&ctx.routed_profile);
-                    pcie_t = arrival;
+                    let arrival = pcie_t[g] + ctx.cost.transfer(&ctx.routed_profile);
+                    pcie_t[g] = arrival;
                     plan.pcie_order.push(task);
                     insert_by_load(
-                        &mut gpu_q,
+                        &mut gpu_q[g],
                         GpuEntry {
                             task,
                             ready: Some(arrival),
@@ -228,12 +261,14 @@ impl Scheduler for HybridScheduler {
             }
         }
 
-        plan.predicted_makespan = cpu_t.max(gpu_t).elapsed_since(SimTime::ZERO);
+        // Makespan = max over all compute timelines (Eq. 2 generalized).
+        let finish = gpu_t.iter().fold(cpu_t, |acc, t| acc.max(*t));
+        plan.predicted_makespan = finish.elapsed_since(SimTime::ZERO);
         plan
     }
 }
 
-/// Inserts into the GPU queue keeping load-descending order (stable: equal
+/// Inserts into a GPU queue keeping load-descending order (stable: equal
 /// loads keep arrival order, ties broken after existing entries).
 fn insert_by_load(gpu_q: &mut Vec<GpuEntry>, entry: GpuEntry) {
     let pos = gpu_q
@@ -440,5 +475,69 @@ mod tests {
                 tasks
             );
         }
+    }
+
+    #[test]
+    fn two_gpus_place_experts_on_their_affinity_shard() {
+        let tasks = vec![
+            ExpertTask::cached(ExpertId(0), 4), // shard 0
+            ExpertTask::cached(ExpertId(1), 4), // shard 1
+            ExpertTask::cached(ExpertId(2), 4), // shard 0
+            ExpertTask::cached(ExpertId(3), 4), // shard 1
+        ];
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(2);
+        let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+        plan.validate(&tasks).unwrap();
+        for g in &plan.gpu_order {
+            let expect = shard_of(g.task.expert, 2) as u8;
+            assert_eq!(g.placement.gpu(), Some(GpuId(expect)), "{:?}", g.task);
+        }
+        // Two GPUs halve the serial cached chain: 2 units, not 4.
+        assert_eq!(plan.predicted_makespan.as_micros_f64(), us(2.0));
+    }
+
+    #[test]
+    fn more_gpus_never_slow_a_cached_layer() {
+        let tasks: Vec<ExpertTask> = (0..8).map(|i| ExpertTask::cached(ExpertId(i), 2)).collect();
+        let cost = UnitCostModel::paper_fig5();
+        let mut last = f64::INFINITY;
+        for n in [1usize, 2, 4] {
+            let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(n);
+            let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+            plan.validate(&tasks).unwrap();
+            let m = plan.predicted_makespan.as_micros_f64();
+            assert!(m <= last, "N={n}: {m} > {last}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn multi_gpu_prediction_matches_executor() {
+        let tasks = fig5_tasks();
+        let cost = UnitCostModel::paper_fig5();
+        for n in [1usize, 2, 3, 4] {
+            let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(n);
+            let plan = HybridScheduler::new().schedule(&ctx);
+            plan.validate(&tasks).unwrap();
+            let executed = PlanExecutor::new()
+                .with_gpus(n)
+                .execute(plan.to_ops(&ctx))
+                .unwrap();
+            assert_eq!(executed.makespan, plan.predicted_makespan, "N={n}");
+        }
+    }
+
+    #[test]
+    fn single_gpu_context_matches_default_context() {
+        // with_gpus(1) must be the identity: same plan, same placements.
+        let tasks = fig5_tasks();
+        let cost = UnitCostModel::paper_fig5();
+        let base = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let one = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(1);
+        assert_eq!(
+            HybridScheduler::new().schedule(&base),
+            HybridScheduler::new().schedule(&one)
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The output of a scheduling decision.
 
-use hybrimoe_hw::{Device, Op, OpId, SimDuration};
+use hybrimoe_hw::{Device, GpuId, Op, OpId, SimDuration};
 use hybrimoe_model::{ExpertId, LayerId};
 use serde::{Deserialize, Serialize};
 
@@ -11,10 +11,25 @@ use crate::{ExpertTask, ScheduleContext};
 pub enum DevicePlacement {
     /// Computed on the CPU from host memory.
     Cpu,
-    /// Computed on the GPU from the cache.
-    Gpu,
-    /// Transferred over PCIe, then computed on the GPU.
-    GpuAfterTransfer,
+    /// Computed on a GPU from its cache shard.
+    Gpu(GpuId),
+    /// Transferred over a GPU's PCIe lane, then computed on that GPU.
+    GpuAfterTransfer(GpuId),
+}
+
+impl DevicePlacement {
+    /// The target GPU of a GPU-side placement; `None` for the CPU.
+    pub const fn gpu(self) -> Option<GpuId> {
+        match self {
+            DevicePlacement::Cpu => None,
+            DevicePlacement::Gpu(g) | DevicePlacement::GpuAfterTransfer(g) => Some(g),
+        }
+    }
+
+    /// Whether the placement requires a PCIe transfer.
+    pub const fn is_transfer(self) -> bool {
+        matches!(self, DevicePlacement::GpuAfterTransfer(_))
+    }
 }
 
 /// A task together with its placement.
@@ -29,10 +44,12 @@ pub struct PlannedTask {
 /// The per-device execution orders for one MoE layer.
 ///
 /// Device orders are execution orders: the CPU computes `cpu_order` front to
-/// back, the GPU computes `gpu_order` front to back (waiting for the
-/// matching transfer before a [`DevicePlacement::GpuAfterTransfer`] entry),
-/// and PCIe issues `pcie_order` front to back. Shared experts, when present,
-/// are a fixed GPU preamble before the routed experts.
+/// back; each GPU computes its subsequence of `gpu_order` front to back
+/// (waiting for the matching transfer before a
+/// [`DevicePlacement::GpuAfterTransfer`] entry); each PCIe lane issues its
+/// subsequence of `pcie_order` front to back (a transfer rides the lane of
+/// the GPU that consumes it). Shared experts, when present, are a fixed
+/// GPU 0 preamble before the routed experts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulePlan {
     /// The layer this plan belongs to.
@@ -147,15 +164,16 @@ impl SchedulePlan {
             if x.cached {
                 return Err(PlanInvalid::TransferredCached(x.expert));
             }
-            let consumed = self.gpu_order.iter().any(|g| {
-                g.task.expert == x.expert && g.placement == DevicePlacement::GpuAfterTransfer
-            });
+            let consumed = self
+                .gpu_order
+                .iter()
+                .any(|g| g.task.expert == x.expert && g.placement.is_transfer());
             if !consumed {
                 return Err(PlanInvalid::TransferNotConsumed(x.expert));
             }
         }
         for g in &self.gpu_order {
-            if g.placement == DevicePlacement::GpuAfterTransfer
+            if g.placement.is_transfer()
                 && !self.pcie_order.iter().any(|x| x.expert == g.task.expert)
             {
                 return Err(PlanInvalid::MissingTransfer(g.task.expert));
@@ -164,10 +182,22 @@ impl SchedulePlan {
         Ok(())
     }
 
+    /// The GPU a transferred expert's lane must feed: the shard of its
+    /// consuming GPU compute (GPU 0 when the plan is malformed — validation
+    /// reports that separately).
+    fn transfer_lane(&self, expert: ExpertId) -> GpuId {
+        self.gpu_order
+            .iter()
+            .find(|g| g.task.expert == expert && g.placement.is_transfer())
+            .and_then(|g| g.placement.gpu())
+            .unwrap_or(GpuId(0))
+    }
+
     /// Lowers the plan to hardware ops for the
     /// [`PlanExecutor`](hybrimoe_hw::PlanExecutor): compute ops per device
-    /// in plan order, transfer ops on PCIe, and a dependency from each
-    /// transferred expert's GPU compute to its transfer.
+    /// in plan order, transfer ops on the PCIe lane of the consuming GPU,
+    /// and a dependency from each transferred expert's GPU compute to its
+    /// transfer.
     pub fn to_ops(&self, ctx: &ScheduleContext<'_>) -> Vec<Op> {
         let mut ops = Vec::new();
         let mut next_id = 0u32;
@@ -181,7 +211,7 @@ impl SchedulePlan {
             if let Some(shared) = ctx.shared_profile {
                 ops.push(Op::new(
                     id(),
-                    Device::Gpu,
+                    Device::Gpu(GpuId(0)),
                     ctx.cost.gpu_compute(&shared, ctx.tokens),
                     format!("{} shared", self.layer),
                 ));
@@ -194,7 +224,7 @@ impl SchedulePlan {
         for x in &self.pcie_order {
             let op = Op::new(
                 id(),
-                Device::Pcie,
+                Device::Pcie(self.transfer_lane(x.expert)),
                 ctx.cost.transfer(&transfer_profile),
                 format!("{}/{} load", self.layer, x.expert),
             );
@@ -215,11 +245,11 @@ impl SchedulePlan {
         for g in &self.gpu_order {
             let mut op = Op::new(
                 id(),
-                Device::Gpu,
+                Device::Gpu(g.placement.gpu().unwrap_or(GpuId(0))),
                 ctx.cost.gpu_compute(&ctx.routed_profile, g.task.load),
                 format!("{}/{}", self.layer, g.task.expert),
             );
-            if g.placement == DevicePlacement::GpuAfterTransfer {
+            if g.placement.is_transfer() {
                 if let Some((_, dep)) = transfer_ids.iter().find(|(e, _)| *e == g.task.expert) {
                     op = op.after(*dep);
                 }
@@ -233,7 +263,7 @@ impl SchedulePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hybrimoe_hw::{PlanExecutor, UnitCostModel};
+    use hybrimoe_hw::{GpuId, PlanExecutor, UnitCostModel};
 
     fn fig5_tasks() -> Vec<ExpertTask> {
         vec![
@@ -257,11 +287,11 @@ mod tests {
             gpu_order: vec![
                 PlannedTask {
                     task: ExpertTask::cached(ExpertId(3), 4),
-                    placement: DevicePlacement::Gpu,
+                    placement: DevicePlacement::Gpu(GpuId(0)),
                 },
                 PlannedTask {
                     task: ExpertTask::uncached(ExpertId(2), 3),
-                    placement: DevicePlacement::GpuAfterTransfer,
+                    placement: DevicePlacement::GpuAfterTransfer(GpuId(0)),
                 },
             ],
             pcie_order: vec![ExpertTask::uncached(ExpertId(2), 3)],
@@ -309,7 +339,7 @@ mod tests {
     #[test]
     fn validation_catches_unconsumed_transfer() {
         let mut p = fig5_plan();
-        p.gpu_order[1].placement = DevicePlacement::Gpu;
+        p.gpu_order[1].placement = DevicePlacement::Gpu(GpuId(0));
         assert_eq!(
             p.validate(&fig5_tasks()),
             Err(PlanInvalid::TransferNotConsumed(ExpertId(2)))

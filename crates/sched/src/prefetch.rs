@@ -46,6 +46,10 @@ pub struct PrefetchContext<'a> {
     pub shared_profile: Option<ExpertProfile>,
     /// The platform cost model.
     pub cost: &'a dyn CostModel,
+    /// Number of GPU shards of the platform: the impact simulation re-runs
+    /// the hybrid schedule with the same shard layout the engine executes,
+    /// so prefetch ranking stays device-local.
+    pub num_gpus: usize,
 }
 
 /// A prefetching policy: returns the expert keys to transfer during idle
@@ -159,6 +163,7 @@ impl Prefetcher for NextLayerTopKPrefetcher {
 ///     routed_profile: hybrimoe_hw::ExpertProfile::new(1, 1),
 ///     shared_profile: None,
 ///     cost: &cost,
+///     num_gpus: 1,
 /// };
 /// let picks = ImpactDrivenPrefetcher::new().plan(&ctx);
 /// assert_eq!(picks.len(), 1);
@@ -269,7 +274,8 @@ fn simulate_makespan(
         ctx.routed_profile,
         ctx.shared_profile,
         ctx.cost,
-    );
+    )
+    .with_gpus(ctx.num_gpus.max(1));
     scheduler.schedule(&sched_ctx).predicted_makespan
 }
 
@@ -293,6 +299,7 @@ mod tests {
             routed_profile: ExpertProfile::new(1, 1),
             shared_profile: None,
             cost,
+            num_gpus: 1,
         }
     }
 

@@ -51,8 +51,8 @@ fn main() {
         }
         println!(
             "{i:>4} | {:>7.1}µs | {:>7.1}µs | {:>11} | {:>11}",
-            metrics.device_busy[Device::Cpu.index()].as_micros_f64(),
-            metrics.device_busy[Device::Gpu.index()].as_micros_f64(),
+            metrics.busy(Device::Cpu).as_micros_f64(),
+            metrics.busy(Device::gpu(0)).as_micros_f64(),
             metrics.cpu_experts,
             metrics.gpu_experts,
         );
@@ -74,7 +74,7 @@ fn main() {
     let cpu_secs = |m: &hybrimoe::StageMetrics| -> f64 {
         m.steps
             .iter()
-            .map(|s| s.device_busy[Device::Cpu.index()].as_secs_f64())
+            .map(|s| s.busy(Device::Cpu).as_secs_f64())
             .sum()
     };
     let predicted = Engine::new(calibrated.clone().with_backend(BackendKind::Sim)).run(&trace);

@@ -98,3 +98,53 @@ fn serving_seed_changes_the_outcome() {
     let b = serve_once(Framework::HybriMoe, 2);
     assert_ne!(a, b, "serving seed has no effect");
 }
+
+/// Absolute pins captured on the pre-multi-GPU engine (single GPU, flat
+/// cache, scalar timelines). The `num_gpus = 1` path of the generalized
+/// stack must reproduce them bit for bit: any drift means the refactor
+/// changed single-GPU scheduling, caching or accounting behaviour.
+#[test]
+fn single_gpu_pins_match_the_pre_refactor_engine() {
+    // (framework, total latency in ns, cache hits, cache misses) for
+    // run_once(seed 42, 12 decode steps) on the DeepSeek model at cache
+    // ratio 0.25.
+    let pins: [(Framework, u64, u64, u64); 4] = [
+        (Framework::LlamaCpp, 470_022_552, 432, 1440),
+        (Framework::AdapMoe, 321_147_595, 773, 1099),
+        (Framework::KTransformers, 337_071_861, 453, 1419),
+        (Framework::HybriMoe, 225_848_268, 680, 1192),
+    ];
+    for (framework, total_ns, hits, misses) in pins {
+        let m = run_once(framework, 42, 12);
+        assert_eq!(m.total.as_nanos(), total_ns, "{framework:?} total drifted");
+        assert_eq!(m.cache.hits, hits, "{framework:?} hits drifted");
+        assert_eq!(m.cache.misses, misses, "{framework:?} misses drifted");
+    }
+}
+
+/// The serving path's pre-refactor pins (seed 42, DeepSeek, ratio 0.25,
+/// Poisson arrivals): wall clock and decode throughput.
+#[test]
+fn single_gpu_serving_pins_match_the_pre_refactor_engine() {
+    let k = serve_once(Framework::KTransformers, 42).summary();
+    assert_eq!(k.makespan_ms, 1523.34477);
+    assert_eq!(k.output_tokens_per_sec, 15.754805131867817);
+    let h = serve_once(Framework::HybriMoe, 42).summary();
+    assert_eq!(h.makespan_ms, 1041.30531);
+    assert_eq!(h.output_tokens_per_sec, 23.047995404921156);
+}
+
+/// An explicit `num_gpus = 1` is the identity: same metrics as the default
+/// configuration, step for step.
+#[test]
+fn explicit_single_gpu_is_bit_identical_to_default() {
+    let model = ModelConfig::deepseek();
+    let trace = TraceGenerator::new(model.clone(), 42).decode_trace(12);
+    for framework in [Framework::KTransformers, Framework::HybriMoe] {
+        let default_cfg = EngineConfig::preset(framework, model.clone(), 0.25);
+        let explicit = default_cfg.clone().with_num_gpus(1);
+        let a = Engine::new(default_cfg).run(&trace);
+        let b = Engine::new(explicit).run(&trace);
+        assert_eq!(a, b, "{framework:?}: explicit num_gpus=1 diverged");
+    }
+}

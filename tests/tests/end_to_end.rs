@@ -124,7 +124,7 @@ fn device_busy_times_are_bounded_by_latency() {
     let model = ModelConfig::mixtral();
     let m = decode(Framework::HybriMoe, &model, 0.5, 4);
     for step in &m.steps {
-        for (d, busy) in hybrimoe_hw::Device::ALL.iter().zip(step.device_busy.iter()) {
+        for (d, busy) in hybrimoe_hw::devices(step.num_gpus()).zip(step.device_busy.iter()) {
             // PCIe may exceed the step latency only because background
             // prefetch accounting attributes whole transfers to the step
             // that completes them; compute devices never can.

@@ -38,10 +38,10 @@ proptest! {
         for (i, d) in durations.iter().enumerate() {
             let dur = SimDuration::from_micros(*d);
             if i % 2 == 0 {
-                let xfer = Op::new(id, Device::Pcie, dur, format!("x{i}"));
+                let xfer = Op::new(id, Device::pcie(0), dur, format!("x{i}"));
                 let xid = xfer.id;
                 id += 1;
-                let comp = Op::new(id, Device::Gpu, dur, format!("g{i}")).after(xid);
+                let comp = Op::new(id, Device::gpu(0), dur, format!("g{i}")).after(xid);
                 id += 1;
                 ops.push(xfer);
                 ops.push(comp);
@@ -61,7 +61,7 @@ proptest! {
             }
         }
         // Per-device, ops run in the given order.
-        for device in Device::ALL {
+        for device in hybrimoe_hw::devices(1) {
             let starts: Vec<_> = ops
                 .iter()
                 .filter(|o| o.device == device)

@@ -1,0 +1,145 @@
+//! Multi-GPU expert sharding, end to end: the engine and the serving layer
+//! must actually get faster with more GPUs at the paper's tight cache
+//! point, residency must follow the affinity map, and the metrics layout
+//! must scale with the device count.
+
+use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
+use hybrimoe::{Engine, EngineConfig, Framework};
+use hybrimoe_model::{shard_of, ModelConfig};
+use hybrimoe_trace::TraceGenerator;
+
+fn decode_total(num_gpus: usize) -> hybrimoe_hw::SimDuration {
+    let model = ModelConfig::deepseek();
+    let config =
+        EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25).with_num_gpus(num_gpus);
+    let trace = TraceGenerator::new(model, 42).decode_trace(12);
+    Engine::new(config).run(&trace).total
+}
+
+/// The acceptance property of the sharded stack: two GPUs decode strictly
+/// faster than one on the same workload at cache ratio 0.25, and four are
+/// at least as fast as two.
+#[test]
+fn two_gpus_decode_strictly_faster_than_one() {
+    let one = decode_total(1);
+    let two = decode_total(2);
+    let four = decode_total(4);
+    assert!(two < one, "2 GPUs not faster: {two} >= {one}");
+    assert!(four <= two, "4 GPUs slower than 2: {four} > {two}");
+}
+
+fn serve_once(num_gpus: usize) -> ServeReport {
+    ServeSim::new(ServeConfig {
+        engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::deepseek(), 0.25)
+            .with_num_gpus(num_gpus),
+        arrivals: ArrivalProcess::Poisson {
+            mean_interval: hybrimoe_hw::SimDuration::from_millis(100),
+        },
+        requests: 8,
+        prompt_tokens: 32,
+        decode_tokens: 8,
+        max_batch: 8,
+        seed: 42,
+    })
+    .run()
+}
+
+/// The serving layer inherits the speedup: higher decode throughput with
+/// two shards under the same arrival schedule.
+#[test]
+fn serving_throughput_scales_with_gpus() {
+    let one = serve_once(1).summary();
+    let two = serve_once(2).summary();
+    assert_eq!(one.num_gpus, 1);
+    assert_eq!(two.num_gpus, 2);
+    assert!(
+        two.output_tokens_per_sec > one.output_tokens_per_sec,
+        "2 GPUs: {} tok/s <= 1 GPU: {} tok/s",
+        two.output_tokens_per_sec,
+        one.output_tokens_per_sec
+    );
+}
+
+/// Every resident expert sits on its affinity shard, after warmup and
+/// after a dynamic workload churned the cache.
+#[test]
+fn cache_residency_follows_the_affinity_map() {
+    let model = ModelConfig::deepseek();
+    let config = EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25).with_num_gpus(4);
+    let mut engine = Engine::new(config);
+    let check = |engine: &Engine, when: &str| {
+        for s in 0..engine.cache().num_shards() {
+            for key in engine.cache().shard(s).resident_keys() {
+                assert_eq!(
+                    shard_of(key.expert, engine.cache().num_shards()),
+                    s,
+                    "{when}: {key} resident off its shard"
+                );
+            }
+        }
+    };
+    check(&engine, "after warmup");
+    let trace = TraceGenerator::new(model, 7).decode_trace(8);
+    engine.run(&trace);
+    check(&engine, "after decode");
+}
+
+/// The busy-vector layout tracks the device count (`1 + 2 * num_gpus`) and
+/// the per-step latency bounds each device's busy time.
+#[test]
+fn step_metrics_scale_with_device_count() {
+    let model = ModelConfig::tiny_test();
+    for num_gpus in [1usize, 2, 4] {
+        let config =
+            EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.5).with_num_gpus(num_gpus);
+        let trace = TraceGenerator::new(model.clone(), 3).decode_trace(4);
+        let metrics = Engine::new(config).run(&trace);
+        for step in &metrics.steps {
+            assert_eq!(step.device_busy.len(), 1 + 2 * num_gpus);
+            assert_eq!(step.num_gpus(), num_gpus);
+            for (d, busy) in hybrimoe_hw::devices(num_gpus).zip(step.device_busy.iter()) {
+                assert!(
+                    *busy <= step.latency,
+                    "N={num_gpus}: {d} busy {busy} exceeds step latency {}",
+                    step.latency
+                );
+            }
+        }
+    }
+}
+
+/// Warmup placement is shard-aware: every shard fills to its own capacity
+/// (a shard-blind frequency fill would overfill some shards — dropping
+/// their most frequent experts — while leaving others with free slots).
+#[test]
+fn warmup_fills_every_shard_to_capacity() {
+    for framework in [Framework::HybriMoe, Framework::KTransformers] {
+        for num_gpus in [1usize, 2, 4] {
+            let config = EngineConfig::preset(framework, ModelConfig::deepseek(), 0.25)
+                .with_num_gpus(num_gpus);
+            let engine = Engine::new(config);
+            for s in 0..num_gpus {
+                let shard = engine.cache().shard(s);
+                assert_eq!(
+                    shard.len(),
+                    shard.capacity(),
+                    "{framework:?} N={num_gpus}: shard {s} not full after warmup"
+                );
+            }
+        }
+    }
+}
+
+/// Total cache capacity is preserved across shard counts (shards split the
+/// budget; they do not multiply it).
+#[test]
+fn sharding_preserves_total_cache_capacity() {
+    let model = ModelConfig::deepseek();
+    let base = EngineConfig::preset(Framework::HybriMoe, model.clone(), 0.25);
+    let expect = base.cache_capacity();
+    for num_gpus in [1usize, 2, 4] {
+        let engine = Engine::new(base.clone().with_num_gpus(num_gpus));
+        assert_eq!(engine.cache().capacity(), expect, "N={num_gpus}");
+        assert_eq!(engine.cache().num_shards(), num_gpus);
+    }
+}

@@ -229,7 +229,7 @@ fn calibration_round(profile_seed: u64, smoke_seed: u64) -> f64 {
     let cpu = |m: &hybrimoe::StageMetrics| -> f64 {
         m.steps
             .iter()
-            .map(|s| s.device_busy[Device::Cpu.index()].as_secs_f64())
+            .map(|s| s.busy(Device::Cpu).as_secs_f64())
             .sum()
     };
     cpu(&predicted) / cpu(&measured)

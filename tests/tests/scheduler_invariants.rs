@@ -4,7 +4,7 @@
 //! schedule never loses to the fixed mapping.
 
 use hybrimoe_hw::{Device, PlanExecutor, SimDuration, UnitCostModel};
-use hybrimoe_model::{ExpertId, LayerId};
+use hybrimoe_model::{shard_of, ExpertId, LayerId};
 use hybrimoe_sched::baselines::{
     FixedMappingScheduler, GpuOnlyScheduler, StaticSplitScheduler, PREFILL_BATCH_THRESHOLD,
 };
@@ -157,7 +157,7 @@ proptest! {
             let plan = scheduler.schedule(&ctx);
             let executed = PlanExecutor::new().execute(plan.to_ops(&ctx)).unwrap();
             let cpu_end = executed.timelines.get(Device::Cpu).ready_at();
-            let gpu_end = executed.timelines.get(Device::Gpu).ready_at();
+            let gpu_end = executed.timelines.get(Device::gpu(0)).ready_at();
             let expected = cpu_end.max(gpu_end).elapsed_since(hybrimoe_hw::SimTime::ZERO);
             prop_assert_eq!(
                 executed.makespan, expected,
@@ -227,5 +227,154 @@ proptest! {
             prefill,
             tasks
         );
+    }
+}
+
+// Multi-GPU properties: the sharded generalization must keep every
+// single-GPU invariant across 1, 2 and 4 shards, respect the expert→shard
+// affinity map, and stay bit-identical to the pre-refactor algorithm at
+// N = 1.
+proptest! {
+    /// Exactly-once expert computation across **all** GPUs: no expert runs
+    /// on two shards, none is dropped, for every scheduler at every GPU
+    /// count.
+    #[test]
+    fn every_expert_computed_exactly_once_across_all_gpus(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+        num_gpus in 1usize..5,
+    ) {
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(num_gpus);
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            prop_assert_eq!(
+                plan.validate(&tasks), Ok(()),
+                "{} invalid at N={}", scheduler.name(), num_gpus
+            );
+            for t in &tasks {
+                let computes = plan.cpu_experts().filter(|e| *e == t.expert).count()
+                    + plan.gpu_experts().filter(|e| *e == t.expert).count();
+                prop_assert_eq!(
+                    computes, 1,
+                    "{} N={}: expert {} computed {} times",
+                    scheduler.name(), num_gpus, t.expert, computes
+                );
+            }
+        }
+    }
+
+    /// Every GPU-side placement (compute or transfer target) lands on the
+    /// expert's affinity shard, so per-GPU caches never hold duplicates.
+    #[test]
+    fn gpu_placements_respect_the_affinity_map(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+        num_gpus in 1usize..5,
+    ) {
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(num_gpus);
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            for g in &plan.gpu_order {
+                let Some(gpu) = g.placement.gpu() else {
+                    prop_assert!(false, "{}: CPU placement in gpu_order", scheduler.name());
+                    continue;
+                };
+                prop_assert_eq!(
+                    gpu.0 as usize,
+                    shard_of(g.task.expert, num_gpus),
+                    "{} N={}: {} off its shard",
+                    scheduler.name(), num_gpus, g.task.expert
+                );
+            }
+        }
+    }
+
+    /// The executed makespan equals the maximum finish time over **every**
+    /// per-device timeline (CPU, all GPUs, all PCIe lanes) — and, because
+    /// every transfer is consumed by a GPU compute, also over just the
+    /// compute devices. The scheduler's internal prediction agrees.
+    #[test]
+    fn makespan_is_max_over_per_device_timelines(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+        num_gpus in 1usize..5,
+    ) {
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(num_gpus);
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            let executed = PlanExecutor::new()
+                .with_gpus(num_gpus)
+                .execute(plan.to_ops(&ctx))
+                .unwrap();
+            let all_max = executed
+                .timelines
+                .iter()
+                .map(|tl| tl.ready_at())
+                .fold(hybrimoe_hw::SimTime::ZERO, hybrimoe_hw::SimTime::max)
+                .elapsed_since(hybrimoe_hw::SimTime::ZERO);
+            prop_assert_eq!(
+                executed.makespan, all_max,
+                "{} N={}: makespan != max over device timelines", scheduler.name(), num_gpus
+            );
+            let compute_max = executed
+                .timelines
+                .compute_finish_time()
+                .elapsed_since(hybrimoe_hw::SimTime::ZERO);
+            prop_assert_eq!(
+                executed.makespan, compute_max,
+                "{} N={}: PCIe tail not consumed", scheduler.name(), num_gpus
+            );
+            prop_assert_eq!(
+                executed.makespan, plan.predicted_makespan,
+                "{} N={} misPredicted", scheduler.name(), num_gpus
+            );
+        }
+    }
+
+    /// `with_gpus(1)` is the identity: the whole plan (orders, placements,
+    /// prediction) matches the default single-GPU context bit for bit.
+    #[test]
+    fn single_gpu_plans_are_bit_identical_to_default(
+        tasks in arb_tasks(),
+        cost in arb_cost(),
+    ) {
+        let base = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let one = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(1);
+        for scheduler in all_schedulers() {
+            prop_assert_eq!(
+                scheduler.schedule(&base),
+                scheduler.schedule(&one),
+                "{} diverges at explicit N=1",
+                scheduler.name()
+            );
+        }
+    }
+
+    /// Adding GPUs never hurts the hybrid schedule: with more shards the
+    /// predicted makespan is monotone non-increasing on fully cached
+    /// layers (each shard serializes less work).
+    #[test]
+    fn more_gpus_never_slow_fully_cached_layers(
+        loads in proptest::collection::vec(1u32..12, 1..10),
+        cost in arb_cost(),
+    ) {
+        let tasks: Vec<ExpertTask> = loads
+            .into_iter()
+            .enumerate()
+            .map(|(i, load)| ExpertTask::cached(ExpertId(i as u16), load))
+            .collect();
+        let mut last = None;
+        for num_gpus in [1usize, 2, 4] {
+            let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(num_gpus);
+            let plan = HybridScheduler::without_cpu_steal().schedule(&ctx);
+            if let Some(prev) = last {
+                prop_assert!(
+                    plan.predicted_makespan <= prev,
+                    "N={} makespan {} > previous {}",
+                    num_gpus, plan.predicted_makespan, prev
+                );
+            }
+            last = Some(plan.predicted_makespan);
+        }
     }
 }

@@ -3,9 +3,11 @@
 //! Generates the stub-`serde` [`Serialize`]/[`Deserialize`] impls (the
 //! `to_value`/`from_value` pair) for the shapes this workspace actually
 //! derives: structs with named fields, tuple structs, and enums whose
-//! variants are all units. Anything fancier (generics, data-carrying
-//! variants, `#[serde(...)]` attributes) is rejected with a compile error
-//! rather than silently mis-serialized.
+//! variants are units or single-field newtypes (externally tagged, the
+//! real-serde JSON convention: `"Variant"` / `{"Variant": value}`).
+//! Anything fancier (generics, multi-field or struct variants,
+//! `#[serde(...)]` attributes) is rejected with a compile error rather
+//! than silently mis-serialized.
 //!
 //! The input item is parsed directly from the [`proc_macro::TokenStream`];
 //! no `syn`/`quote` dependency is available in this build environment.
@@ -18,8 +20,15 @@ enum Shape {
     Named(String, Vec<String>),
     /// `struct Name(A, B);` — field count.
     Tuple(String, usize),
-    /// `enum Name { V1, V2 }` — variant names, all unit.
-    Enum(String, Vec<String>),
+    /// `enum Name { V1, V2(A) }` — variant names, each unit or newtype.
+    Enum(String, Vec<Variant>),
+}
+
+/// One enum variant the stub derive can handle.
+struct Variant {
+    name: String,
+    /// Whether the variant carries exactly one unnamed field.
+    newtype: bool,
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -124,29 +133,48 @@ fn count_tuple_fields(group: TokenStream) -> usize {
     fields + usize::from(saw_tokens)
 }
 
-fn parse_unit_variants(group: TokenStream) -> Result<Vec<String>, String> {
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
     let mut iter = group.into_iter().peekable();
     let mut variants = Vec::new();
     loop {
         skip_attributes(&mut iter);
         match iter.next() {
             Some(TokenTree::Ident(name)) => {
+                let mut newtype = false;
                 match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let fields = count_tuple_fields(g.stream());
+                        if fields != 1 {
+                            return Err(format!(
+                                "variant `{name}` has {fields} fields; the serde stub derive \
+                                 only supports unit and single-field newtype variants"
+                            ));
+                        }
+                        newtype = true;
+                        iter.next();
+                    }
                     Some(TokenTree::Group(_)) => {
                         return Err(format!(
-                            "variant `{name}` carries data; the serde stub derive only supports unit variants"
+                            "variant `{name}` has named fields; the serde stub derive only \
+                             supports unit and single-field newtype variants"
                         ));
                     }
                     Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
                         // Explicit discriminant: skip to the next comma.
                         iter.next();
                         skip_type(&mut iter);
-                        variants.push(name.to_string());
+                        variants.push(Variant {
+                            name: name.to_string(),
+                            newtype: false,
+                        });
                         continue;
                     }
                     _ => {}
                 }
-                variants.push(name.to_string());
+                variants.push(Variant {
+                    name: name.to_string(),
+                    newtype,
+                });
                 match iter.next() {
                     Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
                     None => break,
@@ -190,7 +218,7 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
             Ok(Shape::Named(name, Vec::new()))
         }
         ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Ok(Shape::Enum(name, parse_unit_variants(g.stream())?))
+            Ok(Shape::Enum(name, parse_variants(g.stream())?))
         }
         (kind, _) => Err(format!("cannot derive for `{kind} {name}`")),
     }
@@ -245,9 +273,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: String = variants
                 .iter()
                 .map(|v| {
-                    format!(
-                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
-                    )
+                    let vn = &v.name;
+                    if v.newtype {
+                        format!(
+                            "{name}::{vn}(inner) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -316,21 +353,44 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::Enum(name, variants) => {
-            let arms: String = variants
+            let unit_arms: String = variants
                 .iter()
-                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .filter(|v| !v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
                          match v {{\n\
                              ::serde::Value::Str(s) => match s.as_str() {{\n\
-                                 {arms}\n\
+                                 {unit_arms}\n\
                                  other => ::std::result::Result::Err(::serde::Error::custom(\n\
                                      ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
                              }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, inner) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {newtype_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
                              _ => ::std::result::Result::Err(::serde::Error::custom(\
-                                 concat!(\"expected string for enum \", {name:?}))),\n\
+                                 concat!(\"expected string or 1-entry map for enum \", {name:?}))),\n\
                          }}\n\
                      }}\n\
                  }}"
