@@ -1,32 +1,41 @@
-//! CI perf-regression gate: re-runs the serving sweep and diffs it against
-//! the committed `BENCH_serve.json` snapshot.
+//! CI perf-regression gates: the serving sweep vs the committed
+//! `BENCH_serve.json` snapshot, and the real-backend kernel sweep vs the
+//! committed `BENCH_real.json` snapshot.
 //!
 //! ```text
-//! cargo run -p hybrimoe_bench --release --bin bench_check                 # gate vs BENCH_serve.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check                 # gate vs committed snapshots
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --baseline x.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --fresh serve_bench.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --real-fresh real_bench.json
 //! ```
 //!
-//! `--fresh <path>` reuses an already-computed sweep JSON (e.g. the
-//! artifact the CI smoke job's `serve_bench --json --out` step just
-//! wrote) instead of re-running the whole sweep — the sweep is
-//! deterministic, so the two are interchangeable.
+//! `--fresh <path>` / `--real-fresh <path>` reuse already-computed sweep
+//! JSON (e.g. the artifacts the CI smoke job's `serve_bench` /
+//! `real_bench` steps just wrote) instead of re-running the sweeps.
 //!
-//! The gate fails (exit code 1) if HybriMoE's decode throughput at cache
-//! ratio 0.25 drops more than [`TOLERANCE`] below the snapshot on any
-//! swept arrival rate (at any swept GPU count). The simulation is
+//! **Serve gate**: fails (exit code 1) if HybriMoE's decode throughput at
+//! cache ratio 0.25 drops more than [`TOLERANCE`] below the snapshot on
+//! any swept arrival rate (at any swept GPU count). The simulation is
 //! deterministic, so on an unchanged engine the fresh run reproduces the
 //! snapshot exactly; a failure means a code change slowed the modeled
 //! system down — refresh the snapshot deliberately with
 //! `serve_bench --json --out BENCH_serve.json` if the regression is
 //! intended and justified.
 //!
-//! Gate points present in the fresh sweep but absent from the snapshot are
-//! reported and tolerated (they appear when the sweep grows an axis);
-//! snapshot gate points missing from the fresh sweep fail the gate (the
-//! sweep silently shrank).
+//! **Real gate**: fails if the expert-major batched executor's *speedup*
+//! over the token-major reference at any batch ≥ [`REAL_GATE_BATCH`] point
+//! drops more than [`TOLERANCE`] below the committed snapshot. The gate
+//! compares speedups, not absolute tokens/s: wall-clock rates differ
+//! across machines, but the within-run ratio of the two paths (measured
+//! back to back on identical inputs) is portable. Refresh deliberately
+//! with `real_bench --json --out BENCH_real.json`.
+//!
+//! For both gates, points present in the fresh sweep but absent from the
+//! snapshot are reported and tolerated (they appear when a sweep grows an
+//! axis); snapshot gate points missing from the fresh sweep fail the gate
+//! (the sweep silently shrank).
 
-use hybrimoe_bench::{serve_sweep, ServeLoad, ServeRow, SEED};
+use hybrimoe_bench::{real_sweep, serve_sweep, RealRow, ServeLoad, ServeRow, SEED};
 use hybrimoe_model::ModelConfig;
 
 /// Maximum tolerated relative throughput drop at a gate point.
@@ -37,6 +46,11 @@ const GATE_RATIO: f64 = 0.25;
 
 /// The framework the gate protects.
 const GATE_FRAMEWORK: &str = "HybriMoE";
+
+/// Minimum batch size of real-backend gate points: the expert-major win
+/// the ISSUE promises (and the snapshot records) is for batched decode;
+/// single-token layers have nothing to amortize and stay ungated.
+const REAL_GATE_BATCH: usize = 8;
 
 /// A gate point's identity within the sweep.
 fn gate_key(row: &ServeRow) -> Option<(u64, usize)> {
@@ -146,7 +160,138 @@ fn main() {
         std::process::exit(2);
     }
     if failures.is_empty() {
-        println!("bench_check: {compared} gate point(s) within tolerance");
+        println!("bench_check: serve gate — {compared} point(s) within tolerance");
+    }
+
+    // ---- Real-backend gate: expert-major speedup over the token-major
+    // reference must not regress at any batched gate point. ----
+    let real_baseline_path = args
+        .iter()
+        .position(|a| a == "--real-baseline")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_real.json".to_owned());
+    let raw = std::fs::read_to_string(&real_baseline_path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read real baseline {real_baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let real_baseline: Vec<RealRow> = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot parse real baseline {real_baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "bench_check: gating expert-major speedup at batch >= {REAL_GATE_BATCH} \
+         (tolerance -{:.0}%) against {real_baseline_path}",
+        TOLERANCE * 100.0
+    );
+    let real_fresh_path = args
+        .iter()
+        .position(|a| a == "--real-fresh")
+        .and_then(|i| args.get(i + 1).cloned());
+    let real_fresh: Vec<RealRow> = match real_fresh_path {
+        Some(path) => {
+            println!("bench_check: reusing fresh real sweep from {path}");
+            let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("bench_check: cannot read fresh real sweep {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str(&raw).unwrap_or_else(|e| {
+                eprintln!("bench_check: cannot parse fresh real sweep {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => real_sweep(SEED),
+    };
+
+    let real_key = |r: &RealRow| -> Option<(usize, u16, usize)> {
+        (r.batch >= REAL_GATE_BATCH).then_some((r.batch, r.experts, r.threads))
+    };
+    // Per-point deltas are informational: individual wall-clock ratios
+    // wobble by tens of percent on shared hosts. The gate criterion is the
+    // *median* speedup across all gate points, which is stable.
+    let fresh_gate: Vec<RealRow> = real_fresh
+        .iter()
+        .filter(|r| real_key(r).is_some())
+        .cloned()
+        .collect();
+    let base_gate: Vec<RealRow> = real_baseline
+        .iter()
+        .filter(|b| real_key(b).is_some())
+        .cloned()
+        .collect();
+    for row in &fresh_gate {
+        let key = real_key(row).expect("filtered");
+        match base_gate.iter().find(|b| real_key(b) == Some(key)) {
+            Some(base) => {
+                let delta = if base.speedup > 0.0 {
+                    row.speedup / base.speedup - 1.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "  batch {:>2}, {} experts, {} thread(s): snapshot {:>5.2}x, fresh \
+                     {:>5.2}x ({:+.1}%)",
+                    row.batch,
+                    row.experts,
+                    row.threads,
+                    base.speedup,
+                    row.speedup,
+                    delta * 100.0
+                );
+            }
+            None => println!(
+                "  new real gate point (not in snapshot): batch {}, {} experts, {} thread(s) \
+                 -> {:.2}x",
+                row.batch, row.experts, row.threads, row.speedup
+            ),
+        }
+    }
+    for base in &base_gate {
+        let key = real_key(base).expect("filtered");
+        if !fresh_gate.iter().any(|r| real_key(r) == Some(key)) {
+            failures.push(format!(
+                "real gate point batch {}, {} experts, {} thread(s) vanished from the sweep",
+                base.batch, base.experts, base.threads
+            ));
+        }
+    }
+    // Medians are computed over the *key intersection* only: growing a
+    // sweep axis must not shift what the gate measures (new points are
+    // reported above, gated once the snapshot is refreshed to include
+    // them).
+    let fresh_common: Vec<RealRow> = fresh_gate
+        .iter()
+        .filter(|r| base_gate.iter().any(|b| real_key(b) == real_key(r)))
+        .cloned()
+        .collect();
+    let base_common: Vec<RealRow> = base_gate
+        .iter()
+        .filter(|b| fresh_gate.iter().any(|r| real_key(r) == real_key(b)))
+        .cloned()
+        .collect();
+    let real_compared = fresh_common.len();
+    let vanished = base_gate.len() - base_common.len();
+    if real_compared == 0 && vanished == 0 {
+        eprintln!("bench_check: real snapshot has no gate points; refresh BENCH_real.json");
+        std::process::exit(2);
+    }
+    let fresh_median = hybrimoe_bench::median_speedup(&fresh_common);
+    let base_median = hybrimoe_bench::median_speedup(&base_common);
+    println!(
+        "  median speedup over {real_compared} shared gate point(s): {fresh_median:.2}x \
+         (snapshot median {base_median:.2}x)"
+    );
+    if real_compared > 0 && fresh_median < base_median * (1.0 - TOLERANCE) {
+        failures.push(format!(
+            "real: median speedup {fresh_median:.2}x is {:.1}% below snapshot median \
+             {base_median:.2}x",
+            (1.0 - fresh_median / base_median) * 100.0
+        ));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_check: all gates passed ({compared} serve + {real_compared} real point(s))"
+        );
     } else {
         eprintln!("bench_check: FAILED");
         for f in &failures {

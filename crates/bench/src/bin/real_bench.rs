@@ -1,0 +1,72 @@
+//! Real-backend kernel benchmark: sweeps batch size × expert count ×
+//! thread cap over the quantized CPU executor and reports the measured
+//! tokens/s of the expert-major batched path against the retained
+//! token-major reference.
+//!
+//! ```text
+//! cargo run -p hybrimoe_bench --release --bin real_bench                         # table + JSON
+//! cargo run -p hybrimoe_bench --release --bin real_bench -- --json              # JSON only
+//! cargo run -p hybrimoe_bench --release --bin real_bench -- --json --out x.json # also write a file
+//! ```
+//!
+//! `BENCH_real.json` at the repo root is the committed snapshot; the
+//! `bench_check` CI gate diffs a fresh run's *speedups* against it
+//! (absolute tokens/s are machine-dependent, the within-run speedup of the
+//! batched path over the reference is not).
+
+use hybrimoe_bench::{real_bench_model, real_sweep, RealRow, SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let out_path = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let model = real_bench_model();
+    if !json_only {
+        println!(
+            "Real-backend execution — {} (hidden {}, inter {}), Q4 kernels, seed {SEED:#x}\n",
+            model.name,
+            model.routed_shape.hidden(),
+            model.routed_shape.inter()
+        );
+        println!(
+            "{:>6} {:>8} {:>8} {:>18} {:>18} {:>9}",
+            "batch", "experts", "threads", "expert-major t/s", "token-major t/s", "speedup"
+        );
+    }
+
+    let rows: Vec<RealRow> = real_sweep(SEED);
+
+    if !json_only {
+        for r in &rows {
+            println!(
+                "{:>6} {:>8} {:>8} {:>18.1} {:>18.1} {:>8.2}x",
+                r.batch, r.experts, r.threads, r.expert_major_tok_s, r.token_major_tok_s, r.speedup
+            );
+        }
+        let gate: Vec<&RealRow> = rows.iter().filter(|r| r.batch >= 8).collect();
+        let min = gate.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+        println!(
+            "\nminimum speedup at batch >= 8 across {} point(s): {min:.2}x",
+            gate.len()
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if !json_only {
+            println!("wrote {path}");
+        }
+    }
+    println!("{json}");
+}

@@ -487,6 +487,7 @@ mod tests {
         let opts = RealExecOptions {
             weight_budget_bytes: 1 << 20,
             max_threads: 2,
+            ..Default::default()
         };
         let c = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
             .with_backend(BackendKind::RealCpu)

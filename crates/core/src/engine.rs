@@ -305,7 +305,7 @@ impl Engine {
             // 3. Cache lookups define the task set; the activated experts
             // are also the protected set (never evicted while in flight).
             // Scratch buffers are reused across layers and steps.
-            let (tasks, protect) = self.scratch.begin_layer();
+            let (tasks, protect, queues) = self.scratch.begin_layer();
             for (expert, load) in rec.routing.activated() {
                 let key = ExpertKey::new(layer, expert);
                 protect.push(key);
@@ -326,7 +326,7 @@ impl Engine {
                 &self.cost,
             )
             .with_gpus(num_gpus);
-            let plan = self.scheduler.schedule(&ctx);
+            let plan = self.scheduler.schedule_with(&ctx, queues);
             debug_assert_eq!(plan.validate(tasks), Ok(()), "invalid plan from scheduler");
             let outcome = self.backend.execute_layer(&LayerRequest {
                 layer,

@@ -13,22 +13,38 @@
 //! 2. **Calibration ground truth** — the measured wall-clock of the
 //!    CPU-assigned portion grounds the cost model's CPU constants.
 //!
+//! # Expert-major batched execution
+//!
+//! The hot path is **expert-major**: per layer it builds each expert's
+//! routed token list once, gathers those tokens into a contiguous batch,
+//! runs one [`ExpertFfn::forward_batch_into`](hybrimoe_kernels::ExpertFfn)
+//! over the whole batch (each Q4 block is dequantized once per batch, not
+//! once per token), and scatters the weighted results back. All scratch is
+//! owned by the executor ([`ExecScratch`] plus per-layer buffers) and the
+//! kernels run on a persistent [`WorkerPool`] that parks between calls —
+//! steady-state execution allocates nothing and spawns no threads. Experts
+//! accumulate into the output in ascending id order, so results are
+//! bit-identical across placements **and** bit-identical to the retained
+//! token-major reference path ([`RealExecOptions::token_major`]), which
+//! re-runs each expert once per routed token exactly like the pre-batching
+//! executor.
+//!
 //! Only routed experts participate; the model must be small enough for the
 //! [`WeightStore`] memory budget (use [`ModelConfig::tiny_test`]-sized
 //! configurations).
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use hybrimoe_kernels::threadpool::default_threads;
+use hybrimoe_kernels::{ExecScratch, WorkerPool};
 use hybrimoe_model::{
     ExpertKey, LayerId, ModelConfig, RouterOutput, WeightStore, WeightStoreError,
 };
 use hybrimoe_sched::SchedulePlan;
 use serde::{Deserialize, Serialize};
 
-/// Resource limits of a [`RealLayerExecutor`] (and of the
-/// [`RealCpuBackend`](crate::RealCpuBackend) built on it).
+/// Resource limits and execution strategy of a [`RealLayerExecutor`] (and
+/// of the [`RealCpuBackend`](crate::RealCpuBackend) built on it).
 ///
 /// # Example
 ///
@@ -38,6 +54,7 @@ use serde::{Deserialize, Serialize};
 /// let opts = RealExecOptions::default();
 /// assert_eq!(opts.weight_budget_bytes, 512 * 1024 * 1024);
 /// assert_eq!(opts.max_threads, 10);
+/// assert!(!opts.token_major); // expert-major batching by default
 /// let single = RealExecOptions { max_threads: 1, ..Default::default() };
 /// assert_eq!(single.max_threads, 1);
 /// ```
@@ -45,10 +62,19 @@ use serde::{Deserialize, Serialize};
 pub struct RealExecOptions {
     /// Memory budget of the synthetic [`WeightStore`], in bytes.
     pub weight_budget_bytes: u64,
-    /// Cap on worker threads; the executor uses the machine's available
-    /// parallelism up to this many (the paper restricts its Xeon to 10
-    /// cores, §VI-A1).
+    /// Cap on worker threads; the executor's persistent [`WorkerPool`] uses
+    /// the machine's available parallelism up to this many (the paper
+    /// restricts its Xeon to 10 cores, §VI-A1).
     pub max_threads: usize,
+    /// Run the retained token-major reference path instead of the
+    /// expert-major batched hot path: one [`forward_threads`] call per
+    /// (expert, token) pair on per-call scoped threads, exactly like the
+    /// pre-batching executor. Outputs are bit-identical either way; the
+    /// reference path exists as the correctness oracle and the baseline
+    /// that `real_bench` measures the batched path against.
+    ///
+    /// [`forward_threads`]: hybrimoe_kernels::ExpertFfn::forward_threads
+    pub token_major: bool,
 }
 
 impl Default for RealExecOptions {
@@ -56,6 +82,7 @@ impl Default for RealExecOptions {
         RealExecOptions {
             weight_budget_bytes: 512 * 1024 * 1024,
             max_threads: 10,
+            token_major: false,
         }
     }
 }
@@ -120,6 +147,34 @@ impl From<WeightStoreError> for RealExecError {
     }
 }
 
+/// Reusable per-layer buffers of the expert-major path: cleared — not
+/// freed — between layers, so steady-state execution allocates only the
+/// returned output vector.
+#[derive(Debug, Default)]
+struct LayerScratch {
+    /// Per-expert routed token lists, `(token index, router weight)`,
+    /// indexed by expert id. Built in one pass over the routes (replacing
+    /// the per-(expert, token) linear scan of `routing.selected`).
+    tokens_of: Vec<Vec<(u32, f32)>>,
+    /// Gathered inputs of one expert's token batch, `batch x hidden`.
+    gather: Vec<f32>,
+    /// The expert's batched outputs, same shape.
+    result: Vec<f32>,
+    /// Activated expert ids, sorted ascending, deduplicated.
+    activated: Vec<u16>,
+    /// CPU partition of the plan, sorted ascending (binary-searched for
+    /// membership instead of a per-layer `HashSet`).
+    cpu: Vec<u16>,
+    /// GPU partition of the plan, sorted ascending.
+    gpu: Vec<u16>,
+    /// Union of the partitions, sorted ascending — the fixed accumulation
+    /// order (float addition is not associative, so summing in plan order
+    /// would make the output depend on the placement).
+    planned: Vec<u16>,
+    /// `(expert, shard)` pairs sorted by expert, for per-shard timing.
+    shard: Vec<(u16, u16)>,
+}
+
 /// Executes MoE layers for real on the CPU, using deterministic synthetic
 /// weights.
 ///
@@ -135,7 +190,11 @@ impl From<WeightStoreError> for RealExecError {
 #[derive(Debug)]
 pub struct RealLayerExecutor {
     store: WeightStore,
-    threads: usize,
+    /// Persistent kernel workers, spawned once and parked between layers.
+    pool: WorkerPool,
+    options: RealExecOptions,
+    scratch: LayerScratch,
+    ffn_scratch: ExecScratch,
 }
 
 impl RealLayerExecutor {
@@ -145,11 +204,15 @@ impl RealLayerExecutor {
         RealLayerExecutor::with_options(model, seed, RealExecOptions::default())
     }
 
-    /// Creates an executor with explicit resource limits.
+    /// Creates an executor with explicit resource limits. Spawns the
+    /// persistent worker pool.
     pub fn with_options(model: ModelConfig, seed: u64, options: RealExecOptions) -> Self {
         RealLayerExecutor {
             store: WeightStore::new(model, seed, options.weight_budget_bytes),
-            threads: default_threads(options.max_threads.max(1)),
+            pool: WorkerPool::new(default_threads(options.max_threads.max(1))),
+            options,
+            scratch: LayerScratch::default(),
+            ffn_scratch: ExecScratch::new(),
         }
     }
 
@@ -160,7 +223,7 @@ impl RealLayerExecutor {
 
     /// The worker-thread count the kernels run with.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
     /// Executes one layer for real.
@@ -172,7 +235,8 @@ impl RealLayerExecutor {
     /// paper). Experts accumulate into the output in ascending id order
     /// regardless of the plan's device orders, so the result is
     /// **bit-identical across placements** — the property the scheduler
-    /// correctness suite pins.
+    /// correctness suite pins — and identical between the expert-major and
+    /// token-major strategies (see [`RealExecOptions::token_major`]).
     ///
     /// # Errors
     ///
@@ -187,6 +251,22 @@ impl RealLayerExecutor {
         inputs: &[Vec<f32>],
         routes: &[RouterOutput],
     ) -> Result<RealLayerOutput, RealExecError> {
+        self.validate(plan, inputs, routes)?;
+        if self.options.token_major {
+            self.run_token_major(layer, inputs, routes)
+        } else {
+            self.run_expert_major(layer, inputs, routes)
+        }
+    }
+
+    /// Checks the inputs and distills the plan into the sorted scratch
+    /// partitions both execution strategies consume.
+    fn validate(
+        &mut self,
+        plan: &SchedulePlan,
+        inputs: &[Vec<f32>],
+        routes: &[RouterOutput],
+    ) -> Result<(), RealExecError> {
         let hidden = self.model().routed_shape.hidden() as usize;
         if inputs.len() != routes.len() {
             return Err(RealExecError::BadInput {
@@ -203,51 +283,189 @@ impl RealLayerExecutor {
             }
         }
 
-        // The activated set must match the plan's compute partition.
-        let activated: HashSet<u16> = routes
+        let scratch = &mut self.scratch;
+        // The activated set must match the plan's compute partition. All
+        // sets are sorted slices; membership is binary search, not hashing.
+        scratch.activated.clear();
+        scratch
+            .activated
+            .extend(routes.iter().flat_map(|r| r.expert_ids().map(|e| e.0)));
+        scratch.activated.sort_unstable();
+        scratch.activated.dedup();
+
+        scratch.cpu.clear();
+        scratch.cpu.extend(plan.cpu_experts().map(|e| e.0));
+        scratch.cpu.sort_unstable();
+        scratch.cpu.dedup();
+        scratch.gpu.clear();
+        scratch.gpu.extend(plan.gpu_experts().map(|e| e.0));
+        scratch.gpu.sort_unstable();
+        scratch.gpu.dedup();
+        if scratch
+            .cpu
             .iter()
-            .flat_map(|r| r.expert_ids().map(|e| e.0))
-            .collect();
-        let cpu_set: HashSet<u16> = plan.cpu_experts().map(|e| e.0).collect();
-        let gpu_set: HashSet<u16> = plan.gpu_experts().map(|e| e.0).collect();
-        // Which shard each GPU-assigned expert runs on (for per-shard
-        // timing).
-        let shard_of_expert: std::collections::HashMap<u16, usize> = plan
-            .gpu_order
-            .iter()
-            .filter_map(|g| {
-                g.placement
-                    .gpu()
-                    .map(|gpu| (g.task.expert.0, gpu.0 as usize))
-            })
-            .collect();
-        let num_shards = shard_of_expert.values().copied().max().map_or(1, |m| m + 1);
-        if !cpu_set.is_disjoint(&gpu_set) {
+            .any(|e| scratch.gpu.binary_search(e).is_ok())
+        {
             return Err(RealExecError::InvalidPlan(
                 "an expert is assigned to both devices".to_owned(),
             ));
         }
-        let planned: HashSet<u16> = cpu_set.union(&gpu_set).copied().collect();
-        if planned != activated {
+
+        // Sorted union of two sorted, disjoint partitions.
+        scratch.planned.clear();
+        scratch.planned.extend_from_slice(&scratch.cpu);
+        scratch.planned.extend_from_slice(&scratch.gpu);
+        scratch.planned.sort_unstable();
+        if scratch.planned != scratch.activated {
             return Err(RealExecError::InvalidPlan(format!(
-                "plan covers {planned:?}, activated {activated:?}"
+                "plan covers {:?}, activated {:?}",
+                scratch.planned, scratch.activated
             )));
         }
-        // Fixed accumulation order: float addition is not associative, so
-        // summing expert contributions in plan order would make the output
-        // depend on the placement.
-        let mut planned: Vec<u16> = planned.into_iter().collect();
-        planned.sort_unstable();
 
-        // Compute each expert's contribution for the tokens routed to it.
+        // Which shard each GPU-assigned expert runs on (per-shard timing).
+        scratch.shard.clear();
+        scratch.shard.extend(
+            plan.gpu_order
+                .iter()
+                .filter_map(|g| g.placement.gpu().map(|gpu| (g.task.expert.0, gpu.0 as u16))),
+        );
+        scratch.shard.sort_unstable();
+        Ok(())
+    }
+
+    /// Number of GPU shards the validated plan targets.
+    fn num_shards(&self) -> usize {
+        self.scratch
+            .shard
+            .iter()
+            .map(|(_, s)| *s as usize)
+            .max()
+            .map_or(1, |m| m + 1)
+    }
+
+    /// The expert-major batched hot path: gather each expert's routed
+    /// tokens once, one batched forward per expert, weighted scatter back.
+    fn run_expert_major(
+        &mut self,
+        layer: LayerId,
+        inputs: &[Vec<f32>],
+        routes: &[RouterOutput],
+    ) -> Result<RealLayerOutput, RealExecError> {
+        let num_shards = self.num_shards();
+        let RealLayerExecutor {
+            store,
+            pool,
+            scratch,
+            ffn_scratch,
+            ..
+        } = self;
+        let LayerScratch {
+            tokens_of,
+            gather,
+            result,
+            cpu,
+            gpu,
+            planned,
+            shard,
+            ..
+        } = scratch;
+        let hidden = store.config().routed_shape.hidden() as usize;
+        let experts = store.config().routed_experts as usize;
+
+        // Build every expert's token list in one pass over the routes.
+        if tokens_of.len() < experts {
+            tokens_of.resize_with(experts, Vec::new);
+        }
+        for list in tokens_of.iter_mut() {
+            list.clear();
+        }
+        for (t, routing) in routes.iter().enumerate() {
+            for (e, w) in &routing.selected {
+                tokens_of[e.0 as usize].push((t as u32, *w));
+            }
+        }
+
         let mut output = vec![0.0f32; inputs.len() * hidden];
         let mut cpu_wall = Duration::ZERO;
         let mut gpu_wall = Duration::ZERO;
         let mut gpu_walls = vec![Duration::ZERO; num_shards];
-        for &expert in &planned {
+        for &expert in planned.iter() {
             let key = ExpertKey::new(layer, hybrimoe_model::ExpertId(expert));
-            let threads = self.threads;
-            let ffn = self.store.expert(key)?;
+            let ffn = store.expert(key)?;
+            let list = &tokens_of[expert as usize];
+            let batch = list.len();
+            let start = Instant::now();
+
+            // Gather the routed tokens into one contiguous batch.
+            gather.resize(batch * hidden, 0.0);
+            for (i, (t, _)) in list.iter().enumerate() {
+                gather[i * hidden..(i + 1) * hidden].copy_from_slice(&inputs[*t as usize]);
+            }
+            result.resize(batch * hidden, 0.0);
+            ffn.forward_batch_into(gather, batch, result, ffn_scratch, pool);
+            // Scatter with the router weights; token order within the list
+            // is ascending, so every output cell sees the same addition
+            // order as the token-major reference.
+            for (i, (t, w)) in list.iter().enumerate() {
+                let dst = &mut output[*t as usize * hidden..(*t as usize + 1) * hidden];
+                let src = &result[i * hidden..(i + 1) * hidden];
+                for (o, v) in dst.iter_mut().zip(src.iter()) {
+                    *o += w * v;
+                }
+            }
+
+            let elapsed = start.elapsed();
+            account(
+                expert,
+                elapsed,
+                cpu,
+                shard,
+                &mut cpu_wall,
+                &mut gpu_wall,
+                &mut gpu_walls,
+            );
+        }
+
+        Ok(RealLayerOutput {
+            output,
+            cpu_wall,
+            gpu_wall,
+            gpu_walls,
+            cpu_tasks: cpu.len(),
+            gpu_tasks: gpu.len(),
+        })
+    }
+
+    /// The retained token-major reference path: one single-token forward
+    /// (on per-call scoped threads) per (expert, token) pair, exactly like
+    /// the pre-batching executor. `real_bench` measures the batched path
+    /// against this baseline.
+    fn run_token_major(
+        &mut self,
+        layer: LayerId,
+        inputs: &[Vec<f32>],
+        routes: &[RouterOutput],
+    ) -> Result<RealLayerOutput, RealExecError> {
+        let num_shards = self.num_shards();
+        let threads = self.pool.threads();
+        let RealLayerExecutor { store, scratch, .. } = self;
+        let LayerScratch {
+            cpu,
+            gpu,
+            planned,
+            shard,
+            ..
+        } = scratch;
+        let hidden = store.config().routed_shape.hidden() as usize;
+
+        let mut output = vec![0.0f32; inputs.len() * hidden];
+        let mut cpu_wall = Duration::ZERO;
+        let mut gpu_wall = Duration::ZERO;
+        let mut gpu_walls = vec![Duration::ZERO; num_shards];
+        for &expert in planned.iter() {
+            let key = ExpertKey::new(layer, hybrimoe_model::ExpertId(expert));
+            let ffn = store.expert(key)?;
             let start = Instant::now();
             for (t, (x, routing)) in inputs.iter().zip(routes.iter()).enumerate() {
                 let Some((_, weight)) = routing.selected.iter().find(|(e, _)| e.0 == expert) else {
@@ -262,13 +480,15 @@ impl RealLayerExecutor {
                 }
             }
             let elapsed = start.elapsed();
-            if cpu_set.contains(&expert) {
-                cpu_wall += elapsed;
-            } else {
-                gpu_wall += elapsed;
-                let shard = shard_of_expert.get(&expert).copied().unwrap_or(0);
-                gpu_walls[shard] += elapsed;
-            }
+            account(
+                expert,
+                elapsed,
+                cpu,
+                shard,
+                &mut cpu_wall,
+                &mut gpu_wall,
+                &mut gpu_walls,
+            );
         }
 
         Ok(RealLayerOutput {
@@ -276,9 +496,32 @@ impl RealLayerExecutor {
             cpu_wall,
             gpu_wall,
             gpu_walls,
-            cpu_tasks: cpu_set.len(),
-            gpu_tasks: gpu_set.len(),
+            cpu_tasks: cpu.len(),
+            gpu_tasks: gpu.len(),
         })
+    }
+}
+
+/// Books one expert's elapsed wall-clock against the device that computed
+/// it (sorted-slice membership; GPU shard looked up by binary search).
+fn account(
+    expert: u16,
+    elapsed: Duration,
+    cpu: &[u16],
+    shard: &[(u16, u16)],
+    cpu_wall: &mut Duration,
+    gpu_wall: &mut Duration,
+    gpu_walls: &mut [Duration],
+) {
+    if cpu.binary_search(&expert).is_ok() {
+        *cpu_wall += elapsed;
+    } else {
+        *gpu_wall += elapsed;
+        let s = shard
+            .binary_search_by_key(&expert, |(e, _)| *e)
+            .map(|i| shard[i].1 as usize)
+            .unwrap_or(0);
+        gpu_walls[s] += elapsed;
     }
 }
 
@@ -356,6 +599,41 @@ mod tests {
             .unwrap();
         assert_eq!(a.output, b.output);
         assert!(a.output.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn expert_major_matches_token_major_reference() {
+        // The batched hot path and the retained reference path are the
+        // same function of the inputs, bit for bit.
+        let model = ModelConfig::tiny_test();
+        for (tokens, seed) in [(1usize, 3u64), (3, 9), (8, 17)] {
+            let (inputs, routes) = token_inputs(&model, tokens, seed);
+            let plan = tasks_and_plan(&model, &routes, 2, true);
+            let batched = RealLayerExecutor::with_options(
+                model.clone(),
+                7,
+                RealExecOptions {
+                    max_threads: 2,
+                    ..Default::default()
+                },
+            )
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+            let reference = RealLayerExecutor::with_options(
+                model.clone(),
+                7,
+                RealExecOptions {
+                    max_threads: 2,
+                    token_major: true,
+                    ..Default::default()
+                },
+            )
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+            assert_eq!(batched.output, reference.output, "tokens={tokens}");
+            assert_eq!(batched.cpu_tasks, reference.cpu_tasks);
+            assert_eq!(batched.gpu_tasks, reference.gpu_tasks);
+        }
     }
 
     #[test]
@@ -478,12 +756,32 @@ mod tests {
     }
 
     #[test]
+    fn scratch_survives_shrinking_batches() {
+        // Re-running the same executor with a smaller batch must not leak
+        // stale token lists or gather contents from the bigger layer.
+        let model = ModelConfig::tiny_test();
+        let mut exec = RealLayerExecutor::new(model.clone(), 7);
+        for tokens in [6usize, 2, 4, 1] {
+            let (inputs, routes) = token_inputs(&model, tokens, 13);
+            let plan = tasks_and_plan(&model, &routes, 2, true);
+            let got = exec
+                .execute_layer(LayerId(0), &plan, &inputs, &routes)
+                .unwrap();
+            let fresh = RealLayerExecutor::new(model.clone(), 7)
+                .execute_layer(LayerId(0), &plan, &inputs, &routes)
+                .unwrap();
+            assert_eq!(got.output, fresh.output, "tokens={tokens}");
+        }
+    }
+
+    #[test]
     fn options_bound_budget_and_threads() {
         let model = ModelConfig::tiny_test();
         let per = model.routed_shape.packed_bytes();
         let opts = RealExecOptions {
             weight_budget_bytes: per, // room for exactly one expert
             max_threads: 1,
+            token_major: false,
         };
         let mut exec = RealLayerExecutor::with_options(model.clone(), 7, opts);
         assert_eq!(exec.threads(), 1);

@@ -12,6 +12,48 @@ use serde::{Deserialize, Serialize};
 
 use crate::gemm::swiglu_gate;
 use crate::quant::{QuantError, QuantizedMatrix};
+use crate::threadpool::WorkerPool;
+
+/// Reusable scratch for the allocation-free expert forward passes.
+///
+/// [`ExpertFfn::forward_batch`] allocates four intermediates per call; on
+/// the real-execution hot path that churn (one batch per expert per layer
+/// per step) is pure overhead. An `ExecScratch` owns those buffers and is
+/// resized — not freed — between calls, mirroring the scheduler's
+/// `ScheduleScratch`. Thread one instance through the executor and pass it
+/// to [`ExpertFfn::forward_batch_into`].
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_kernels::{ExecScratch, ExpertFfn, WorkerPool};
+///
+/// let ffn = ExpertFfn::random(64, 96, 7);
+/// let pool = WorkerPool::new(2);
+/// let mut scratch = ExecScratch::new();
+/// let x = vec![0.05_f32; 2 * 64];
+/// let mut y = vec![0.0_f32; 2 * 64];
+/// ffn.forward_batch_into(&x, 2, &mut y, &mut scratch, &pool);
+/// assert_eq!(y, ffn.forward_batch(&x, 2, 1));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ExecScratch {
+    /// Gate projection output, `tokens x inter`.
+    g: Vec<f32>,
+    /// Up projection output, `tokens x inter`.
+    u: Vec<f32>,
+    /// SwiGLU gating product, `tokens x inter`.
+    h: Vec<f32>,
+    /// Row-major GEMM intermediate shared by the three projections.
+    band: Vec<f32>,
+}
+
+impl ExecScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+}
 
 /// One expert's quantized weights and its forward pass.
 ///
@@ -147,6 +189,50 @@ impl ExpertFfn {
         self.w_down.qgemm(&h, tokens, &mut y, threads);
         y
     }
+
+    /// [`ExpertFfn::forward_batch`] into a caller-owned output with reusable
+    /// scratch, running on a persistent [`WorkerPool`]: zero allocations on
+    /// the steady-state path, and each Q4 block of the three weight
+    /// matrices is dequantized once per call instead of once per token.
+    /// Per-token results are bit-identical to [`ExpertFfn::forward_threads`]
+    /// (see [`QuantizedMatrix::qgemm_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != tokens * hidden()` or
+    /// `y.len() != tokens * hidden()`.
+    pub fn forward_batch_into(
+        &self,
+        x: &[f32],
+        tokens: usize,
+        y: &mut [f32],
+        scratch: &mut ExecScratch,
+        pool: &WorkerPool,
+    ) {
+        assert_eq!(x.len(), tokens * self.hidden, "input shape mismatch");
+        assert_eq!(y.len(), tokens * self.hidden, "output shape mismatch");
+        let inter = tokens * self.inter;
+        scratch.g.resize(inter, 0.0);
+        scratch.u.resize(inter, 0.0);
+        scratch.h.resize(inter, 0.0);
+        if tokens == 1 {
+            // Single-token fast path: the GEMV writes row-major output
+            // directly, skipping the GEMM's band intermediate and its
+            // token-major scatter. Bit-identical to the batched path.
+            self.w_gate.qgemv_into(x, &mut scratch.g, pool);
+            self.w_up.qgemv_into(x, &mut scratch.u, pool);
+            swiglu_gate(&scratch.g, &scratch.u, &mut scratch.h);
+            self.w_down.qgemv_into(&scratch.h, y, pool);
+            return;
+        }
+        self.w_gate
+            .qgemm_into(x, tokens, &mut scratch.g, &mut scratch.band, pool);
+        self.w_up
+            .qgemm_into(x, tokens, &mut scratch.u, &mut scratch.band, pool);
+        swiglu_gate(&scratch.g, &scratch.u, &mut scratch.h);
+        self.w_down
+            .qgemm_into(&scratch.h, tokens, y, &mut scratch.band, pool);
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +303,49 @@ mod tests {
     fn forward_rejects_bad_input() {
         let ffn = ExpertFfn::random(32, 32, 6);
         let _ = ffn.forward(&[0.0; 31]);
+    }
+
+    #[test]
+    fn batch_into_is_bit_identical_to_forward_threads() {
+        // The expert-major hot path must reproduce the token-major
+        // reference bit for bit: per-token accumulation order is unchanged.
+        let (hidden, inter) = (64, 96);
+        let ffn = ExpertFfn::random(hidden, inter, 9);
+        for tokens in [1usize, 3, 5, 8] {
+            let x: Vec<f32> = (0..tokens * hidden)
+                .map(|i| (i as f32 * 0.013).sin() * 0.2)
+                .collect();
+            for threads in [1, 2, 4] {
+                let pool = crate::threadpool::WorkerPool::new(threads);
+                let mut scratch = ExecScratch::new();
+                let mut y = vec![0.0f32; tokens * hidden];
+                ffn.forward_batch_into(&x, tokens, &mut y, &mut scratch, &pool);
+                for t in 0..tokens {
+                    let single = ffn.forward_threads(&x[t * hidden..(t + 1) * hidden], 1);
+                    assert_eq!(
+                        &y[t * hidden..(t + 1) * hidden],
+                        &single[..],
+                        "tokens={tokens} t={t} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_scratch_across_shapes() {
+        let ffn = ExpertFfn::random(32, 64, 10);
+        let pool = crate::threadpool::WorkerPool::new(2);
+        let mut scratch = ExecScratch::new();
+        // Shrinking and growing the batch between calls must not leak
+        // stale values through the retained buffers.
+        for tokens in [4usize, 1, 6, 2] {
+            let x: Vec<f32> = (0..tokens * 32)
+                .map(|i| (i as f32 * 0.07).cos() * 0.1)
+                .collect();
+            let mut y = vec![0.0f32; tokens * 32];
+            ffn.forward_batch_into(&x, tokens, &mut y, &mut scratch, &pool);
+            assert_eq!(y, ffn.forward_batch(&x, tokens, 1), "tokens={tokens}");
+        }
     }
 }

@@ -28,7 +28,11 @@
 //! assert_eq!(y.len(), 64);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent `WorkerPool` needs two
+// narrowly-scoped `allow(unsafe_code)` regions (lifetime erasure of the job
+// closure, with a completion barrier guaranteeing the borrow outlives every
+// use — see `threadpool`). Everything else remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;
@@ -39,7 +43,7 @@ pub mod quant8;
 pub mod threadpool;
 
 pub use calibrate::{calibrate_cpu, CalibrationOptions};
-pub use ffn::ExpertFfn;
+pub use ffn::{ExecScratch, ExpertFfn};
 pub use quant::{QuantError, QuantizedMatrix, Q4_BLOCK};
 pub use quant8::{Q8Matrix, Q8_BLOCK};
-pub use threadpool::parallel_for;
+pub use threadpool::{parallel_for, WorkerPool};

@@ -12,7 +12,7 @@ use std::fmt;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use crate::threadpool::parallel_for;
+use crate::threadpool::{parallel_for, WorkerPool};
 
 /// A band of GEMV/GEMM results: `(first_row, values)` per worker.
 type RowBands = std::sync::Mutex<Vec<(usize, Vec<f32>)>>;
@@ -249,6 +249,135 @@ impl QuantizedMatrix {
             }
         }
     }
+
+    /// [`QuantizedMatrix::qgemv`] on a persistent [`WorkerPool`]: no thread
+    /// spawns, no intermediate allocations. The output is written directly
+    /// into disjoint bands of `y` and is bit-identical to `qgemv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn qgemv_into(&self, x: &[f32], y: &mut [f32], pool: &WorkerPool) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        let data = &self.data;
+        // Rows are contiguous in y, so each part gets its own disjoint
+        // band; the per-band mutex is uncontended (one lock per part per
+        // call) and exists only to hand a `&mut` band through a `Fn` body.
+        let (_, chunk) = pool.partition(self.rows);
+        let bands: Vec<std::sync::Mutex<&mut [f32]>> =
+            y.chunks_mut(chunk).map(std::sync::Mutex::new).collect();
+        pool.run(self.rows, |part, r0, r1| {
+            if r1 <= r0 {
+                return;
+            }
+            let mut band = bands[part].lock().expect("band poisoned");
+            let mut buf = [0.0f32; Q4_BLOCK];
+            for r in r0..r1 {
+                let mut acc = 0.0f32;
+                for b in 0..blocks_per_row {
+                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                    decode_block(&data[off..off + Q4_BLOCK_BYTES], &mut buf);
+                    let xs = &x[b * Q4_BLOCK..(b + 1) * Q4_BLOCK];
+                    for (wv, xv) in buf.iter().zip(xs.iter()) {
+                        acc += wv * xv;
+                    }
+                }
+                band[r - r0] = acc;
+            }
+        });
+    }
+
+    /// [`QuantizedMatrix::qgemm`] on a persistent [`WorkerPool`] with
+    /// caller-owned scratch: each Q4 block is decoded exactly once per
+    /// call (amortized over the whole token batch) and applied to the
+    /// tokens in tiles of four, keeping four independent FP accumulation
+    /// chains in flight. Per-token results are bit-identical to `qgemv`
+    /// (each token's element order is unchanged; only independent chains
+    /// are interleaved).
+    ///
+    /// `band` is reusable scratch for the row-major intermediate; it is
+    /// resized (capacity retained) and scattered into the token-major `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn qgemm_into(
+        &self,
+        x: &[f32],
+        tokens: usize,
+        y: &mut [f32],
+        band: &mut Vec<f32>,
+        pool: &WorkerPool,
+    ) {
+        assert_eq!(x.len(), tokens * self.cols, "input shape mismatch");
+        assert_eq!(y.len(), tokens * self.rows, "output shape mismatch");
+        let blocks_per_row = self.cols / Q4_BLOCK;
+        let cols = self.cols;
+        let data = &self.data;
+        band.clear();
+        band.resize(self.rows * tokens, 0.0);
+        let (_, chunk) = pool.partition(self.rows);
+        let bands: Vec<std::sync::Mutex<&mut [f32]>> = band
+            .chunks_mut(chunk * tokens.max(1))
+            .map(std::sync::Mutex::new)
+            .collect();
+        pool.run(self.rows, |part, r0, r1| {
+            if r1 <= r0 || tokens == 0 {
+                return;
+            }
+            let mut band = bands[part].lock().expect("band poisoned");
+            let mut buf = [0.0f32; Q4_BLOCK];
+            for r in r0..r1 {
+                let row_out = &mut band[(r - r0) * tokens..(r - r0 + 1) * tokens];
+                for b in 0..blocks_per_row {
+                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
+                    decode_block(&data[off..off + Q4_BLOCK_BYTES], &mut buf);
+                    let col0 = b * Q4_BLOCK;
+                    let mut t = 0;
+                    while t + 4 <= tokens {
+                        let x0 = &x[t * cols + col0..][..Q4_BLOCK];
+                        let x1 = &x[(t + 1) * cols + col0..][..Q4_BLOCK];
+                        let x2 = &x[(t + 2) * cols + col0..][..Q4_BLOCK];
+                        let x3 = &x[(t + 3) * cols + col0..][..Q4_BLOCK];
+                        let mut a0 = row_out[t];
+                        let mut a1 = row_out[t + 1];
+                        let mut a2 = row_out[t + 2];
+                        let mut a3 = row_out[t + 3];
+                        for i in 0..Q4_BLOCK {
+                            let w = buf[i];
+                            a0 += w * x0[i];
+                            a1 += w * x1[i];
+                            a2 += w * x2[i];
+                            a3 += w * x3[i];
+                        }
+                        row_out[t] = a0;
+                        row_out[t + 1] = a1;
+                        row_out[t + 2] = a2;
+                        row_out[t + 3] = a3;
+                        t += 4;
+                    }
+                    while t < tokens {
+                        let xs = &x[t * cols + col0..][..Q4_BLOCK];
+                        let mut acc = row_out[t];
+                        for (wv, xv) in buf.iter().zip(xs.iter()) {
+                            acc += wv * xv;
+                        }
+                        row_out[t] = acc;
+                        t += 1;
+                    }
+                }
+            }
+        });
+        drop(bands);
+        // Scatter the row-major intermediate into the token-major output.
+        for (r, row) in band.chunks(tokens.max(1)).enumerate() {
+            for (t, v) in row.iter().enumerate() {
+                y[t * self.rows + r] = *v;
+            }
+        }
+    }
 }
 
 fn encode_block(src: &[f32], dst: &mut [u8]) {
@@ -371,6 +500,45 @@ mod tests {
             q.qgemv(&x[t * cols..(t + 1) * cols], &mut y1, 1);
             for r in 0..rows {
                 assert!((y[t * rows + r] - y1[r]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn qgemv_into_is_bit_identical_to_qgemv() {
+        let (rows, cols) = (9, 96);
+        let q = QuantizedMatrix::quantize(&pseudo(rows * cols, 8), rows, cols).unwrap();
+        let x = pseudo(cols, 9);
+        let mut y_ref = vec![0.0; rows];
+        q.qgemv(&x, &mut y_ref, 1);
+        for threads in [1, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut y = vec![0.0; rows];
+            q.qgemv_into(&x, &mut y, &pool);
+            assert_eq!(y, y_ref, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn qgemm_into_is_bit_identical_to_qgemv_per_token() {
+        let (rows, cols) = (7, 64);
+        let q = QuantizedMatrix::quantize(&pseudo(rows * cols, 10), rows, cols).unwrap();
+        for tokens in [1usize, 2, 4, 5, 9] {
+            let x = pseudo(tokens * cols, 11);
+            for threads in [1, 3] {
+                let pool = WorkerPool::new(threads);
+                let mut band = Vec::new();
+                let mut y = vec![0.0; tokens * rows];
+                q.qgemm_into(&x, tokens, &mut y, &mut band, &pool);
+                for t in 0..tokens {
+                    let mut y1 = vec![0.0; rows];
+                    q.qgemv(&x[t * cols..(t + 1) * cols], &mut y1, 1);
+                    assert_eq!(
+                        &y[t * rows..(t + 1) * rows],
+                        &y1[..],
+                        "tokens={tokens} t={t}"
+                    );
+                }
             }
         }
     }

@@ -5,12 +5,39 @@ use hybrimoe_model::{ExpertKey, LayerId};
 
 use crate::ExpertTask;
 
+/// Reusable device-queue buffers for one scheduling decision after another.
+///
+/// The [`HybridScheduler`](crate::HybridScheduler) simulates per-device
+/// queues (one CPU queue, `N` GPU queues, `N` PCIe lane queues) for every
+/// layer of every engine step; allocating them fresh per layer churns the
+/// allocator on the hot path. A `ScheduleQueues` owns those vectors and is
+/// cleared — not freed — between layers. Pass it to
+/// [`Scheduler::schedule_with`](crate::Scheduler::schedule_with);
+/// schedulers that do not simulate queues ignore it.
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleQueues {
+    /// Per-shard GPU queues.
+    pub(crate) gpu: Vec<Vec<crate::hybrid::GpuEntry>>,
+    /// The CPU queue.
+    pub(crate) cpu: Vec<ExpertTask>,
+    /// Per-lane PCIe queues.
+    pub(crate) pcie: Vec<Vec<ExpertTask>>,
+}
+
+impl ScheduleQueues {
+    /// Creates empty queue buffers.
+    pub fn new() -> Self {
+        ScheduleQueues::default()
+    }
+}
+
 /// Reusable buffers for building one [`ScheduleContext`] after another.
 ///
 /// A serving engine schedules every layer of every engine step; allocating
 /// fresh task and protect vectors per layer churns the allocator on the hot
 /// path, and the cost grows with batch size (more activated experts per
-/// layer). A `ScheduleScratch` owns those buffers and is cleared — not
+/// layer). A `ScheduleScratch` owns those buffers — plus the scheduler's
+/// device-queue buffers ([`ScheduleQueues`]) — and is cleared — not
 /// freed — between layers, so steady-state scheduling allocates nothing.
 ///
 /// # Example
@@ -20,16 +47,17 @@ use crate::ExpertTask;
 /// use hybrimoe_sched::{ExpertTask, ScheduleScratch};
 ///
 /// let mut scratch = ScheduleScratch::new();
-/// let (tasks, protect) = scratch.begin_layer();
+/// let (tasks, protect, _queues) = scratch.begin_layer();
 /// tasks.push(ExpertTask::cached(ExpertId(0), 1));
 /// protect.push(ExpertKey::new(LayerId(0), ExpertId(0)));
-/// let (tasks, _) = scratch.begin_layer();
+/// let (tasks, _, _) = scratch.begin_layer();
 /// assert!(tasks.is_empty()); // cleared, capacity retained
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct ScheduleScratch {
     tasks: Vec<ExpertTask>,
     protect: Vec<ExpertKey>,
+    queues: ScheduleQueues,
 }
 
 impl ScheduleScratch {
@@ -38,13 +66,21 @@ impl ScheduleScratch {
         ScheduleScratch::default()
     }
 
-    /// Clears both buffers (retaining capacity) and hands them out for the
-    /// next layer's bookkeeping: the activated task set and the protected
-    /// expert keys (shielded from eviction while the layer is in flight).
-    pub fn begin_layer(&mut self) -> (&mut Vec<ExpertTask>, &mut Vec<ExpertKey>) {
+    /// Clears the task and protect buffers (retaining capacity) and hands
+    /// them out for the next layer's bookkeeping — the activated task set
+    /// and the protected expert keys (shielded from eviction while the
+    /// layer is in flight) — together with the scheduler's reusable device
+    /// queues (cleared by the scheduler itself).
+    pub fn begin_layer(
+        &mut self,
+    ) -> (
+        &mut Vec<ExpertTask>,
+        &mut Vec<ExpertKey>,
+        &mut ScheduleQueues,
+    ) {
         self.tasks.clear();
         self.protect.clear();
-        (&mut self.tasks, &mut self.protect)
+        (&mut self.tasks, &mut self.protect, &mut self.queues)
     }
 }
 

@@ -4,7 +4,10 @@
 use hybrimoe_hw::{GpuId, SimTime};
 use hybrimoe_model::shard_of;
 
-use crate::{DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, SchedulePlan, Scheduler};
+use crate::{
+    DevicePlacement, ExpertTask, PlannedTask, ScheduleContext, SchedulePlan, ScheduleQueues,
+    Scheduler,
+};
 
 /// The paper's greedy timeline-filling scheduler.
 ///
@@ -79,7 +82,7 @@ impl Default for HybridScheduler {
 
 /// A task waiting in one GPU's queue.
 #[derive(Debug, Clone, Copy)]
-struct GpuEntry {
+pub(crate) struct GpuEntry {
     task: ExpertTask,
     /// Transfer completion time for transferred experts.
     ready: Option<SimTime>,
@@ -103,35 +106,61 @@ impl Scheduler for HybridScheduler {
     }
 
     fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan {
+        self.schedule_with(ctx, &mut ScheduleQueues::default())
+    }
+
+    fn schedule_with(
+        &self,
+        ctx: &ScheduleContext<'_>,
+        queues: &mut ScheduleQueues,
+    ) -> SchedulePlan {
         let n = ctx.num_gpus.max(1);
         let mut plan = SchedulePlan::empty(ctx.layer, ctx.tokens);
         plan.shared_on_gpu = ctx.shared_profile.is_some();
 
+        // Reset the caller's reusable queues (capacity retained across
+        // layers; every sort key below is unique thanks to the expert-id
+        // tie-break, so the unstable sorts are fully deterministic).
+        let ScheduleQueues {
+            gpu: gpu_q,
+            cpu: cpu_q,
+            pcie: pcie_q,
+        } = queues;
+        gpu_q.truncate(n);
+        gpu_q.resize_with(n, Vec::new);
+        pcie_q.truncate(n);
+        pcie_q.resize_with(n, Vec::new);
+        for q in gpu_q.iter_mut() {
+            q.clear();
+        }
+        for q in pcie_q.iter_mut() {
+            q.clear();
+        }
+        cpu_q.clear();
+
         // Per-shard GPU queues: cached experts of the shard, load
         // descending (ties: id ascending).
-        let mut gpu_q: Vec<Vec<GpuEntry>> = vec![Vec::new(); n];
         for t in ctx.tasks.iter().filter(|t| t.cached) {
             gpu_q[shard_of(t.expert, n)].push(GpuEntry {
                 task: *t,
                 ready: None,
             });
         }
-        for q in &mut gpu_q {
-            q.sort_by_key(|e| (std::cmp::Reverse(e.task.load), e.task.expert));
+        for q in gpu_q.iter_mut() {
+            q.sort_unstable_by_key(|e| (std::cmp::Reverse(e.task.load), e.task.expert));
         }
 
         // CPU queue: uncached experts, load ascending.
-        let mut cpu_q: Vec<ExpertTask> = ctx.tasks.iter().filter(|t| !t.cached).copied().collect();
-        cpu_q.sort_by_key(|t| (t.load, t.expert));
+        cpu_q.extend(ctx.tasks.iter().filter(|t| !t.cached).copied());
+        cpu_q.sort_unstable_by_key(|t| (t.load, t.expert));
 
         // Per-lane PCIe queues: the shard's uncached experts, load
         // descending.
-        let mut pcie_q: Vec<Vec<ExpertTask>> = vec![Vec::new(); n];
-        for t in &cpu_q {
+        for t in cpu_q.iter() {
             pcie_q[shard_of(t.expert, n)].push(*t);
         }
-        for q in &mut pcie_q {
-            q.sort_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
+        for q in pcie_q.iter_mut() {
+            q.sort_unstable_by_key(|t| (std::cmp::Reverse(t.load), t.expert));
         }
 
         let total = ctx.tasks.len();
@@ -525,6 +554,22 @@ mod tests {
                 .execute(plan.to_ops(&ctx))
                 .unwrap();
             assert_eq!(executed.makespan, plan.predicted_makespan, "N={n}");
+        }
+    }
+
+    #[test]
+    fn schedule_with_reused_queues_is_identical() {
+        // One ScheduleQueues driven across layers and GPU counts (growing
+        // and shrinking the per-shard vectors) must give the same plans as
+        // fresh per-call queues.
+        let cost = UnitCostModel::paper_fig5();
+        let mut queues = ScheduleQueues::new();
+        for n in [1usize, 3, 2, 1, 4] {
+            let tasks = fig5_tasks();
+            let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost).with_gpus(n);
+            let fresh = HybridScheduler::new().schedule(&ctx);
+            let reused = HybridScheduler::new().schedule_with(&ctx, &mut queues);
+            assert_eq!(fresh, reused, "N={n}");
         }
     }
 

@@ -48,7 +48,7 @@ mod plan;
 pub mod prefetch;
 mod task;
 
-pub use context::{ScheduleContext, ScheduleScratch};
+pub use context::{ScheduleContext, ScheduleQueues, ScheduleScratch};
 pub use hybrid::HybridScheduler;
 pub use oracle::{oracle_makespan, ORACLE_MAX_TASKS};
 pub use plan::{DevicePlacement, PlannedTask, SchedulePlan};
@@ -65,4 +65,18 @@ pub trait Scheduler: std::fmt::Debug + Send + Sync {
 
     /// Produces the execution plan for one layer.
     fn schedule(&self, ctx: &ScheduleContext<'_>) -> SchedulePlan;
+
+    /// Produces the execution plan for one layer, reusing the caller's
+    /// device-queue buffers ([`ScheduleQueues`], typically handed out by
+    /// [`ScheduleScratch::begin_layer`]) so the hot serving loop allocates
+    /// no per-layer queues. The plan is identical to [`Scheduler::schedule`];
+    /// schedulers that do not simulate device queues ignore the buffers.
+    fn schedule_with(
+        &self,
+        ctx: &ScheduleContext<'_>,
+        queues: &mut ScheduleQueues,
+    ) -> SchedulePlan {
+        let _ = queues;
+        self.schedule(ctx)
+    }
 }

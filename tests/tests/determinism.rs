@@ -4,8 +4,9 @@
 //! runs of the same configuration diverge, every figure/table binary
 //! becomes noise.
 
+use hybrimoe::realexec::RealExecOptions;
 use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim};
-use hybrimoe::{Engine, EngineConfig, Framework, StageMetrics};
+use hybrimoe::{BackendKind, Engine, EngineConfig, Framework, StageMetrics};
 use hybrimoe_hw::SimDuration;
 use hybrimoe_model::ModelConfig;
 use hybrimoe_trace::TraceGenerator;
@@ -132,6 +133,40 @@ fn single_gpu_serving_pins_match_the_pre_refactor_engine() {
     let h = serve_once(Framework::HybriMoe, 42).summary();
     assert_eq!(h.makespan_ms, 1041.30531);
     assert_eq!(h.output_tokens_per_sec, 23.047995404921156);
+}
+
+/// Absolute pin of the real backend's numerical layer outputs, captured on
+/// the **pre-refactor token-major executor** (the PR-4 tree): the
+/// expert-major batched executor must reproduce every engine-level real
+/// output bit for bit (hashed over the f32 bit patterns of all layer
+/// outputs of a 2-step tiny-model decode, seed 41).
+#[test]
+fn real_backend_outputs_match_the_pre_refactor_pin() {
+    let model = ModelConfig::tiny_test();
+    let trace = TraceGenerator::new(model.clone(), 41)
+        .with_token_states()
+        .decode_trace(2);
+    let config = EngineConfig::preset(Framework::HybriMoe, model, 0.25)
+        .with_backend(BackendKind::RealCpu)
+        .with_real_exec(RealExecOptions {
+            max_threads: 1,
+            ..Default::default()
+        })
+        .with_seed(41);
+    let mut engine = Engine::new(config);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for step in &trace.steps {
+        engine.step(step);
+        for out in engine.take_real_outputs() {
+            for w in out.output.iter().map(|v| v.to_bits()) {
+                for b in w.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+            }
+        }
+    }
+    assert_eq!(h, 0x4eb5ef82fc189ade, "real outputs drifted");
 }
 
 /// An explicit `num_gpus = 1` is the identity: same metrics as the default

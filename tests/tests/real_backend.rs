@@ -51,6 +51,64 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
+    /// The expert-major batched hot path is bit-identical to the retained
+    /// token-major reference across random placements (every scheduler ×
+    /// random residency), batch sizes, and thread counts.
+    #[test]
+    fn expert_major_is_bit_identical_to_token_major(
+        seed in 0u64..1_000,
+        cached_mask in any::<u8>(),
+        tokens in 1usize..10,
+        threads in 1usize..4,
+    ) {
+        let model = ModelConfig::tiny_test();
+        let (inputs, routes) = layer_tokens(&model, tokens, seed);
+        let routing = LayerRouting::from_tokens(LayerId(0), model.routed_experts, &routes);
+        let tasks: Vec<ExpertTask> = routing
+            .activated()
+            .into_iter()
+            .map(|(e, load)| ExpertTask {
+                expert: e,
+                load,
+                cached: cached_mask & (1 << (e.0 % 8)) != 0,
+            })
+            .collect();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+
+        let mut batched = RealLayerExecutor::with_options(
+            model.clone(),
+            7,
+            RealExecOptions { max_threads: threads, ..Default::default() },
+        );
+        let mut reference = RealLayerExecutor::with_options(
+            model,
+            7,
+            RealExecOptions { max_threads: threads, token_major: true, ..Default::default() },
+        );
+        for scheduler in all_schedulers() {
+            let plan = scheduler.schedule(&ctx);
+            prop_assert_eq!(plan.validate(&tasks), Ok(()));
+            let fast = batched
+                .execute_layer(LayerId(0), &plan, &inputs, &routes)
+                .expect("valid plan executes");
+            let slow = reference
+                .execute_layer(LayerId(0), &plan, &inputs, &routes)
+                .expect("valid plan executes");
+            prop_assert_eq!(
+                &fast.output,
+                &slow.output,
+                "{} diverged between strategies (tokens={}, threads={})",
+                scheduler.name(),
+                tokens,
+                threads
+            );
+            prop_assert_eq!(fast.cpu_tasks, slow.cpu_tasks);
+            prop_assert_eq!(fast.gpu_tasks, slow.gpu_tasks);
+            prop_assert!(fast.output.iter().all(|v| v.is_finite()));
+        }
+    }
+
     /// A layer's real output is bit-identical no matter which scheduler
     /// produced the plan — HybridScheduler, every baseline, and
     /// StaticSplit — across random inputs and cache residency patterns.
@@ -255,6 +313,64 @@ fn calibrated_simulator_predicts_real_cpu_time_within_30_percent() {
         ratios.push(ratio);
     }
     panic!("predicted/measured CPU-time ratio outside ±30% in every round: {ratios:?}");
+}
+
+/// FNV-1a over the f32 bit patterns, for compact output pins.
+fn fnv1a(words: impl Iterator<Item = u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Absolute output pins captured on the **pre-refactor token-major
+/// executor** (the PR-4 tree, before expert-major batching existed). The
+/// batched executor must reproduce them bit for bit: any drift means the
+/// rewrite changed the numerics, not just the speed.
+#[test]
+fn expert_major_output_matches_pre_refactor_pin() {
+    let pins: [(usize, u64); 3] = [
+        (1, 0x45e658ef7579f5dd),
+        (3, 0xaed265dd55ed4251),
+        (8, 0xe6ae6ef302f5e7cd),
+    ];
+    let model = ModelConfig::tiny_test();
+    for (tokens, expected) in pins {
+        let (inputs, routes) = layer_tokens(&model, tokens, 9);
+        let routing = LayerRouting::from_tokens(LayerId(0), model.routed_experts, &routes);
+        let tasks: Vec<ExpertTask> = routing
+            .activated()
+            .into_iter()
+            .map(|(e, load)| ExpertTask {
+                expert: e,
+                load,
+                cached: e.0 % 2 == 0,
+            })
+            .collect();
+        let cost = UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+        let mut exec = RealLayerExecutor::with_options(
+            model.clone(),
+            7,
+            RealExecOptions {
+                max_threads: 2,
+                ..Default::default()
+            },
+        );
+        let out = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+        assert_eq!(
+            fnv1a(out.output.iter().map(|v| v.to_bits())),
+            expected,
+            "tokens={tokens}: output drifted from the pre-refactor executor"
+        );
+    }
 }
 
 /// The StaticSplit scheduler can drive the real backend end to end as an
