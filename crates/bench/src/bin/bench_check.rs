@@ -1,17 +1,20 @@
 //! CI perf-regression gates: the serving sweep vs the committed
-//! `BENCH_serve.json` snapshot, and the real-backend kernel sweep vs the
-//! committed `BENCH_real.json` snapshot.
+//! `BENCH_serve.json` snapshot, the real-backend kernel sweep vs the
+//! committed `BENCH_real.json` snapshot, and the network-serving load vs
+//! the committed `BENCH_server.json` snapshot.
 //!
 //! ```text
 //! cargo run -p hybrimoe_bench --release --bin bench_check                 # gate vs committed snapshots
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --baseline x.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --fresh serve_bench.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --real-fresh real_bench.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --server-fresh server_bench.json
 //! ```
 //!
-//! `--fresh <path>` / `--real-fresh <path>` reuse already-computed sweep
-//! JSON (e.g. the artifacts the CI smoke job's `serve_bench` /
-//! `real_bench` steps just wrote) instead of re-running the sweeps.
+//! `--fresh <path>` / `--real-fresh <path>` / `--server-fresh <path>`
+//! reuse already-computed sweep JSON (e.g. the artifacts the CI smoke
+//! job's `serve_bench` / `real_bench` / `load_gen` steps just wrote)
+//! instead of re-running the sweeps.
 //!
 //! **Serve gate**: fails (exit code 1) if HybriMoE's decode throughput at
 //! cache ratio 0.25 drops more than [`TOLERANCE`] below the snapshot on
@@ -30,15 +33,27 @@
 //! back to back on identical inputs) is portable. Refresh deliberately
 //! with `real_bench --json --out BENCH_real.json`.
 //!
-//! For both gates, points present in the fresh sweep but absent from the
-//! snapshot are reported and tolerated (they appear when a sweep grows an
-//! axis); snapshot gate points missing from the fresh sweep fail the gate
-//! (the sweep silently shrank).
+//! **Server gate**: fails if the network-serving load shows any request
+//! shortfall (`completed < requests`) or a client-observed p99 TTFT more
+//! than [`TOLERANCE`] above the committed snapshot. The load's engine
+//! steps run against a pacing floor that dominates per-step compute, so
+//! the TTFT distribution is a property of the queueing structure, not of
+//! host speed. Refresh deliberately with
+//! `load_gen --json --out BENCH_server.json`.
+//!
+//! For the sweep gates, points present in the fresh sweep but absent from
+//! the snapshot are reported and tolerated (they appear when a sweep
+//! grows an axis); snapshot gate points missing from the fresh sweep fail
+//! the gate (the sweep silently shrank).
 
-use hybrimoe_bench::{real_sweep, serve_sweep, RealRow, ServeLoad, ServeRow, SEED};
+use hybrimoe_bench::{
+    real_sweep, run_server_bench, same_rate, serve_sweep, RealRow, ServeLoad, ServeRow,
+    ServerBenchSummary, ServerLoad, SEED,
+};
 use hybrimoe_model::ModelConfig;
 
-/// Maximum tolerated relative throughput drop at a gate point.
+/// Maximum tolerated relative regression at a gate point: throughput drop
+/// for the serve and real gates, p99-TTFT growth for the server gate.
 const TOLERANCE: f64 = 0.15;
 
 /// The cache ratio the gate watches (the paper's tight memory point).
@@ -52,65 +67,66 @@ const GATE_FRAMEWORK: &str = "HybriMoE";
 /// single-token layers have nothing to amortize and stay ungated.
 const REAL_GATE_BATCH: usize = 8;
 
-/// A gate point's identity within the sweep.
-fn gate_key(row: &ServeRow) -> Option<(u64, usize)> {
-    if row.framework != GATE_FRAMEWORK || row.summary.cache_ratio != GATE_RATIO {
-        return None;
-    }
-    // Arrival rates are exact f64 constants shared by both sides; key on
-    // bits to avoid float-compare pitfalls.
-    Some((
-        row.summary.arrival_rate_per_sec.to_bits(),
-        row.summary.num_gpus,
-    ))
+/// Whether a serve-sweep row is one of the points the gate watches.
+fn is_serve_gate_row(row: &ServeRow) -> bool {
+    row.framework == GATE_FRAMEWORK && row.summary.cache_ratio == GATE_RATIO
+}
+
+/// Whether two gate rows describe the same sweep point. Arrival rates are
+/// matched within a relative tolerance rather than bit-exactly: a rate is
+/// realized as a quantized inter-arrival gap, so a baseline written by an
+/// older binary can carry `3.000000003` where the sweep asks for `3.0`.
+fn same_serve_point(a: &ServeRow, b: &ServeRow) -> bool {
+    same_rate(
+        a.summary.arrival_rate_per_sec,
+        b.summary.arrival_rate_per_sec,
+    ) && a.summary.num_gpus == b.summary.num_gpus
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn read_json<T: serde::Deserialize>(path: &str, what: &str) -> T {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {what} {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot parse {what} {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let baseline_path = args
-        .iter()
-        .position(|a| a == "--baseline")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
-
-    let raw = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
-        eprintln!("bench_check: cannot read baseline {baseline_path}: {e}");
-        std::process::exit(2);
-    });
-    let baseline: Vec<ServeRow> = serde_json::from_str(&raw).unwrap_or_else(|e| {
-        eprintln!("bench_check: cannot parse baseline {baseline_path}: {e}");
-        std::process::exit(2);
-    });
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let baseline: Vec<ServeRow> = read_json(&baseline_path, "baseline");
 
     println!(
         "bench_check: gating {GATE_FRAMEWORK} throughput at ratio {GATE_RATIO} \
          (tolerance -{:.0}%) against {baseline_path}",
         TOLERANCE * 100.0
     );
-    let fresh_path = args
-        .iter()
-        .position(|a| a == "--fresh")
-        .and_then(|i| args.get(i + 1).cloned());
-    let fresh: Vec<ServeRow> = match fresh_path {
+    let fresh: Vec<ServeRow> = match flag_value(&args, "--fresh") {
         Some(path) => {
             println!("bench_check: reusing fresh sweep from {path}");
-            let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                eprintln!("bench_check: cannot read fresh sweep {path}: {e}");
-                std::process::exit(2);
-            });
-            serde_json::from_str(&raw).unwrap_or_else(|e| {
-                eprintln!("bench_check: cannot parse fresh sweep {path}: {e}");
-                std::process::exit(2);
-            })
+            read_json(&path, "fresh sweep")
         }
         None => serve_sweep(&ModelConfig::deepseek(), ServeLoad::default(), SEED),
     };
 
     let mut failures = Vec::new();
     let mut compared = 0usize;
-    for row in fresh.iter().filter(|r| gate_key(r).is_some()) {
-        let key = gate_key(row).expect("filtered");
-        let Some(base) = baseline.iter().find(|b| gate_key(b) == Some(key)) else {
+    for row in fresh.iter().filter(|r| is_serve_gate_row(r)) {
+        let base = baseline
+            .iter()
+            .filter(|b| is_serve_gate_row(b))
+            .find(|b| same_serve_point(b, row));
+        let Some(base) = base else {
             println!(
                 "  new gate point (not in snapshot): rate {:.1}/s, {} GPU(s) -> {:.2} tok/s",
                 row.summary.arrival_rate_per_sec,
@@ -145,9 +161,12 @@ fn main() {
 
     // Snapshot gate points the fresh sweep no longer covers: the sweep
     // shrank, which would silently disarm the gate.
-    for base in baseline.iter().filter(|b| gate_key(b).is_some()) {
-        let key = gate_key(base).expect("filtered");
-        if !fresh.iter().any(|r| gate_key(r) == Some(key)) {
+    for base in baseline.iter().filter(|b| is_serve_gate_row(b)) {
+        let covered = fresh
+            .iter()
+            .filter(|r| is_serve_gate_row(r))
+            .any(|r| same_serve_point(r, base));
+        if !covered {
             failures.push(format!(
                 "gate point rate {:.1}/s, {} GPU(s) vanished from the sweep",
                 base.summary.arrival_rate_per_sec, base.summary.num_gpus
@@ -165,62 +184,39 @@ fn main() {
 
     // ---- Real-backend gate: expert-major speedup over the token-major
     // reference must not regress at any batched gate point. ----
-    let real_baseline_path = args
-        .iter()
-        .position(|a| a == "--real-baseline")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_real.json".to_owned());
-    let raw = std::fs::read_to_string(&real_baseline_path).unwrap_or_else(|e| {
-        eprintln!("bench_check: cannot read real baseline {real_baseline_path}: {e}");
-        std::process::exit(2);
-    });
-    let real_baseline: Vec<RealRow> = serde_json::from_str(&raw).unwrap_or_else(|e| {
-        eprintln!("bench_check: cannot parse real baseline {real_baseline_path}: {e}");
-        std::process::exit(2);
-    });
+    let real_baseline_path =
+        flag_value(&args, "--real-baseline").unwrap_or_else(|| "BENCH_real.json".to_owned());
+    let real_baseline: Vec<RealRow> = read_json(&real_baseline_path, "real baseline");
     println!(
         "bench_check: gating expert-major speedup at batch >= {REAL_GATE_BATCH} \
          (tolerance -{:.0}%) against {real_baseline_path}",
         TOLERANCE * 100.0
     );
-    let real_fresh_path = args
-        .iter()
-        .position(|a| a == "--real-fresh")
-        .and_then(|i| args.get(i + 1).cloned());
-    let real_fresh: Vec<RealRow> = match real_fresh_path {
+    let real_fresh: Vec<RealRow> = match flag_value(&args, "--real-fresh") {
         Some(path) => {
             println!("bench_check: reusing fresh real sweep from {path}");
-            let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-                eprintln!("bench_check: cannot read fresh real sweep {path}: {e}");
-                std::process::exit(2);
-            });
-            serde_json::from_str(&raw).unwrap_or_else(|e| {
-                eprintln!("bench_check: cannot parse fresh real sweep {path}: {e}");
-                std::process::exit(2);
-            })
+            read_json(&path, "fresh real sweep")
         }
         None => real_sweep(SEED),
     };
 
-    let real_key = |r: &RealRow| -> Option<(usize, u16, usize)> {
-        (r.batch >= REAL_GATE_BATCH).then_some((r.batch, r.experts, r.threads))
-    };
+    // A real gate point's identity within the sweep.
+    let point = |r: &RealRow| (r.batch, r.experts, r.threads);
     // Per-point deltas are informational: individual wall-clock ratios
     // wobble by tens of percent on shared hosts. The gate criterion is the
     // *median* speedup across all gate points, which is stable.
     let fresh_gate: Vec<RealRow> = real_fresh
         .iter()
-        .filter(|r| real_key(r).is_some())
+        .filter(|r| r.batch >= REAL_GATE_BATCH)
         .cloned()
         .collect();
     let base_gate: Vec<RealRow> = real_baseline
         .iter()
-        .filter(|b| real_key(b).is_some())
+        .filter(|b| b.batch >= REAL_GATE_BATCH)
         .cloned()
         .collect();
     for row in &fresh_gate {
-        let key = real_key(row).expect("filtered");
-        match base_gate.iter().find(|b| real_key(b) == Some(key)) {
+        match base_gate.iter().find(|b| point(b) == point(row)) {
             Some(base) => {
                 let delta = if base.speedup > 0.0 {
                     row.speedup / base.speedup - 1.0
@@ -246,8 +242,7 @@ fn main() {
         }
     }
     for base in &base_gate {
-        let key = real_key(base).expect("filtered");
-        if !fresh_gate.iter().any(|r| real_key(r) == Some(key)) {
+        if !fresh_gate.iter().any(|r| point(r) == point(base)) {
             failures.push(format!(
                 "real gate point batch {}, {} experts, {} thread(s) vanished from the sweep",
                 base.batch, base.experts, base.threads
@@ -260,12 +255,12 @@ fn main() {
     // them).
     let fresh_common: Vec<RealRow> = fresh_gate
         .iter()
-        .filter(|r| base_gate.iter().any(|b| real_key(b) == real_key(r)))
+        .filter(|r| base_gate.iter().any(|b| point(b) == point(r)))
         .cloned()
         .collect();
     let base_common: Vec<RealRow> = base_gate
         .iter()
-        .filter(|b| fresh_gate.iter().any(|r| real_key(r) == real_key(b)))
+        .filter(|b| fresh_gate.iter().any(|r| point(r) == point(b)))
         .cloned()
         .collect();
     let real_compared = fresh_common.len();
@@ -288,9 +283,58 @@ fn main() {
         ));
     }
 
+    // ---- Server gate: the network-serving front-end must complete the
+    // full load, and client-observed p99 TTFT must not regress. ----
+    let server_baseline_path =
+        flag_value(&args, "--server-baseline").unwrap_or_else(|| "BENCH_server.json".to_owned());
+    let server_baseline: ServerBenchSummary = read_json(&server_baseline_path, "server baseline");
+    println!(
+        "bench_check: gating server p99 TTFT (tolerance +{:.0}%) against {server_baseline_path}",
+        TOLERANCE * 100.0
+    );
+    let server_fresh: ServerBenchSummary = match flag_value(&args, "--server-fresh") {
+        Some(path) => {
+            println!("bench_check: reusing fresh server run from {path}");
+            read_json(&path, "fresh server run")
+        }
+        None => run_server_bench(None, ServerLoad::default()),
+    };
+
+    println!(
+        "  completed {}/{} (rejected {}, failed {})",
+        server_fresh.completed, server_fresh.requests, server_fresh.rejected, server_fresh.failed
+    );
+    if server_fresh.completed < server_fresh.requests {
+        failures.push(format!(
+            "server: only {}/{} requests completed ({} rejected, {} failed)",
+            server_fresh.completed,
+            server_fresh.requests,
+            server_fresh.rejected,
+            server_fresh.failed
+        ));
+    }
+    let was = server_baseline.ttft_p99_ms;
+    let now = server_fresh.ttft_p99_ms;
+    let delta = if was > 0.0 { now / was - 1.0 } else { 0.0 };
+    let ttft_verdict = if was > 0.0 && now > was * (1.0 + TOLERANCE) {
+        failures.push(format!(
+            "server: p99 TTFT {now:.1} ms is {:.1}% above snapshot {was:.1} ms",
+            delta * 100.0
+        ));
+        "FAIL"
+    } else {
+        "ok"
+    };
+    println!(
+        "  p99 TTFT: snapshot {was:>8.1} ms, fresh {now:>8.1} ms ({:+.1}%) {ttft_verdict}",
+        delta * 100.0
+    );
+    let server_compared = 1usize;
+
     if failures.is_empty() {
         println!(
-            "bench_check: all gates passed ({compared} serve + {real_compared} real point(s))"
+            "bench_check: all gates passed ({compared} serve + {real_compared} real + \
+             {server_compared} server point(s))"
         );
     } else {
         eprintln!("bench_check: FAILED");

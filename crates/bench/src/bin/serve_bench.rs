@@ -16,7 +16,7 @@
 use hybrimoe::report::serve_table;
 use hybrimoe::serve::ServeSummary;
 use hybrimoe::Framework;
-use hybrimoe_bench::{serve_sweep, ServeLoad, ServeRow, SEED, SERVE_ARRIVAL_RATES};
+use hybrimoe_bench::{same_rate, serve_sweep, ServeLoad, ServeRow, SEED, SERVE_ARRIVAL_RATES};
 use hybrimoe_model::ModelConfig;
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
                     r.framework == f.to_string()
                         && r.summary.cache_ratio == 0.25
                         && r.summary.num_gpus == gpus
-                        && (r.summary.arrival_rate_per_sec - rate).abs() < 1e-9
+                        && same_rate(r.summary.arrival_rate_per_sec, rate)
                 })
                 .expect("sweep covers this point")
         };

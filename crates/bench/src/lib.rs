@@ -20,6 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod server_bench;
+
+pub use server_bench::{run_server_bench, ServerLoad};
+
 use std::time::Instant;
 
 use hybrimoe::realexec::{RealExecOptions, RealLayerExecutor};
@@ -415,6 +419,73 @@ pub fn run_prefill_config(config: EngineConfig, tokens: u32, seed: u64) -> Stage
     Engine::new(config).run(&trace)
 }
 
+/// Whether two arrival rates denote the same sweep point.
+///
+/// Gate keys must not do exact float comparison: a snapshot written by an
+/// older build may carry a rate recomputed from the *quantized*
+/// inter-arrival gap (e.g. 3.0 round-tripping to 3.000000003 through a
+/// 333333333ns gap), which would silently unmatch every gate point. A
+/// relative tolerance of 1e-6 absorbs that quantization error while still
+/// separating any two distinct swept rates.
+pub fn same_rate(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Nearest-rank percentile of an unsorted sample of milliseconds; zero for
+/// an empty sample. (The core crate's percentile works on `SimDuration`
+/// series; the load generator measures client-side floats.)
+pub fn percentile_f64(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let rank = (p / 100.0 * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// What one `load_gen` run against the serving front-end measured:
+/// client-side SLO percentiles over completed streams. Written to
+/// `BENCH_server.json` and gated by `bench_check --server-fresh`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerBenchSummary {
+    /// Model served.
+    pub model: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Requests attempted.
+    pub requests: u64,
+    /// Requests that streamed to completion.
+    pub completed: u64,
+    /// Requests rejected with 503 (queue full, shed, or draining).
+    pub rejected: u64,
+    /// Requests that failed for any other reason (I/O, malformed stream).
+    pub failed: u64,
+    /// Prompt tokens per request.
+    pub prompt_tokens: u32,
+    /// Decode tokens per request.
+    pub decode_tokens: u32,
+    /// Wall-clock of the whole run, ms.
+    pub elapsed_ms: f64,
+    /// Output tokens streamed to clients.
+    pub output_tokens: u64,
+    /// Aggregate client-observed token throughput.
+    pub output_tokens_per_sec: f64,
+    /// Completed requests per second.
+    pub requests_per_sec: f64,
+    /// Median client-observed time to first token, ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile client-observed time to first token, ms.
+    pub ttft_p99_ms: f64,
+    /// Median client-observed end-to-end latency, ms.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile client-observed end-to-end latency, ms.
+    pub latency_p99_ms: f64,
+    /// Median server-reported queue wait, ms.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile server-reported queue wait, ms.
+    pub queue_wait_p99_ms: f64,
+}
+
 /// Formats a duration in seconds with three decimals, e.g. `"1.234s"`.
 pub fn secs(d: hybrimoe_hw::SimDuration) -> String {
     format!("{:.3}s", d.as_secs_f64())
@@ -437,6 +508,35 @@ mod tests {
         let p = run_prefill(Framework::HybriMoe, &model, 0.5, 16, 2);
         assert_eq!(p.steps.len(), 1);
         assert!(p.total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn same_rate_absorbs_interarrival_quantization() {
+        // A rate of 3.0 requests/s quantizes to a 333_333_333ns gap; a
+        // baseline written by a build that recomputed the rate from the
+        // gap carries 3.000000003. The two must still key to the same
+        // gate point, or every non-divisible rate silently un-gates.
+        let recomputed = 1e9 / 333_333_333.0;
+        assert_ne!(recomputed, 3.0, "rate must not round-trip exactly");
+        assert!(same_rate(3.0, recomputed));
+        assert!(same_rate(recomputed, 3.0));
+        assert!(same_rate(0.0, 0.0));
+        // Distinct swept rates never collide.
+        for (i, a) in SERVE_ARRIVAL_RATES.iter().enumerate() {
+            for (j, b) in SERVE_ARRIVAL_RATES.iter().enumerate() {
+                assert_eq!(same_rate(*a, *b), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_f64_nearest_rank() {
+        let mut v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile_f64(&mut v, 50.0), 5.0);
+        assert_eq!(percentile_f64(&mut v, 99.0), 10.0);
+        assert_eq!(percentile_f64(&mut [], 50.0), 0.0);
+        let mut unsorted = vec![9.0, 1.0, 5.0];
+        assert_eq!(percentile_f64(&mut unsorted, 0.0), 1.0);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The network-serving load driver shared by the `load_gen` binary and
+//! `bench_check`'s server gate.
+//!
+//! Opens [`ServerLoad::concurrency`] client connections against a serving
+//! front-end (an in-process one by default), streams every request to
+//! completion, and reports client-observed SLO percentiles as a
+//! [`ServerBenchSummary`](crate::ServerBenchSummary).
+
+use std::fmt::Display;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hybrimoe::serve::server::{read_one_chunk, read_response_head, Server, ServerConfig};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+use serde::Value;
+
+use crate::ServerBenchSummary;
+
+/// The load `run_server_bench` offers.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLoad {
+    /// Requests to stream.
+    pub requests: usize,
+    /// Concurrent client connections (worker threads).
+    pub concurrency: usize,
+    /// Prompt tokens per request.
+    pub prompt_tokens: u32,
+    /// Decode tokens per request.
+    pub decode_tokens: u32,
+    /// Continuous-batch bound of the in-process server (ignored with an
+    /// external `addr`).
+    pub max_batch: usize,
+    /// Admission queue depth of the in-process server.
+    pub queue_depth: usize,
+    /// Pacing floor of the in-process server's engine steps. A floor that
+    /// dominates per-step compute makes the measured TTFT distribution a
+    /// property of the *queueing structure* rather than of host speed, so
+    /// the CI gate on p99 TTFT holds across machines.
+    pub min_step_us: u64,
+}
+
+impl Default for ServerLoad {
+    fn default() -> Self {
+        ServerLoad {
+            requests: 1000,
+            concurrency: 1000,
+            prompt_tokens: 16,
+            decode_tokens: 8,
+            max_batch: 16,
+            queue_depth: 1024,
+            min_step_us: 5000,
+        }
+    }
+}
+
+/// Stack size of client worker threads: each just owns one socket and a
+/// small read buffer.
+const WORKER_STACK: usize = 256 * 1024;
+
+/// Ramp spacing between request starts, so a thousand simultaneous SYNs
+/// don't overflow the listener backlog into kernel retransmit delays
+/// (which would measure the TCP stack, not the server).
+const RAMP_PER_REQUEST: Duration = Duration::from_micros(100);
+
+/// Attempts per request for *pre-admission* transport failures. A burst
+/// of a thousand connections can overflow the listener's accept queue;
+/// Linux then completes the handshake but resets the first data packet,
+/// so the client sees ECONNRESET on a write the server never read. That
+/// is load-generator noise, not a served request, and gets retried.
+const TRANSPORT_ATTEMPTS: usize = 4;
+
+/// Backoff between transport retries, doubled per attempt — long enough
+/// for the acceptor to drain a burst, short next to any TTFT of interest.
+const RETRY_BACKOFF: Duration = Duration::from_millis(20);
+
+/// One completed stream, timed by the client's clock.
+struct Sample {
+    ttft_ms: f64,
+    latency_ms: f64,
+    queue_wait_ms: f64,
+    tokens: u64,
+}
+
+#[derive(Default)]
+struct Tally {
+    samples: Vec<Sample>,
+    rejected: u64,
+    failed: u64,
+}
+
+enum RequestError {
+    /// The server said 503 (admission control did its job).
+    Rejected,
+    /// Transport failed before the server read the request (connect or
+    /// request write). Nothing was admitted, so the request is safe to
+    /// retry on a fresh connection.
+    Transport,
+    /// The server took the request but the stream went wrong: bad
+    /// status, truncated chunks, missing terminal accounting.
+    Failed,
+}
+
+/// Forwards a failure detail to stderr when `LOAD_GEN_DEBUG` is set.
+fn debug_log(what: &str, detail: impl Display) {
+    if std::env::var_os("LOAD_GEN_DEBUG").is_some() {
+        eprintln!("debug: {what}: {detail}");
+    }
+}
+
+/// Runs the load against the server at `addr`, or against a fresh
+/// in-process tiny-model server when `addr` is `None`. Blocks until every
+/// request resolves; the in-process server is gracefully shut down before
+/// returning.
+///
+/// # Panics
+///
+/// Panics if the in-process server cannot bind a loopback port.
+pub fn run_server_bench(addr: Option<SocketAddr>, load: ServerLoad) -> ServerBenchSummary {
+    let server = match addr {
+        Some(_) => None,
+        None => {
+            let mut config = ServerConfig::new(EngineConfig::preset(
+                Framework::HybriMoe,
+                ModelConfig::tiny_test(),
+                0.5,
+            ));
+            config.max_batch = load.max_batch;
+            config.queue_depth = load.queue_depth;
+            config.min_step =
+                (load.min_step_us > 0).then(|| Duration::from_micros(load.min_step_us));
+            Some(Server::start(config).expect("in-process server binds a loopback port"))
+        }
+    };
+    let addr = addr.unwrap_or_else(|| server.as_ref().expect("started above").addr());
+
+    let tally = Mutex::new(Tally::default());
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..load.concurrency.max(1) {
+            let builder = thread::Builder::new().stack_size(WORKER_STACK);
+            let tally = &tally;
+            let next = &next;
+            let spawned = builder.spawn_scoped(scope, move || loop {
+                let ticket = next.fetch_add(1, Ordering::Relaxed);
+                if ticket >= load.requests {
+                    break;
+                }
+                // Stagger connection starts across the ramp window.
+                let due = RAMP_PER_REQUEST * ticket as u32;
+                let elapsed = started.elapsed();
+                if due > elapsed {
+                    thread::sleep(due - elapsed);
+                }
+                let outcome = request_with_retry(addr, load.prompt_tokens, load.decode_tokens);
+                let mut tally = tally.lock().expect("tally lock poisoned");
+                match outcome {
+                    Ok(sample) => tally.samples.push(sample),
+                    Err(RequestError::Rejected) => tally.rejected += 1,
+                    Err(_) => tally.failed += 1,
+                }
+            });
+            spawned.expect("spawn load worker");
+        }
+    });
+    let elapsed = started.elapsed();
+    let model = match server {
+        Some(handle) => {
+            let metrics = handle.shutdown();
+            debug_assert_eq!(metrics.queued, 0, "graceful drain left requests queued");
+            "tiny-test".to_owned()
+        }
+        None => "external".to_owned(),
+    };
+
+    let mut tally = tally.into_inner().expect("tally lock poisoned");
+    summarize(&mut tally, &model, load, elapsed)
+}
+
+fn summarize(
+    tally: &mut Tally,
+    model: &str,
+    load: ServerLoad,
+    elapsed: Duration,
+) -> ServerBenchSummary {
+    let completed = tally.samples.len() as u64;
+    let output_tokens: u64 = tally.samples.iter().map(|s| s.tokens).sum();
+    let secs = elapsed.as_secs_f64();
+    let mut ttft: Vec<f64> = tally.samples.iter().map(|s| s.ttft_ms).collect();
+    let mut latency: Vec<f64> = tally.samples.iter().map(|s| s.latency_ms).collect();
+    let mut queue_wait: Vec<f64> = tally.samples.iter().map(|s| s.queue_wait_ms).collect();
+    ServerBenchSummary {
+        model: model.to_owned(),
+        concurrency: load.concurrency,
+        requests: load.requests as u64,
+        completed,
+        rejected: tally.rejected,
+        failed: tally.failed,
+        prompt_tokens: load.prompt_tokens,
+        decode_tokens: load.decode_tokens,
+        elapsed_ms: secs * 1e3,
+        output_tokens,
+        output_tokens_per_sec: if secs > 0.0 {
+            output_tokens as f64 / secs
+        } else {
+            0.0
+        },
+        requests_per_sec: if secs > 0.0 {
+            completed as f64 / secs
+        } else {
+            0.0
+        },
+        ttft_p50_ms: crate::percentile_f64(&mut ttft, 50.0),
+        ttft_p99_ms: crate::percentile_f64(&mut ttft, 99.0),
+        latency_p50_ms: crate::percentile_f64(&mut latency, 50.0),
+        latency_p99_ms: crate::percentile_f64(&mut latency, 99.0),
+        queue_wait_p50_ms: crate::percentile_f64(&mut queue_wait, 50.0),
+        queue_wait_p99_ms: crate::percentile_f64(&mut queue_wait, 99.0),
+    }
+}
+
+/// Streams one request, retrying pre-admission transport failures with a
+/// doubling backoff. Rejections and post-admission failures pass through
+/// unretried — those count against the server.
+fn request_with_retry(addr: SocketAddr, prompt: u32, decode: u32) -> Result<Sample, RequestError> {
+    let mut backoff = RETRY_BACKOFF;
+    for attempt in 1.. {
+        match one_request(addr, prompt, decode) {
+            Err(RequestError::Transport) if attempt < TRANSPORT_ATTEMPTS => {
+                thread::sleep(backoff);
+                backoff *= 2;
+            }
+            outcome => return outcome,
+        }
+    }
+    unreachable!("loop returns by TRANSPORT_ATTEMPTS at the latest")
+}
+
+/// Streams one request, timing TTFT and end-to-end latency client-side.
+fn one_request(addr: SocketAddr, prompt: u32, decode: u32) -> Result<Sample, RequestError> {
+    let mut stream = connect_with_retry(addr).map_err(|e| {
+        debug_log("connect", e);
+        RequestError::Transport
+    })?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let body = format!("{{\"prompt_tokens\":{prompt},\"decode_tokens\":{decode}}}");
+    let start = Instant::now();
+    write!(
+        stream,
+        "POST /v1/generate HTTP/1.1\r\nHost: load_gen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| {
+        // An accept-queue overflow resets the connection before the
+        // server reads a byte; the request was never admitted.
+        debug_log("write", e);
+        RequestError::Transport
+    })?;
+    stream.flush().map_err(|e| {
+        debug_log("flush", e);
+        RequestError::Transport
+    })?;
+
+    let mut reader = BufReader::new(stream);
+    let (status, chunked, _) = read_response_head(&mut reader).map_err(|e| {
+        debug_log("response head", e);
+        RequestError::Failed
+    })?;
+    if status == 503 {
+        return Err(RequestError::Rejected);
+    }
+    if status != 200 || !chunked {
+        debug_log(
+            "response",
+            format_args!("status {status} chunked {chunked}"),
+        );
+        return Err(RequestError::Failed);
+    }
+
+    let mut ttft_ms = None;
+    let mut tokens: u64 = 0;
+    let mut last_chunk = None;
+    while let Some(chunk) = read_one_chunk(&mut reader).map_err(|e| {
+        debug_log("chunk", e);
+        RequestError::Failed
+    })? {
+        if ttft_ms.is_none() {
+            ttft_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+        }
+        if chunk.contains("\"token\"") {
+            tokens += 1;
+        }
+        last_chunk = Some(chunk);
+    }
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ttft_ms = ttft_ms.ok_or(RequestError::Failed)?;
+    // The terminal chunk carries the server-side accounting.
+    let done = last_chunk.ok_or_else(|| {
+        debug_log("stream", "closed with zero chunks");
+        RequestError::Failed
+    })?;
+    if !done.contains("\"done\"") {
+        debug_log("stream", "ended without done chunk");
+        return Err(RequestError::Failed);
+    }
+    let queue_wait_ms = serde_json::from_str::<Value>(&done)
+        .ok()
+        .and_then(|v| match v {
+            Value::Map(map) => map
+                .into_iter()
+                .find(|(k, _)| k == "queue_wait_ms")
+                .and_then(|(_, v)| v.as_f64()),
+            _ => None,
+        })
+        .unwrap_or(0.0);
+    Ok(Sample {
+        ttft_ms,
+        latency_ms,
+        queue_wait_ms,
+        tokens,
+    })
+}
+
+/// Connects with a short retry ladder: under a thousand-way connection
+/// burst a SYN can get dropped, and one kernel retransmit timeout would
+/// otherwise dominate that request's measured TTFT.
+fn connect_with_retry(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(2);
+    for _ in 0..4 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(_) => {
+                thread::sleep(delay);
+                delay *= 4;
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}

@@ -61,7 +61,9 @@ pub struct LayerOutcome {
 ///
 /// Implementations must be deterministic in their *outputs* for a given
 /// request; measured wall-clock times naturally vary between runs.
-pub trait ExecutionBackend: std::fmt::Debug {
+/// Backends are `Send` so an engine can run inside the serving front-end's
+/// dedicated engine-loop thread.
+pub trait ExecutionBackend: std::fmt::Debug + Send {
     /// A short stable name for reports.
     fn name(&self) -> &'static str;
 

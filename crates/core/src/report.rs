@@ -121,7 +121,7 @@ impl fmt::Display for Table {
 ///
 /// let report = ServeSim::new(ServeConfig {
 ///     engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
-///     arrivals: ArrivalProcess::Deterministic { interval: SimDuration::from_millis(2) },
+///     arrivals: ArrivalProcess::deterministic(SimDuration::from_millis(2)),
 ///     requests: 2,
 ///     prompt_tokens: 8,
 ///     decode_tokens: 2,

@@ -4,10 +4,25 @@ use hybrimoe_hw::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The distribution family of an [`ArrivalProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Evenly spaced arrivals: request `i` arrives at `i * interval`.
+    Deterministic,
+    /// A Poisson process: i.i.d. exponential inter-arrival gaps with the
+    /// given mean (rate `1 / mean_interval`), starting from the first gap.
+    Poisson,
+}
+
 /// How request arrival times are drawn.
 ///
 /// Both processes are pure functions of their parameters and the seed, so
-/// serving experiments replay bit-for-bit.
+/// serving experiments replay bit-for-bit. The process remembers the
+/// *requested* arrival rate alongside the nanosecond-quantized
+/// inter-arrival gap it draws from: a rate like 3.0 req/s does not divide
+/// one second in nanoseconds, so recomputing the rate from the quantized
+/// gap would round-trip to 3.000000003 — reports carry the exact request
+/// instead (see [`ArrivalProcess::rate_per_sec`]).
 ///
 /// # Example
 ///
@@ -15,35 +30,59 @@ use rand::{Rng, SeedableRng};
 /// use hybrimoe::serve::ArrivalProcess;
 /// use hybrimoe_hw::SimDuration;
 ///
-/// let det = ArrivalProcess::Deterministic {
-///     interval: SimDuration::from_millis(10),
-/// };
+/// let det = ArrivalProcess::deterministic(SimDuration::from_millis(10));
 /// let times = det.schedule(3, 1);
 /// assert_eq!(times[1] - times[0], SimDuration::from_millis(10));
 ///
-/// let poisson = ArrivalProcess::Poisson {
-///     mean_interval: SimDuration::from_millis(10),
-/// };
+/// let poisson = ArrivalProcess::poisson(SimDuration::from_millis(10));
 /// assert_eq!(poisson.schedule(5, 7), poisson.schedule(5, 7)); // seeded
+///
+/// // The requested rate round-trips exactly even when the gap quantizes.
+/// let p = ArrivalProcess::per_second(3.0, true);
+/// assert_eq!(p.rate_per_sec(), 3.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ArrivalProcess {
-    /// Evenly spaced arrivals: request `i` arrives at `i * interval`.
-    Deterministic {
-        /// Spacing between consecutive arrivals.
-        interval: SimDuration,
-    },
-    /// A Poisson process: i.i.d. exponential inter-arrival gaps with the
-    /// given mean (rate `1 / mean_interval`), starting from the first gap.
-    Poisson {
-        /// Mean inter-arrival gap.
-        mean_interval: SimDuration,
-    },
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    mean_interval: SimDuration,
+    rate_per_sec: f64,
 }
 
 impl ArrivalProcess {
+    /// Evenly spaced arrivals with the given gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero-length (the rate would be infinite).
+    pub fn deterministic(interval: SimDuration) -> ArrivalProcess {
+        ArrivalProcess::with_kind(ArrivalKind::Deterministic, interval)
+    }
+
+    /// A Poisson process with the given mean inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interval` is zero-length.
+    pub fn poisson(mean_interval: SimDuration) -> ArrivalProcess {
+        ArrivalProcess::with_kind(ArrivalKind::Poisson, mean_interval)
+    }
+
+    fn with_kind(kind: ArrivalKind, mean_interval: SimDuration) -> ArrivalProcess {
+        assert!(
+            mean_interval > SimDuration::ZERO,
+            "inter-arrival gap must be positive"
+        );
+        ArrivalProcess {
+            kind,
+            mean_interval,
+            rate_per_sec: 1.0 / mean_interval.as_secs_f64(),
+        }
+    }
+
     /// An arrival process of `rate` requests per second: deterministic if
-    /// `poisson` is false, exponential gaps otherwise.
+    /// `poisson` is false, exponential gaps otherwise. The exact `rate` is
+    /// carried through to reports even though the drawn gap quantizes to
+    /// whole nanoseconds.
     ///
     /// # Panics
     ///
@@ -54,36 +93,48 @@ impl ArrivalProcess {
             "arrival rate must be positive, got {rate}"
         );
         let gap = SimDuration::from_secs_f64(1.0 / rate);
-        if poisson {
-            ArrivalProcess::Poisson { mean_interval: gap }
+        let kind = if poisson {
+            ArrivalKind::Poisson
         } else {
-            ArrivalProcess::Deterministic { interval: gap }
-        }
+            ArrivalKind::Deterministic
+        };
+        let mut process = ArrivalProcess::with_kind(kind, gap);
+        process.rate_per_sec = rate;
+        process
     }
 
-    /// The mean inter-arrival gap.
+    /// The distribution family.
+    pub fn kind(&self) -> ArrivalKind {
+        self.kind
+    }
+
+    /// The mean inter-arrival gap (quantized to whole nanoseconds).
     pub fn mean_interval(&self) -> SimDuration {
-        match self {
-            ArrivalProcess::Deterministic { interval } => *interval,
-            ArrivalProcess::Poisson { mean_interval } => *mean_interval,
-        }
+        self.mean_interval
+    }
+
+    /// The arrival rate in requests per second. For processes built with
+    /// [`ArrivalProcess::per_second`] this is the *requested* rate, exact
+    /// even when `1 / rate` seconds does not quantize to nanoseconds.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
     }
 
     /// A short stable name for reports.
     pub fn name(&self) -> &'static str {
-        match self {
-            ArrivalProcess::Deterministic { .. } => "deterministic",
-            ArrivalProcess::Poisson { .. } => "poisson",
+        match self.kind {
+            ArrivalKind::Deterministic => "deterministic",
+            ArrivalKind::Poisson => "poisson",
         }
     }
 
     /// Draws `count` arrival times, non-decreasing from the clock origin.
     pub fn schedule(&self, count: usize, seed: u64) -> Vec<SimTime> {
-        match self {
-            ArrivalProcess::Deterministic { interval } => (0..count as u64)
-                .map(|i| SimTime::ZERO + *interval * i)
+        match self.kind {
+            ArrivalKind::Deterministic => (0..count as u64)
+                .map(|i| SimTime::ZERO + self.mean_interval * i)
                 .collect(),
-            ArrivalProcess::Poisson { mean_interval } => {
+            ArrivalKind::Poisson => {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xA881_11A7);
                 let mut now = SimTime::ZERO;
                 (0..count)
@@ -91,7 +142,7 @@ impl ArrivalProcess {
                         // Exponential gap via inverse transform; the draw is
                         // in (0, 1] so the log is finite.
                         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                        now += mean_interval.mul_f64(-u.ln());
+                        now += self.mean_interval.mul_f64(-u.ln());
                         now
                     })
                     .collect()
@@ -106,9 +157,7 @@ mod tests {
 
     #[test]
     fn deterministic_spacing_is_exact() {
-        let p = ArrivalProcess::Deterministic {
-            interval: SimDuration::from_micros(250),
-        };
+        let p = ArrivalProcess::deterministic(SimDuration::from_micros(250));
         let t = p.schedule(4, 99);
         assert_eq!(t[0], SimTime::ZERO);
         for w in t.windows(2) {
@@ -118,9 +167,7 @@ mod tests {
 
     #[test]
     fn poisson_is_seeded_and_monotone() {
-        let p = ArrivalProcess::Poisson {
-            mean_interval: SimDuration::from_millis(1),
-        };
+        let p = ArrivalProcess::poisson(SimDuration::from_millis(1));
         let a = p.schedule(32, 5);
         let b = p.schedule(32, 5);
         assert_eq!(a, b);
@@ -132,9 +179,7 @@ mod tests {
     #[test]
     fn poisson_mean_gap_is_roughly_right() {
         let mean = SimDuration::from_millis(2);
-        let p = ArrivalProcess::Poisson {
-            mean_interval: mean,
-        };
+        let p = ArrivalProcess::poisson(mean);
         let t = p.schedule(2000, 11);
         let total = t.last().unwrap().elapsed_since(SimTime::ZERO);
         let avg_ns = total.as_nanos() as f64 / 2000.0;
@@ -147,14 +192,37 @@ mod tests {
         let d = ArrivalProcess::per_second(100.0, false);
         assert_eq!(d.mean_interval(), SimDuration::from_millis(10));
         assert_eq!(d.name(), "deterministic");
+        assert_eq!(d.kind(), ArrivalKind::Deterministic);
         let p = ArrivalProcess::per_second(100.0, true);
         assert_eq!(p.mean_interval(), SimDuration::from_millis(10));
         assert_eq!(p.name(), "poisson");
+        assert_eq!(p.kind(), ArrivalKind::Poisson);
+    }
+
+    /// The motivating bug: 3.0 req/s quantizes to a 333_333_333 ns gap,
+    /// whose reciprocal is 3.000000003 — the process must report the
+    /// requested 3.0 exactly, not the round-tripped value.
+    #[test]
+    fn requested_rate_round_trips_exactly() {
+        let p = ArrivalProcess::per_second(3.0, true);
+        assert_eq!(p.rate_per_sec(), 3.0);
+        // The naive recomputation really would drift (guards the premise).
+        let naive = 1.0 / p.mean_interval().as_secs_f64();
+        assert_ne!(naive, 3.0, "gap unexpectedly divides 1e9");
+        // Constructors from an explicit gap derive the rate from the gap.
+        let d = ArrivalProcess::deterministic(SimDuration::from_millis(10));
+        assert_eq!(d.rate_per_sec(), 100.0);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = ArrivalProcess::per_second(0.0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = ArrivalProcess::deterministic(SimDuration::ZERO);
     }
 }

@@ -1,0 +1,335 @@
+//! The continuous-batching core shared by the simulator and the live
+//! server.
+//!
+//! [`ContinuousBatcher`] owns the engine, the waiting queue and the running
+//! batch, and exposes exactly one operation: [`ContinuousBatcher::step`],
+//! which admits waiting requests into free batch slots, merges their
+//! prefill passes with one decode token from every running request, runs
+//! the merged pass through [`Engine::step`](crate::Engine::step), and
+//! reports what happened as a [`StepOutcome`].
+//!
+//! The caller owns the *clock*. [`ServeSim`](crate::serve::ServeSim)
+//! advances a simulated clock by each step's modeled latency;
+//! [`serve::server`](crate::serve::server) stamps steps with real
+//! wall-clock time while the engine loop thread free-runs. Both drive the
+//! identical admission/merge/leave logic, so the simulator remains a
+//! bit-exact model of the served system.
+
+use std::collections::VecDeque;
+
+use hybrimoe_hw::{SimDuration, SimTime};
+use hybrimoe_model::ModelConfig;
+use hybrimoe_trace::{TraceGenerator, TraceStep};
+
+use crate::serve::request::ActiveRequest;
+use crate::serve::sim::StepStat;
+use crate::serve::{RequestMetrics, RequestSpec};
+use crate::{Engine, EngineConfig};
+
+/// Everything one engine step of the continuous batch produced.
+#[derive(Debug)]
+pub struct StepOutcome {
+    /// Aggregate step statistics (batch size, merged tokens, latency).
+    pub stat: StepStat,
+    /// When the step finished: its start plus the engine-reported latency.
+    /// Newly admitted requests landed their first token here; running
+    /// requests each earned one more.
+    pub end: SimTime,
+    /// Ids of requests admitted from the waiting queue into this step
+    /// (their prefill merged in; first token at [`StepOutcome::end`]).
+    pub admitted: Vec<u32>,
+    /// `(id, tokens decoded so far)` for every request that contributed a
+    /// decode token to this step — including requests finishing with it.
+    pub decoded: Vec<(u32, u32)>,
+    /// Requests that completed with this step, in batch order.
+    pub completed: Vec<RequestMetrics>,
+}
+
+/// The join/admit/step/leave core of continuous batching.
+///
+/// Each [`step`](ContinuousBatcher::step) is one forward pass: requests
+/// enqueued via [`enqueue`](ContinuousBatcher::enqueue) join the batch as
+/// slots free up (their prefill merges into the pass), every running
+/// request contributes its next decode token, and requests leave as soon
+/// as their output length is reached — no request waits for an epoch
+/// boundary. Admission is FIFO within a priority class; lower
+/// [`RequestSpec::priority`] values are admitted first.
+#[derive(Debug)]
+pub struct ContinuousBatcher {
+    engine: Engine,
+    model: ModelConfig,
+    needs_token_states: bool,
+    seed: u64,
+    max_batch: usize,
+    waiting: VecDeque<RequestSpec>,
+    running: Vec<ActiveRequest>,
+}
+
+impl ContinuousBatcher {
+    /// Creates a batcher around a fresh (warmed-up) engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero, or if it reaches
+    /// [`PREFILL_BATCH_THRESHOLD`]: the engine and the schedulers classify
+    /// the prefill/decode regime of a forward pass by its token count, so a
+    /// pure-decode batch that large would be misclassified as prefill and
+    /// silently disable decode-time cache adaptation.
+    ///
+    /// [`PREFILL_BATCH_THRESHOLD`]: hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+    pub fn new(engine: EngineConfig, max_batch: usize, seed: u64) -> ContinuousBatcher {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            (max_batch as u32) < hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD,
+            "max_batch {} would make pure-decode batches look like prefill (threshold {})",
+            max_batch,
+            hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+        );
+        let model = engine.model.clone();
+        let needs_token_states = engine.backend.needs_token_states();
+        ContinuousBatcher {
+            engine: Engine::new(engine),
+            model,
+            needs_token_states,
+            seed,
+            max_batch,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+        }
+    }
+
+    /// Adds a request to the waiting queue. Placement is FIFO within its
+    /// priority class: the request goes after every queued request of the
+    /// same or a more urgent (lower) class, and before less urgent ones.
+    pub fn enqueue(&mut self, spec: RequestSpec) {
+        let at = self
+            .waiting
+            .iter()
+            .rposition(|q| q.priority <= spec.priority)
+            .map_or(0, |i| i + 1);
+        self.waiting.insert(at, spec);
+    }
+
+    /// Requests waiting for a batch slot.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests currently decoding in the batch.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether the batcher has nothing to do (no waiting or running
+    /// requests). [`step`](ContinuousBatcher::step) panics in this state.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty() && self.waiting.is_empty()
+    }
+
+    /// The earliest arrival time among waiting requests, if any — the
+    /// queue-delay signal the server's load-shed watermark reads.
+    pub fn oldest_waiting_arrival(&self) -> Option<SimTime> {
+        self.waiting.iter().map(|s| s.arrival).min()
+    }
+
+    /// The continuous-batch bound.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Runs one engine step starting at `now`: admits waiting requests into
+    /// free batch slots, merges their prefills with one decode token from
+    /// every running request, and advances every request's lifecycle.
+    ///
+    /// `land` maps the engine-reported step latency to the time the step's
+    /// tokens *land* — the stamp on first tokens and completions. The
+    /// simulator passes `|latency| now + latency` (the modeled clock); the
+    /// live server reads its wall clock instead, so SLO metrics reflect
+    /// real elapsed time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher [`is_idle`](ContinuousBatcher::is_idle), or if
+    /// `land` returns a time before `now` (the clock ran backwards).
+    pub fn step(&mut self, now: SimTime, land: impl FnOnce(SimDuration) -> SimTime) -> StepOutcome {
+        assert!(!self.is_idle(), "step on an idle batcher");
+
+        // Admit waiting requests into free batch slots (FIFO within each
+        // priority class); their prefill passes merge into this step.
+        let slots = self.max_batch.saturating_sub(self.running.len());
+        let mut admitted: Vec<ActiveRequest> = Vec::new();
+        let mut prefill_steps: Vec<TraceStep> = Vec::new();
+        for _ in 0..slots {
+            let Some(spec) = self.waiting.pop_front() else {
+                break;
+            };
+            let mut generator =
+                TraceGenerator::new(self.model.clone(), request_seed(self.seed, spec.id));
+            if self.needs_token_states {
+                // A real-execution backend computes actual layer outputs,
+                // so every request's trace must carry its hidden states.
+                generator = generator.with_token_states();
+            }
+            // One router-parameter bundle serves both the prompt and the
+            // decode stream of the request.
+            let (prefill, stream) = generator.request(spec.prompt_tokens);
+            prefill_steps.push(prefill);
+            admitted.push(ActiveRequest {
+                spec,
+                stream,
+                admitted: now,
+                first_token: None, // set when the step lands
+                decoded: 0,
+            });
+        }
+
+        // Every running request contributes its next decode token.
+        let decode_steps: Vec<TraceStep> = self
+            .running
+            .iter_mut()
+            .map(|r| r.stream.next_step())
+            .collect();
+
+        let parts: Vec<&TraceStep> = prefill_steps.iter().chain(decode_steps.iter()).collect();
+        // A single-member batch needs no merge (and no deep clone).
+        let (metrics, step_tokens) = if let [single] = parts.as_slice() {
+            (self.engine.step(single), single.tokens)
+        } else {
+            let merged = TraceStep::merge(&parts);
+            (self.engine.step(&merged), merged.tokens)
+        };
+        let end = land(metrics.latency);
+        assert!(end >= now, "step landed before it started");
+        let stat = StepStat {
+            start: now,
+            batch: (self.running.len() + admitted.len()) as u32,
+            prefills: admitted.len() as u32,
+            tokens: step_tokens,
+            latency: metrics.latency,
+        };
+
+        // Leave: decoding requests earned one token; admitted requests
+        // earned their first. Finished requests exit the batch.
+        let mut decoded = Vec::with_capacity(self.running.len());
+        for r in self.running.iter_mut() {
+            r.decoded += 1;
+            decoded.push((r.spec.id, r.decoded));
+        }
+        let mut admitted_ids = Vec::with_capacity(admitted.len());
+        let mut completed = Vec::new();
+        for mut r in admitted {
+            r.first_token = Some(end);
+            admitted_ids.push(r.spec.id);
+            if r.spec.decode_tokens == 0 {
+                completed.push(r.finish(end));
+            } else {
+                self.running.push(r);
+            }
+        }
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].decoded >= self.running[i].spec.decode_tokens {
+                let done = self.running.remove(i);
+                completed.push(done.finish(end));
+            } else {
+                i += 1;
+            }
+        }
+
+        StepOutcome {
+            stat,
+            end,
+            admitted: admitted_ids,
+            decoded,
+            completed,
+        }
+    }
+}
+
+/// The trace seed of one request: decorrelated from its neighbours but a
+/// pure function of the experiment seed and the request id.
+fn request_seed(seed: u64, id: u32) -> u64 {
+    seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::DEFAULT_PRIORITY;
+    use crate::Framework;
+    use hybrimoe_model::ModelConfig;
+
+    fn spec(id: u32, priority: u8) -> RequestSpec {
+        RequestSpec {
+            id,
+            arrival: SimTime::ZERO,
+            prompt_tokens: 8,
+            decode_tokens: 2,
+            priority,
+        }
+    }
+
+    fn batcher(max_batch: usize) -> ContinuousBatcher {
+        ContinuousBatcher::new(
+            EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
+            max_batch,
+            7,
+        )
+    }
+
+    #[test]
+    fn priority_classes_jump_the_queue_fifo_within_class() {
+        let mut b = batcher(1);
+        b.enqueue(spec(0, 1));
+        b.enqueue(spec(1, 1));
+        b.enqueue(spec(2, DEFAULT_PRIORITY)); // urgent: goes first
+        b.enqueue(spec(3, 1));
+        let order: Vec<u32> = b.waiting.iter().map(|s| s.id).collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn uniform_priorities_stay_fifo() {
+        let mut b = batcher(1);
+        for id in 0..4 {
+            b.enqueue(spec(id, DEFAULT_PRIORITY));
+        }
+        let order: Vec<u32> = b.waiting.iter().map(|s| s.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn step_lifecycle_admits_decodes_and_completes() {
+        let mut b = batcher(2);
+        b.enqueue(spec(0, 0));
+        b.enqueue(spec(1, 0));
+        // Step 1: both admitted, first tokens land at step end.
+        let out = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+        assert_eq!(out.admitted, vec![0, 1]);
+        assert!(out.decoded.is_empty());
+        assert!(out.completed.is_empty());
+        assert_eq!(out.stat.prefills, 2);
+        assert_eq!(b.running_len(), 2);
+        // Steps 2-3: two decode tokens each, then both complete.
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.decoded, vec![(0, 1), (1, 1)]);
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.decoded, vec![(0, 2), (1, 2)]);
+        assert_eq!(out.completed.len(), 2);
+        assert!(b.is_idle());
+        for m in &out.completed {
+            assert!(m.first_token >= m.arrival);
+            assert!(m.completion >= m.first_token);
+            assert_eq!(m.queue_wait(), hybrimoe_hw::SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn stepping_an_idle_batcher_panics() {
+        let mut b = batcher(2);
+        let _ = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+    }
+}

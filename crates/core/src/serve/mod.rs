@@ -28,6 +28,12 @@
 //! step. [`ServeSim::new`] rejects `max_batch` values large enough for a
 //! *pure-decode* batch to cross the threshold.
 //!
+//! The admission/merge/leave core lives in [`ContinuousBatcher`], which
+//! both the deterministic [`ServeSim`] and the live TCP front-end in
+//! [`server`] drive — the simulator with its modeled clock, the server
+//! with wall-clock stamps — so simulated and served behavior cannot
+//! diverge structurally.
+//!
 //! # Example
 //!
 //! ```
@@ -38,9 +44,7 @@
 //!
 //! let config = ServeConfig {
 //!     engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
-//!     arrivals: ArrivalProcess::Deterministic {
-//!         interval: SimDuration::from_millis(5),
-//!     },
+//!     arrivals: ArrivalProcess::deterministic(SimDuration::from_millis(5)),
 //!     requests: 4,
 //!     prompt_tokens: 16,
 //!     decode_tokens: 8,
@@ -53,11 +57,14 @@
 //! ```
 
 mod arrivals;
+mod batcher;
 mod request;
+pub mod server;
 mod sim;
 mod summary;
 
-pub use arrivals::ArrivalProcess;
-pub use request::{RequestMetrics, RequestSpec};
+pub use arrivals::{ArrivalKind, ArrivalProcess};
+pub use batcher::{ContinuousBatcher, StepOutcome};
+pub use request::{RequestMetrics, RequestSpec, DEFAULT_PRIORITY};
 pub use sim::{ServeConfig, ServeSim, StepStat};
 pub use summary::{ServeReport, ServeSummary};

@@ -4,6 +4,9 @@ use hybrimoe_hw::{SimDuration, SimTime};
 use hybrimoe_trace::DecodeStream;
 use serde::{Deserialize, Serialize};
 
+/// The default scheduling class of a request (see [`RequestSpec::priority`]).
+pub const DEFAULT_PRIORITY: u8 = 0;
+
 /// One request as submitted to the server: a prompt to prefill and a fixed
 /// number of tokens to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,6 +19,11 @@ pub struct RequestSpec {
     pub prompt_tokens: u32,
     /// Output length in tokens (decode steps after prefill).
     pub decode_tokens: u32,
+    /// Scheduling class: lower is more urgent. The continuous batcher
+    /// admits lower classes first (FIFO within a class), and the serving
+    /// front-end's load-shed watermark only sheds classes above
+    /// [`DEFAULT_PRIORITY`].
+    pub priority: u8,
 }
 
 /// The realized latency profile of one completed request.
@@ -29,11 +37,13 @@ pub struct RequestSpec {
 /// let m = RequestMetrics {
 ///     id: 0,
 ///     arrival: SimTime::ZERO,
+///     admitted: SimTime::ZERO + SimDuration::from_millis(1),
 ///     first_token: SimTime::ZERO + SimDuration::from_millis(3),
 ///     completion: SimTime::ZERO + SimDuration::from_millis(11),
 ///     prompt_tokens: 16,
 ///     decode_tokens: 4,
 /// };
+/// assert_eq!(m.queue_wait(), SimDuration::from_millis(1));
 /// assert_eq!(m.ttft(), SimDuration::from_millis(3));
 /// assert_eq!(m.tpot(), SimDuration::from_millis(2));
 /// assert_eq!(m.latency(), SimDuration::from_millis(11));
@@ -44,6 +54,8 @@ pub struct RequestMetrics {
     pub id: u32,
     /// Arrival time.
     pub arrival: SimTime,
+    /// When the request left the waiting queue and joined the batch.
+    pub admitted: SimTime,
     /// When the prefill pass finished (the first output token).
     pub first_token: SimTime,
     /// When the last output token finished.
@@ -55,7 +67,13 @@ pub struct RequestMetrics {
 }
 
 impl RequestMetrics {
-    /// Time to first token: queueing delay plus prefill.
+    /// Time spent in the waiting queue before joining the batch.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.admitted.elapsed_since(self.arrival)
+    }
+
+    /// Time to first token: queueing delay plus prefill. Always measured
+    /// from *arrival*, so queue wait under overload is charged to TTFT.
     pub fn ttft(&self) -> SimDuration {
         self.first_token.elapsed_since(self.arrival)
     }
@@ -80,17 +98,36 @@ impl RequestMetrics {
 pub(crate) struct ActiveRequest {
     pub spec: RequestSpec,
     pub stream: DecodeStream,
-    pub first_token: SimTime,
+    /// When the request joined the batch (its prefill merged into a step).
+    pub admitted: SimTime,
+    /// When the prefill landed. `None` until the admitting step completes,
+    /// so a half-admitted request can never report a zero TTFT.
+    pub first_token: Option<SimTime>,
     pub decoded: u32,
 }
 
 impl ActiveRequest {
     /// Metrics for a request completing at `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request never landed its first token, or if the
+    /// recorded timestamps run backwards (`first_token` before arrival).
     pub fn finish(&self, completion: SimTime) -> RequestMetrics {
+        let first_token = self
+            .first_token
+            .expect("finished request never landed its first token");
+        assert!(
+            first_token >= self.spec.arrival,
+            "request {}: first token at {first_token} precedes arrival at {}",
+            self.spec.id,
+            self.spec.arrival
+        );
         RequestMetrics {
             id: self.spec.id,
             arrival: self.spec.arrival,
-            first_token: self.first_token,
+            admitted: self.admitted,
+            first_token,
             completion,
             prompt_tokens: self.spec.prompt_tokens,
             decode_tokens: self.spec.decode_tokens,
@@ -107,6 +144,7 @@ mod tests {
         let m = RequestMetrics {
             id: 1,
             arrival: SimTime::ZERO,
+            admitted: SimTime::ZERO + SimDuration::from_millis(1),
             first_token: SimTime::ZERO + SimDuration::from_millis(2),
             completion: SimTime::ZERO + SimDuration::from_millis(2),
             prompt_tokens: 8,
@@ -114,5 +152,29 @@ mod tests {
         };
         assert_eq!(m.tpot(), SimDuration::ZERO);
         assert_eq!(m.latency(), m.ttft());
+        assert_eq!(m.queue_wait(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "never landed")]
+    fn finishing_without_a_first_token_panics() {
+        use hybrimoe_model::ModelConfig;
+        use hybrimoe_trace::TraceGenerator;
+
+        let (_, stream) = TraceGenerator::new(ModelConfig::tiny_test(), 1).request(4);
+        let r = ActiveRequest {
+            spec: RequestSpec {
+                id: 0,
+                arrival: SimTime::ZERO,
+                prompt_tokens: 4,
+                decode_tokens: 1,
+                priority: DEFAULT_PRIORITY,
+            },
+            stream,
+            admitted: SimTime::ZERO,
+            first_token: None,
+            decoded: 0,
+        };
+        let _ = r.finish(SimTime::ZERO + SimDuration::from_millis(1));
     }
 }

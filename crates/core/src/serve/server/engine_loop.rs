@@ -1,0 +1,170 @@
+//! The engine loop thread: the single owner of the [`ContinuousBatcher`].
+//!
+//! Connection handlers never touch the engine. They submit accepted
+//! requests over a bounded channel and receive [`StreamEvent`]s back on a
+//! per-request channel; the loop free-runs — pull submissions, step the
+//! batch, deliver tokens — stamping every step with real wall-clock time.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hybrimoe_hw::SimTime;
+
+use crate::serve::server::Shared;
+use crate::serve::{ContinuousBatcher, RequestMetrics, RequestSpec, StepOutcome};
+
+/// How long an idle loop blocks on the submission channel before
+/// re-checking the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// One grace window after drain starts: a handler that passed the
+/// admission checks just before the flag flipped still gets its request
+/// served rather than silently dropped.
+const DRAIN_GRACE: Duration = Duration::from_millis(50);
+
+/// An accepted request on its way from a connection handler to the
+/// engine loop.
+pub(crate) struct Submission {
+    /// Arrival stamp taken by the handler (server clock).
+    pub arrival: SimTime,
+    pub prompt_tokens: u32,
+    pub decode_tokens: u32,
+    pub priority: u8,
+    /// Where the handler listens for this request's tokens.
+    pub events: Sender<StreamEvent>,
+}
+
+/// What the engine loop tells a connection handler about its request.
+pub(crate) enum StreamEvent {
+    /// One output token landed; `index` counts from zero (the first
+    /// token) up to `decode_tokens`.
+    Token { index: u32 },
+    /// The request finished; the stream is complete.
+    Done { metrics: RequestMetrics },
+}
+
+/// Runs the engine loop until shutdown: all submitters gone, or a drain
+/// was requested and every accepted request has completed.
+pub(crate) fn run(
+    mut batcher: ContinuousBatcher,
+    submissions: Receiver<Submission>,
+    shared: Arc<Shared>,
+    min_step: Option<Duration>,
+) {
+    let mut clients: HashMap<u32, Sender<StreamEvent>> = HashMap::new();
+    let mut next_id: u32 = 0;
+
+    loop {
+        // Pull everything already submitted into the waiting queue.
+        while let Ok(sub) = submissions.try_recv() {
+            admit(sub, &mut batcher, &mut clients, &mut next_id, &shared);
+        }
+
+        if batcher.is_idle() {
+            if shared.draining.load(Ordering::Acquire) {
+                // A submission may have passed the admission checks just
+                // before the drain flag flipped; give it one grace window.
+                match submissions.recv_timeout(DRAIN_GRACE) {
+                    Ok(sub) => {
+                        admit(sub, &mut batcher, &mut clients, &mut next_id, &shared);
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+            match submissions.recv_timeout(IDLE_POLL) {
+                Ok(sub) => admit(sub, &mut batcher, &mut clients, &mut next_id, &shared),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            continue; // sweep the channel again before stepping
+        }
+
+        let started = Instant::now();
+        let now = shared.now();
+        let outcome = batcher.step(now, |_latency| {
+            // Tokens land when the step *actually* finished, plus any
+            // configured pacing floor — not when the model says it should
+            // have. SLOs measure the real server.
+            if let Some(floor) = min_step {
+                let elapsed = started.elapsed();
+                if elapsed < floor {
+                    std::thread::sleep(floor - elapsed);
+                }
+            }
+            shared.now()
+        });
+        // Publish the admission bookkeeping BEFORE delivering tokens: a
+        // client acts the moment its first chunk lands, and the shed
+        // gate must not still see the stamp of a request that already
+        // left the waiting queue.
+        shared.steps.fetch_add(1, Ordering::Relaxed);
+        shared
+            .queued
+            .fetch_sub(outcome.admitted.len(), Ordering::AcqRel);
+        shared
+            .running
+            .store(batcher.running_len(), Ordering::Relaxed);
+        shared.store_oldest_wait(batcher.oldest_waiting_arrival());
+        deliver(&outcome, &mut clients, &shared);
+    }
+
+    shared.running.store(0, Ordering::Relaxed);
+    shared.store_oldest_wait(None);
+}
+
+fn admit(
+    sub: Submission,
+    batcher: &mut ContinuousBatcher,
+    clients: &mut HashMap<u32, Sender<StreamEvent>>,
+    next_id: &mut u32,
+    shared: &Shared,
+) {
+    let id = *next_id;
+    *next_id = next_id.wrapping_add(1);
+    clients.insert(id, sub.events);
+    batcher.enqueue(RequestSpec {
+        id,
+        arrival: sub.arrival,
+        prompt_tokens: sub.prompt_tokens,
+        decode_tokens: sub.decode_tokens,
+        priority: sub.priority,
+    });
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
+    shared.store_oldest_wait(batcher.oldest_waiting_arrival());
+}
+
+fn deliver(
+    outcome: &StepOutcome,
+    clients: &mut HashMap<u32, Sender<StreamEvent>>,
+    shared: &Shared,
+) {
+    let mut tokens: u64 = 0;
+    // First tokens for newly admitted requests, then one decode token per
+    // running request. A send error means the client hung up; the request
+    // still runs to completion (its slot is already spent) but nobody
+    // listens.
+    for id in &outcome.admitted {
+        tokens += 1;
+        if let Some(events) = clients.get(id) {
+            let _ = events.send(StreamEvent::Token { index: 0 });
+        }
+    }
+    for (id, decoded) in &outcome.decoded {
+        tokens += 1;
+        if let Some(events) = clients.get(id) {
+            let _ = events.send(StreamEvent::Token { index: *decoded });
+        }
+    }
+    for metrics in &outcome.completed {
+        shared.slo.record(metrics);
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(events) = clients.remove(&metrics.id) {
+            let _ = events.send(StreamEvent::Done { metrics: *metrics });
+        }
+    }
+    shared.output_tokens.fetch_add(tokens, Ordering::Relaxed);
+}

@@ -1,0 +1,198 @@
+//! A deliberately small HTTP/1.1 implementation over std TCP.
+//!
+//! Covers exactly what the serving front-end needs — request-line +
+//! header + fixed-length-body parsing, plain JSON responses, and chunked
+//! streaming responses — with hard caps on header and body sizes so a
+//! misbehaving client cannot balloon memory. No external dependencies, in
+//! keeping with the `third_party/` stub policy.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line plus all headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request from the stream.
+///
+/// Returns `Ok(None)` on a clean EOF before any bytes (client connected
+/// and left), and an error naming the malformation otherwise.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+
+    // Request line.
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("empty request line"))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line missing path"))?
+        .to_owned();
+
+    // Headers until the blank line.
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(bad("request head too large"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable Content-Length"))?;
+            }
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad request: {msg}"))
+}
+
+/// The reason phrase of the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response with `Content-Length` and closes the
+/// logical exchange (`Connection: close` — one request per connection).
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Starts a chunked streaming response. Follow with [`write_chunk`] per
+/// token and [`end_chunks`] to terminate.
+pub fn begin_stream(stream: &mut TcpStream) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Writes one HTTP chunk and flushes it so the client sees the token now.
+pub fn write_chunk(stream: &mut TcpStream, payload: &str) -> io::Result<()> {
+    write!(stream, "{:x}\r\n{payload}\r\n", payload.len())?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn end_chunks(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Client-side helper: reads the next chunk of a chunked-encoded body.
+/// Returns `Ok(None)` at the terminal zero-size chunk. Lets a client
+/// timestamp each token as it arrives (the load generator's TTFT).
+pub fn read_one_chunk<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(bad("connection closed mid-chunk-stream"));
+    }
+    let size = usize::from_str_radix(line.trim(), 16).map_err(|_| bad("unparseable chunk size"))?;
+    let mut payload = vec![0u8; size + 2]; // payload + CRLF
+    reader.read_exact(&mut payload)?;
+    if size == 0 {
+        return Ok(None);
+    }
+    payload.truncate(size);
+    Ok(Some(String::from_utf8_lossy(&payload).into_owned()))
+}
+
+/// Client-side helper: reads one whole chunked-encoded response body from
+/// a buffered reader positioned after the response head, yielding each
+/// chunk payload. Shared by the integration tests and `load_gen`.
+pub fn read_chunks<R: BufRead>(reader: &mut R) -> io::Result<Vec<String>> {
+    let mut chunks = Vec::new();
+    while let Some(chunk) = read_one_chunk(reader)? {
+        chunks.push(chunk);
+    }
+    Ok(chunks)
+}
+
+/// Client-side helper: reads an HTTP response head, returning the status
+/// code and whether the body is chunked; leaves the reader at the body.
+pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, bool, usize)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(bad("connection closed before status line"));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-response-headers"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            return Ok((status, chunked, content_length));
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+}

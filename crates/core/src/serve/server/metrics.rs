@@ -1,0 +1,122 @@
+//! Per-request SLO accounting for the serving front-end.
+
+use std::sync::Mutex;
+
+use hybrimoe_hw::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::serve::summary::percentile;
+use crate::serve::RequestMetrics;
+
+/// A point-in-time snapshot of the server's SLO accounting, served as JSON
+/// at `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Requests admitted into the waiting queue since startup.
+    pub admitted: u64,
+    /// Requests that completed their full token stream.
+    pub completed: u64,
+    /// Requests rejected because the waiting queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests shed because queue delay exceeded the watermark.
+    pub rejected_shed: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_draining: u64,
+    /// Requests currently waiting for a batch slot.
+    pub queued: u64,
+    /// Requests currently decoding in the batch.
+    pub running: u64,
+    /// Engine steps taken.
+    pub engine_steps: u64,
+    /// Output tokens streamed (first tokens plus decode tokens).
+    pub output_tokens: u64,
+    /// Whether the server is draining (admission closed).
+    pub draining: bool,
+    /// Median queue wait across completed requests, ms.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait, ms.
+    pub queue_wait_p99_ms: f64,
+    /// Median time to first token (measured from arrival), ms.
+    pub ttft_p50_ms: f64,
+    /// 99th-percentile time to first token, ms.
+    pub ttft_p99_ms: f64,
+    /// Median time per output token, ms.
+    pub tpot_p50_ms: f64,
+    /// 99th-percentile time per output token, ms.
+    pub tpot_p99_ms: f64,
+}
+
+/// Accumulates per-request SLO samples behind a mutex. The engine loop
+/// pushes one sample per completion; `/metrics` handlers snapshot.
+#[derive(Debug, Default)]
+pub struct SloRecorder {
+    inner: Mutex<Samples>,
+}
+
+#[derive(Debug, Default)]
+struct Samples {
+    queue_wait: Vec<SimDuration>,
+    ttft: Vec<SimDuration>,
+    tpot: Vec<SimDuration>,
+}
+
+impl SloRecorder {
+    /// Records one completed request.
+    pub fn record(&self, m: &RequestMetrics) {
+        let mut inner = self.inner.lock().expect("slo recorder poisoned");
+        inner.queue_wait.push(m.queue_wait());
+        inner.ttft.push(m.ttft());
+        inner.tpot.push(m.tpot());
+    }
+
+    /// Percentiles over everything recorded so far, in milliseconds:
+    /// `(queue_wait p50/p99, ttft p50/p99, tpot p50/p99)`.
+    pub fn percentiles_ms(&self) -> [f64; 6] {
+        let mut guard = self.inner.lock().expect("slo recorder poisoned");
+        let Samples {
+            queue_wait,
+            ttft,
+            tpot,
+        } = &mut *guard;
+        let mut out = [0.0; 6];
+        for (i, series) in [queue_wait, ttft, tpot].into_iter().enumerate() {
+            series.sort_unstable();
+            out[2 * i] = percentile(series, 50.0).as_millis_f64();
+            out[2 * i + 1] = percentile(series, 99.0).as_millis_f64();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_hw::SimTime;
+
+    fn metrics(id: u32, wait_ms: u64, ttft_ms: u64) -> RequestMetrics {
+        RequestMetrics {
+            id,
+            arrival: SimTime::ZERO,
+            admitted: SimTime::ZERO + SimDuration::from_millis(wait_ms),
+            first_token: SimTime::ZERO + SimDuration::from_millis(ttft_ms),
+            completion: SimTime::ZERO + SimDuration::from_millis(ttft_ms + 10),
+            prompt_tokens: 8,
+            decode_tokens: 5,
+        }
+    }
+
+    #[test]
+    fn recorder_reports_percentiles() {
+        let rec = SloRecorder::default();
+        for i in 0..10 {
+            rec.record(&metrics(i, i as u64 + 1, 2 * (i as u64 + 1)));
+        }
+        let [qw50, qw99, ttft50, ttft99, tpot50, tpot99] = rec.percentiles_ms();
+        assert_eq!(qw50, 5.0);
+        assert_eq!(qw99, 10.0);
+        assert_eq!(ttft50, 10.0);
+        assert_eq!(ttft99, 20.0);
+        assert_eq!(tpot50, 2.0);
+        assert!(tpot99 >= tpot50);
+    }
+}

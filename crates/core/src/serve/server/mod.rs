@@ -1,0 +1,611 @@
+//! A real TCP serving front-end over the continuous batcher.
+//!
+//! [`Server::start`] binds a std-TCP listener and serves a minimal
+//! HTTP/1.1 API (hand-rolled, no external dependencies):
+//!
+//! * `POST /v1/generate` with a JSON body
+//!   `{"prompt_tokens": N, "decode_tokens": M, "priority": P}` streams one
+//!   chunk per output token (`{"token": i}` lines), ending with a
+//!   `{"done": true, ...}` chunk carrying the request's realized SLO
+//!   numbers. `priority` is optional; see [`Server`] for its semantics.
+//! * `GET /metrics` returns a [`ServerMetrics`] JSON snapshot: counters
+//!   plus queue-wait/TTFT/TPOT percentiles over completed requests.
+//! * `GET /healthz` answers liveness probes.
+//! * `POST /admin/drain` starts a graceful drain (admission closes,
+//!   accepted requests run to completion).
+//!
+//! The engine runs in its own loop thread, the single owner of the
+//! [`ContinuousBatcher`] — the same admission/merge/leave core the
+//! [`ServeSim`](crate::serve::ServeSim) drives, stepped with wall-clock
+//! stamps instead of the modeled clock. Connection handlers talk to it
+//! over a bounded channel, so a slow client never blocks the batch.
+//!
+//! # Admission control
+//!
+//! Three gates, in order, each answering `503` with a JSON error naming
+//! the gate:
+//!
+//! 1. **Drain**: a draining server admits nothing new.
+//! 2. **Load shed**: when the oldest waiting request has queued longer
+//!    than [`ServerConfig::shed_watermark`], best-effort requests
+//!    (priority above [`DEFAULT_PRIORITY`]) are shed. Priority-0 traffic
+//!    rides through overload at the cost of deeper queues.
+//! 3. **Queue depth**: at most [`ServerConfig::queue_depth`] requests may
+//!    wait for a batch slot; beyond that the queue is full.
+
+mod engine_loop;
+mod http;
+mod metrics;
+
+pub use http::{read_chunks, read_one_chunk, read_response_head};
+pub use metrics::ServerMetrics;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use hybrimoe_hw::{SimDuration, SimTime};
+use serde::Value;
+
+use crate::serve::server::engine_loop::{StreamEvent, Submission};
+use crate::serve::server::metrics::SloRecorder;
+use crate::serve::{ContinuousBatcher, DEFAULT_PRIORITY};
+use crate::EngineConfig;
+
+/// Stack size for connection-handler threads. Handlers only parse one
+/// small request and relay channel events, so a sliver of stack keeps a
+/// thousand concurrent streams cheap.
+const HANDLER_STACK: usize = 128 * 1024;
+
+/// Per-connection socket read timeout: a client that stops sending
+/// mid-request releases its handler thread.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The priority assigned to `POST /v1/generate` requests that omit the
+/// field: best-effort, one class above the shed-exempt
+/// [`DEFAULT_PRIORITY`].
+pub const DEFAULT_HTTP_PRIORITY: u8 = 1;
+
+/// Configuration of a serving front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The engine (framework preset, model, cache ratio) to serve.
+    pub engine: EngineConfig,
+    /// Bind address. Port 0 picks a free port; read the real one from
+    /// [`ServerHandle::addr`].
+    pub addr: String,
+    /// Continuous-batch bound (see [`ContinuousBatcher::new`] for the
+    /// validity constraints).
+    pub max_batch: usize,
+    /// Admission bound: requests allowed to wait for a batch slot before
+    /// new arrivals get `503 queue full`.
+    pub queue_depth: usize,
+    /// Load-shed watermark: when the oldest waiting request has queued
+    /// longer than this, best-effort arrivals are shed with `503`.
+    /// `None` disables shedding.
+    pub shed_watermark: Option<Duration>,
+    /// Upper bound a request may ask to decode.
+    pub max_decode_tokens: u32,
+    /// Upper bound on a request's prompt length.
+    pub max_prompt_tokens: u32,
+    /// Pacing floor: every engine step takes at least this long of wall
+    /// time. `None` free-runs. Useful to make overload reproducible in
+    /// tests and to emulate slower hardware.
+    pub min_step: Option<Duration>,
+    /// Seed for per-request synthetic traces.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// A config with serving defaults on an OS-assigned port.
+    pub fn new(engine: EngineConfig) -> ServerConfig {
+        ServerConfig {
+            engine,
+            addr: "127.0.0.1:0".to_owned(),
+            max_batch: 16,
+            queue_depth: 1024,
+            shed_watermark: None,
+            max_decode_tokens: 512,
+            max_prompt_tokens: 4096,
+            min_step: None,
+            seed: 0,
+        }
+    }
+}
+
+/// State shared between the acceptor, connection handlers, and the
+/// engine loop.
+pub(crate) struct Shared {
+    /// Admission is closed; accepted requests are running out.
+    pub draining: AtomicBool,
+    /// The acceptor should exit.
+    closed: AtomicBool,
+    /// Requests holding a waiting-queue slot (submitted or queued in the
+    /// batcher, not yet admitted into the batch).
+    pub queued: AtomicUsize,
+    /// Requests currently decoding in the batch.
+    pub running: AtomicUsize,
+    pub admitted: AtomicU64,
+    pub completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shed: AtomicU64,
+    rejected_draining: AtomicU64,
+    pub steps: AtomicU64,
+    pub output_tokens: AtomicU64,
+    /// Arrival stamp (nanos on the server clock) of the oldest request in
+    /// the batcher's waiting queue; `u64::MAX` when the queue is empty.
+    oldest_wait_nanos: AtomicU64,
+    pub slo: SloRecorder,
+    /// The server clock's origin; all `SimTime` stamps count from here.
+    origin: Instant,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            draining: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shed: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            output_tokens: AtomicU64::new(0),
+            oldest_wait_nanos: AtomicU64::new(u64::MAX),
+            slo: SloRecorder::default(),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Now, on the server clock (nanoseconds since startup).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Publishes the oldest waiting arrival for the shed watermark.
+    pub fn store_oldest_wait(&self, arrival: Option<SimTime>) {
+        let nanos = arrival.map_or(u64::MAX, SimTime::as_nanos);
+        self.oldest_wait_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// How long the oldest waiting request has been queued.
+    fn queue_delay(&self) -> SimDuration {
+        let nanos = self.oldest_wait_nanos.load(Ordering::Acquire);
+        if nanos == u64::MAX {
+            return SimDuration::ZERO;
+        }
+        self.now().elapsed_since(SimTime::from_nanos(nanos))
+    }
+
+    /// A point-in-time metrics snapshot.
+    fn metrics(&self) -> ServerMetrics {
+        let [qw50, qw99, ttft50, ttft99, tpot50, tpot99] = self.slo.percentiles_ms();
+        ServerMetrics {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shed: self.rejected_shed.load(Ordering::Relaxed),
+            rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed) as u64,
+            running: self.running.load(Ordering::Relaxed) as u64,
+            engine_steps: self.steps.load(Ordering::Relaxed),
+            output_tokens: self.output_tokens.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+            queue_wait_p50_ms: qw50,
+            queue_wait_p99_ms: qw99,
+            ttft_p50_ms: ttft50,
+            ttft_p99_ms: ttft99,
+            tpot_p50_ms: tpot50,
+            tpot_p99_ms: tpot99,
+        }
+    }
+}
+
+/// Admission limits the connection handlers enforce.
+struct Limits {
+    queue_depth: usize,
+    shed_watermark: Option<SimDuration>,
+    max_decode_tokens: u32,
+    max_prompt_tokens: u32,
+}
+
+/// The serving front-end. See the [module docs](self) for the API and
+/// the admission-control design; [`Server::start`] is the entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds the listener, warms up the engine, and spawns the engine
+    /// loop and acceptor threads. Returns once the server is accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` is invalid (see
+    /// [`ContinuousBatcher::new`]) or `config.queue_depth` is zero.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        assert!(config.queue_depth > 0, "queue_depth must be at least 1");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let batcher = ContinuousBatcher::new(config.engine.clone(), config.max_batch, config.seed);
+        let shared = Arc::new(Shared::new());
+        // Capacity matches the queue depth: handlers reserve a slot
+        // before sending, so the channel can never fill past it.
+        let (submit, submissions) = mpsc::sync_channel::<Submission>(config.queue_depth);
+
+        let engine = {
+            let shared = Arc::clone(&shared);
+            let min_step = config.min_step;
+            thread::Builder::new()
+                .name("hybrimoe-engine".to_owned())
+                .spawn(move || engine_loop::run(batcher, submissions, shared, min_step))?
+        };
+
+        let limits = Arc::new(Limits {
+            queue_depth: config.queue_depth,
+            shed_watermark: config
+                .shed_watermark
+                .map(|d| SimDuration::from_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))),
+            max_decode_tokens: config.max_decode_tokens,
+            max_prompt_tokens: config.max_prompt_tokens,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let submit = submit.clone();
+            thread::Builder::new()
+                .name("hybrimoe-accept".to_owned())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.closed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let shared = Arc::clone(&shared);
+                        let submit = submit.clone();
+                        let limits = Arc::clone(&limits);
+                        // Spawn consumes the stream even on failure, so
+                        // keep a duplicate handle: out of threads, the
+                        // client gets an honest 503 instead of a reset.
+                        let fallback = stream.try_clone().ok();
+                        let spawned = thread::Builder::new()
+                            .name("hybrimoe-conn".to_owned())
+                            .stack_size(HANDLER_STACK)
+                            .spawn(move || handle_connection(stream, &shared, &submit, &limits));
+                        if spawned.is_err() {
+                            if let Some(mut stream) = fallback {
+                                let _ = http::respond_json(
+                                    &mut stream,
+                                    503,
+                                    &error_body("out of handler threads"),
+                                );
+                            }
+                        }
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            _submit: submit,
+            engine: Some(engine),
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down without
+/// waiting; call [`ServerHandle::shutdown`] for an orderly drain-and-join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    /// Held so the engine loop only sees a disconnected submission
+    /// channel once the handle (and the acceptor) are gone.
+    _submit: SyncSender<Submission>,
+    engine: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot (same data as `GET /metrics`).
+    pub fn metrics(&self) -> ServerMetrics {
+        self.shared.metrics()
+    }
+
+    /// Closes admission. Accepted requests keep running; new ones get
+    /// `503 draining`.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Gracefully shuts down: drains, waits for every accepted request
+    /// to complete, stops accepting, and returns the final metrics.
+    pub fn shutdown(mut self) -> ServerMetrics {
+        self.drain();
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        self.close_acceptor();
+        self.shared.metrics()
+    }
+
+    fn close_acceptor(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // The acceptor blocks in accept(); a throwaway connection wakes
+        // it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+        if self.acceptor.is_some() {
+            self.close_acceptor();
+        }
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+/// One accepted connection: parse a request, route it, answer, close.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    submit: &SyncSender<Submission>,
+    limits: &Limits,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(err) => {
+            let _ = http::respond_json(&mut stream, 400, &error_body(&err.to_string()));
+            return;
+        }
+    };
+    let path = request.path.split('?').next().unwrap_or("");
+    let result = match (request.method.as_str(), path) {
+        ("POST", "/v1/generate") => {
+            handle_generate(&mut stream, &request.body, shared, submit, limits)
+        }
+        ("GET", "/metrics") => {
+            let body = serde_json::to_string(&shared.metrics())
+                .unwrap_or_else(|_| error_body("metrics serialization failed"));
+            http::respond_json(&mut stream, 200, &body)
+        }
+        ("GET", "/healthz") => http::respond_json(&mut stream, 200, "{\"ok\":true}"),
+        ("POST", "/admin/drain") => {
+            shared.draining.store(true, Ordering::Release);
+            http::respond_json(&mut stream, 200, "{\"draining\":true}")
+        }
+        (_, "/v1/generate" | "/metrics" | "/healthz" | "/admin/drain") => {
+            http::respond_json(&mut stream, 405, &error_body("method not allowed"))
+        }
+        _ => http::respond_json(&mut stream, 404, &error_body("no such endpoint")),
+    };
+    // A client that hung up mid-stream is not a server error.
+    drop(result);
+}
+
+/// `POST /v1/generate`: admission control, then stream tokens until the
+/// request completes.
+fn handle_generate(
+    stream: &mut TcpStream,
+    body: &[u8],
+    shared: &Shared,
+    submit: &SyncSender<Submission>,
+    limits: &Limits,
+) -> io::Result<()> {
+    let generate = match parse_generate(body, limits) {
+        Ok(generate) => generate,
+        Err(msg) => return http::respond_json(stream, 400, &error_body(&msg)),
+    };
+
+    // Gate 1: a draining server admits nothing.
+    if shared.draining.load(Ordering::Acquire) {
+        shared.rejected_draining.fetch_add(1, Ordering::Relaxed);
+        return http::respond_json(stream, 503, &error_body("draining"));
+    }
+    // Gate 2: overload sheds best-effort traffic by queue delay.
+    if generate.priority > DEFAULT_PRIORITY {
+        if let Some(watermark) = limits.shed_watermark {
+            if shared.queue_delay() > watermark {
+                shared.rejected_shed.fetch_add(1, Ordering::Relaxed);
+                return http::respond_json(
+                    stream,
+                    503,
+                    &error_body("shed: queue delay over watermark"),
+                );
+            }
+        }
+    }
+    // Gate 3: reserve a waiting-queue slot or reject.
+    let reserved = shared
+        .queued
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| {
+            (q < limits.queue_depth).then_some(q + 1)
+        });
+    if reserved.is_err() {
+        shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        return http::respond_json(stream, 503, &error_body("queue full"));
+    }
+
+    let (events_tx, events_rx) = mpsc::channel::<StreamEvent>();
+    let submission = Submission {
+        arrival: shared.now(),
+        prompt_tokens: generate.prompt_tokens,
+        decode_tokens: generate.decode_tokens,
+        priority: generate.priority,
+        events: events_tx,
+    };
+    if let Err(err) = submit.try_send(submission) {
+        shared.queued.fetch_sub(1, Ordering::AcqRel);
+        let (counter, msg) = match err {
+            // Unreachable by construction (reservation bounds the channel),
+            // but never silently drop an accepted request.
+            TrySendError::Full(_) => (&shared.rejected_queue_full, "queue full"),
+            TrySendError::Disconnected(_) => (&shared.rejected_draining, "shutting down"),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        return http::respond_json(stream, 503, &error_body(msg));
+    }
+
+    stream_events(stream, &events_rx)
+}
+
+/// Streams engine events for one admitted request as HTTP chunks.
+fn stream_events(stream: &mut TcpStream, events: &mpsc::Receiver<StreamEvent>) -> io::Result<()> {
+    http::begin_stream(stream)?;
+    loop {
+        match events.recv() {
+            Ok(StreamEvent::Token { index }) => {
+                http::write_chunk(stream, &format!("{{\"token\":{index}}}\n"))?;
+            }
+            Ok(StreamEvent::Done { metrics }) => {
+                http::write_chunk(
+                    stream,
+                    &format!(
+                        "{{\"done\":true,\"id\":{},\"queue_wait_ms\":{:.6},\"ttft_ms\":{:.6},\"tpot_ms\":{:.6},\"latency_ms\":{:.6}}}\n",
+                        metrics.id,
+                        metrics.queue_wait().as_millis_f64(),
+                        metrics.ttft().as_millis_f64(),
+                        metrics.tpot().as_millis_f64(),
+                        metrics.latency().as_millis_f64(),
+                    ),
+                )?;
+                return http::end_chunks(stream);
+            }
+            // The engine loop is gone mid-request: terminate the stream
+            // so the client sees a well-formed (if short) response.
+            Err(_) => return http::end_chunks(stream),
+        }
+    }
+}
+
+/// A validated `POST /v1/generate` body.
+struct Generate {
+    prompt_tokens: u32,
+    decode_tokens: u32,
+    priority: u8,
+}
+
+/// Parses and validates a generate request. Unknown fields are ignored;
+/// `priority` defaults to [`DEFAULT_HTTP_PRIORITY`].
+fn parse_generate(body: &[u8], limits: &Limits) -> Result<Generate, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Map(map) = &value else {
+        return Err("body must be a JSON object".to_owned());
+    };
+    let field_u64 = |name: &str| -> Result<Option<u64>, String> {
+        match map.iter().find(|(k, _)| k == name) {
+            None => Ok(None),
+            Some((_, v)) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("`{name}` must be a non-negative integer")),
+        }
+    };
+
+    let prompt_tokens = field_u64("prompt_tokens")?.ok_or("missing `prompt_tokens`")?;
+    if prompt_tokens == 0 || prompt_tokens > limits.max_prompt_tokens as u64 {
+        return Err(format!(
+            "`prompt_tokens` must be in 1..={}",
+            limits.max_prompt_tokens
+        ));
+    }
+    let decode_tokens = field_u64("decode_tokens")?.ok_or("missing `decode_tokens`")?;
+    if decode_tokens > limits.max_decode_tokens as u64 {
+        return Err(format!(
+            "`decode_tokens` must be at most {}",
+            limits.max_decode_tokens
+        ));
+    }
+    let priority = match field_u64("priority")? {
+        None => DEFAULT_HTTP_PRIORITY,
+        Some(p) => u8::try_from(p).map_err(|_| "`priority` must fit in 0..=255".to_owned())?,
+    };
+    Ok(Generate {
+        prompt_tokens: prompt_tokens as u32,
+        decode_tokens: decode_tokens as u32,
+        priority,
+    })
+}
+
+fn error_body(msg: &str) -> String {
+    // The messages are server-authored ASCII; escape just in case.
+    let escaped: String = msg
+        .chars()
+        .flat_map(|c| {
+            if c == '"' || c == '\\' {
+                vec!['\\', c]
+            } else {
+                vec![c]
+            }
+        })
+        .collect();
+    format!("{{\"error\":\"{escaped}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits {
+            queue_depth: 4,
+            shed_watermark: None,
+            max_decode_tokens: 64,
+            max_prompt_tokens: 128,
+        }
+    }
+
+    #[test]
+    fn generate_body_parses_with_default_priority() {
+        let g = parse_generate(br#"{"prompt_tokens": 8, "decode_tokens": 4}"#, &limits()).unwrap();
+        assert_eq!(g.prompt_tokens, 8);
+        assert_eq!(g.decode_tokens, 4);
+        assert_eq!(g.priority, DEFAULT_HTTP_PRIORITY);
+    }
+
+    #[test]
+    fn generate_body_validates_ranges() {
+        let l = limits();
+        assert!(parse_generate(br#"{"prompt_tokens": 0, "decode_tokens": 4}"#, &l).is_err());
+        assert!(parse_generate(br#"{"prompt_tokens": 9999, "decode_tokens": 4}"#, &l).is_err());
+        assert!(parse_generate(br#"{"prompt_tokens": 8, "decode_tokens": 65}"#, &l).is_err());
+        assert!(parse_generate(br#"{"prompt_tokens": 8}"#, &l).is_err());
+        assert!(parse_generate(b"not json", &l).is_err());
+        assert!(parse_generate(br#"[1, 2]"#, &l).is_err());
+        let g = parse_generate(
+            br#"{"prompt_tokens": 8, "decode_tokens": 0, "priority": 0}"#,
+            &l,
+        )
+        .unwrap();
+        assert_eq!(g.decode_tokens, 0);
+        assert_eq!(g.priority, 0);
+    }
+
+    #[test]
+    fn error_bodies_escape_quotes() {
+        assert_eq!(error_body(r#"bad "field""#), r#"{"error":"bad \"field\""}"#);
+    }
+}

@@ -3,12 +3,11 @@
 use std::collections::VecDeque;
 
 use hybrimoe_hw::{SimDuration, SimTime};
-use hybrimoe_trace::{TraceGenerator, TraceStep};
 use serde::{Deserialize, Serialize};
 
-use crate::serve::request::ActiveRequest;
-use crate::serve::{ArrivalProcess, RequestMetrics, RequestSpec, ServeReport};
-use crate::{Engine, EngineConfig};
+use crate::serve::request::DEFAULT_PRIORITY;
+use crate::serve::{ArrivalProcess, ContinuousBatcher, RequestMetrics, RequestSpec, ServeReport};
+use crate::EngineConfig;
 
 /// Configuration of one serving experiment.
 #[derive(Debug, Clone)]
@@ -46,12 +45,13 @@ pub struct StepStat {
 
 /// A deterministic continuous-batching server simulation.
 ///
-/// Each iteration of the loop is one engine step: requests whose arrival
-/// time has passed join the batch (their prefill pass merges in), every
-/// running request contributes its next decode token, the merged pass runs
-/// through [`Engine::step`], and the clock advances by the step latency.
-/// Requests leave as soon as their output length is reached, freeing batch
-/// slots for the next arrivals — no request waits for an epoch boundary.
+/// The simulation drives the same [`ContinuousBatcher`] core as the live
+/// [`serve::server`](crate::serve::server), but closed-loop: arrivals come
+/// from a seeded [`ArrivalProcess`] and the clock advances by each step's
+/// modeled latency. Requests whose arrival time has passed enter the
+/// waiting queue, the batcher admits them as slots free up, and requests
+/// leave as soon as their output length is reached — no request waits for
+/// an epoch boundary.
 ///
 /// See the [module docs](crate::serve) for an end-to-end example.
 #[derive(Debug, Clone)]
@@ -64,13 +64,9 @@ impl ServeSim {
     ///
     /// # Panics
     ///
-    /// Panics if `max_batch` or `requests` is zero, or if `max_batch`
-    /// reaches [`PREFILL_BATCH_THRESHOLD`]: the engine and the schedulers
-    /// classify the prefill/decode regime of a forward pass by its token
-    /// count, so a pure-decode batch that large would be misclassified as
-    /// prefill and silently disable decode-time cache adaptation.
-    ///
-    /// [`PREFILL_BATCH_THRESHOLD`]: hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+    /// Panics if `requests` is zero, or if `max_batch` is invalid (zero or
+    /// large enough to misclassify pure-decode batches as prefill — see
+    /// [`ContinuousBatcher::new`]).
     pub fn new(config: ServeConfig) -> ServeSim {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         assert!(
@@ -91,7 +87,7 @@ impl ServeSim {
     /// Runs the simulation to completion and returns the report.
     pub fn run(&self) -> ServeReport {
         let cfg = &self.config;
-        let mut engine = Engine::new(cfg.engine.clone());
+        let mut batcher = ContinuousBatcher::new(cfg.engine.clone(), cfg.max_batch, cfg.seed);
 
         let mut pending: VecDeque<RequestSpec> = cfg
             .arrivals
@@ -103,10 +99,9 @@ impl ServeSim {
                 arrival,
                 prompt_tokens: cfg.prompt_tokens,
                 decode_tokens: cfg.decode_tokens,
+                priority: DEFAULT_PRIORITY,
             })
             .collect();
-        let mut waiting: VecDeque<RequestSpec> = VecDeque::new();
-        let mut running: Vec<ActiveRequest> = Vec::new();
         let mut completed: Vec<RequestMetrics> = Vec::new();
         let mut steps: Vec<StepStat> = Vec::new();
         let mut now = SimTime::ZERO;
@@ -114,98 +109,23 @@ impl ServeSim {
         while completed.len() < cfg.requests {
             // Join: arrivals up to the current clock enter the queue.
             while pending.front().is_some_and(|s| s.arrival <= now) {
-                waiting.push_back(pending.pop_front().expect("front checked"));
+                batcher.enqueue(pending.pop_front().expect("front checked"));
             }
-            if running.is_empty() && waiting.is_empty() {
+            if batcher.is_idle() {
                 // Idle: jump to the next arrival.
                 now = pending.front().expect("requests remain").arrival;
                 continue;
             }
 
-            // Admit waiting requests into free batch slots (FIFO); their
-            // prefill passes merge into this step.
-            let slots = cfg.max_batch.saturating_sub(running.len());
-            let mut admitted: Vec<ActiveRequest> = Vec::new();
-            let mut prefill_steps: Vec<TraceStep> = Vec::new();
-            for _ in 0..slots {
-                let Some(spec) = waiting.pop_front() else {
-                    break;
-                };
-                let mut generator =
-                    TraceGenerator::new(cfg.engine.model.clone(), request_seed(cfg.seed, spec.id));
-                if cfg.engine.backend.needs_token_states() {
-                    // A real-execution backend computes actual layer
-                    // outputs, so every request's trace must carry its
-                    // hidden states.
-                    generator = generator.with_token_states();
-                }
-                // One router-parameter bundle serves both the prompt and
-                // the decode stream of the request.
-                let (prefill, stream) = generator.request(spec.prompt_tokens);
-                prefill_steps.push(prefill);
-                admitted.push(ActiveRequest {
-                    spec,
-                    stream,
-                    first_token: SimTime::ZERO, // set when the step lands
-                    decoded: 0,
-                });
-            }
-
-            // Every running request contributes its next decode token.
-            let decode_steps: Vec<TraceStep> =
-                running.iter_mut().map(|r| r.stream.next_step()).collect();
-
-            let parts: Vec<&TraceStep> = prefill_steps.iter().chain(decode_steps.iter()).collect();
-            let start = now;
-            // A single-member batch needs no merge (and no deep clone).
-            let (metrics, step_tokens) = if let [single] = parts.as_slice() {
-                (engine.step(single), single.tokens)
-            } else {
-                let merged = TraceStep::merge(&parts);
-                (engine.step(&merged), merged.tokens)
-            };
-            now += metrics.latency;
-            steps.push(StepStat {
-                start,
-                batch: (running.len() + admitted.len()) as u32,
-                prefills: admitted.len() as u32,
-                tokens: step_tokens,
-                latency: metrics.latency,
-            });
-
-            // Leave: decoding requests earned one token; admitted requests
-            // earned their first. Finished requests exit the batch.
-            for r in running.iter_mut() {
-                r.decoded += 1;
-            }
-            for mut r in admitted {
-                r.first_token = now;
-                if r.spec.decode_tokens == 0 {
-                    completed.push(r.finish(now));
-                } else {
-                    running.push(r);
-                }
-            }
-            let mut i = 0;
-            while i < running.len() {
-                if running[i].decoded >= running[i].spec.decode_tokens {
-                    let done = running.remove(i);
-                    completed.push(done.finish(now));
-                } else {
-                    i += 1;
-                }
-            }
+            let outcome = batcher.step(now, |latency| now + latency);
+            now = outcome.end;
+            steps.push(outcome.stat);
+            completed.extend(outcome.completed);
         }
 
         completed.sort_by_key(|m| m.id);
         ServeReport::new(cfg, completed, steps, now.elapsed_since(SimTime::ZERO))
     }
-}
-
-/// The trace seed of one request: decorrelated from its neighbours but a
-/// pure function of the experiment seed and the request id.
-fn request_seed(seed: u64, id: u32) -> u64 {
-    seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 #[cfg(test)]
@@ -217,9 +137,7 @@ mod tests {
     fn tiny_sim(max_batch: usize, requests: usize) -> ServeSim {
         ServeSim::new(ServeConfig {
             engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
-            arrivals: ArrivalProcess::Deterministic {
-                interval: SimDuration::from_millis(1),
-            },
+            arrivals: ArrivalProcess::deterministic(SimDuration::from_millis(1)),
             requests,
             prompt_tokens: 8,
             decode_tokens: 4,
@@ -233,7 +151,8 @@ mod tests {
         let report = tiny_sim(3, 6).run();
         assert_eq!(report.requests.len(), 6);
         for m in &report.requests {
-            assert!(m.first_token >= m.arrival);
+            assert!(m.admitted >= m.arrival);
+            assert!(m.first_token >= m.admitted);
             assert!(m.completion >= m.first_token);
             assert_eq!(m.decode_tokens, 4);
         }
@@ -276,6 +195,20 @@ mod tests {
         let a = tiny_sim(3, 5).run();
         let b = tiny_sim(3, 5).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queue_wait_is_charged_to_ttft() {
+        // One slot, back-to-back arrivals: later requests wait in the
+        // queue, and that wait must show up in both queue_wait and TTFT.
+        let report = tiny_sim(1, 3).run();
+        let last = &report.requests[2];
+        assert!(last.queue_wait() > SimDuration::ZERO);
+        assert!(last.ttft() >= last.queue_wait());
+        assert_eq!(
+            last.ttft(),
+            last.queue_wait() + last.first_token.elapsed_since(last.admitted)
+        );
     }
 
     #[test]

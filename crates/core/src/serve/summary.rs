@@ -19,8 +19,13 @@ pub struct ServeReport {
     pub max_batch: usize,
     /// Arrival process name (`"deterministic"` or `"poisson"`).
     pub arrivals: String,
-    /// Mean inter-arrival gap.
+    /// Mean inter-arrival gap (quantized to whole nanoseconds).
     pub mean_interarrival: SimDuration,
+    /// The *requested* arrival rate in requests per second — carried from
+    /// the [`ArrivalProcess`](crate::serve::ArrivalProcess) rather than
+    /// recomputed from the quantized gap, so rates that do not divide 1e9
+    /// (e.g. 3.0) round-trip exactly into gate keys.
+    pub arrival_rate_per_sec: f64,
     /// Experiment seed.
     pub seed: u64,
     /// Per-request metrics, ascending by request id.
@@ -50,6 +55,7 @@ impl ServeReport {
             max_batch: config.max_batch,
             arrivals: config.arrivals.name().to_owned(),
             mean_interarrival: config.arrivals.mean_interval(),
+            arrival_rate_per_sec: config.arrivals.rate_per_sec(),
             seed: config.seed,
             requests,
             steps,
@@ -69,7 +75,7 @@ impl ServeReport {
             num_gpus: self.num_gpus,
             max_batch: self.max_batch,
             arrivals: self.arrivals.clone(),
-            arrival_rate_per_sec: rate_of(self.mean_interarrival),
+            arrival_rate_per_sec: self.arrival_rate_per_sec,
             requests: self.requests.len() as u64,
             engine_steps: self.steps.len() as u64,
             makespan_ms: self.makespan.as_millis_f64(),
@@ -82,6 +88,8 @@ impl ServeReport {
             } else {
                 batch_steps as f64 / self.steps.len() as f64
             },
+            queue_wait_p50_ms: self.percentile_ms(RequestMetrics::queue_wait, 50.0),
+            queue_wait_p99_ms: self.percentile_ms(RequestMetrics::queue_wait, 99.0),
             ttft_p50_ms: self.percentile_ms(RequestMetrics::ttft, 50.0),
             ttft_p99_ms: self.percentile_ms(RequestMetrics::ttft, 99.0),
             tpot_p50_ms: self.percentile_ms(RequestMetrics::tpot, 50.0),
@@ -131,6 +139,10 @@ pub struct ServeSummary {
     pub requests_per_sec: f64,
     /// Mean batch size across engine steps.
     pub mean_batch: f64,
+    /// Median time spent waiting for a batch slot, ms.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait, ms.
+    pub queue_wait_p99_ms: f64,
     /// Median time to first token, ms.
     pub ttft_p50_ms: f64,
     /// 99th-percentile time to first token, ms.
@@ -163,15 +175,6 @@ fn per_second(count: u64, seconds: f64) -> f64 {
     }
 }
 
-fn rate_of(mean_interval: SimDuration) -> f64 {
-    let s = mean_interval.as_secs_f64();
-    if s <= 0.0 {
-        0.0
-    } else {
-        1.0 / s
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,9 +202,7 @@ mod tests {
 
         let report = ServeSim::new(ServeConfig {
             engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5),
-            arrivals: ArrivalProcess::Deterministic {
-                interval: SimDuration::from_millis(2),
-            },
+            arrivals: ArrivalProcess::deterministic(SimDuration::from_millis(2)),
             requests: 4,
             prompt_tokens: 8,
             decode_tokens: 3,
@@ -217,6 +218,8 @@ mod tests {
         assert!(s.output_tokens_per_sec > 0.0);
         assert!(s.ttft_p99_ms >= s.ttft_p50_ms);
         assert!(s.latency_p99_ms >= s.latency_p50_ms);
+        assert!(s.queue_wait_p99_ms >= s.queue_wait_p50_ms);
+        assert_eq!(s.arrival_rate_per_sec, 500.0);
         assert!(s.mean_batch >= 1.0 && s.mean_batch <= 2.0);
         // The summary serializes to JSON for sweep output.
         let json = serde_json::to_string(&s).unwrap();

@@ -62,9 +62,7 @@ fn prefill_is_seed_deterministic_end_to_end() {
 fn serve_once(framework: Framework, seed: u64) -> ServeReport {
     ServeSim::new(ServeConfig {
         engine: EngineConfig::preset(framework, ModelConfig::deepseek(), 0.25),
-        arrivals: ArrivalProcess::Poisson {
-            mean_interval: SimDuration::from_millis(120),
-        },
+        arrivals: ArrivalProcess::poisson(SimDuration::from_millis(120)),
         requests: 6,
         prompt_tokens: 16,
         decode_tokens: 4,

@@ -32,9 +32,7 @@ fn serve_once(num_gpus: usize) -> ServeReport {
     ServeSim::new(ServeConfig {
         engine: EngineConfig::preset(Framework::HybriMoe, ModelConfig::deepseek(), 0.25)
             .with_num_gpus(num_gpus),
-        arrivals: ArrivalProcess::Poisson {
-            mean_interval: hybrimoe_hw::SimDuration::from_millis(100),
-        },
+        arrivals: ArrivalProcess::poisson(hybrimoe_hw::SimDuration::from_millis(100)),
         requests: 8,
         prompt_tokens: 32,
         decode_tokens: 8,

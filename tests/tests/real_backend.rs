@@ -223,9 +223,7 @@ fn sim_backend_ignores_token_states() {
 fn real_backend_serves_continuous_batches() {
     let report = ServeSim::new(ServeConfig {
         engine: real_config(Framework::HybriMoe, 7),
-        arrivals: ArrivalProcess::Deterministic {
-            interval: SimDuration::from_micros(200),
-        },
+        arrivals: ArrivalProcess::deterministic(SimDuration::from_micros(200)),
         requests: 4,
         prompt_tokens: 6,
         decode_tokens: 3,

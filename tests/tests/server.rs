@@ -1,0 +1,322 @@
+//! Integration tests for the TCP serving front-end: streaming, admission
+//! control (queue depth, load shed, drain), and SLO accounting.
+//!
+//! Every test drives a real server over loopback TCP with a raw
+//! hand-rolled HTTP/1.1 client, the same protocol helpers the `load_gen`
+//! bench uses. Pacing floors (`min_step`) make queueing structure
+//! deterministic without depending on host speed: assertions are
+//! orderings and lower bounds, never exact timings.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hybrimoe::serve::server::{
+    read_one_chunk, read_response_head, Server, ServerConfig, ServerHandle, ServerMetrics,
+};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+
+/// Starts a tiny-model server with the knobs the tests care about.
+fn tiny_server(
+    max_batch: usize,
+    queue_depth: usize,
+    min_step: Duration,
+    shed_watermark: Option<Duration>,
+) -> ServerHandle {
+    let mut config = ServerConfig::new(EngineConfig::preset(
+        Framework::HybriMoe,
+        ModelConfig::tiny_test(),
+        0.5,
+    ));
+    config.max_batch = max_batch;
+    config.queue_depth = queue_depth;
+    config.min_step = Some(min_step);
+    config.shed_watermark = shed_watermark;
+    Server::start(config).expect("server binds a loopback port")
+}
+
+/// One `POST /v1/generate`: returns the status and, for streamed
+/// responses, every chunk in order.
+fn generate(addr: SocketAddr, body: &str) -> (u16, Vec<String>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "POST /v1/generate HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, chunked, _) = read_response_head(&mut reader).expect("response head");
+    let mut chunks = Vec::new();
+    if chunked {
+        while let Some(chunk) = read_one_chunk(&mut reader).expect("read chunk") {
+            chunks.push(chunk);
+        }
+    }
+    (status, chunks)
+}
+
+/// Like [`generate`], but blocks only until the *first* chunk arrives,
+/// then hands back the reader: lets a test know a request entered the
+/// batch while it keeps streaming.
+fn generate_streaming(addr: SocketAddr, body: &str) -> (BufReader<TcpStream>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "POST /v1/generate HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, chunked, _) = read_response_head(&mut reader).expect("response head");
+    assert_eq!(status, 200, "request should be admitted");
+    assert!(chunked, "admitted responses stream");
+    let first = read_one_chunk(&mut reader)
+        .expect("read first chunk")
+        .expect("stream has a first chunk");
+    (reader, first)
+}
+
+/// Drains a streaming reader to its terminal chunk.
+fn finish_stream(mut reader: BufReader<TcpStream>) -> Vec<String> {
+    let mut chunks = Vec::new();
+    while let Some(chunk) = read_one_chunk(&mut reader).expect("read chunk") {
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Polls the server's metrics until `pred` holds. Fixed sleeps are not
+/// enough on a loaded single-core host, where a client thread can take
+/// hundreds of milliseconds to even connect.
+fn wait_for_metrics(server: &ServerHandle, what: &str, pred: impl Fn(&ServerMetrics) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred(&server.metrics()) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Pulls a named `"key":<f64>` field out of a flat JSON chunk.
+fn json_f64(chunk: &str, key: &str) -> f64 {
+    let value: serde::Value = serde_json::from_str(chunk).expect("chunk parses");
+    let serde::Value::Map(map) = value else {
+        panic!("chunk is not an object: {chunk}")
+    };
+    map.into_iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or_else(|| panic!("chunk lacks {key}: {chunk}"))
+}
+
+#[test]
+fn streams_one_chunk_per_token_then_done() {
+    let server = tiny_server(4, 64, Duration::from_millis(5), None);
+    let (status, chunks) = generate(server.addr(), "{\"prompt_tokens\":8,\"decode_tokens\":4}");
+    assert_eq!(status, 200);
+    // One first token + one per decode step + the terminal accounting.
+    let tokens = chunks.iter().filter(|c| c.contains("\"token\"")).count();
+    assert_eq!(tokens, 5, "chunks: {chunks:?}");
+    let done = chunks.last().expect("stream has chunks");
+    assert!(done.contains("\"done\":true"), "done chunk: {done}");
+    assert!(json_f64(done, "ttft_ms") >= json_f64(done, "queue_wait_ms"));
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 1);
+    assert_eq!(metrics.admitted, 1);
+    assert_eq!(metrics.output_tokens, 5);
+}
+
+#[test]
+fn full_queue_rejects_with_503() {
+    // One batch slot, one waiting slot: with a long request running and
+    // another waiting, the third arrival must bounce.
+    let server = tiny_server(1, 1, Duration::from_millis(30), None);
+    let occupant = generate_streaming(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":30}");
+    // The occupant's first token means it left the waiting queue.
+    let addr = server.addr();
+    let waiter = thread::spawn(move || generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":1}"));
+    // The waiter holds the one queue slot once its reservation shows up.
+    wait_for_metrics(&server, "the waiter's queue slot", |m| m.queued >= 1);
+    let (status, _) = generate(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":1}");
+    assert_eq!(status, 503, "third request should find the queue full");
+    assert!(server.metrics().rejected_queue_full >= 1);
+
+    let (waiter_status, _) = waiter.join().expect("waiter thread");
+    assert_eq!(waiter_status, 200, "the queued request still completes");
+    finish_stream(occupant.0);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 2);
+}
+
+#[test]
+fn shed_watermark_sheds_best_effort_but_not_priority_zero() {
+    // A long occupant plus a queued waiter push queue delay over the
+    // 1 ms watermark; default-priority arrivals shed, priority 0 rides.
+    let server = tiny_server(
+        1,
+        64,
+        Duration::from_millis(30),
+        Some(Duration::from_millis(1)),
+    );
+    let occupant = generate_streaming(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":40}");
+    let addr = server.addr();
+    let waiter = thread::spawn(move || generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":1}"));
+    // Wait for the waiter to reach the engine's waiting queue (two
+    // admissions counted: occupant + waiter), then let it age past the
+    // 1 ms watermark.
+    wait_for_metrics(&server, "the waiter's admission", |m| m.admitted >= 2);
+    thread::sleep(Duration::from_millis(150));
+
+    let (shed_status, _) = generate(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":1}");
+    assert_eq!(shed_status, 503, "best-effort traffic sheds under overload");
+    assert!(server.metrics().rejected_shed >= 1);
+
+    let (vip_status, vip_chunks) = generate(
+        server.addr(),
+        "{\"prompt_tokens\":4,\"decode_tokens\":1,\"priority\":0}",
+    );
+    assert_eq!(vip_status, 200, "priority 0 is exempt from shedding");
+    assert!(vip_chunks.last().expect("vip stream").contains("\"done\""));
+
+    let (waiter_status, _) = waiter.join().expect("waiter thread");
+    assert_eq!(waiter_status, 200);
+    finish_stream(occupant.0);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_completes_every_admitted_request() {
+    let server = tiny_server(2, 64, Duration::from_millis(10), None);
+    let addr = server.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|_| thread::spawn(move || generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":8}")))
+        .collect();
+    // Let all four through admission before closing it.
+    wait_for_metrics(&server, "all four admissions", |m| m.admitted >= 4);
+    server.drain();
+
+    let (status, _) = generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":1}");
+    assert_eq!(status, 503, "a draining server admits nothing");
+
+    for client in clients {
+        let (status, chunks) = client.join().expect("client thread");
+        assert_eq!(status, 200);
+        assert!(
+            chunks
+                .last()
+                .expect("stream has chunks")
+                .contains("\"done\""),
+            "admitted requests stream to completion through a drain"
+        );
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.queued, 0);
+    assert_eq!(metrics.running, 0);
+    assert!(metrics.rejected_draining >= 1);
+    assert!(metrics.draining);
+}
+
+#[test]
+fn ttft_includes_queue_wait() {
+    // One batch slot: the second request's first token can only land
+    // after the occupant finishes, so its TTFT is dominated by queue wait.
+    let server = tiny_server(1, 64, Duration::from_millis(20), None);
+    let occupant = generate_streaming(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":10}");
+    let (status, chunks) = generate(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":1}");
+    assert_eq!(status, 200);
+    let done = chunks.last().expect("stream has chunks").clone();
+    let queue_wait = json_f64(&done, "queue_wait_ms");
+    let ttft = json_f64(&done, "ttft_ms");
+    // ~10 remaining occupant steps at a 20 ms floor: well over 100 ms.
+    assert!(queue_wait > 100.0, "queue wait was only {queue_wait} ms");
+    assert!(ttft >= queue_wait, "ttft {ttft} < queue wait {queue_wait}");
+    finish_stream(occupant.0);
+
+    let metrics = server.shutdown();
+    assert!(metrics.ttft_p99_ms >= metrics.queue_wait_p50_ms);
+}
+
+#[test]
+fn priority_zero_jumps_the_waiting_queue() {
+    let server = tiny_server(1, 64, Duration::from_millis(25), None);
+    let occupant = generate_streaming(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":20}");
+    let addr = server.addr();
+    let best_effort = thread::spawn(move || {
+        let outcome = generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":2}");
+        (outcome, Instant::now())
+    });
+    // The best-effort request must be queued before the VIP arrives.
+    wait_for_metrics(&server, "the best-effort admission", |m| m.admitted >= 2);
+    let vip = thread::spawn(move || {
+        let outcome = generate(
+            addr,
+            "{\"prompt_tokens\":4,\"decode_tokens\":2,\"priority\":0}",
+        );
+        (outcome, Instant::now())
+    });
+
+    let ((be_status, _), be_done) = best_effort.join().expect("best-effort thread");
+    let ((vip_status, _), vip_done) = vip.join().expect("vip thread");
+    assert_eq!(be_status, 200);
+    assert_eq!(vip_status, 200);
+    assert!(
+        vip_done < be_done,
+        "the priority-0 request should finish first despite arriving later"
+    );
+    finish_stream(occupant.0);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_and_healthz_endpoints_answer() {
+    let server = tiny_server(4, 64, Duration::from_millis(5), None);
+    for _ in 0..2 {
+        let (status, _) = generate(server.addr(), "{\"prompt_tokens\":8,\"decode_tokens\":2}");
+        assert_eq!(status, 200);
+    }
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, chunked, length) = read_response_head(&mut reader).expect("response head");
+    assert_eq!(status, 200);
+    assert!(!chunked);
+    assert!(length > 0, "metrics responses carry a length");
+    let mut body = vec![0u8; length];
+    std::io::Read::read_exact(&mut reader, &mut body).expect("read body");
+    let metrics: ServerMetrics =
+        serde_json::from_str(std::str::from_utf8(&body).expect("utf-8")).expect("metrics parse");
+    assert_eq!(metrics.completed, 2);
+    assert_eq!(metrics.admitted, 2);
+    assert!(!metrics.draining);
+    assert!(metrics.ttft_p50_ms > 0.0);
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, _, _) = read_response_head(&mut reader).expect("response head");
+    assert_eq!(status, 200);
+    server.shutdown();
+}

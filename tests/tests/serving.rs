@@ -11,9 +11,7 @@ use hybrimoe_model::ModelConfig;
 fn tiny_config(framework: Framework, ratio: f64, mean_us: u64) -> ServeConfig {
     ServeConfig {
         engine: EngineConfig::preset(framework, ModelConfig::tiny_test(), ratio),
-        arrivals: ArrivalProcess::Poisson {
-            mean_interval: SimDuration::from_micros(mean_us),
-        },
+        arrivals: ArrivalProcess::poisson(SimDuration::from_micros(mean_us)),
         requests: 12,
         prompt_tokens: 16,
         decode_tokens: 6,
@@ -100,10 +98,8 @@ fn hybrimoe_serving_throughput_not_below_ktransformers() {
 
 #[test]
 fn deterministic_arrivals_serve_in_order() {
-    let mut config = tiny_config(Framework::HybriMoe, 0.5, 0);
-    config.arrivals = ArrivalProcess::Deterministic {
-        interval: SimDuration::from_millis(1),
-    };
+    let mut config = tiny_config(Framework::HybriMoe, 0.5, 1);
+    config.arrivals = ArrivalProcess::deterministic(SimDuration::from_millis(1));
     let report = run(config);
     // FIFO admission + identical lengths → first tokens in arrival order.
     for w in report.requests.windows(2) {

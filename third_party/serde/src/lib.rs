@@ -107,6 +107,21 @@ impl Value {
     }
 }
 
+// `Value` round-trips through itself: callers that want schema-free or
+// lenient parsing (optional fields, defaults) deserialize to a `Value`
+// and walk the tree by hand.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
