@@ -200,11 +200,14 @@ fn main() {
         None => real_sweep(SEED),
     };
 
-    // A real gate point's identity within the sweep.
-    let point = |r: &RealRow| (r.batch, r.experts, r.threads);
+    // A real gate point's identity within the sweep. The backend is part
+    // of the identity: each backend's speedup series is gated separately,
+    // so a SIMD path that vanishes from the sweep or regresses fails CI
+    // rather than silently blending into the scalar numbers.
+    let point = |r: &RealRow| (r.backend.clone(), r.batch, r.experts, r.threads);
     // Per-point deltas are informational: individual wall-clock ratios
     // wobble by tens of percent on shared hosts. The gate criterion is the
-    // *median* speedup across all gate points, which is stable.
+    // per-backend *median* speedup across its gate points, which is stable.
     let fresh_gate: Vec<RealRow> = real_fresh
         .iter()
         .filter(|r| r.batch >= REAL_GATE_BATCH)
@@ -224,8 +227,9 @@ fn main() {
                     0.0
                 };
                 println!(
-                    "  batch {:>2}, {} experts, {} thread(s): snapshot {:>5.2}x, fresh \
+                    "  {:>9}: batch {:>2}, {} experts, {} thread(s): snapshot {:>5.2}x, fresh \
                      {:>5.2}x ({:+.1}%)",
+                    row.backend,
                     row.batch,
                     row.experts,
                     row.threads,
@@ -235,52 +239,66 @@ fn main() {
                 );
             }
             None => println!(
-                "  new real gate point (not in snapshot): batch {}, {} experts, {} thread(s) \
+                "  new real gate point (not in snapshot): {} batch {}, {} experts, {} thread(s) \
                  -> {:.2}x",
-                row.batch, row.experts, row.threads, row.speedup
+                row.backend, row.batch, row.experts, row.threads, row.speedup
             ),
         }
     }
     for base in &base_gate {
         if !fresh_gate.iter().any(|r| point(r) == point(base)) {
             failures.push(format!(
-                "real gate point batch {}, {} experts, {} thread(s) vanished from the sweep",
-                base.batch, base.experts, base.threads
+                "real gate point {} batch {}, {} experts, {} thread(s) vanished from the sweep",
+                base.backend, base.batch, base.experts, base.threads
             ));
         }
     }
-    // Medians are computed over the *key intersection* only: growing a
+    // Per-backend medians over the *key intersection* only: growing a
     // sweep axis must not shift what the gate measures (new points are
     // reported above, gated once the snapshot is refreshed to include
     // them).
-    let fresh_common: Vec<RealRow> = fresh_gate
-        .iter()
-        .filter(|r| base_gate.iter().any(|b| point(b) == point(r)))
-        .cloned()
-        .collect();
-    let base_common: Vec<RealRow> = base_gate
-        .iter()
-        .filter(|b| fresh_gate.iter().any(|r| point(r) == point(b)))
-        .cloned()
-        .collect();
-    let real_compared = fresh_common.len();
-    let vanished = base_gate.len() - base_common.len();
+    let mut gate_backends: Vec<String> = base_gate.iter().map(|b| b.backend.clone()).collect();
+    gate_backends.sort();
+    gate_backends.dedup();
+    let mut real_compared = 0usize;
+    let mut base_covered = 0usize;
+    for backend in &gate_backends {
+        let fresh_common: Vec<RealRow> = fresh_gate
+            .iter()
+            .filter(|r| &r.backend == backend && base_gate.iter().any(|b| point(b) == point(r)))
+            .cloned()
+            .collect();
+        let base_common: Vec<RealRow> = base_gate
+            .iter()
+            .filter(|b| &b.backend == backend && fresh_gate.iter().any(|r| point(r) == point(b)))
+            .cloned()
+            .collect();
+        base_covered += base_common.len();
+        if fresh_common.is_empty() {
+            // Every point of this backend vanished — already reported as
+            // vanished-point failures above.
+            continue;
+        }
+        real_compared += fresh_common.len();
+        let fresh_median = hybrimoe_bench::median_speedup(&fresh_common);
+        let base_median = hybrimoe_bench::median_speedup(&base_common);
+        println!(
+            "  {backend}: median speedup over {} shared gate point(s): {fresh_median:.2}x \
+             (snapshot median {base_median:.2}x)",
+            fresh_common.len()
+        );
+        if fresh_median < base_median * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "real: {backend} median speedup {fresh_median:.2}x is {:.1}% below snapshot \
+                 median {base_median:.2}x",
+                (1.0 - fresh_median / base_median) * 100.0
+            ));
+        }
+    }
+    let vanished = base_gate.len() - base_covered;
     if real_compared == 0 && vanished == 0 {
         eprintln!("bench_check: real snapshot has no gate points; refresh BENCH_real.json");
         std::process::exit(2);
-    }
-    let fresh_median = hybrimoe_bench::median_speedup(&fresh_common);
-    let base_median = hybrimoe_bench::median_speedup(&base_common);
-    println!(
-        "  median speedup over {real_compared} shared gate point(s): {fresh_median:.2}x \
-         (snapshot median {base_median:.2}x)"
-    );
-    if real_compared > 0 && fresh_median < base_median * (1.0 - TOLERANCE) {
-        failures.push(format!(
-            "real: median speedup {fresh_median:.2}x is {:.1}% below snapshot median \
-             {base_median:.2}x",
-            (1.0 - fresh_median / base_median) * 100.0
-        ));
     }
 
     // ---- Server gate: the network-serving front-end must complete the

@@ -1,7 +1,7 @@
-//! Real-backend kernel benchmark: sweeps batch size × expert count ×
-//! thread cap over the quantized CPU executor and reports the measured
-//! tokens/s of the expert-major batched path against the retained
-//! token-major reference.
+//! Real-backend kernel benchmark: sweeps kernel backend × batch size ×
+//! expert count × thread cap over the quantized CPU executor and reports
+//! the measured tokens/s of the expert-major batched path against the
+//! retained token-major scalar reference.
 //!
 //! ```text
 //! cargo run -p hybrimoe_bench --release --bin real_bench                         # table + JSON
@@ -10,9 +10,12 @@
 //! ```
 //!
 //! `BENCH_real.json` at the repo root is the committed snapshot; the
-//! `bench_check` CI gate diffs a fresh run's *speedups* against it
-//! (absolute tokens/s are machine-dependent, the within-run speedup of the
-//! batched path over the reference is not).
+//! `bench_check` CI gate diffs a fresh run's *speedups* against it, per
+//! backend (absolute tokens/s are machine-dependent, the within-run
+//! speedup of the batched path over the reference is not — and a vanished
+//! or regressed SIMD backend must fail the gate, not silently disappear).
+
+use std::collections::BTreeMap;
 
 use hybrimoe_bench::{real_bench_model, real_sweep, RealRow, SEED};
 
@@ -38,8 +41,14 @@ fn main() {
             model.routed_shape.inter()
         );
         println!(
-            "{:>6} {:>8} {:>8} {:>18} {:>18} {:>9}",
-            "batch", "experts", "threads", "expert-major t/s", "token-major t/s", "speedup"
+            "{:>9} {:>6} {:>8} {:>8} {:>18} {:>18} {:>9}",
+            "backend",
+            "batch",
+            "experts",
+            "threads",
+            "expert-major t/s",
+            "token-major t/s",
+            "speedup"
         );
     }
 
@@ -48,16 +57,53 @@ fn main() {
     if !json_only {
         for r in &rows {
             println!(
-                "{:>6} {:>8} {:>8} {:>18.1} {:>18.1} {:>8.2}x",
-                r.batch, r.experts, r.threads, r.expert_major_tok_s, r.token_major_tok_s, r.speedup
+                "{:>9} {:>6} {:>8} {:>8} {:>18.1} {:>18.1} {:>8.2}x",
+                r.backend,
+                r.batch,
+                r.experts,
+                r.threads,
+                r.expert_major_tok_s,
+                r.token_major_tok_s,
+                r.speedup
             );
         }
-        let gate: Vec<&RealRow> = rows.iter().filter(|r| r.batch >= 8).collect();
-        let min = gate.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
-        println!(
-            "\nminimum speedup at batch >= 8 across {} point(s): {min:.2}x",
-            gate.len()
-        );
+        // Per-backend gate summaries: minimum speedup over the reference
+        // at batch >= 8, plus each SIMD backend's expert-major throughput
+        // ratio over the *scalar* expert-major path at the same points
+        // (the ISSUE's ">= 2x tokens/s over the scalar reference" check).
+        let mut scalar_at: BTreeMap<(usize, u16, usize), f64> = BTreeMap::new();
+        for r in rows.iter().filter(|r| r.backend == "scalar") {
+            scalar_at.insert((r.batch, r.experts, r.threads), r.expert_major_tok_s);
+        }
+        let backends: Vec<String> = {
+            let mut seen = Vec::new();
+            for r in &rows {
+                if !seen.contains(&r.backend) {
+                    seen.push(r.backend.clone());
+                }
+            }
+            seen
+        };
+        println!();
+        for backend in &backends {
+            let gate: Vec<&RealRow> = rows
+                .iter()
+                .filter(|r| &r.backend == backend && r.batch >= 8)
+                .collect();
+            let min = gate.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+            let vs_scalar = gate
+                .iter()
+                .filter_map(|r| {
+                    scalar_at
+                        .get(&(r.batch, r.experts, r.threads))
+                        .map(|s| r.expert_major_tok_s / s)
+                })
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{backend:>9}: min speedup vs token-major at batch >= 8 across {} point(s): {min:.2}x; min vs scalar expert-major: {vs_scalar:.2}x",
+                gate.len()
+            );
+        }
     }
 
     let json = serde_json::to_string_pretty(&rows).expect("rows serialize");

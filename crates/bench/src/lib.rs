@@ -233,10 +233,15 @@ pub const REAL_EXPERT_COUNTS: [u16; 2] = [4, 8];
 pub const REAL_THREAD_COUNTS: [usize; 2] = [1, 2];
 
 /// One row of the real-backend sweep: measured decode throughput of the
-/// expert-major batched executor vs the retained token-major reference at
-/// one (batch, expert count, thread cap) point.
+/// expert-major batched executor (on one kernel backend) vs the retained
+/// token-major scalar reference at one (batch, expert count, thread cap)
+/// point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RealRow {
+    /// Kernel backend of the expert-major executor (`scalar`, `portable`,
+    /// `avx2` — the names of
+    /// [`KernelBackendKind::name`](hybrimoe_kernels::KernelBackendKind)).
+    pub backend: String,
     /// Tokens per layer execution.
     pub batch: usize,
     /// Routing width (experts the tokens route among).
@@ -245,7 +250,7 @@ pub struct RealRow {
     pub threads: usize,
     /// Expert-major batched path, tokens per second.
     pub expert_major_tok_s: f64,
-    /// Token-major reference path, tokens per second.
+    /// Token-major scalar reference path, tokens per second.
     pub token_major_tok_s: f64,
     /// `expert_major_tok_s / token_major_tok_s`.
     pub speedup: f64,
@@ -357,12 +362,14 @@ pub fn median_speedup(rows: &[RealRow]) -> f64 {
     }
 }
 
-/// Runs the real-execution sweep (batch size × expert count × thread cap)
-/// that `real_bench` reports and `bench_check` gates: each point measures
-/// the expert-major batched executor and the token-major reference on
-/// identical inputs and plans. Inputs are seed-deterministic; the measured
-/// rates are wall-clock and therefore machine-dependent, which is why the
-/// CI gate compares the within-run *speedup* rather than absolute rates.
+/// Runs the real-execution sweep (kernel backend × batch size × expert
+/// count × thread cap) that `real_bench` reports and `bench_check` gates:
+/// each point measures the token-major scalar reference once, then the
+/// expert-major batched executor on every backend this host can run
+/// ([`hybrimoe_kernels::backend::available`]) against identical inputs and
+/// plans. Inputs are seed-deterministic; the measured rates are wall-clock
+/// and therefore machine-dependent, which is why the CI gate compares the
+/// within-run per-backend *speedup* rather than absolute rates.
 pub fn real_sweep(seed: u64) -> Vec<RealRow> {
     let model = real_bench_model();
     let mut rows = Vec::new();
@@ -372,16 +379,6 @@ pub fn real_sweep(seed: u64) -> Vec<RealRow> {
             // Constant total work per point: more reps for small batches.
             let reps = (128 / batch).clamp(2, 32);
             for threads in REAL_THREAD_COUNTS {
-                let mut batched = RealLayerExecutor::with_options(
-                    model.clone(),
-                    seed,
-                    RealExecOptions {
-                        max_threads: threads,
-                        ..Default::default()
-                    },
-                );
-                let expert_major_tok_s =
-                    real_throughput(&mut batched, &plan, &inputs, &routes, reps);
                 let mut reference = RealLayerExecutor::with_options(
                     model.clone(),
                     seed,
@@ -393,14 +390,28 @@ pub fn real_sweep(seed: u64) -> Vec<RealRow> {
                 );
                 let token_major_tok_s =
                     real_throughput(&mut reference, &plan, &inputs, &routes, reps);
-                rows.push(RealRow {
-                    batch,
-                    experts,
-                    threads,
-                    expert_major_tok_s,
-                    token_major_tok_s,
-                    speedup: expert_major_tok_s / token_major_tok_s,
-                });
+                for backend in hybrimoe_kernels::backend::available() {
+                    let mut batched = RealLayerExecutor::with_options(
+                        model.clone(),
+                        seed,
+                        RealExecOptions {
+                            max_threads: threads,
+                            kernel_backend: backend.kind(),
+                            ..Default::default()
+                        },
+                    );
+                    let expert_major_tok_s =
+                        real_throughput(&mut batched, &plan, &inputs, &routes, reps);
+                    rows.push(RealRow {
+                        backend: backend.kind().name().to_owned(),
+                        batch,
+                        experts,
+                        threads,
+                        expert_major_tok_s,
+                        token_major_tok_s,
+                        speedup: expert_major_tok_s / token_major_tok_s,
+                    });
+                }
             }
         }
     }

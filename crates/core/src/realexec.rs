@@ -22,12 +22,16 @@
 //! once per token), and scatters the weighted results back. All scratch is
 //! owned by the executor ([`ExecScratch`] plus per-layer buffers) and the
 //! kernels run on a persistent [`WorkerPool`] that parks between calls —
-//! steady-state execution allocates nothing and spawns no threads. Experts
-//! accumulate into the output in ascending id order, so results are
-//! bit-identical across placements **and** bit-identical to the retained
+//! steady-state execution allocates nothing and spawns no threads. The Q4
+//! dequant+dot inner loops dispatch to the SIMD backend selected by
+//! [`RealExecOptions::kernel_backend`] (runtime AVX2 detection by
+//! default). Experts accumulate into the output in ascending id order, so
+//! results are bit-identical across placements for any fixed backend; with
+//! the scalar backend they are additionally bit-identical to the retained
 //! token-major reference path ([`RealExecOptions::token_major`]), which
 //! re-runs each expert once per routed token exactly like the pre-batching
-//! executor.
+//! executor (SIMD backends stay within the reassociation bound documented
+//! in [`hybrimoe_kernels::backend`]).
 //!
 //! Only routed experts participate; the model must be small enough for the
 //! [`WeightStore`] memory budget (use [`ModelConfig::tiny_test`]-sized
@@ -36,7 +40,7 @@
 use std::time::{Duration, Instant};
 
 use hybrimoe_kernels::threadpool::default_threads;
-use hybrimoe_kernels::{ExecScratch, WorkerPool};
+use hybrimoe_kernels::{ExecScratch, KernelBackend, KernelBackendKind, WorkerPool};
 use hybrimoe_model::{
     ExpertKey, LayerId, ModelConfig, RouterOutput, WeightStore, WeightStoreError,
 };
@@ -50,11 +54,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use hybrimoe::realexec::RealExecOptions;
+/// use hybrimoe_kernels::KernelBackendKind;
 ///
 /// let opts = RealExecOptions::default();
 /// assert_eq!(opts.weight_budget_bytes, 512 * 1024 * 1024);
 /// assert_eq!(opts.max_threads, 10);
 /// assert!(!opts.token_major); // expert-major batching by default
+/// assert_eq!(opts.kernel_backend, KernelBackendKind::Auto);
 /// let single = RealExecOptions { max_threads: 1, ..Default::default() };
 /// assert_eq!(single.max_threads, 1);
 /// ```
@@ -69,12 +75,20 @@ pub struct RealExecOptions {
     /// Run the retained token-major reference path instead of the
     /// expert-major batched hot path: one [`forward_threads`] call per
     /// (expert, token) pair on per-call scoped threads, exactly like the
-    /// pre-batching executor. Outputs are bit-identical either way; the
-    /// reference path exists as the correctness oracle and the baseline
-    /// that `real_bench` measures the batched path against.
+    /// pre-batching executor. The reference path always runs the scalar
+    /// kernels and exists as the correctness oracle and the baseline that
+    /// `real_bench` measures the batched path against; with
+    /// [`RealExecOptions::kernel_backend`] set to `Scalar`, outputs are
+    /// bit-identical either way.
     ///
     /// [`forward_threads`]: hybrimoe_kernels::ExpertFfn::forward_threads
     pub token_major: bool,
+    /// Which SIMD backend the expert-major hot path dispatches its Q4
+    /// dequant+dot inner loops to. Resolved once when the executor is
+    /// built: `Auto` (the default) honors the `HYBRIMOE_KERNEL_BACKEND`
+    /// env var and otherwise runtime-detects AVX2, falling back to the
+    /// scalar reference (see [`hybrimoe_kernels::backend`]).
+    pub kernel_backend: KernelBackendKind,
 }
 
 impl Default for RealExecOptions {
@@ -83,6 +97,7 @@ impl Default for RealExecOptions {
             weight_budget_bytes: 512 * 1024 * 1024,
             max_threads: 10,
             token_major: false,
+            kernel_backend: KernelBackendKind::Auto,
         }
     }
 }
@@ -193,6 +208,9 @@ pub struct RealLayerExecutor {
     /// Persistent kernel workers, spawned once and parked between layers.
     pool: WorkerPool,
     options: RealExecOptions,
+    /// The SIMD backend resolved once from
+    /// [`RealExecOptions::kernel_backend`] at construction.
+    backend: &'static dyn KernelBackend,
     scratch: LayerScratch,
     ffn_scratch: ExecScratch,
 }
@@ -210,6 +228,7 @@ impl RealLayerExecutor {
         RealLayerExecutor {
             store: WeightStore::new(model, seed, options.weight_budget_bytes),
             pool: WorkerPool::new(default_threads(options.max_threads.max(1))),
+            backend: options.kernel_backend.resolve(),
             options,
             scratch: LayerScratch::default(),
             ffn_scratch: ExecScratch::new(),
@@ -226,6 +245,12 @@ impl RealLayerExecutor {
         self.pool.threads()
     }
 
+    /// The concrete kernel backend the expert-major hot path dispatches to
+    /// (`Auto` already expanded by detection; never `Auto` itself).
+    pub fn backend_kind(&self) -> KernelBackendKind {
+        self.backend.kind()
+    }
+
     /// Executes one layer for real.
     ///
     /// `inputs` holds each token's hidden state (`hidden` floats) and
@@ -235,8 +260,10 @@ impl RealLayerExecutor {
     /// paper). Experts accumulate into the output in ascending id order
     /// regardless of the plan's device orders, so the result is
     /// **bit-identical across placements** — the property the scheduler
-    /// correctness suite pins — and identical between the expert-major and
-    /// token-major strategies (see [`RealExecOptions::token_major`]).
+    /// correctness suite pins — and, with the scalar kernel backend,
+    /// identical between the expert-major and token-major strategies (see
+    /// [`RealExecOptions::token_major`] and
+    /// [`RealExecOptions::kernel_backend`]).
     ///
     /// # Errors
     ///
@@ -356,10 +383,12 @@ impl RealLayerExecutor {
         let RealLayerExecutor {
             store,
             pool,
+            backend,
             scratch,
             ffn_scratch,
             ..
         } = self;
+        let backend = *backend;
         let LayerScratch {
             tokens_of,
             gather,
@@ -403,7 +432,7 @@ impl RealLayerExecutor {
                 gather[i * hidden..(i + 1) * hidden].copy_from_slice(&inputs[*t as usize]);
             }
             result.resize(batch * hidden, 0.0);
-            ffn.forward_batch_into(gather, batch, result, ffn_scratch, pool);
+            ffn.forward_batch_into(gather, batch, result, ffn_scratch, pool, backend);
             // Scatter with the router weights; token order within the list
             // is ascending, so every output cell sees the same addition
             // order as the token-major reference.
@@ -603,8 +632,8 @@ mod tests {
 
     #[test]
     fn expert_major_matches_token_major_reference() {
-        // The batched hot path and the retained reference path are the
-        // same function of the inputs, bit for bit.
+        // The batched hot path (on the scalar backend) and the retained
+        // reference path are the same function of the inputs, bit for bit.
         let model = ModelConfig::tiny_test();
         for (tokens, seed) in [(1usize, 3u64), (3, 9), (8, 17)] {
             let (inputs, routes) = token_inputs(&model, tokens, seed);
@@ -614,6 +643,7 @@ mod tests {
                 7,
                 RealExecOptions {
                     max_threads: 2,
+                    kernel_backend: KernelBackendKind::Scalar,
                     ..Default::default()
                 },
             )
@@ -634,6 +664,56 @@ mod tests {
             assert_eq!(batched.cpu_tasks, reference.cpu_tasks);
             assert_eq!(batched.gpu_tasks, reference.gpu_tasks);
         }
+    }
+
+    #[test]
+    fn every_kernel_backend_matches_the_scalar_oracle_closely() {
+        // Placement-independence holds per backend (fixed accumulation
+        // order), and every SIMD backend stays within a tight tolerance of
+        // the scalar oracle on whole-layer outputs.
+        let model = ModelConfig::tiny_test();
+        let (inputs, routes) = token_inputs(&model, 5, 23);
+        let plan = tasks_and_plan(&model, &routes, 2, true);
+        let run = |kind: KernelBackendKind| {
+            RealLayerExecutor::with_options(
+                model.clone(),
+                7,
+                RealExecOptions {
+                    max_threads: 2,
+                    kernel_backend: kind,
+                    ..Default::default()
+                },
+            )
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap()
+            .output
+        };
+        let reference = run(KernelBackendKind::Scalar);
+        for backend in hybrimoe_kernels::backend::available() {
+            let got = run(backend.kind());
+            for (i, (a, b)) in got.iter().zip(reference.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-4,
+                    "{:?} i={i}: {a} vs {b}",
+                    backend.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executor_reports_a_concrete_backend() {
+        let exec = RealLayerExecutor::new(ModelConfig::tiny_test(), 7);
+        assert_ne!(exec.backend_kind(), KernelBackendKind::Auto);
+        let scalar = RealLayerExecutor::with_options(
+            ModelConfig::tiny_test(),
+            7,
+            RealExecOptions {
+                kernel_backend: KernelBackendKind::Scalar,
+                ..Default::default()
+            },
+        );
+        assert_eq!(scalar.backend_kind(), KernelBackendKind::Scalar);
     }
 
     #[test]
@@ -782,6 +862,7 @@ mod tests {
             weight_budget_bytes: per, // room for exactly one expert
             max_threads: 1,
             token_major: false,
+            kernel_backend: KernelBackendKind::Auto,
         };
         let mut exec = RealLayerExecutor::with_options(model.clone(), 7, opts);
         assert_eq!(exec.threads(), 1);

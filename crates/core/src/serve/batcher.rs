@@ -137,6 +137,24 @@ impl ContinuousBatcher {
         self.max_batch
     }
 
+    /// Evicts a request wherever it is — the waiting queue or the running
+    /// batch — freeing its slot for the next admission. Returns whether the
+    /// request was found (false if it already completed or was never
+    /// enqueued). The server calls this at a step boundary when a client
+    /// hangs up mid-stream, so an abandoned request stops consuming batch
+    /// slots within one step.
+    pub fn cancel(&mut self, id: u32) -> bool {
+        if let Some(i) = self.waiting.iter().position(|s| s.id == id) {
+            self.waiting.remove(i);
+            return true;
+        }
+        if let Some(i) = self.running.iter().position(|r| r.spec.id == id) {
+            self.running.remove(i);
+            return true;
+        }
+        false
+    }
+
     /// Runs one engine step starting at `now`: admits waiting requests into
     /// free batch slots, merges their prefills with one decode token from
     /// every running request, and advances every request's lifecycle.
@@ -331,5 +349,33 @@ mod tests {
     fn stepping_an_idle_batcher_panics() {
         let mut b = batcher(2);
         let _ = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+    }
+
+    #[test]
+    fn cancel_evicts_waiting_and_running_requests() {
+        let mut b = batcher(1);
+        b.enqueue(spec(0, 0));
+        b.enqueue(spec(1, 0));
+        // Step 1: request 0 takes the only slot, request 1 queues.
+        let out = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+        assert_eq!(out.admitted, vec![0]);
+        assert_eq!((b.running_len(), b.waiting_len()), (1, 1));
+
+        // Cancel the running request: its slot frees and the queued
+        // request is admitted on the very next step.
+        assert!(b.cancel(0));
+        assert_eq!((b.running_len(), b.waiting_len()), (0, 1));
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.admitted, vec![1]);
+
+        // Cancel from the waiting queue, and cancel of an unknown or
+        // already-evicted id reports not-found.
+        b.enqueue(spec(2, 0));
+        assert!(b.cancel(2));
+        assert!(!b.cancel(2));
+        assert!(!b.cancel(99));
+        assert!(b.cancel(1));
+        assert!(b.is_idle());
     }
 }

@@ -109,7 +109,21 @@ pub(crate) fn run(
             .running
             .store(batcher.running_len(), Ordering::Relaxed);
         shared.store_oldest_wait(batcher.oldest_waiting_arrival());
-        deliver(&outcome, &mut clients, &shared);
+        let hung_up = deliver(&outcome, &mut clients, &shared);
+        if !hung_up.is_empty() {
+            // The client is gone: evict its request at this step boundary
+            // so the slot is free for the next admission instead of
+            // decoding to completion for nobody.
+            for id in hung_up {
+                if batcher.cancel(id) {
+                    shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                clients.remove(&id);
+            }
+            shared
+                .running
+                .store(batcher.running_len(), Ordering::Relaxed);
+        }
     }
 
     shared.running.store(0, Ordering::Relaxed);
@@ -137,26 +151,33 @@ fn admit(
     shared.store_oldest_wait(batcher.oldest_waiting_arrival());
 }
 
+/// Streams this step's tokens to the waiting handlers and returns the ids
+/// whose *token* send failed — the handler dropped its receiver, meaning
+/// the client hung up mid-stream. (A failed `Done` send is not a hangup:
+/// the request already finished, there is no slot left to reclaim.)
 fn deliver(
     outcome: &StepOutcome,
     clients: &mut HashMap<u32, Sender<StreamEvent>>,
     shared: &Shared,
-) {
+) -> Vec<u32> {
     let mut tokens: u64 = 0;
+    let mut hung_up: Vec<u32> = Vec::new();
     // First tokens for newly admitted requests, then one decode token per
-    // running request. A send error means the client hung up; the request
-    // still runs to completion (its slot is already spent) but nobody
-    // listens.
+    // running request.
     for id in &outcome.admitted {
         tokens += 1;
         if let Some(events) = clients.get(id) {
-            let _ = events.send(StreamEvent::Token { index: 0 });
+            if events.send(StreamEvent::Token { index: 0 }).is_err() {
+                hung_up.push(*id);
+            }
         }
     }
     for (id, decoded) in &outcome.decoded {
         tokens += 1;
         if let Some(events) = clients.get(id) {
-            let _ = events.send(StreamEvent::Token { index: *decoded });
+            if events.send(StreamEvent::Token { index: *decoded }).is_err() {
+                hung_up.push(*id);
+            }
         }
     }
     for metrics in &outcome.completed {
@@ -165,6 +186,10 @@ fn deliver(
         if let Some(events) = clients.remove(&metrics.id) {
             let _ = events.send(StreamEvent::Done { metrics: *metrics });
         }
+        // A request that completed with this very step has no slot to
+        // reclaim; don't report it as hung up even if its sends failed.
+        hung_up.retain(|id| *id != metrics.id);
     }
     shared.output_tokens.fetch_add(tokens, Ordering::Relaxed);
+    hung_up
 }

@@ -26,20 +26,52 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// Reads one head line as raw bytes, bounded by the remaining head
+/// budget. Unlike `read_line`, this never buffers more than the budget
+/// (a client streaming an endless line cannot balloon memory) and never
+/// fails on non-UTF-8 garbage — the caller converts lossily. Returns the
+/// bytes read (0 on EOF); a line that exhausts the budget is an error.
+fn read_head_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    budget: &mut usize,
+) -> io::Result<usize> {
+    line.clear();
+    // One byte past the budget distinguishes "exactly at the cap" from
+    // "over it" without unbounded buffering.
+    let n = reader
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', line)?;
+    if n > *budget {
+        return Err(bad("request head too large"));
+    }
+    *budget -= n;
+    Ok(n)
+}
+
 /// Reads one HTTP/1.1 request from the stream.
 ///
 /// Returns `Ok(None)` on a clean EOF before any bytes (client connected
-/// and left), and an error naming the malformation otherwise.
+/// and left), and an error naming the malformation otherwise: truncated
+/// request or header lines, a head over [`MAX_HEAD_BYTES`] (request line
+/// included), and an unparseable or over-budget `Content-Length` all
+/// surface as errors the handler answers with 400 — never a panic and
+/// never an unbounded read.
 pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
     let mut reader = BufReader::new(stream);
-    let mut head = String::new();
-    let mut line = String::new();
+    let mut budget = MAX_HEAD_BYTES;
+    let mut line: Vec<u8> = Vec::new();
 
     // Request line.
-    if reader.read_line(&mut line)? == 0 {
+    if read_head_line(&mut reader, &mut line, &mut budget)? == 0 {
         return Ok(None);
     }
-    let mut parts = line.split_whitespace();
+    if line.last() != Some(&b'\n') {
+        return Err(bad("truncated request line"));
+    }
+    let text = String::from_utf8_lossy(&line);
+    let mut parts = text.split_whitespace();
     let method = parts
         .next()
         .ok_or_else(|| bad("empty request line"))?
@@ -50,34 +82,35 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
         .to_owned();
 
     // Headers until the blank line.
-    let mut content_length = 0usize;
+    let mut content_length = 0u64;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        if read_head_line(&mut reader, &mut line, &mut budget)? == 0 {
             return Err(bad("connection closed mid-headers"));
         }
-        head.push_str(&line);
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(bad("request head too large"));
+        if line.last() != Some(&b'\n') {
+            return Err(bad("truncated header line"));
         }
-        let trimmed = line.trim_end();
+        let text = String::from_utf8_lossy(&line);
+        let trimmed = text.trim_end();
         if trimmed.is_empty() {
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
+                // Strict u64 parse: negative, non-numeric and
+                // overflowing values are all malformed, not huge.
                 content_length = value
                     .trim()
-                    .parse()
+                    .parse::<u64>()
                     .map_err(|_| bad("unparseable Content-Length"))?;
             }
         }
     }
 
-    if content_length > MAX_BODY_BYTES {
+    if content_length > MAX_BODY_BYTES as u64 {
         return Err(bad("request body too large"));
     }
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body)?;
     Ok(Some(Request { method, path, body }))
 }

@@ -16,6 +16,9 @@ pub struct ServerMetrics {
     pub admitted: u64,
     /// Requests that completed their full token stream.
     pub completed: u64,
+    /// Requests cancelled because the client hung up mid-stream (their
+    /// batch slot was reclaimed at the next step boundary).
+    pub cancelled: u64,
     /// Requests rejected because the waiting queue was full.
     pub rejected_queue_full: u64,
     /// Requests shed because queue delay exceeded the watermark.
@@ -62,8 +65,13 @@ struct Samples {
 
 impl SloRecorder {
     /// Records one completed request.
+    ///
+    /// Poison-tolerant: the recorder only ever pushes complete samples, so
+    /// if another thread panicked mid-`record` the worst case is one
+    /// partially-pushed sample — recovering the guard keeps `/metrics` and
+    /// the drain path alive for everyone else.
     pub fn record(&self, m: &RequestMetrics) {
-        let mut inner = self.inner.lock().expect("slo recorder poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.queue_wait.push(m.queue_wait());
         inner.ttft.push(m.ttft());
         inner.tpot.push(m.tpot());
@@ -71,8 +79,9 @@ impl SloRecorder {
 
     /// Percentiles over everything recorded so far, in milliseconds:
     /// `(queue_wait p50/p99, ttft p50/p99, tpot p50/p99)`.
+    /// Poison-tolerant like [`SloRecorder::record`].
     pub fn percentiles_ms(&self) -> [f64; 6] {
-        let mut guard = self.inner.lock().expect("slo recorder poisoned");
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let Samples {
             queue_wait,
             ttft,
@@ -118,5 +127,25 @@ mod tests {
         assert_eq!(ttft99, 20.0);
         assert_eq!(tpot50, 2.0);
         assert!(tpot99 >= tpot50);
+    }
+
+    #[test]
+    fn recorder_survives_a_poisoned_lock() {
+        let rec = std::sync::Arc::new(SloRecorder::default());
+        rec.record(&metrics(0, 4, 8));
+        // Panic while holding the lock, poisoning the mutex the way a
+        // crashed handler thread would.
+        let poisoner = std::sync::Arc::clone(&rec);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("die holding the slo lock");
+        })
+        .join();
+        assert!(rec.inner.lock().is_err(), "lock should be poisoned");
+
+        // Both paths must keep working on the recovered state.
+        rec.record(&metrics(1, 6, 12));
+        let [qw50, ..] = rec.percentiles_ms();
+        assert_eq!(qw50, 4.0);
     }
 }

@@ -131,6 +131,8 @@ pub(crate) struct Shared {
     pub running: AtomicUsize,
     pub admitted: AtomicU64,
     pub completed: AtomicU64,
+    /// Requests evicted because their client hung up mid-stream.
+    pub cancelled: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_shed: AtomicU64,
     rejected_draining: AtomicU64,
@@ -153,6 +155,7 @@ impl Shared {
             running: AtomicUsize::new(0),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_shed: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
@@ -190,6 +193,7 @@ impl Shared {
         ServerMetrics {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shed: self.rejected_shed.load(Ordering::Relaxed),
             rejected_draining: self.rejected_draining.load(Ordering::Relaxed),

@@ -1,0 +1,578 @@
+//! Runtime-dispatched SIMD backends for the `Q4_0` dequant+dot inner loop.
+//!
+//! Every quantized kernel hot path in this crate ([`qgemv_into`],
+//! [`qgemm_into`], and the expert forward built on them) bottoms out in one
+//! primitive: *dequantize one packed weight row and dot it with one or more
+//! token activations*. [`KernelBackend`] abstracts exactly that primitive,
+//! so the surrounding tiling, threading and scatter logic is written once
+//! while the innermost loop is selected at startup:
+//!
+//! * [`KernelBackendKind::Scalar`] — the original scalar loops, kept
+//!   byte-for-byte as the **reference backend**. Every determinism pin in
+//!   the repo is a pin of this backend's accumulation order.
+//! * [`KernelBackendKind::Portable`] — a manually-unrolled eight-lane
+//!   formulation that any arch's auto-vectorizer can turn into SIMD. Its
+//!   per-lane accumulation order and final reduction tree are *exactly*
+//!   those of the AVX2 path, so the two are bit-identical to each other
+//!   (and differ from scalar only by documented float reassociation).
+//! * [`KernelBackendKind::Avx2`] — `x86_64` AVX2 intrinsics
+//!   (`target_feature`-gated): 16 packed nibbles unpack with one mask +
+//!   shift + interleave, widen to `f32`, and multiply-accumulate eight
+//!   lanes at a time. Deliberately **no FMA**: fused multiply-adds round
+//!   once where `mul`+`add` rounds twice, which would break the exact
+//!   Portable ≡ AVX2 equivalence the proptests pin.
+//!
+//! # Selection
+//!
+//! [`KernelBackendKind::resolve`] picks the implementation once at
+//! executor startup, in this order:
+//!
+//! 1. An explicit config knob (`Scalar`/`Portable`/`Avx2`) wins outright
+//!    (an explicit `Avx2` on hardware without AVX2 falls back to the
+//!    scalar reference rather than faulting).
+//! 2. `Auto` consults the `HYBRIMOE_KERNEL_BACKEND` environment variable
+//!    (`scalar` | `portable` | `avx2` | `auto`, case-insensitive).
+//! 3. Otherwise `Auto` runtime-detects: `is_x86_feature_detected!("avx2")`
+//!    selects the AVX2 path, anything else falls back to the scalar
+//!    reference.
+//!
+//! # Numerical contract
+//!
+//! All backends compute the same exact dequantization (`(q - 8) * scale`
+//! per element — integer-to-float conversion and one `f32` multiply are
+//! exact here) and differ only in *float addition order*. Scalar sums each
+//! token's `cols` products sequentially; Portable/AVX2 accumulate eight
+//! interleaved partial sums and reduce them with a fixed tree. Each
+//! reassociation is one extra rounding opportunity, so SIMD outputs stay
+//! within `cols/8 + 3` ulp-scale rounding steps of the scalar oracle — the
+//! bound `tests/tests/kernel_backends.rs` verifies against an `f64`
+//! ground-truth accumulation.
+//!
+//! [`qgemv_into`]: crate::QuantizedMatrix::qgemv_into
+//! [`qgemm_into`]: crate::QuantizedMatrix::qgemm_into
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::quant::{decode_block, Q4_BLOCK, Q4_BLOCK_BYTES};
+
+/// The environment variable consulted by [`KernelBackendKind::Auto`].
+pub const KERNEL_BACKEND_ENV: &str = "HYBRIMOE_KERNEL_BACKEND";
+
+/// Which `Q4_0` inner-loop implementation to use (the
+/// `RealExecOptions::kernel_backend` knob).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelBackendKind {
+    /// Resolve at startup: `HYBRIMOE_KERNEL_BACKEND` if set, else CPU
+    /// feature detection (AVX2 where available, scalar elsewhere).
+    #[default]
+    Auto,
+    /// The scalar reference loops (the determinism oracle).
+    Scalar,
+    /// Manually-unrolled eight-lane path, auto-vectorizable on any arch.
+    Portable,
+    /// AVX2 intrinsics (`x86_64` only; falls back to scalar elsewhere).
+    Avx2,
+}
+
+impl KernelBackendKind {
+    /// The lower-case name used by the env override, `real_bench` rows and
+    /// the CI gate.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackendKind::Auto => "auto",
+            KernelBackendKind::Scalar => "scalar",
+            KernelBackendKind::Portable => "portable",
+            KernelBackendKind::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a backend name as accepted in `HYBRIMOE_KERNEL_BACKEND`
+    /// (case-insensitive). Returns `None` for unrecognized values.
+    pub fn parse(name: &str) -> Option<KernelBackendKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(KernelBackendKind::Auto),
+            "scalar" => Some(KernelBackendKind::Scalar),
+            "portable" => Some(KernelBackendKind::Portable),
+            "avx2" => Some(KernelBackendKind::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Resolves this knob to a concrete backend (see the [module
+    /// docs](self) for the selection order). Never fails: unsupported
+    /// explicit choices fall back to the scalar reference.
+    pub fn resolve(self) -> &'static dyn KernelBackend {
+        match self.resolved() {
+            KernelBackendKind::Portable => &Portable,
+            #[cfg(target_arch = "x86_64")]
+            KernelBackendKind::Avx2 => &Avx2,
+            _ => &Scalar,
+        }
+    }
+
+    /// The concrete kind [`resolve`](KernelBackendKind::resolve) lands on:
+    /// `Auto` is expanded (env override, then feature detection) and
+    /// unsupported explicit choices collapse to `Scalar`.
+    pub fn resolved(self) -> KernelBackendKind {
+        let requested = match self {
+            KernelBackendKind::Auto => std::env::var(KERNEL_BACKEND_ENV)
+                .ok()
+                .and_then(|v| KernelBackendKind::parse(&v))
+                .unwrap_or(KernelBackendKind::Auto),
+            explicit => explicit,
+        };
+        match requested {
+            KernelBackendKind::Auto => {
+                if avx2_available() {
+                    KernelBackendKind::Avx2
+                } else {
+                    KernelBackendKind::Scalar
+                }
+            }
+            KernelBackendKind::Avx2 if !avx2_available() => KernelBackendKind::Scalar,
+            concrete => concrete,
+        }
+    }
+}
+
+/// Whether the AVX2 path can run on this host.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The scalar reference backend (see [`KernelBackendKind::Scalar`]).
+pub fn scalar() -> &'static dyn KernelBackend {
+    &Scalar
+}
+
+/// Every backend that can run on this host: scalar and portable always,
+/// plus AVX2 where detected. `real_bench` sweeps exactly this set.
+pub fn available() -> Vec<&'static dyn KernelBackend> {
+    let mut backends: Vec<&'static dyn KernelBackend> = vec![&Scalar, &Portable];
+    if avx2_available() {
+        backends.push(KernelBackendKind::Avx2.resolve());
+    }
+    backends
+}
+
+/// One `Q4_0` inner-loop implementation: dequantize a packed weight row
+/// and dot it with a batch of activations.
+///
+/// Implementations are stateless statics; [`KernelBackendKind::resolve`]
+/// hands out `&'static` references, so an executor stores the resolved
+/// backend once and pays one virtual dispatch per weight row.
+pub trait KernelBackend: fmt::Debug + Send + Sync {
+    /// The concrete kind of this implementation.
+    fn kind(&self) -> KernelBackendKind;
+
+    /// Computes `out[t] = dot(dequant(row), x[t * cols .. (t+1) * cols])`
+    /// for every token `t`.
+    ///
+    /// `row` is one weight row's packed blocks (`cols / Q4_BLOCK` blocks of
+    /// [`Q4_BLOCK_BYTES`]); `x` is token-major (`out.len() × cols`). `out`
+    /// is fully overwritten. A single-token call (`out.len() == 1`) and a
+    /// batched call compute each token with the *same* accumulation order,
+    /// so GEMV and GEMM paths agree bit for bit within one backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on shape mismatches: `cols` must be a
+    /// multiple of [`Q4_BLOCK`], `row.len()` must match `cols`, and
+    /// `x.len()` must equal `out.len() * cols`.
+    fn qdot_row(&self, row: &[u8], x: &[f32], cols: usize, out: &mut [f32]);
+}
+
+#[inline]
+fn check_shapes(row: &[u8], x: &[f32], cols: usize, out: &[f32]) {
+    debug_assert!(
+        cols.is_multiple_of(Q4_BLOCK),
+        "cols {cols} not block-aligned"
+    );
+    debug_assert_eq!(row.len(), cols / Q4_BLOCK * Q4_BLOCK_BYTES, "row bytes");
+    debug_assert_eq!(x.len(), out.len() * cols, "activation shape");
+}
+
+/// The scalar reference implementation: byte-for-byte the pre-dispatch
+/// loops of `qgemv_into`/`qgemm_into` (block-outer, four-token tiles with
+/// independent accumulation chains, strictly sequential per-token adds).
+#[derive(Debug, Clone, Copy)]
+pub struct Scalar;
+
+impl KernelBackend for Scalar {
+    fn kind(&self) -> KernelBackendKind {
+        KernelBackendKind::Scalar
+    }
+
+    fn qdot_row(&self, row: &[u8], x: &[f32], cols: usize, out: &mut [f32]) {
+        check_shapes(row, x, cols, out);
+        let tokens = out.len();
+        let blocks = cols / Q4_BLOCK;
+        let mut buf = [0.0f32; Q4_BLOCK];
+        out.fill(0.0);
+        for b in 0..blocks {
+            decode_block(&row[b * Q4_BLOCK_BYTES..(b + 1) * Q4_BLOCK_BYTES], &mut buf);
+            let col0 = b * Q4_BLOCK;
+            let mut t = 0;
+            while t + 4 <= tokens {
+                let x0 = &x[t * cols + col0..][..Q4_BLOCK];
+                let x1 = &x[(t + 1) * cols + col0..][..Q4_BLOCK];
+                let x2 = &x[(t + 2) * cols + col0..][..Q4_BLOCK];
+                let x3 = &x[(t + 3) * cols + col0..][..Q4_BLOCK];
+                let mut a0 = out[t];
+                let mut a1 = out[t + 1];
+                let mut a2 = out[t + 2];
+                let mut a3 = out[t + 3];
+                for i in 0..Q4_BLOCK {
+                    let w = buf[i];
+                    a0 += w * x0[i];
+                    a1 += w * x1[i];
+                    a2 += w * x2[i];
+                    a3 += w * x3[i];
+                }
+                out[t] = a0;
+                out[t + 1] = a1;
+                out[t + 2] = a2;
+                out[t + 3] = a3;
+                t += 4;
+            }
+            while t < tokens {
+                let xs = &x[t * cols + col0..][..Q4_BLOCK];
+                let mut acc = out[t];
+                for (wv, xv) in buf.iter().zip(xs.iter()) {
+                    acc += wv * xv;
+                }
+                out[t] = acc;
+                t += 1;
+            }
+        }
+    }
+}
+
+/// How many tokens the SIMD paths process per tile (per-token accumulators
+/// held in registers across the whole row).
+const SIMD_TILE: usize = 4;
+
+/// Reduces the eight lane accumulators with the fixed tree the AVX2
+/// horizontal sum produces: `extract`+`add` folds lane `j` with `j+4`,
+/// `movehl`+`add` folds pairs, and the final scalar add joins the halves.
+/// Portable replicates it so the two SIMD paths agree bit for bit.
+#[inline]
+fn reduce8(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[4]) + (l[2] + l[6])) + ((l[1] + l[5]) + (l[3] + l[7]))
+}
+
+/// The portable eight-lane implementation (see
+/// [`KernelBackendKind::Portable`]): plain indexed loops over fixed-size
+/// lane arrays, which LLVM auto-vectorizes on any target with 128/256-bit
+/// vectors, and which executes correctly (if scalar) everywhere else.
+#[derive(Debug, Clone, Copy)]
+pub struct Portable;
+
+impl KernelBackend for Portable {
+    fn kind(&self) -> KernelBackendKind {
+        KernelBackendKind::Portable
+    }
+
+    fn qdot_row(&self, row: &[u8], x: &[f32], cols: usize, out: &mut [f32]) {
+        check_shapes(row, x, cols, out);
+        let tokens = out.len();
+        let blocks = cols / Q4_BLOCK;
+        let mut buf = [0.0f32; Q4_BLOCK];
+        let mut t = 0;
+        while t < tokens {
+            let tile = (tokens - t).min(SIMD_TILE);
+            let mut lanes = [[0.0f32; 8]; SIMD_TILE];
+            for b in 0..blocks {
+                decode_block(&row[b * Q4_BLOCK_BYTES..(b + 1) * Q4_BLOCK_BYTES], &mut buf);
+                let col0 = b * Q4_BLOCK;
+                for (j, lane) in lanes.iter_mut().enumerate().take(tile) {
+                    let xs = &x[(t + j) * cols + col0..][..Q4_BLOCK];
+                    for g in 0..Q4_BLOCK / 8 {
+                        for k in 0..8 {
+                            lane[k] += buf[g * 8 + k] * xs[g * 8 + k];
+                        }
+                    }
+                }
+            }
+            for (j, lane) in lanes.iter().enumerate().take(tile) {
+                out[t + j] = reduce8(lane);
+            }
+            t += tile;
+        }
+    }
+}
+
+/// The AVX2 implementation (see [`KernelBackendKind::Avx2`]). Constructed
+/// only through [`KernelBackendKind::resolve`], which verifies AVX2 via
+/// `is_x86_feature_detected!` first.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2;
+
+#[cfg(target_arch = "x86_64")]
+impl KernelBackend for Avx2 {
+    fn kind(&self) -> KernelBackendKind {
+        KernelBackendKind::Avx2
+    }
+
+    fn qdot_row(&self, row: &[u8], x: &[f32], cols: usize, out: &mut [f32]) {
+        check_shapes(row, x, cols, out);
+        // SAFETY: `Avx2` is only handed out by `resolve()` after
+        // `is_x86_feature_detected!("avx2")` returned true, so the
+        // target-feature function below is safe to call on this host.
+        #[allow(unsafe_code)]
+        unsafe {
+            qdot_row_avx2(row, x, cols, out)
+        }
+    }
+}
+
+/// The AVX2 inner loop. Per 32-weight block: one 16-byte load, nibble
+/// unpack (`and 0x0f` for even elements, `shift`+`and` for odd,
+/// `unpacklo/hi_epi8` restoring the interleaved element order of
+/// `decode_block`), four zero-extending widens to `i32`, subtract 8,
+/// convert to `f32` and scale — an exact dequantization — then one
+/// `mul`+`add` (never FMA) per eight-lane group into per-token
+/// accumulators that live across the whole row.
+///
+/// # Safety
+///
+/// Requires AVX2 at runtime (the caller checks via feature detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn qdot_row_avx2(row: &[u8], x: &[f32], cols: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+
+    let tokens = out.len();
+    let blocks = cols / Q4_BLOCK;
+    let low_nibble = _mm_set1_epi8(0x0f);
+    let minus8 = _mm256_set1_epi32(8);
+
+    let mut t = 0;
+    while t < tokens {
+        let tile = (tokens - t).min(SIMD_TILE);
+        let mut acc = [_mm256_setzero_ps(); SIMD_TILE];
+        for b in 0..blocks {
+            let blk = &row[b * Q4_BLOCK_BYTES..(b + 1) * Q4_BLOCK_BYTES];
+            let scale = f32::from_le_bytes([blk[0], blk[1], blk[2], blk[3]]);
+            let vscale = _mm256_set1_ps(scale);
+            // SAFETY: `blk` holds the 4-byte scale plus exactly 16 nibble
+            // bytes; the unaligned 128-bit load reads those 16 bytes.
+            let raw = _mm_loadu_si128(blk[4..].as_ptr() as *const __m128i);
+            let lo = _mm_and_si128(raw, low_nibble);
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(raw), low_nibble);
+            // Interleave restores decode order: element 2i is byte i's low
+            // nibble, element 2i+1 its high nibble.
+            let il_lo = _mm_unpacklo_epi8(lo, hi); // elements 0..16
+            let il_hi = _mm_unpackhi_epi8(lo, hi); // elements 16..32
+            let groups = [
+                _mm256_cvtepu8_epi32(il_lo),
+                _mm256_cvtepu8_epi32(_mm_srli_si128::<8>(il_lo)),
+                _mm256_cvtepu8_epi32(il_hi),
+                _mm256_cvtepu8_epi32(_mm_srli_si128::<8>(il_hi)),
+            ];
+            let w = groups
+                .map(|g| _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(g, minus8)), vscale));
+            let col0 = b * Q4_BLOCK;
+            for (j, acc_j) in acc.iter_mut().enumerate().take(tile) {
+                let xs = x[(t + j) * cols + col0..].as_ptr();
+                for (g, wg) in w.iter().enumerate() {
+                    // SAFETY: `xs` points at `Q4_BLOCK` in-bounds floats
+                    // (shape-checked above); each group reads eight.
+                    let xv = _mm256_loadu_ps(xs.add(g * 8));
+                    *acc_j = _mm256_add_ps(*acc_j, _mm256_mul_ps(*wg, xv));
+                }
+            }
+        }
+        for (j, acc_j) in acc.iter().enumerate().take(tile) {
+            // The fixed reduction tree `reduce8` mirrors: fold lane j with
+            // j+4, then pairs, then the two halves.
+            let lo128 = _mm256_castps256_ps128(*acc_j);
+            let hi128 = _mm256_extractf128_ps::<1>(*acc_j);
+            let s = _mm_add_ps(lo128, hi128);
+            let s2 = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s3 = _mm_add_ss(s2, _mm_shuffle_ps::<0x55>(s2, s2));
+            out[t + j] = _mm_cvtss_f32(s3);
+        }
+        t += tile;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantizedMatrix;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    /// `f64` ground truth for one row × one token.
+    fn dot_f64(w: &[f32], x: &[f32]) -> f64 {
+        w.iter()
+            .zip(x.iter())
+            .map(|(a, b)| *a as f64 * *b as f64)
+            .sum()
+    }
+
+    fn row_bytes(q: &QuantizedMatrix, r: usize) -> Vec<u8> {
+        let bpr = q.cols() / Q4_BLOCK * Q4_BLOCK_BYTES;
+        q.data()[r * bpr..(r + 1) * bpr].to_vec()
+    }
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in [
+            KernelBackendKind::Auto,
+            KernelBackendKind::Scalar,
+            KernelBackendKind::Portable,
+            KernelBackendKind::Avx2,
+        ] {
+            assert_eq!(KernelBackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            KernelBackendKind::parse("AVX2"),
+            Some(KernelBackendKind::Avx2)
+        );
+        assert_eq!(KernelBackendKind::parse("neon"), None);
+    }
+
+    #[test]
+    fn explicit_kinds_resolve_to_themselves_or_scalar() {
+        assert_eq!(
+            KernelBackendKind::Scalar.resolve().kind(),
+            KernelBackendKind::Scalar
+        );
+        assert_eq!(
+            KernelBackendKind::Portable.resolve().kind(),
+            KernelBackendKind::Portable
+        );
+        let avx2 = KernelBackendKind::Avx2.resolved();
+        if avx2_available() {
+            assert_eq!(avx2, KernelBackendKind::Avx2);
+        } else {
+            assert_eq!(avx2, KernelBackendKind::Scalar, "clean scalar fallback");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_backend() {
+        let kind = KernelBackendKind::Auto.resolve().kind();
+        assert_ne!(kind, KernelBackendKind::Auto);
+    }
+
+    #[test]
+    fn available_always_includes_the_reference() {
+        let kinds: Vec<_> = available().iter().map(|b| b.kind()).collect();
+        assert!(kinds.contains(&KernelBackendKind::Scalar));
+        assert!(kinds.contains(&KernelBackendKind::Portable));
+        assert_eq!(kinds.contains(&KernelBackendKind::Avx2), avx2_available());
+    }
+
+    #[test]
+    fn every_backend_stays_within_the_reassociation_bound_of_f64_truth() {
+        let (rows, cols) = (7, 96);
+        let q = QuantizedMatrix::quantize(&pseudo(rows * cols, 21), rows, cols).unwrap();
+        let dense = q.dequantize();
+        for tokens in [1usize, 2, 4, 5, 9] {
+            let x = pseudo(tokens * cols, 22);
+            for backend in available() {
+                let mut out = vec![0.0f32; tokens];
+                for r in 0..rows {
+                    let row = row_bytes(&q, r);
+                    backend.qdot_row(&row, &x, cols, &mut out);
+                    for (t, got) in out.iter().enumerate() {
+                        let w = &dense[r * cols..(r + 1) * cols];
+                        let truth = dot_f64(w, &x[t * cols..(t + 1) * cols]);
+                        let mag: f64 = w
+                            .iter()
+                            .zip(&x[t * cols..(t + 1) * cols])
+                            .map(|(a, b)| (*a as f64 * *b as f64).abs())
+                            .sum();
+                        let bound = (cols as f64) * f64::from(f32::EPSILON) * mag + 1e-12;
+                        assert!(
+                            ((*got as f64) - truth).abs() <= bound,
+                            "{:?} r={r} t={t}: {got} vs {truth} (bound {bound})",
+                            backend.kind()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portable_and_avx2_are_bit_identical() {
+        if !avx2_available() {
+            return;
+        }
+        let (rows, cols) = (5, 160);
+        let q = QuantizedMatrix::quantize(&pseudo(rows * cols, 31), rows, cols).unwrap();
+        let avx2 = KernelBackendKind::Avx2.resolve();
+        for tokens in [1usize, 3, 4, 6, 8] {
+            let x = pseudo(tokens * cols, 32);
+            for r in 0..rows {
+                let row = row_bytes(&q, r);
+                let mut a = vec![0.0f32; tokens];
+                let mut b = vec![0.0f32; tokens];
+                Portable.qdot_row(&row, &x, cols, &mut a);
+                avx2.qdot_row(&row, &x, cols, &mut b);
+                assert_eq!(a, b, "r={r} tokens={tokens}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_single_token_calls_agree_within_each_backend() {
+        let (rows, cols, tokens) = (4, 64, 7);
+        let q = QuantizedMatrix::quantize(&pseudo(rows * cols, 41), rows, cols).unwrap();
+        let x = pseudo(tokens * cols, 42);
+        for backend in available() {
+            for r in 0..rows {
+                let row = row_bytes(&q, r);
+                let mut batched = vec![0.0f32; tokens];
+                backend.qdot_row(&row, &x, cols, &mut batched);
+                for t in 0..tokens {
+                    let mut one = [0.0f32; 1];
+                    backend.qdot_row(&row, &x[t * cols..(t + 1) * cols], cols, &mut one);
+                    assert_eq!(
+                        one[0].to_bits(),
+                        batched[t].to_bits(),
+                        "{:?} r={r} t={t}",
+                        backend.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_backend_overwrites_stale_output() {
+        let cols = Q4_BLOCK;
+        let q = QuantizedMatrix::quantize(&pseudo(cols, 51), 1, cols).unwrap();
+        let x = pseudo(cols, 52);
+        for backend in available() {
+            let mut dirty = vec![123.0f32; 1];
+            backend.qdot_row(&row_bytes(&q, 0), &x, cols, &mut dirty);
+            let mut clean = vec![0.0f32; 1];
+            backend.qdot_row(&row_bytes(&q, 0), &x, cols, &mut clean);
+            assert_eq!(dirty, clean, "{:?}", backend.kind());
+        }
+    }
+}

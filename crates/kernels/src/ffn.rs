@@ -26,14 +26,14 @@ use crate::threadpool::WorkerPool;
 /// # Example
 ///
 /// ```
-/// use hybrimoe_kernels::{ExecScratch, ExpertFfn, WorkerPool};
+/// use hybrimoe_kernels::{backend, ExecScratch, ExpertFfn, WorkerPool};
 ///
 /// let ffn = ExpertFfn::random(64, 96, 7);
 /// let pool = WorkerPool::new(2);
 /// let mut scratch = ExecScratch::new();
 /// let x = vec![0.05_f32; 2 * 64];
 /// let mut y = vec![0.0_f32; 2 * 64];
-/// ffn.forward_batch_into(&x, 2, &mut y, &mut scratch, &pool);
+/// ffn.forward_batch_into(&x, 2, &mut y, &mut scratch, &pool, backend::scalar());
 /// assert_eq!(y, ffn.forward_batch(&x, 2, 1));
 /// ```
 #[derive(Debug, Default, Clone)]
@@ -194,8 +194,12 @@ impl ExpertFfn {
     /// scratch, running on a persistent [`WorkerPool`]: zero allocations on
     /// the steady-state path, and each Q4 block of the three weight
     /// matrices is dequantized once per call instead of once per token.
-    /// Per-token results are bit-identical to [`ExpertFfn::forward_threads`]
-    /// (see [`QuantizedMatrix::qgemm_into`]).
+    /// The dequant+dot inner loop is dispatched to `backend`; with the
+    /// scalar backend ([`crate::backend::scalar`]) per-token results are
+    /// bit-identical to [`ExpertFfn::forward_threads`] (see
+    /// [`QuantizedMatrix::qgemm_into`]), and every backend computes the
+    /// single-token fast path and the batched path with the same
+    /// accumulation order.
     ///
     /// # Panics
     ///
@@ -208,6 +212,7 @@ impl ExpertFfn {
         y: &mut [f32],
         scratch: &mut ExecScratch,
         pool: &WorkerPool,
+        backend: &dyn crate::backend::KernelBackend,
     ) {
         assert_eq!(x.len(), tokens * self.hidden, "input shape mismatch");
         assert_eq!(y.len(), tokens * self.hidden, "output shape mismatch");
@@ -218,20 +223,22 @@ impl ExpertFfn {
         if tokens == 1 {
             // Single-token fast path: the GEMV writes row-major output
             // directly, skipping the GEMM's band intermediate and its
-            // token-major scatter. Bit-identical to the batched path.
-            self.w_gate.qgemv_into(x, &mut scratch.g, pool);
-            self.w_up.qgemv_into(x, &mut scratch.u, pool);
+            // token-major scatter. Bit-identical to the batched path
+            // within any backend (`qdot_row` on one token is the batched
+            // computation with a one-token tile).
+            self.w_gate.qgemv_into(x, &mut scratch.g, pool, backend);
+            self.w_up.qgemv_into(x, &mut scratch.u, pool, backend);
             swiglu_gate(&scratch.g, &scratch.u, &mut scratch.h);
-            self.w_down.qgemv_into(&scratch.h, y, pool);
+            self.w_down.qgemv_into(&scratch.h, y, pool, backend);
             return;
         }
         self.w_gate
-            .qgemm_into(x, tokens, &mut scratch.g, &mut scratch.band, pool);
+            .qgemm_into(x, tokens, &mut scratch.g, &mut scratch.band, pool, backend);
         self.w_up
-            .qgemm_into(x, tokens, &mut scratch.u, &mut scratch.band, pool);
+            .qgemm_into(x, tokens, &mut scratch.u, &mut scratch.band, pool, backend);
         swiglu_gate(&scratch.g, &scratch.u, &mut scratch.h);
         self.w_down
-            .qgemm_into(&scratch.h, tokens, y, &mut scratch.band, pool);
+            .qgemm_into(&scratch.h, tokens, y, &mut scratch.band, pool, backend);
     }
 }
 
@@ -319,7 +326,14 @@ mod tests {
                 let pool = crate::threadpool::WorkerPool::new(threads);
                 let mut scratch = ExecScratch::new();
                 let mut y = vec![0.0f32; tokens * hidden];
-                ffn.forward_batch_into(&x, tokens, &mut y, &mut scratch, &pool);
+                ffn.forward_batch_into(
+                    &x,
+                    tokens,
+                    &mut y,
+                    &mut scratch,
+                    &pool,
+                    crate::backend::scalar(),
+                );
                 for t in 0..tokens {
                     let single = ffn.forward_threads(&x[t * hidden..(t + 1) * hidden], 1);
                     assert_eq!(
@@ -344,8 +358,49 @@ mod tests {
                 .map(|i| (i as f32 * 0.07).cos() * 0.1)
                 .collect();
             let mut y = vec![0.0f32; tokens * 32];
-            ffn.forward_batch_into(&x, tokens, &mut y, &mut scratch, &pool);
+            ffn.forward_batch_into(
+                &x,
+                tokens,
+                &mut y,
+                &mut scratch,
+                &pool,
+                crate::backend::scalar(),
+            );
             assert_eq!(y, ffn.forward_batch(&x, tokens, 1), "tokens={tokens}");
+        }
+    }
+
+    #[test]
+    fn batch_into_every_backend_is_close_to_the_scalar_oracle() {
+        let (hidden, inter) = (64, 96);
+        let ffn = ExpertFfn::random(hidden, inter, 11);
+        let pool = crate::threadpool::WorkerPool::new(2);
+        for tokens in [1usize, 4, 7] {
+            let x: Vec<f32> = (0..tokens * hidden)
+                .map(|i| (i as f32 * 0.017).sin() * 0.2)
+                .collect();
+            let mut reference = vec![0.0f32; tokens * hidden];
+            let mut scratch = ExecScratch::new();
+            ffn.forward_batch_into(
+                &x,
+                tokens,
+                &mut reference,
+                &mut scratch,
+                &pool,
+                crate::backend::scalar(),
+            );
+            for backend in crate::backend::available() {
+                let mut y = vec![0.0f32; tokens * hidden];
+                let mut scratch = ExecScratch::new();
+                ffn.forward_batch_into(&x, tokens, &mut y, &mut scratch, &pool, backend);
+                for (i, (a, b)) in y.iter().zip(reference.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-4,
+                        "{:?} tokens={tokens} i={i}: {a} vs {b}",
+                        backend.kind()
+                    );
+                }
+            }
         }
     }
 }

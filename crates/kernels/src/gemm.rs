@@ -4,6 +4,11 @@
 //! fast enough to calibrate the cost model with realistic arithmetic
 //! intensity, and bit-deterministic for tests. Matrices are dense row-major
 //! `f32` slices.
+//!
+//! Unlike the quantized `qgemv_into`/`qgemm_into` hot paths, these dense
+//! kernels are *not* dispatched through [`crate::backend`]: they are the
+//! calibration and testing oracle, and their scalar accumulation order is
+//! part of the determinism contract the SIMD backends are verified against.
 
 /// `y = W · x` where `W` is `rows x cols` row-major.
 ///

@@ -2,6 +2,10 @@
 //!
 //! Real CPU compute kernels for quantized Mixture-of-Experts inference:
 //!
+//! * [`backend`] — runtime-dispatched SIMD backends (scalar reference,
+//!   portable auto-vectorizable, `x86_64` AVX2) for the `Q4_0` dequant+dot
+//!   inner loop, selected once at startup by CPU feature detection with an
+//!   env/config override;
 //! * [`gemm`] — single-precision GEMM/GEMV reference kernels with row-blocked
 //!   multi-threading;
 //! * [`quant`] — llama.cpp-style `Q4_0` block quantization (32 weights per
@@ -31,10 +35,14 @@
 // `deny` rather than `forbid`: the persistent `WorkerPool` needs two
 // narrowly-scoped `allow(unsafe_code)` regions (lifetime erasure of the job
 // closure, with a completion barrier guaranteeing the borrow outlives every
-// use — see `threadpool`). Everything else remains unsafe-free.
+// use — see `threadpool`), and the AVX2 kernel backend needs
+// `allow(unsafe_code)` for its feature-gated intrinsics (guarded by
+// `is_x86_feature_detected!` at selection time — see `backend`). Everything
+// else remains unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibrate;
 pub mod ffn;
 pub mod gemm;
@@ -42,6 +50,7 @@ pub mod quant;
 pub mod quant8;
 pub mod threadpool;
 
+pub use backend::{KernelBackend, KernelBackendKind};
 pub use calibrate::{calibrate_cpu, CalibrationOptions};
 pub use ffn::{ExecScratch, ExpertFfn};
 pub use quant::{QuantError, QuantizedMatrix, Q4_BLOCK};

@@ -12,6 +12,7 @@ use std::fmt;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use crate::backend::KernelBackend;
 use crate::threadpool::{parallel_for, WorkerPool};
 
 /// A band of GEMV/GEMM results: `(first_row, values)` per worker.
@@ -252,15 +253,25 @@ impl QuantizedMatrix {
 
     /// [`QuantizedMatrix::qgemv`] on a persistent [`WorkerPool`]: no thread
     /// spawns, no intermediate allocations. The output is written directly
-    /// into disjoint bands of `y` and is bit-identical to `qgemv`.
+    /// into disjoint bands of `y`, with the per-row dequant+dot dispatched
+    /// to `backend`. With the scalar backend ([`crate::backend::scalar`])
+    /// the result is bit-identical to `qgemv`; SIMD backends stay within
+    /// the reassociation bound documented in [`crate::backend`].
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
-    pub fn qgemv_into(&self, x: &[f32], y: &mut [f32], pool: &WorkerPool) {
+    pub fn qgemv_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        pool: &WorkerPool,
+        backend: &dyn KernelBackend,
+    ) {
         assert_eq!(x.len(), self.cols, "input length mismatch");
         assert_eq!(y.len(), self.rows, "output length mismatch");
-        let blocks_per_row = self.cols / Q4_BLOCK;
+        let row_bytes = self.cols / Q4_BLOCK * Q4_BLOCK_BYTES;
+        let cols = self.cols;
         let data = &self.data;
         // Rows are contiguous in y, so each part gets its own disjoint
         // band; the per-band mutex is uncontended (one lock per part per
@@ -273,29 +284,22 @@ impl QuantizedMatrix {
                 return;
             }
             let mut band = bands[part].lock().expect("band poisoned");
-            let mut buf = [0.0f32; Q4_BLOCK];
             for r in r0..r1 {
-                let mut acc = 0.0f32;
-                for b in 0..blocks_per_row {
-                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
-                    decode_block(&data[off..off + Q4_BLOCK_BYTES], &mut buf);
-                    let xs = &x[b * Q4_BLOCK..(b + 1) * Q4_BLOCK];
-                    for (wv, xv) in buf.iter().zip(xs.iter()) {
-                        acc += wv * xv;
-                    }
-                }
-                band[r - r0] = acc;
+                let row = &data[r * row_bytes..(r + 1) * row_bytes];
+                backend.qdot_row(row, x, cols, &mut band[r - r0..r - r0 + 1]);
             }
         });
     }
 
     /// [`QuantizedMatrix::qgemm`] on a persistent [`WorkerPool`] with
-    /// caller-owned scratch: each Q4 block is decoded exactly once per
-    /// call (amortized over the whole token batch) and applied to the
-    /// tokens in tiles of four, keeping four independent FP accumulation
-    /// chains in flight. Per-token results are bit-identical to `qgemv`
-    /// (each token's element order is unchanged; only independent chains
-    /// are interleaved).
+    /// caller-owned scratch: the per-row dequant+dot over the whole token
+    /// batch is dispatched to `backend` (the scalar backend decodes each
+    /// Q4 block exactly once per row and applies it to the tokens in tiles
+    /// of four, keeping four independent FP accumulation chains in
+    /// flight). With the scalar backend, per-token results are
+    /// bit-identical to `qgemv` (each token's element order is unchanged;
+    /// only independent chains are interleaved); every backend guarantees
+    /// its batched and single-token results agree bit for bit.
     ///
     /// `band` is reusable scratch for the row-major intermediate; it is
     /// resized (capacity retained) and scattered into the token-major `y`.
@@ -310,10 +314,11 @@ impl QuantizedMatrix {
         y: &mut [f32],
         band: &mut Vec<f32>,
         pool: &WorkerPool,
+        backend: &dyn KernelBackend,
     ) {
         assert_eq!(x.len(), tokens * self.cols, "input shape mismatch");
         assert_eq!(y.len(), tokens * self.rows, "output shape mismatch");
-        let blocks_per_row = self.cols / Q4_BLOCK;
+        let row_bytes = self.cols / Q4_BLOCK * Q4_BLOCK_BYTES;
         let cols = self.cols;
         let data = &self.data;
         band.clear();
@@ -328,46 +333,10 @@ impl QuantizedMatrix {
                 return;
             }
             let mut band = bands[part].lock().expect("band poisoned");
-            let mut buf = [0.0f32; Q4_BLOCK];
             for r in r0..r1 {
+                let row = &data[r * row_bytes..(r + 1) * row_bytes];
                 let row_out = &mut band[(r - r0) * tokens..(r - r0 + 1) * tokens];
-                for b in 0..blocks_per_row {
-                    let off = (r * blocks_per_row + b) * Q4_BLOCK_BYTES;
-                    decode_block(&data[off..off + Q4_BLOCK_BYTES], &mut buf);
-                    let col0 = b * Q4_BLOCK;
-                    let mut t = 0;
-                    while t + 4 <= tokens {
-                        let x0 = &x[t * cols + col0..][..Q4_BLOCK];
-                        let x1 = &x[(t + 1) * cols + col0..][..Q4_BLOCK];
-                        let x2 = &x[(t + 2) * cols + col0..][..Q4_BLOCK];
-                        let x3 = &x[(t + 3) * cols + col0..][..Q4_BLOCK];
-                        let mut a0 = row_out[t];
-                        let mut a1 = row_out[t + 1];
-                        let mut a2 = row_out[t + 2];
-                        let mut a3 = row_out[t + 3];
-                        for i in 0..Q4_BLOCK {
-                            let w = buf[i];
-                            a0 += w * x0[i];
-                            a1 += w * x1[i];
-                            a2 += w * x2[i];
-                            a3 += w * x3[i];
-                        }
-                        row_out[t] = a0;
-                        row_out[t + 1] = a1;
-                        row_out[t + 2] = a2;
-                        row_out[t + 3] = a3;
-                        t += 4;
-                    }
-                    while t < tokens {
-                        let xs = &x[t * cols + col0..][..Q4_BLOCK];
-                        let mut acc = row_out[t];
-                        for (wv, xv) in buf.iter().zip(xs.iter()) {
-                            acc += wv * xv;
-                        }
-                        row_out[t] = acc;
-                        t += 1;
-                    }
-                }
+                backend.qdot_row(row, x, cols, row_out);
             }
         });
         drop(bands);
@@ -401,7 +370,7 @@ fn quantize_one(v: f32, inv_scale: f32) -> u8 {
     q.clamp(0, 15) as u8
 }
 
-fn decode_block(src: &[u8], dst: &mut [f32]) {
+pub(crate) fn decode_block(src: &[u8], dst: &mut [f32]) {
     debug_assert_eq!(src.len(), Q4_BLOCK_BYTES);
     debug_assert_eq!(dst.len(), Q4_BLOCK);
     let scale = f32::from_le_bytes(src[..4].try_into().expect("4 bytes"));
@@ -514,7 +483,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let pool = WorkerPool::new(threads);
             let mut y = vec![0.0; rows];
-            q.qgemv_into(&x, &mut y, &pool);
+            q.qgemv_into(&x, &mut y, &pool, crate::backend::scalar());
             assert_eq!(y, y_ref, "threads={threads}");
         }
     }
@@ -529,7 +498,14 @@ mod tests {
                 let pool = WorkerPool::new(threads);
                 let mut band = Vec::new();
                 let mut y = vec![0.0; tokens * rows];
-                q.qgemm_into(&x, tokens, &mut y, &mut band, &pool);
+                q.qgemm_into(
+                    &x,
+                    tokens,
+                    &mut y,
+                    &mut band,
+                    &pool,
+                    crate::backend::scalar(),
+                );
                 for t in 0..tokens {
                     let mut y1 = vec![0.0; rows];
                     q.qgemv(&x[t * cols..(t + 1) * cols], &mut y1, 1);

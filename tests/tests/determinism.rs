@@ -137,7 +137,9 @@ fn single_gpu_serving_pins_match_the_pre_refactor_engine() {
 /// the **pre-refactor token-major executor** (the PR-4 tree): the
 /// expert-major batched executor must reproduce every engine-level real
 /// output bit for bit (hashed over the f32 bit patterns of all layer
-/// outputs of a 2-step tiny-model decode, seed 41).
+/// outputs of a 2-step tiny-model decode, seed 41). The kernel backend is
+/// pinned to the scalar reference: the pin predates SIMD dispatch, and
+/// only the scalar backend is bit-identical to the pre-refactor loops.
 #[test]
 fn real_backend_outputs_match_the_pre_refactor_pin() {
     let model = ModelConfig::tiny_test();
@@ -148,6 +150,7 @@ fn real_backend_outputs_match_the_pre_refactor_pin() {
         .with_backend(BackendKind::RealCpu)
         .with_real_exec(RealExecOptions {
             max_threads: 1,
+            kernel_backend: hybrimoe_kernels::KernelBackendKind::Scalar,
             ..Default::default()
         })
         .with_seed(41);

@@ -282,6 +282,112 @@ fn priority_zero_jumps_the_waiting_queue() {
 }
 
 #[test]
+fn mid_stream_disconnect_cancels_and_frees_the_slot() {
+    // One batch slot: a long occupant streams while a short request waits.
+    // Dropping the occupant's connection mid-stream must cancel it at the
+    // next step boundary — counted in `cancelled` — and hand its slot to
+    // the waiter, which completes normally.
+    let server = tiny_server(1, 64, Duration::from_millis(20), None);
+    let occupant = generate_streaming(server.addr(), "{\"prompt_tokens\":4,\"decode_tokens\":200}");
+    let addr = server.addr();
+    let waiter = thread::spawn(move || generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":2}"));
+    wait_for_metrics(&server, "the waiter's admission", |m| m.admitted >= 2);
+
+    // Hang up on the occupant mid-stream.
+    drop(occupant);
+    wait_for_metrics(&server, "the hangup to be cancelled", |m| m.cancelled >= 1);
+
+    // The freed slot admits the waiter, which streams to completion long
+    // before the occupant's 200 steps could have elapsed.
+    let (waiter_status, waiter_chunks) = waiter.join().expect("waiter thread");
+    assert_eq!(waiter_status, 200);
+    assert!(
+        waiter_chunks
+            .last()
+            .expect("waiter stream has chunks")
+            .contains("\"done\""),
+        "the queued request completes after the hangup frees its slot"
+    );
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(metrics.completed, 1, "only the waiter ran to completion");
+    assert_eq!(metrics.running, 0, "the cancelled slot was reclaimed");
+    assert_eq!(metrics.queued, 0);
+}
+
+/// Sends raw bytes, optionally half-closing the write side, and returns
+/// the response status (0 when the server closed without a response).
+fn raw_status(addr: SocketAddr, bytes: &[u8], half_close: bool) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.write_all(bytes).expect("write raw bytes");
+    stream.flush().expect("flush");
+    if half_close {
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+    }
+    let mut reader = BufReader::new(stream);
+    match read_response_head(&mut reader) {
+        Ok((status, _, _)) => status,
+        Err(_) => 0,
+    }
+}
+
+#[test]
+fn malformed_requests_answer_400_and_never_hang() {
+    let server = tiny_server(2, 8, Duration::from_millis(5), None);
+    let addr = server.addr();
+
+    // Binary garbage in the request line: lossily decoded, no path.
+    assert_eq!(
+        raw_status(addr, b"\x00\xff\xfe\x01garbage\r\n\r\n", false),
+        400
+    );
+    // Truncated request line (EOF before the newline).
+    assert_eq!(raw_status(addr, b"POST /v1/generate", true), 400);
+    // Truncated header line.
+    assert_eq!(
+        raw_status(addr, b"GET /healthz HTTP/1.1\r\nHost: te", true),
+        400
+    );
+    // Non-numeric, negative, and overflowing Content-Length values.
+    for bad in ["banana", "-1", "99999999999999999999999999"] {
+        let req =
+            format!("POST /v1/generate HTTP/1.1\r\nHost: test\r\nContent-Length: {bad}\r\n\r\n");
+        assert_eq!(
+            raw_status(addr, req.as_bytes(), false),
+            400,
+            "Content-Length: {bad}"
+        );
+    }
+    // A parseable Content-Length over the body cap.
+    assert_eq!(
+        raw_status(
+            addr,
+            b"POST /v1/generate HTTP/1.1\r\nContent-Length: 10000000\r\n\r\n",
+            false
+        ),
+        400
+    );
+    // A single header line blowing the 8 KiB head budget.
+    let mut oversized = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+    oversized.extend(std::iter::repeat_n(b'a', 9000));
+    oversized.extend_from_slice(b"\r\n\r\n");
+    assert_eq!(raw_status(addr, &oversized, false), 400);
+
+    // The server is still fully operational afterwards.
+    let (status, chunks) = generate(addr, "{\"prompt_tokens\":4,\"decode_tokens\":2}");
+    assert_eq!(status, 200);
+    assert!(chunks.last().expect("stream").contains("\"done\""));
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 1);
+}
+
+#[test]
 fn metrics_and_healthz_endpoints_answer() {
     let server = tiny_server(4, 64, Duration::from_millis(5), None);
     for _ in 0..2 {
