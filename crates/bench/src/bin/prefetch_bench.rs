@@ -1,0 +1,111 @@
+//! Predictive-prefetch benchmark: sweeps prefetcher kind, lookahead depth
+//! and chunked-prefill size on the HybriMoE preset at the tight memory
+//! point (cache ratio 0.25) and reports cache hit ratio, throughput and
+//! prefetch efficiency per configuration.
+//!
+//! ```text
+//! cargo run -p hybrimoe_bench --release --bin prefetch_bench                         # table + JSON
+//! cargo run -p hybrimoe_bench --release --bin prefetch_bench -- --json              # JSON only
+//! cargo run -p hybrimoe_bench --release --bin prefetch_bench -- --json --out x.json # also write a file
+//! ```
+//!
+//! The JSON is an array with one object per configuration;
+//! `BENCH_prefetch.json` at the repo root is the committed snapshot the
+//! `bench_check` CI gate diffs fresh runs against.
+
+use hybrimoe_bench::{prefetch_sweep, PrefetchRow, ServeLoad, PREFETCH_RATE, PREFETCH_RATIO, SEED};
+use hybrimoe_model::ModelConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let out_path = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let model = ModelConfig::deepseek();
+    let load = ServeLoad::default();
+
+    if !json_only {
+        println!(
+            "Predictive prefetch — {} | rate {PREFETCH_RATE}/s @ ratio {PREFETCH_RATIO}, \
+             {} requests, {} prompt + {} output tokens, max batch {}, seed {SEED:#x}\n",
+            model.name, load.requests, load.prompt_tokens, load.decode_tokens, load.max_batch
+        );
+    }
+
+    let rows: Vec<PrefetchRow> = prefetch_sweep(&model, load, SEED);
+
+    if !json_only {
+        println!(
+            "{:<16} {:>4} {:>5} {:>6} {:>7} | {:>6} {:>9} {:>8} | {:>7} {:>7} {:>7} {:>6}",
+            "prefetcher",
+            "look",
+            "pipe",
+            "chunk",
+            "prompt",
+            "hit%",
+            "tok/s",
+            "tpot99",
+            "issued",
+            "landed",
+            "wasted",
+            "acc%"
+        );
+        for r in &rows {
+            println!(
+                "{:<16} {:>4} {:>5} {:>6} {:>7} | {:>6.1} {:>9.2} {:>8.2} | {:>7} {:>7} {:>7} \
+                 {:>6}",
+                r.prefetcher,
+                r.lookahead,
+                r.pipelined,
+                r.chunked_prefill,
+                r.prompt_tokens,
+                r.cache_hit_ratio * 100.0,
+                r.output_tokens_per_sec,
+                r.tpot_p99_ms,
+                r.prefetch_issued,
+                r.prefetch_landed,
+                r.prefetch_wasted,
+                r.predictor_accuracy
+                    .map_or("-".to_owned(), |a| format!("{:.1}", a * 100.0)),
+            );
+        }
+        // The headline the tentpole claims: the learned pipeline vs the
+        // paper's oracle-decay impact-driven baseline at ratio 0.25.
+        let find = |name: &str, pipelined: bool| {
+            rows.iter()
+                .find(|r| {
+                    r.prefetcher == name && r.pipelined == pipelined && r.chunked_prefill == 0
+                })
+                .expect("sweep covers this point")
+        };
+        let impact = find("impact-driven", false);
+        let predictive = find("predictive", true);
+        println!(
+            "\nimpact-driven: hit {:.1}%, {:.2} tok/s | predictive+pipelined: hit {:.1}%, \
+             {:.2} tok/s ({:+.1}% hit, {:+.1}% throughput)\n",
+            impact.cache_hit_ratio * 100.0,
+            impact.output_tokens_per_sec,
+            predictive.cache_hit_ratio * 100.0,
+            predictive.output_tokens_per_sec,
+            (predictive.cache_hit_ratio - impact.cache_hit_ratio) * 100.0,
+            (predictive.output_tokens_per_sec / impact.output_tokens_per_sec - 1.0) * 100.0,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if !json_only {
+            println!("wrote {path}");
+        }
+    }
+    println!("{json}");
+}

@@ -2,20 +2,20 @@
 
 use std::collections::VecDeque;
 
-use hybrimoe_cache::{CacheStats, ShardedExpertCache};
+use hybrimoe_cache::{CacheStats, InsertOutcome, ShardedExpertCache};
 use hybrimoe_hw::{
     device_count, AffineCostModel, CalibrationProfile, CostModel, Device, SimDuration,
 };
-use hybrimoe_model::{shard_of, ExpertKey, LayerId};
+use hybrimoe_model::{shard_of, ExpertKey, LayerId, LayerRouting};
 use hybrimoe_sched::{
-    ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext, ScheduleScratch,
-    Scheduler,
+    ExpertPredictor, ExpertTask, PredictedLayer, PrefetchContext, Prefetcher, ScheduleContext,
+    ScheduleScratch, Scheduler, TransitionPredictor,
 };
 use hybrimoe_trace::{ActivationTrace, TraceGenerator, TraceStep};
 
 use crate::backend::{ExecutionBackend, LayerRequest};
 use crate::realexec::RealLayerOutput;
-use crate::{EngineConfig, PlacementKind, StageMetrics, StepMetrics};
+use crate::{EngineConfig, PlacementKind, PrefetcherKind, StageMetrics, StepMetrics};
 
 /// Runs MoE inference over activation traces on the modeled hybrid
 /// platform, with pluggable scheduler, prefetcher and cache policy.
@@ -81,11 +81,52 @@ pub struct Engine {
     /// layer boundaries: a Mixtral-sized expert takes longer than one
     /// decode layer, so restricting transfers to a single layer's idle
     /// window would starve prefetching entirely.
-    inflight: VecDeque<(ExpertKey, SimDuration)>,
+    inflight: VecDeque<Transfer>,
+    /// Learned cross-layer expert predictor, present when the configured
+    /// prefetcher is [`PrefetcherKind::Predictive`]. It observes every
+    /// routing the engine executes and supplies the prefetch lookahead
+    /// (with measured per-distance confidence) in place of the trace's
+    /// oracle-decay predictions.
+    predictor: Option<TransitionPredictor>,
+    /// Transfers that finished during the current step, staged until the
+    /// next step boundary (pipelined prefetch only): committing at the
+    /// boundary keeps mid-step cache state identical for every layer of a
+    /// forward pass and makes landings observable exactly once per step.
+    pending_commit: Vec<(ExpertKey, bool)>,
+    /// The last routing the engine executed, kept so pipelined mode can
+    /// issue prefetch for the *next* forward pass at step boundaries.
+    last_routing: Option<LayerRouting>,
+    /// Cumulative prefetch accounting (issued / landed / wasted).
+    counters: PrefetchCounters,
     /// Reused per-layer task/protect buffers (no steady-state allocation).
     scratch: ScheduleScratch,
     /// The currently open stage, if any.
     stage: Option<StageAccum>,
+}
+
+/// One background PCIe transfer in flight.
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    key: ExpertKey,
+    remaining: SimDuration,
+    /// Whether the transfer was issued by the prefetcher (as opposed to a
+    /// refill-on-miss), for the issued/landed/wasted accounting.
+    prefetch: bool,
+}
+
+/// Cumulative background-prefetch accounting since the engine was built
+/// (never reset by [`Engine::warmup`]; surfaced at `GET /metrics`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchCounters {
+    /// Prefetch transfers enqueued on the background PCIe queue.
+    pub issued: u64,
+    /// Prefetch transfers that completed and entered the cache.
+    pub landed: u64,
+    /// Prefetch transfers whose wire time was spent for nothing: the
+    /// expert could not enter the cache (no eligible slot, or it became
+    /// resident through another path first) or the queue was discarded
+    /// before the transfer finished (re-warm).
+    pub wasted: u64,
 }
 
 /// Accumulates the metrics of an open stage.
@@ -117,6 +158,13 @@ impl Engine {
             config.cache_policy.build(config.mrs_alpha)
         });
 
+        let predictor = (config.prefetcher == PrefetcherKind::Predictive).then(|| {
+            TransitionPredictor::new(
+                config.model.layers as usize,
+                config.model.routed_experts as usize,
+            )
+        });
+
         Engine {
             scheduler: config.scheduler.build(),
             prefetcher: config.prefetcher.build(),
@@ -126,6 +174,10 @@ impl Engine {
             config,
             resident_layers: 0,
             inflight: VecDeque::new(),
+            predictor,
+            pending_commit: Vec::new(),
+            last_routing: None,
+            counters: PrefetchCounters::default(),
             scratch: ScheduleScratch::new(),
             stage: None,
         }
@@ -146,8 +198,26 @@ impl Engine {
     pub fn warmup(&mut self) {
         assert!(self.stage.is_none(), "cannot warm up while a stage is open");
         // Background transfers queued by a previous workload would leak
-        // into the next measurement; warmup starts clean.
+        // into the next measurement; warmup starts clean. Discarded
+        // prefetches spent wire time without landing.
+        self.counters.wasted += self.inflight.iter().filter(|t| t.prefetch).count() as u64
+            + self.pending_commit.iter().filter(|(_, p)| *p).count() as u64;
         self.inflight.clear();
+        self.pending_commit.clear();
+        self.last_routing = None;
+        // Prime the learned predictor on the same warmup trace that drives
+        // the frequency placement, so serving starts with a usable
+        // transition matrix instead of a cold decline-to-predict phase.
+        if let Some(pred) = self.predictor.as_mut() {
+            let warm =
+                TraceGenerator::new(self.config.model.clone(), self.config.seed ^ 0x57A2_77A2)
+                    .decode_trace(24);
+            for step in &warm.steps {
+                for rec in &step.layers {
+                    pred.observe(&rec.routing);
+                }
+            }
+        }
         match self.config.placement {
             PlacementKind::WholeLayers => {
                 let capacity = self.cache.capacity();
@@ -199,6 +269,39 @@ impl Engine {
         self.backend.calibration()
     }
 
+    /// Cumulative prefetch accounting (issued / landed / wasted) since the
+    /// engine was built.
+    pub fn prefetch_counters(&self) -> PrefetchCounters {
+        self.counters
+    }
+
+    /// The learned predictor's running top-k accuracy, if one is
+    /// configured ([`PrefetcherKind::Predictive`]); `0.0` before the first
+    /// scored transition.
+    pub fn predictor_accuracy(&self) -> Option<f64> {
+        self.predictor.as_ref().map(ExpertPredictor::accuracy)
+    }
+
+    /// Prefetched transfers that finished during the current step and are
+    /// staged for the next step boundary (pipelined mode only — empty
+    /// otherwise). Staged landings become cache-resident, or are counted
+    /// wasted, exactly when the next step begins.
+    pub fn pending_prefetch_commits(&self) -> Vec<ExpertKey> {
+        self.pending_commit
+            .iter()
+            .filter(|(_, prefetch)| *prefetch)
+            .map(|(key, _)| *key)
+            .collect()
+    }
+
+    /// Cache hit ratio per GPU shard since the last statistics reset
+    /// (`0.0` for shards with no lookups yet).
+    pub fn shard_hit_ratios(&self) -> Vec<f64> {
+        (0..self.cache.num_shards())
+            .map(|s| self.cache.shard(s).stats().hit_rate())
+            .collect()
+    }
+
     /// Opens a stage: subsequent [`Engine::step`] calls accumulate into it
     /// until [`Engine::end_stage`] closes it.
     ///
@@ -211,6 +314,93 @@ impl Engine {
             base: self.cache.stats(),
             steps: Vec::new(),
         });
+        // Pipelined mode issues prefetch for the coming forward pass at the
+        // stage boundary, so the transfers overlap the pass's first layers
+        // instead of waiting for its own planning points.
+        if self.config.pipelined_prefetch {
+            self.issue_boundary_prefetch();
+        }
+    }
+
+    /// Issues prefetch transfers for the *next* forward pass from the last
+    /// observed routing (pipelined mode). The learned predictor projects
+    /// past the model end, so distances 1.. map to the next pass's layers
+    /// 0, 1, …; without a (warm) predictor this is a no-op.
+    fn issue_boundary_prefetch(&mut self) {
+        let Some(routing) = self.last_routing.take() else {
+            return;
+        };
+        let max_inflight = self.config.max_inflight;
+        let queue_slots = max_inflight.saturating_sub(self.inflight.len());
+        if queue_slots > 0 {
+            let (lookahead, confidence) = predicted_lookahead(
+                self.predictor.as_ref(),
+                &self.cache,
+                self.config.model.layers as usize,
+                self.config.prefetch_lookahead,
+                &routing,
+            );
+            if !lookahead.is_empty() {
+                let routed_profile = self.config.model.routed_profile();
+                let transfer_time = self.cost.transfer(&routed_profile);
+                let shard_free = shard_free_slots(&self.cache);
+                let pctx = PrefetchContext {
+                    current_layer: routing.layer(),
+                    lookahead: &lookahead,
+                    free_slots: queue_slots,
+                    budget: transfer_time * queue_slots as u64,
+                    tokens: routing.tokens().max(1),
+                    routed_profile,
+                    shared_profile: self.config.model.shared_profile(),
+                    cost: &self.cost,
+                    num_gpus: self.config.num_gpus.max(1),
+                    confidence: Some(&confidence),
+                    shard_free: Some(&shard_free),
+                };
+                for key in self.prefetcher.plan(&pctx) {
+                    if enqueue_background(
+                        &mut self.inflight,
+                        &self.cache,
+                        &self.pending_commit,
+                        max_inflight,
+                        key,
+                        transfer_time,
+                        true,
+                    ) {
+                        self.counters.issued += 1;
+                    }
+                }
+            }
+        }
+        self.last_routing = Some(routing);
+    }
+
+    /// Commits transfers that finished during the previous step into the
+    /// cache at the step boundary (pipelined mode). Commits never evict —
+    /// staged landings take free slots only, preserving the
+    /// prefetch-never-evicts invariant even though the protected set of
+    /// the step they finished in is long gone. Returns how many entered
+    /// the cache.
+    fn commit_landed(&mut self) -> u32 {
+        let mut landed = 0u32;
+        for (key, prefetch) in std::mem::take(&mut self.pending_commit) {
+            let outcome = self.cache.insert_if_free(key);
+            let entered = matches!(
+                outcome,
+                InsertOutcome::Inserted | InsertOutcome::InsertedEvicting(_)
+            );
+            if entered {
+                landed += 1;
+            }
+            if prefetch {
+                if entered {
+                    self.counters.landed += 1;
+                } else {
+                    self.counters.wasted += 1;
+                }
+            }
+        }
+        landed
     }
 
     /// Closes the open stage and returns its aggregated metrics (per-step
@@ -275,10 +465,36 @@ impl Engine {
         let mut demand_transfers = 0u32;
         let mut prefetches = 0u32;
 
+        // Pipelined mode: transfers that finished during the previous step
+        // become cache-resident now, at the step boundary.
+        let pipelined = self.config.pipelined_prefetch;
+        if pipelined {
+            prefetches += self.commit_landed();
+        }
+
+        // Prefill steps may cap background cache-promotion work (prefetch
+        // and refill enqueues) at `max_deferred_experts_per_token × tokens`
+        // so a huge prompt cannot monopolize the PCIe link against
+        // concurrent decodes. `usize::MAX` = legacy unbounded.
+        let mut deferred_budget: usize = if tokens
+            >= hybrimoe_sched::baselines::PREFILL_BATCH_THRESHOLD
+            && self.config.max_deferred_experts_per_token != u32::MAX
+        {
+            (self.config.max_deferred_experts_per_token as usize).saturating_mul(tokens as usize)
+        } else {
+            usize::MAX
+        };
+
         for (l, rec) in step.layers.iter().enumerate() {
             let layer = LayerId(l as u16);
-            // 1. The cache policy observes the routing scores (Eq. 3).
+            // 1. The cache policy observes the routing scores (Eq. 3), and
+            // so does the learned cross-layer predictor when one is
+            // configured (it scores its previous prediction and updates
+            // the transition matrix online).
             self.cache.note_routing(&rec.routing, k);
+            if let Some(pred) = self.predictor.as_mut() {
+                pred.observe(&rec.routing);
+            }
 
             // 2. Non-MoE work (attention, norms). llama.cpp runs it on the
             // device the layer is mapped to at decode — for prefill batches
@@ -368,49 +584,104 @@ impl Engine {
 
             // 6. Idle PCIe time advances background transfers (prefetches
             // and cache refills), which pipeline across layer boundaries.
-            // The budget is the idle time of the *busiest* lane — a single
-            // conservative window shared by the FIFO background queue
-            // (identical to the single-lane budget when `num_gpus` is 1).
-            let pcie_busy = (0..num_gpus)
-                .map(|g| outcome.busy[Device::pcie(g as u8).ordinal(num_gpus)])
-                .fold(SimDuration::ZERO, SimDuration::max);
-            let mut budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
+            // Legacy mode budgets the idle time of the *busiest* lane — a
+            // single conservative window shared by the FIFO background
+            // queue (identical to the single-lane budget when `num_gpus`
+            // is 1) — and lands completions immediately. Pipelined mode
+            // gives every shard's lane its own idle window and stages
+            // completions until the next step boundary.
             let transfer_time = self.cost.transfer(&routed_profile);
-
-            budget = drain_inflight(
-                &mut self.inflight,
-                &mut self.cache,
-                num_gpus,
-                budget,
-                evict_ok,
-                protect,
-                &mut busy,
-                &mut prefetches,
-            );
-
-            // Enqueue new prefetch candidates for the predicted layers.
-            let queue_slots = max_inflight.saturating_sub(self.inflight.len());
-            if queue_slots > 0 && !rec.predicted.is_empty() {
-                let lookahead = build_lookahead(&self.cache, rec);
-                let pctx = PrefetchContext {
-                    current_layer: layer,
-                    lookahead: &lookahead,
-                    free_slots: queue_slots,
-                    budget: transfer_time * queue_slots as u64,
-                    tokens,
-                    routed_profile,
-                    shared_profile,
-                    cost: &self.cost,
+            let mut budget = SimDuration::ZERO;
+            let mut lane_budgets: Vec<SimDuration> = Vec::new();
+            if pipelined {
+                lane_budgets = (0..num_gpus)
+                    .map(|g| {
+                        let lane_busy = outcome.busy[Device::pcie(g as u8).ordinal(num_gpus)];
+                        moe_makespan.saturating_sub(lane_busy) + attn_time
+                    })
+                    .collect();
+                drain_inflight_lanes(
+                    &mut self.inflight,
                     num_gpus,
+                    &mut lane_budgets,
+                    &mut busy,
+                    &mut self.pending_commit,
+                );
+            } else {
+                let pcie_busy = (0..num_gpus)
+                    .map(|g| outcome.busy[Device::pcie(g as u8).ordinal(num_gpus)])
+                    .fold(SimDuration::ZERO, SimDuration::max);
+                budget = moe_makespan.saturating_sub(pcie_busy) + attn_time;
+                budget = drain_inflight(
+                    &mut self.inflight,
+                    &mut self.cache,
+                    num_gpus,
+                    budget,
+                    evict_ok,
+                    protect,
+                    &mut busy,
+                    &mut prefetches,
+                    &mut self.counters,
+                );
+            }
+
+            // Enqueue new prefetch candidates for the predicted layers:
+            // from the learned predictor when one is warm (wrapping past
+            // the model end into the next forward pass), else from the
+            // trace record's oracle-decay predictions.
+            let queue_slots = max_inflight.saturating_sub(self.inflight.len());
+            if queue_slots > 0 && deferred_budget > 0 {
+                let (learned, confidence) = predicted_lookahead(
+                    self.predictor.as_ref(),
+                    &self.cache,
+                    self.config.model.layers as usize,
+                    self.config.prefetch_lookahead,
+                    &rec.routing,
+                );
+                let legacy;
+                let (lookahead, conf): (&[PredictedLayer], Option<&[f64]>) = if !learned.is_empty()
+                {
+                    (&learned, Some(&confidence))
+                } else if !rec.predicted.is_empty() {
+                    legacy = build_lookahead(&self.cache, rec);
+                    (&legacy, None)
+                } else {
+                    (&[], None)
                 };
-                for key in self.prefetcher.plan(&pctx) {
-                    enqueue_background(
-                        &mut self.inflight,
-                        &self.cache,
-                        max_inflight,
-                        key,
-                        transfer_time,
-                    );
+                if !lookahead.is_empty() {
+                    let shard_free = pipelined.then(|| shard_free_slots(&self.cache));
+                    let pctx = PrefetchContext {
+                        current_layer: layer,
+                        lookahead,
+                        free_slots: queue_slots,
+                        budget: transfer_time * queue_slots as u64,
+                        tokens,
+                        routed_profile,
+                        shared_profile,
+                        cost: &self.cost,
+                        num_gpus,
+                        confidence: conf,
+                        shard_free: shard_free.as_deref(),
+                    };
+                    for key in self.prefetcher.plan(&pctx) {
+                        if deferred_budget == 0 {
+                            break;
+                        }
+                        if enqueue_background(
+                            &mut self.inflight,
+                            &self.cache,
+                            &self.pending_commit,
+                            max_inflight,
+                            key,
+                            transfer_time,
+                            true,
+                        ) {
+                            self.counters.issued += 1;
+                            if deferred_budget != usize::MAX {
+                                deferred_budget -= 1;
+                            }
+                        }
+                    }
                 }
             }
 
@@ -429,30 +700,60 @@ impl Engine {
                         .then(a.expert.cmp(&b.expert))
                 });
                 for t in missed {
-                    enqueue_background(
+                    if deferred_budget == 0 {
+                        break;
+                    }
+                    if enqueue_background(
                         &mut self.inflight,
                         &self.cache,
+                        &self.pending_commit,
                         max_inflight,
                         ExpertKey::new(layer, t.expert),
                         transfer_time,
-                    );
+                        false,
+                    ) && deferred_budget != usize::MAX
+                    {
+                        deferred_budget -= 1;
+                    }
                 }
             }
 
             // Newly enqueued transfers may start in this layer's leftover
             // idle time.
-            drain_inflight(
-                &mut self.inflight,
-                &mut self.cache,
-                num_gpus,
-                budget,
-                evict_ok,
-                protect,
-                &mut busy,
-                &mut prefetches,
-            );
+            if pipelined {
+                drain_inflight_lanes(
+                    &mut self.inflight,
+                    num_gpus,
+                    &mut lane_budgets,
+                    &mut busy,
+                    &mut self.pending_commit,
+                );
+            } else {
+                drain_inflight(
+                    &mut self.inflight,
+                    &mut self.cache,
+                    num_gpus,
+                    budget,
+                    evict_ok,
+                    protect,
+                    &mut busy,
+                    &mut prefetches,
+                    &mut self.counters,
+                );
+            }
 
             latency += attn_time + moe_makespan;
+        }
+
+        // Pipelined mode: remember the pass's final routing and overlap
+        // prefetch planning for the *next* step with whatever runs between
+        // the two (the serving layer's admission work, the next stage's
+        // setup, …).
+        if pipelined {
+            if let Some(rec) = step.layers.last() {
+                self.last_routing = Some(rec.routing.clone());
+            }
+            self.issue_boundary_prefetch();
         }
 
         let metrics = StepMetrics {
@@ -488,7 +789,7 @@ impl Engine {
 /// the leftover budget.
 #[allow(clippy::too_many_arguments)]
 fn drain_inflight(
-    inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
+    inflight: &mut VecDeque<Transfer>,
     cache: &mut ShardedExpertCache,
     num_gpus: usize,
     mut budget: SimDuration,
@@ -496,20 +797,21 @@ fn drain_inflight(
     protect: &[ExpertKey],
     busy: &mut [SimDuration],
     prefetches: &mut u32,
+    counters: &mut PrefetchCounters,
 ) -> SimDuration {
     while budget > SimDuration::ZERO {
-        let Some((key, remaining)) = inflight.front_mut() else {
+        let Some(t) = inflight.front_mut() else {
             break;
         };
-        let lane = Device::pcie(shard_of(key.expert, num_gpus) as u8).ordinal(num_gpus);
-        if *remaining > budget {
-            *remaining -= budget;
+        let lane = Device::pcie(shard_of(t.key.expert, num_gpus) as u8).ordinal(num_gpus);
+        if t.remaining > budget {
+            t.remaining -= budget;
             busy[lane] += budget;
             return SimDuration::ZERO;
         }
-        budget -= *remaining;
-        busy[lane] += *remaining;
-        let key = *key;
+        budget -= t.remaining;
+        busy[lane] += t.remaining;
+        let Transfer { key, prefetch, .. } = *t;
         inflight.pop_front();
         let outcome = if evict_ok {
             cache.insert_protected(key, protect)
@@ -519,26 +821,144 @@ fn drain_inflight(
         if outcome.is_resident() {
             *prefetches += 1;
         }
+        if prefetch {
+            if matches!(
+                outcome,
+                InsertOutcome::Inserted | InsertOutcome::InsertedEvicting(_)
+            ) {
+                counters.landed += 1;
+            } else {
+                counters.wasted += 1;
+            }
+        }
     }
     budget
 }
 
+/// Per-lane variant of [`drain_inflight`] for pipelined mode: every GPU
+/// shard's PCIe lane spends its own idle budget on the transfers bound for
+/// it (FIFO per lane; an exhausted lane skips ahead to other lanes'
+/// transfers instead of blocking the whole queue). Completed transfers are
+/// staged in `pending` and committed at the next step boundary, never
+/// mid-step.
+fn drain_inflight_lanes(
+    inflight: &mut VecDeque<Transfer>,
+    num_gpus: usize,
+    lane_budgets: &mut [SimDuration],
+    busy: &mut [SimDuration],
+    pending: &mut Vec<(ExpertKey, bool)>,
+) {
+    let mut i = 0;
+    while i < inflight.len() {
+        let t = &mut inflight[i];
+        let g = shard_of(t.key.expert, num_gpus);
+        let b = &mut lane_budgets[g];
+        if *b == SimDuration::ZERO {
+            i += 1;
+            continue;
+        }
+        let lane = Device::pcie(g as u8).ordinal(num_gpus);
+        if t.remaining > *b {
+            t.remaining -= *b;
+            busy[lane] += *b;
+            *b = SimDuration::ZERO;
+            i += 1;
+        } else {
+            *b -= t.remaining;
+            busy[lane] += t.remaining;
+            let done = inflight.remove(i).expect("index is in bounds");
+            pending.push((done.key, done.prefetch));
+        }
+    }
+}
+
 /// Queues a background transfer unless the expert is already resident,
-/// already queued, or the queue is full.
+/// already queued or staged for commit, or the queue is full. Returns
+/// whether the transfer was enqueued.
 fn enqueue_background(
-    inflight: &mut VecDeque<(ExpertKey, SimDuration)>,
+    inflight: &mut VecDeque<Transfer>,
     cache: &ShardedExpertCache,
+    pending: &[(ExpertKey, bool)],
     max_inflight: usize,
     key: ExpertKey,
     transfer_time: SimDuration,
-) {
+    prefetch: bool,
+) -> bool {
     if inflight.len() >= max_inflight
         || cache.contains(key)
-        || inflight.iter().any(|(k, _)| *k == key)
+        || inflight.iter().any(|t| t.key == key)
+        || pending.iter().any(|(k, _)| *k == key)
     {
-        return;
+        return false;
     }
-    inflight.push_back((key, transfer_time));
+    inflight.push_back(Transfer {
+        key,
+        remaining: transfer_time,
+        prefetch,
+    });
+    true
+}
+
+/// Free slots per cache shard (where a never-evicting prefetch could land).
+fn shard_free_slots(cache: &ShardedExpertCache) -> Vec<usize> {
+    (0..cache.num_shards())
+        .map(|s| cache.shard(s).free_slots())
+        .collect()
+}
+
+/// Builds the prefetch lookahead from the learned predictor: predicted
+/// expert distributions for the next `depth` layers, wrapping past the
+/// model end into the next forward pass (the oracle lookahead truncates
+/// there, which starves prefetch for the last layers). Per predicted layer
+/// the top `activated-count` experts become tasks with loads proportional
+/// to their predicted probability mass. Empty when no predictor is
+/// configured, it is still cold, or the routing activated nothing — the
+/// caller then falls back to the trace's own predictions.
+fn predicted_lookahead(
+    predictor: Option<&TransitionPredictor>,
+    cache: &ShardedExpertCache,
+    layers: usize,
+    depth: usize,
+    routing: &LayerRouting,
+) -> (Vec<PredictedLayer>, Vec<f64>) {
+    let Some(pred) = predictor else {
+        return (Vec::new(), Vec::new());
+    };
+    let active = routing.activated();
+    if active.is_empty() || layers == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let total_load: u32 = active.iter().map(|(_, l)| *l).sum();
+    let breadth = active.len();
+    let start = routing.layer().0 as usize % layers;
+    let mut lookahead = Vec::new();
+    let mut confidence = Vec::new();
+    for d in 1..=depth.max(1) {
+        let Some(scores) = pred.predict(routing, d) else {
+            break;
+        };
+        let layer = LayerId(((start + d) % layers) as u16);
+        let mass: f32 = scores.iter().sum();
+        let tasks: Vec<ExpertTask> = hybrimoe_model::top_k(&scores, breadth)
+            .into_iter()
+            .map(|(idx, s)| {
+                let expert = hybrimoe_model::ExpertId(idx as u16);
+                let share = if mass > 0.0 { s / mass } else { 0.0 };
+                ExpertTask {
+                    expert,
+                    load: ((share * total_load as f32).round() as u32).max(1),
+                    cached: cache.contains(ExpertKey::new(layer, expert)),
+                }
+            })
+            .collect();
+        confidence.push(pred.confidence(d));
+        lookahead.push(PredictedLayer {
+            layer,
+            tasks,
+            scores,
+        });
+    }
+    (lookahead, confidence)
 }
 
 /// Converts a record's predicted routings into prefetch inputs with

@@ -55,9 +55,9 @@ pub use backend::{
 };
 pub use config::{
     BackendKind, CachePolicyKind, EngineConfig, Framework, PlacementKind, PrefetcherKind,
-    SchedulerKind, DEFAULT_MAX_INFLIGHT,
+    SchedulerKind, DEFAULT_MAX_INFLIGHT, DEFAULT_PREFETCH_LOOKAHEAD,
 };
-pub use engine::Engine;
+pub use engine::{Engine, PrefetchCounters};
 pub use metrics::{StageMetrics, StepMetrics};
 pub use realexec::RealExecOptions;
 pub use session::Session;

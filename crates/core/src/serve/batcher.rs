@@ -36,8 +36,12 @@ pub struct StepOutcome {
     /// requests each earned one more.
     pub end: SimTime,
     /// Ids of requests admitted from the waiting queue into this step
-    /// (their prefill merged in; first token at [`StepOutcome::end`]).
+    /// (their first prefill chunk merged in).
     pub admitted: Vec<u32>,
+    /// Ids of requests whose first token landed at [`StepOutcome::end`] —
+    /// the admitting step when prefill is unchunked, or the step that
+    /// carried the request's final prefill chunk.
+    pub first_tokens: Vec<u32>,
     /// `(id, tokens decoded so far)` for every request that contributed a
     /// decode token to this step — including requests finishing with it.
     pub decoded: Vec<(u32, u32)>,
@@ -137,6 +141,12 @@ impl ContinuousBatcher {
         self.max_batch
     }
 
+    /// The engine driving the batch — read-only, for observability
+    /// surfaces (cache statistics, prefetch counters, predictor accuracy).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Evicts a request wherever it is — the waiting queue or the running
     /// batch — freeing its slot for the next admission. Returns whether the
     /// request was found (false if it already completed or was never
@@ -173,7 +183,9 @@ impl ContinuousBatcher {
         assert!(!self.is_idle(), "step on an idle batcher");
 
         // Admit waiting requests into free batch slots (FIFO within each
-        // priority class); their prefill passes merge into this step.
+        // priority class); their first prefill chunk merges into this step
+        // and any remaining chunks queue on the request.
+        let chunk_size = self.engine.config().chunked_prefill_size;
         let slots = self.max_batch.saturating_sub(self.running.len());
         let mut admitted: Vec<ActiveRequest> = Vec::new();
         let mut prefill_steps: Vec<TraceStep> = Vec::new();
@@ -190,23 +202,40 @@ impl ContinuousBatcher {
             }
             // One router-parameter bundle serves both the prompt and the
             // decode stream of the request.
-            let (prefill, stream) = generator.request(spec.prompt_tokens);
-            prefill_steps.push(prefill);
+            let (mut chunks, stream) = match chunk_size {
+                Some(size) if spec.prompt_tokens >= size => {
+                    let (chunks, stream) = generator.request_chunked(spec.prompt_tokens, size);
+                    (VecDeque::from(chunks), stream)
+                }
+                _ => {
+                    let (prefill, stream) = generator.request(spec.prompt_tokens);
+                    (VecDeque::from([prefill]), stream)
+                }
+            };
+            prefill_steps.push(chunks.pop_front().expect("a prompt has at least one chunk"));
             admitted.push(ActiveRequest {
                 spec,
                 stream,
                 admitted: now,
-                first_token: None, // set when the step lands
+                first_token: None, // set when the final chunk lands
                 decoded: 0,
+                pending_chunks: chunks,
             });
         }
 
-        // Every running request contributes its next decode token.
-        let decode_steps: Vec<TraceStep> = self
-            .running
-            .iter_mut()
-            .map(|r| r.stream.next_step())
-            .collect();
+        // Every running request contributes its next prefill chunk if it
+        // still has one, otherwise its next decode token.
+        let mut decode_steps: Vec<TraceStep> = Vec::with_capacity(self.running.len());
+        let mut contributed_chunk: Vec<bool> = Vec::with_capacity(self.running.len());
+        for r in self.running.iter_mut() {
+            if let Some(chunk) = r.pending_chunks.pop_front() {
+                decode_steps.push(chunk);
+                contributed_chunk.push(true);
+            } else {
+                decode_steps.push(r.stream.next_step());
+                contributed_chunk.push(false);
+            }
+        }
 
         let parts: Vec<&TraceStep> = prefill_steps.iter().chain(decode_steps.iter()).collect();
         // A single-member batch needs no merge (and no deep clone).
@@ -226,27 +255,40 @@ impl ContinuousBatcher {
             latency: metrics.latency,
         };
 
-        // Leave: decoding requests earned one token; admitted requests
-        // earned their first. Finished requests exit the batch.
+        // Leave: decoding requests earned one token; requests landing
+        // their last prefill chunk earned their first. Finished requests
+        // exit the batch.
         let mut decoded = Vec::with_capacity(self.running.len());
-        for r in self.running.iter_mut() {
-            r.decoded += 1;
-            decoded.push((r.spec.id, r.decoded));
+        let mut first_tokens = Vec::new();
+        for (r, chunked) in self.running.iter_mut().zip(&contributed_chunk) {
+            if *chunked {
+                if r.pending_chunks.is_empty() {
+                    r.first_token = Some(end);
+                    first_tokens.push(r.spec.id);
+                }
+            } else {
+                r.decoded += 1;
+                decoded.push((r.spec.id, r.decoded));
+            }
         }
         let mut admitted_ids = Vec::with_capacity(admitted.len());
         let mut completed = Vec::new();
         for mut r in admitted {
-            r.first_token = Some(end);
             admitted_ids.push(r.spec.id);
-            if r.spec.decode_tokens == 0 {
-                completed.push(r.finish(end));
-            } else {
-                self.running.push(r);
+            if r.pending_chunks.is_empty() {
+                r.first_token = Some(end);
+                first_tokens.push(r.spec.id);
+                if r.spec.decode_tokens == 0 {
+                    completed.push(r.finish(end));
+                    continue;
+                }
             }
+            self.running.push(r);
         }
         let mut i = 0;
         while i < self.running.len() {
-            if self.running[i].decoded >= self.running[i].spec.decode_tokens {
+            let r = &self.running[i];
+            if r.pending_chunks.is_empty() && r.decoded >= r.spec.decode_tokens {
                 let done = self.running.remove(i);
                 completed.push(done.finish(end));
             } else {
@@ -258,6 +300,7 @@ impl ContinuousBatcher {
             stat,
             end,
             admitted: admitted_ids,
+            first_tokens,
             decoded,
             completed,
         }
@@ -342,6 +385,55 @@ mod tests {
             assert!(m.completion >= m.first_token);
             assert_eq!(m.queue_wait(), hybrimoe_hw::SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn unchunked_first_tokens_match_admissions() {
+        let mut b = batcher(2);
+        b.enqueue(spec(0, 0));
+        b.enqueue(spec(1, 0));
+        let out = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+        assert_eq!(out.first_tokens, out.admitted);
+    }
+
+    #[test]
+    fn chunked_prefill_interleaves_with_decode() {
+        // Chunk size 32, prompt 80 → chunks [32, 48]: the first token only
+        // lands when the second chunk completes, and a decoding neighbour
+        // keeps earning tokens in between.
+        let config = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
+            .with_chunked_prefill(32);
+        let mut b = ContinuousBatcher::new(config, 2, 7);
+        let mut req = spec(0, DEFAULT_PRIORITY);
+        req.decode_tokens = 4;
+        b.enqueue(req);
+        let out = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+        assert_eq!(out.admitted, vec![0]);
+        assert_eq!(out.first_tokens, vec![0]); // short prompt: admitted whole
+
+        let mut long = spec(1, DEFAULT_PRIORITY);
+        long.prompt_tokens = 80;
+        long.decode_tokens = 1;
+        b.enqueue(long);
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.admitted, vec![1]);
+        assert!(out.first_tokens.is_empty()); // chunk 1 of 2 in flight
+        assert_eq!(out.decoded, vec![(0, 1)]); // neighbour still decodes
+
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert!(out.admitted.is_empty());
+        assert_eq!(out.first_tokens, vec![1]); // final chunk landed
+        assert_eq!(out.decoded, vec![(0, 2)]);
+
+        // From here the long request decodes like any other and finishes.
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.decoded, vec![(0, 3), (1, 1)]);
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.completed[0].id, 1);
+        assert!(out.completed[0].tpot() > hybrimoe_hw::SimDuration::ZERO);
     }
 
     #[test]

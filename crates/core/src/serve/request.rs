@@ -1,7 +1,9 @@
 //! Requests and their per-request latency metrics.
 
+use std::collections::VecDeque;
+
 use hybrimoe_hw::{SimDuration, SimTime};
-use hybrimoe_trace::DecodeStream;
+use hybrimoe_trace::{DecodeStream, TraceStep};
 use serde::{Deserialize, Serialize};
 
 /// The default scheduling class of a request (see [`RequestSpec::priority`]).
@@ -100,10 +102,15 @@ pub(crate) struct ActiveRequest {
     pub stream: DecodeStream,
     /// When the request joined the batch (its prefill merged into a step).
     pub admitted: SimTime,
-    /// When the prefill landed. `None` until the admitting step completes,
-    /// so a half-admitted request can never report a zero TTFT.
+    /// When the prefill landed. `None` until the step carrying the last
+    /// prefill chunk completes, so a half-admitted (or half-prefilled)
+    /// request can never report a zero TTFT.
     pub first_token: Option<SimTime>,
     pub decoded: u32,
+    /// Prefill chunks still to run, oldest first. Empty unless the request
+    /// was admitted under chunked prefill; while non-empty the request
+    /// contributes its next chunk to each step instead of a decode token.
+    pub pending_chunks: VecDeque<TraceStep>,
 }
 
 impl ActiveRequest {
@@ -174,6 +181,7 @@ mod tests {
             admitted: SimTime::ZERO,
             first_token: None,
             decoded: 0,
+            pending_chunks: VecDeque::new(),
         };
         let _ = r.finish(SimTime::ZERO + SimDuration::from_millis(1));
     }

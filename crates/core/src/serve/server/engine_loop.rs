@@ -109,6 +109,14 @@ pub(crate) fn run(
             .running
             .store(batcher.running_len(), Ordering::Relaxed);
         shared.store_oldest_wait(batcher.oldest_waiting_arrival());
+        {
+            let engine = batcher.engine();
+            shared.store_engine_stats(
+                engine.prefetch_counters(),
+                engine.predictor_accuracy(),
+                engine.shard_hit_ratios(),
+            );
+        }
         let hung_up = deliver(&outcome, &mut clients, &shared);
         if !hung_up.is_empty() {
             // The client is gone: evict its request at this step boundary
@@ -162,9 +170,10 @@ fn deliver(
 ) -> Vec<u32> {
     let mut tokens: u64 = 0;
     let mut hung_up: Vec<u32> = Vec::new();
-    // First tokens for newly admitted requests, then one decode token per
-    // running request.
-    for id in &outcome.admitted {
+    // First tokens for requests whose prefill completed this step (the
+    // admitting step, or the one carrying the last prefill chunk), then
+    // one decode token per running request.
+    for id in &outcome.first_tokens {
         tokens += 1;
         if let Some(events) = clients.get(id) {
             if events.send(StreamEvent::Token { index: 0 }).is_err() {

@@ -47,6 +47,18 @@ pub struct ServerMetrics {
     pub tpot_p50_ms: f64,
     /// 99th-percentile time per output token, ms.
     pub tpot_p99_ms: f64,
+    /// Background expert transfers issued by the prefetcher since startup.
+    pub prefetch_issued: u64,
+    /// Prefetched experts that actually entered the cache.
+    pub prefetch_landed: u64,
+    /// Prefetched experts that arrived useless (already resident, or no
+    /// free slot when the transfer completed).
+    pub prefetch_wasted: u64,
+    /// Rolling top-k accuracy of the learned expert predictor; `None`
+    /// when the engine runs no predictor.
+    pub predictor_topk_accuracy: Option<f64>,
+    /// Expert-cache hit ratio per GPU shard, refreshed every engine step.
+    pub shard_hit_ratio: Vec<f64>,
 }
 
 /// Accumulates per-request SLO samples behind a mutex. The engine loop

@@ -44,7 +44,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -54,7 +54,7 @@ use serde::Value;
 use crate::serve::server::engine_loop::{StreamEvent, Submission};
 use crate::serve::server::metrics::SloRecorder;
 use crate::serve::{ContinuousBatcher, DEFAULT_PRIORITY};
-use crate::EngineConfig;
+use crate::{EngineConfig, PrefetchCounters};
 
 /// Stack size for connection-handler threads. Handlers only parse one
 /// small request and relay channel events, so a sliver of stack keeps a
@@ -141,6 +141,17 @@ pub(crate) struct Shared {
     /// Arrival stamp (nanos on the server clock) of the oldest request in
     /// the batcher's waiting queue; `u64::MAX` when the queue is empty.
     oldest_wait_nanos: AtomicU64,
+    /// Background expert transfers issued / landed / wasted, mirrored
+    /// from the engine's [`PrefetchCounters`] after every step.
+    prefetch_issued: AtomicU64,
+    prefetch_landed: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    /// `f64::to_bits` of the learned predictor's rolling top-k accuracy;
+    /// `u64::MAX` (a NaN pattern no real accuracy produces) when the
+    /// engine runs no predictor.
+    predictor_accuracy_bits: AtomicU64,
+    /// Expert-cache hit ratio per GPU shard, refreshed every engine step.
+    shard_hit_ratios: Mutex<Vec<f64>>,
     pub slo: SloRecorder,
     /// The server clock's origin; all `SimTime` stamps count from here.
     origin: Instant,
@@ -162,6 +173,11 @@ impl Shared {
             steps: AtomicU64::new(0),
             output_tokens: AtomicU64::new(0),
             oldest_wait_nanos: AtomicU64::new(u64::MAX),
+            prefetch_issued: AtomicU64::new(0),
+            prefetch_landed: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            predictor_accuracy_bits: AtomicU64::new(u64::MAX),
+            shard_hit_ratios: Mutex::new(Vec::new()),
             slo: SloRecorder::default(),
             origin: Instant::now(),
         }
@@ -176,6 +192,28 @@ impl Shared {
     pub fn store_oldest_wait(&self, arrival: Option<SimTime>) {
         let nanos = arrival.map_or(u64::MAX, SimTime::as_nanos);
         self.oldest_wait_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// Publishes the engine-side prefetch/cache view. Called only by the
+    /// engine loop after each step; `/metrics` handlers read the snapshot.
+    pub fn store_engine_stats(
+        &self,
+        counters: PrefetchCounters,
+        accuracy: Option<f64>,
+        shards: Vec<f64>,
+    ) {
+        self.prefetch_issued
+            .store(counters.issued, Ordering::Relaxed);
+        self.prefetch_landed
+            .store(counters.landed, Ordering::Relaxed);
+        self.prefetch_wasted
+            .store(counters.wasted, Ordering::Relaxed);
+        let bits = accuracy.map_or(u64::MAX, f64::to_bits);
+        self.predictor_accuracy_bits.store(bits, Ordering::Relaxed);
+        *self
+            .shard_hit_ratios
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = shards;
     }
 
     /// How long the oldest waiting request has been queued.
@@ -208,6 +246,18 @@ impl Shared {
             ttft_p99_ms: ttft99,
             tpot_p50_ms: tpot50,
             tpot_p99_ms: tpot99,
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_landed: self.prefetch_landed.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            predictor_topk_accuracy: {
+                let bits = self.predictor_accuracy_bits.load(Ordering::Relaxed);
+                (bits != u64::MAX).then(|| f64::from_bits(bits))
+            },
+            shard_hit_ratio: self
+                .shard_hit_ratios
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
         }
     }
 }

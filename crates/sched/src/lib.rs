@@ -45,6 +45,7 @@ mod context;
 mod hybrid;
 mod oracle;
 mod plan;
+pub mod predict;
 pub mod prefetch;
 mod task;
 
@@ -52,9 +53,10 @@ pub use context::{ScheduleContext, ScheduleQueues, ScheduleScratch};
 pub use hybrid::HybridScheduler;
 pub use oracle::{oracle_makespan, ORACLE_MAX_TASKS};
 pub use plan::{DevicePlacement, PlannedTask, SchedulePlan};
+pub use predict::{ExpertPredictor, TransitionPredictor};
 pub use prefetch::{
-    ImpactDrivenPrefetcher, NextLayerTopKPrefetcher, NoPrefetcher, PredictedLayer, PrefetchContext,
-    Prefetcher,
+    ImpactDrivenPrefetcher, NextLayerTopKPrefetcher, NoPrefetcher, PredictedLayer,
+    PredictivePrefetcher, PrefetchContext, Prefetcher, PREDICTIVE_MIN_GAIN_PER_TRANSFER,
 };
 pub use task::ExpertTask;
 

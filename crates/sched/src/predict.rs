@@ -1,0 +1,396 @@
+//! Cross-layer expert-activation prediction.
+//!
+//! The trace generator's lookahead is an *oracle*: it routes the live
+//! hidden state through the model's real later routers. A deployed system
+//! has no such oracle — it must learn how activation flows from one layer
+//! to the next out of the routings it has already served (the LayerScope
+//! observation: expert choices correlate strongly across adjacent layers,
+//! and that correlation is stable enough to learn online). This module is
+//! that learned source of [`PredictedLayer`](crate::PredictedLayer)s: an
+//! [`ExpertPredictor`] trait plus [`TransitionPredictor`], a statistical
+//! predictor keeping one EWMA-updated expert-transition matrix per
+//! adjacent layer pair.
+//!
+//! Two properties matter for prefetching:
+//!
+//! * **Arbitrary depth, wrapping at the model end.** Chaining `d`
+//!   transition matrices predicts `d` layers ahead, and the last-layer →
+//!   first-layer pair wraps around: near the end of a forward pass the
+//!   predictor keeps proposing prefetches for the *next* pass's early
+//!   layers, which the truncating oracle lookahead never does.
+//! * **Self-measured confidence.** Every observation also scores the
+//!   prediction the matrix would have made one layer earlier (top-k
+//!   overlap against the realized routing), so
+//!   [`confidence`](ExpertPredictor::confidence) reflects measured
+//!   accuracy — the impact-driven prefetcher uses it in place of its
+//!   fixed geometric distance discount.
+
+use hybrimoe_model::{top_k, LayerRouting};
+
+/// Geometric per-layer confidence decay reported before enough accuracy
+/// samples exist (matches `ImpactDrivenPrefetcher`'s default discount).
+const COLD_CONFIDENCE_DECAY: f64 = 0.6;
+
+/// Floor on reported confidence: even a poorly measured distance keeps a
+/// small exploration budget instead of suppressing prefetch entirely.
+const MIN_CONFIDENCE: f64 = 0.05;
+
+/// Accuracy samples required before measured confidence replaces the cold
+/// geometric decay.
+const MIN_ACC_SAMPLES: u64 = 16;
+
+/// A source of learned expert-activation forecasts for upcoming layers.
+///
+/// Implementations observe realized routings in layer order (the engine
+/// calls [`observe`](Self::observe) once per layer per step, including
+/// across step boundaries) and answer score-vector forecasts for layers
+/// `distance` ahead of a given routing.
+pub trait ExpertPredictor: std::fmt::Debug + Send + Sync {
+    /// A short stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Feeds one realized routing. Consecutive calls for adjacent layers
+    /// (wrapping from the last layer to the first) train the predictor
+    /// and update its accuracy estimate.
+    fn observe(&mut self, routing: &LayerRouting);
+
+    /// Predicted per-expert activation scores for the layer `distance`
+    /// ahead of `from` (wrapping across the model end). `None` while the
+    /// predictor is still cold, when `distance` is zero, or when `from`
+    /// carries no activation.
+    fn predict(&self, from: &LayerRouting, distance: usize) -> Option<Vec<f32>>;
+
+    /// Confidence in `(0, 1]` for predictions at `distance`, suitable as
+    /// the impact-driven prefetcher's per-distance gain discount.
+    fn confidence(&self, distance: usize) -> f64;
+
+    /// Measured distance-1 top-k accuracy in `[0, 1]` (`0` before any
+    /// sample): the EWMA overlap between the predicted and realized
+    /// activated-expert sets.
+    fn accuracy(&self) -> f64;
+
+    /// Total routings observed.
+    fn observations(&self) -> u64;
+}
+
+/// EWMA-learned per-layer-pair expert-transition frequencies.
+///
+/// For every layer `l` the predictor keeps a row-stochastic matrix `T_l`
+/// whose row `i` estimates the activation distribution over the experts
+/// of layer `l+1` (wrapping) given expert `i` active at layer `l`. An
+/// observation of adjacent routings folds the realized next-layer
+/// distribution into the rows of the previously active experts with EWMA
+/// weight `alpha`; a prediction `d` layers ahead propagates the current
+/// activation distribution through `d` chained matrices.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_model::{LayerId, LayerRouting};
+/// use hybrimoe_sched::predict::{ExpertPredictor, TransitionPredictor};
+///
+/// let mut p = TransitionPredictor::new(2, 4);
+/// // Expert 1 at layer 0 always hands over to expert 3 at layer 1.
+/// for _ in 0..16 {
+///     p.observe(&LayerRouting::from_parts(LayerId(0), 1, vec![0, 1, 0, 0], vec![0.0; 4]));
+///     p.observe(&LayerRouting::from_parts(LayerId(1), 1, vec![0, 0, 0, 1], vec![0.0; 4]));
+/// }
+/// let from = LayerRouting::from_parts(LayerId(0), 1, vec![0, 1, 0, 0], vec![0.0; 4]);
+/// let scores = p.predict(&from, 1).expect("warm after a full pass");
+/// let best = (0..4).max_by(|a, b| scores[*a].total_cmp(&scores[*b])).unwrap();
+/// assert_eq!(best, 3);
+/// assert!(p.accuracy() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransitionPredictor {
+    layers: usize,
+    experts: usize,
+    alpha: f32,
+    /// `layers` row-stochastic matrices, flattened `[layer][from][to]`;
+    /// matrix `l` maps layer `l` activation to layer `(l + 1) % layers`.
+    trans: Vec<f32>,
+    /// The last observed routing: `(layer index, activation distribution)`.
+    prev: Option<(usize, Vec<f32>)>,
+    /// EWMA of distance-1 top-k overlap between prediction and reality.
+    acc: f64,
+    acc_samples: u64,
+    observations: u64,
+}
+
+impl TransitionPredictor {
+    /// A cold predictor for a model of `layers` layers with `experts`
+    /// routed experts per layer; every transition starts uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` or `experts` is zero.
+    pub fn new(layers: usize, experts: usize) -> TransitionPredictor {
+        assert!(layers > 0, "a model needs at least one layer");
+        assert!(experts > 0, "a layer needs at least one expert");
+        TransitionPredictor {
+            layers,
+            experts,
+            alpha: 0.25,
+            trans: vec![1.0 / experts as f32; layers * experts * experts],
+            prev: None,
+            acc: 0.0,
+            acc_samples: 0,
+            observations: 0,
+        }
+    }
+
+    /// Overrides the EWMA update weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` lies in `(0, 1]`.
+    pub fn with_alpha(mut self, alpha: f32) -> TransitionPredictor {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must lie in (0, 1], got {alpha}"
+        );
+        self.alpha = alpha;
+        self
+    }
+
+    /// The activation distribution of a routing (`loads` normalized to
+    /// sum 1), or `None` when nothing was routed.
+    fn distribution(&self, routing: &LayerRouting) -> Option<Vec<f32>> {
+        let loads = routing.loads();
+        debug_assert_eq!(loads.len(), self.experts, "routing shape mismatch");
+        let total: u32 = loads.iter().sum();
+        if total == 0 || loads.len() != self.experts {
+            return None;
+        }
+        Some(loads.iter().map(|&l| l as f32 / total as f32).collect())
+    }
+
+    /// One matrix application: `out_j = Σ_i v_i · T[layer][i][j]`.
+    fn apply(&self, layer: usize, v: &[f32]) -> Vec<f32> {
+        let e = self.experts;
+        let base = layer * e * e;
+        let mut out = vec![0.0f32; e];
+        for (i, &w) in v.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let row = &self.trans[base + i * e..base + (i + 1) * e];
+            for (o, &t) in out.iter_mut().zip(row.iter()) {
+                *o += w * t;
+            }
+        }
+        out
+    }
+}
+
+impl ExpertPredictor for TransitionPredictor {
+    fn name(&self) -> &str {
+        "transition-ewma"
+    }
+
+    fn observe(&mut self, routing: &LayerRouting) {
+        let layer = routing.layer().0 as usize % self.layers;
+        let Some(probs) = self.distribution(routing) else {
+            return;
+        };
+        self.observations += 1;
+        if let Some((prev_layer, prev_probs)) = self.prev.take() {
+            if (prev_layer + 1) % self.layers == layer {
+                // Score the prediction the matrix would have made from the
+                // previous layer before folding in the new observation.
+                let predicted = self.apply(prev_layer, &prev_probs);
+                let active: Vec<usize> = probs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &p)| p > 0.0)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !active.is_empty() {
+                    let hits = top_k(&predicted, active.len())
+                        .iter()
+                        .filter(|(i, _)| active.contains(i))
+                        .count();
+                    let overlap = hits as f64 / active.len() as f64;
+                    self.acc = if self.acc_samples == 0 {
+                        overlap
+                    } else {
+                        0.9 * self.acc + 0.1 * overlap
+                    };
+                    self.acc_samples += 1;
+                }
+                // EWMA the realized distribution into the rows of the
+                // previously active experts.
+                let e = self.experts;
+                let base = prev_layer * e * e;
+                for (i, &w) in prev_probs.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let row = &mut self.trans[base + i * e..base + (i + 1) * e];
+                    for (t, &p) in row.iter_mut().zip(probs.iter()) {
+                        *t = (1.0 - self.alpha) * *t + self.alpha * p;
+                    }
+                }
+            }
+        }
+        self.prev = Some((layer, probs));
+    }
+
+    fn predict(&self, from: &LayerRouting, distance: usize) -> Option<Vec<f32>> {
+        if distance == 0 || self.observations < self.layers as u64 {
+            return None;
+        }
+        let mut v = self.distribution(from)?;
+        let start = from.layer().0 as usize % self.layers;
+        for step in 0..distance {
+            v = self.apply((start + step) % self.layers, &v);
+        }
+        Some(v)
+    }
+
+    fn confidence(&self, distance: usize) -> f64 {
+        let d = i32::try_from(distance.max(1)).unwrap_or(i32::MAX);
+        let per_layer = if self.acc_samples < MIN_ACC_SAMPLES {
+            COLD_CONFIDENCE_DECAY
+        } else {
+            self.acc.clamp(MIN_CONFIDENCE, 1.0)
+        };
+        per_layer.powi(d).max(MIN_CONFIDENCE)
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.acc_samples == 0 {
+            0.0
+        } else {
+            self.acc
+        }
+    }
+
+    fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrimoe_model::LayerId;
+
+    fn routing(layer: u16, experts: usize, active: &[usize]) -> LayerRouting {
+        let mut loads = vec![0u32; experts];
+        for &a in active {
+            loads[a] = 1;
+        }
+        LayerRouting::from_parts(
+            LayerId(layer),
+            active.len() as u32,
+            loads,
+            vec![0.0; experts],
+        )
+    }
+
+    /// Feeds `rounds` full passes of a fixed per-layer activation pattern.
+    fn train(p: &mut TransitionPredictor, pattern: &[&[usize]], experts: usize, rounds: usize) {
+        for _ in 0..rounds {
+            for (l, active) in pattern.iter().enumerate() {
+                p.observe(&routing(l as u16, experts, active));
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_deterministic_transition() {
+        let mut p = TransitionPredictor::new(3, 8);
+        train(&mut p, &[&[2], &[5], &[7]], 8, 20);
+        let scores = p.predict(&routing(0, 8, &[2]), 1).unwrap();
+        let best = top_k(&scores, 1)[0].0;
+        assert_eq!(best, 5, "scores {scores:?}");
+        // Chained distance-2 prediction lands on layer 2's expert.
+        let scores = p.predict(&routing(0, 8, &[2]), 2).unwrap();
+        assert_eq!(top_k(&scores, 1)[0].0, 7, "scores {scores:?}");
+    }
+
+    #[test]
+    fn wraps_across_the_model_end() {
+        let mut p = TransitionPredictor::new(2, 4);
+        // Passes alternate: layer 1's expert 3 hands over to the *next*
+        // pass's layer-0 expert 1.
+        train(&mut p, &[&[1], &[3]], 4, 20);
+        let scores = p.predict(&routing(1, 4, &[3]), 1).unwrap();
+        assert_eq!(top_k(&scores, 1)[0].0, 1, "scores {scores:?}");
+    }
+
+    #[test]
+    fn cold_predictor_declines_to_predict() {
+        let mut p = TransitionPredictor::new(4, 8);
+        assert!(p.predict(&routing(0, 8, &[1]), 1).is_none());
+        p.observe(&routing(0, 8, &[1]));
+        // Still short of one full pass of observations.
+        assert!(p.predict(&routing(0, 8, &[1]), 1).is_none());
+        assert_eq!(p.observations(), 1);
+    }
+
+    #[test]
+    fn distance_zero_and_empty_routing_decline() {
+        let mut p = TransitionPredictor::new(2, 4);
+        train(&mut p, &[&[0], &[1]], 4, 10);
+        assert!(p.predict(&routing(0, 4, &[0]), 0).is_none());
+        assert!(p.predict(&routing(0, 4, &[]), 1).is_none());
+    }
+
+    #[test]
+    fn accuracy_tracks_a_learnable_stream() {
+        let mut p = TransitionPredictor::new(3, 8);
+        assert_eq!(p.accuracy(), 0.0);
+        train(&mut p, &[&[0, 1], &[2, 3], &[4, 5]], 8, 40);
+        assert!(p.accuracy() > 0.8, "accuracy {}", p.accuracy());
+    }
+
+    #[test]
+    fn confidence_cold_matches_geometric_decay_then_tracks_accuracy() {
+        let mut p = TransitionPredictor::new(2, 4);
+        assert!((p.confidence(1) - COLD_CONFIDENCE_DECAY).abs() < 1e-12);
+        assert!((p.confidence(2) - COLD_CONFIDENCE_DECAY.powi(2)).abs() < 1e-12);
+        train(&mut p, &[&[1], &[3]], 4, 40);
+        assert!(
+            p.confidence(1) > COLD_CONFIDENCE_DECAY,
+            "should exceed cold decay"
+        );
+        assert!(p.confidence(2) <= p.confidence(1), "monotone in distance");
+        assert!(p.confidence(8) >= MIN_CONFIDENCE, "floored");
+    }
+
+    #[test]
+    fn rows_stay_stochastic_under_updates() {
+        let mut p = TransitionPredictor::new(2, 4);
+        train(&mut p, &[&[0, 2], &[1, 3]], 4, 25);
+        let e = p.experts;
+        for l in 0..p.layers {
+            for i in 0..e {
+                let row_sum: f32 = p.trans[l * e * e + i * e..l * e * e + (i + 1) * e]
+                    .iter()
+                    .sum();
+                assert!(
+                    (row_sum - 1.0).abs() < 1e-3,
+                    "row ({l},{i}) sums to {row_sum}"
+                );
+            }
+        }
+        // Predictions therefore stay distributions too.
+        let scores = p.predict(&routing(0, 4, &[0]), 3).unwrap();
+        let sum: f32 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = TransitionPredictor::new(2, 4).with_alpha(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_rejected() {
+        let _ = TransitionPredictor::new(0, 4);
+    }
+}

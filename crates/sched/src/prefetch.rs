@@ -7,7 +7,7 @@
 //! were already cached — rather than by raw predicted probability.
 
 use hybrimoe_hw::{CostModel, ExpertProfile, SimDuration};
-use hybrimoe_model::{ExpertId, ExpertKey, LayerId};
+use hybrimoe_model::{shard_of, ExpertId, ExpertKey, LayerId};
 
 use crate::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
 
@@ -36,7 +36,10 @@ pub struct PrefetchContext<'a> {
     pub lookahead: &'a [PredictedLayer],
     /// Free expert slots in the GPU cache (prefetches never evict).
     pub free_slots: usize,
-    /// Idle PCIe time available before the next layer needs the link.
+    /// Idle PCIe time available **per lane** before the next layer needs
+    /// the link. Every GPU shard owns its own PCIe lane, so with `N`
+    /// shards the total transferable volume is `N` times this budget; the
+    /// selection fills each lane independently.
     pub budget: SimDuration,
     /// Token count of the current batch.
     pub tokens: u32,
@@ -50,6 +53,17 @@ pub struct PrefetchContext<'a> {
     /// the hybrid schedule with the same shard layout the engine executes,
     /// so prefetch ranking stays device-local.
     pub num_gpus: usize,
+    /// Per-distance prediction confidence in `(0, 1]`, nearest layer
+    /// first, measured by a learned predictor. When present it replaces
+    /// the impact-driven prefetcher's fixed geometric distance discount;
+    /// `None` keeps the legacy discount.
+    pub confidence: Option<&'a [f64]>,
+    /// Free cache slots per GPU shard, for paths where prefetched
+    /// transfers may only land on free slots: a candidate whose affinity
+    /// shard (`shard_of(expert)`) has none left is skipped, since its
+    /// transfer could never land. `None` disables the check (insert paths
+    /// that may evict).
+    pub shard_free: Option<&'a [usize]>,
 }
 
 /// A prefetching policy: returns the expert keys to transfer during idle
@@ -119,12 +133,12 @@ impl Prefetcher for NextLayerTopKPrefetcher {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1.cmp(&b.1))
         });
-        let cap = prefetch_cap(ctx);
-        candidates
-            .into_iter()
-            .take(cap)
-            .map(|(_, e)| ExpertKey::new(next.layer, e))
-            .collect()
+        select_across_lanes(
+            ctx,
+            candidates
+                .into_iter()
+                .map(|(_, e)| ExpertKey::new(next.layer, e)),
+        )
     }
 }
 
@@ -164,6 +178,8 @@ impl Prefetcher for NextLayerTopKPrefetcher {
 ///     shared_profile: None,
 ///     cost: &cost,
 ///     num_gpus: 1,
+///     confidence: None,
+///     shard_free: None,
 /// };
 /// let picks = ImpactDrivenPrefetcher::new().plan(&ctx);
 /// assert_eq!(picks.len(), 1);
@@ -174,6 +190,10 @@ pub struct ImpactDrivenPrefetcher {
     /// Multiplicative confidence discount per layer of distance beyond the
     /// next one.
     distance_discount: f64,
+    /// Minimum discounted gain, in multiples of one expert transfer's PCIe
+    /// time, a candidate must clear to be worth issuing. Zero keeps the
+    /// paper's behaviour (any positive gain qualifies).
+    min_gain_per_transfer: f64,
 }
 
 impl ImpactDrivenPrefetcher {
@@ -181,6 +201,7 @@ impl ImpactDrivenPrefetcher {
     pub fn new() -> Self {
         ImpactDrivenPrefetcher {
             distance_discount: 0.6,
+            min_gain_per_transfer: 0.0,
         }
     }
 
@@ -196,7 +217,27 @@ impl ImpactDrivenPrefetcher {
         );
         ImpactDrivenPrefetcher {
             distance_discount: discount,
+            min_gain_per_transfer: 0.0,
         }
+    }
+
+    /// Sets the expected-gain floor: a candidate is only issued when its
+    /// confidence-discounted makespan gain exceeds `ratio` times the PCIe
+    /// time its own transfer occupies. A mispredicted prefetch costs a
+    /// cache slot (a future demand insert must evict it again), so
+    /// issuing transfers whose expected payoff is below their cost loses
+    /// more hit ratio than it hides latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or not finite.
+    pub fn with_min_gain_per_transfer(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio >= 0.0,
+            "min gain ratio must be finite and >= 0, got {ratio}"
+        );
+        self.min_gain_per_transfer = ratio;
+        self
     }
 }
 
@@ -212,17 +253,50 @@ impl Prefetcher for ImpactDrivenPrefetcher {
     }
 
     fn plan(&self, ctx: &PrefetchContext<'_>) -> Vec<ExpertKey> {
+        // Nothing can be selected (no budget, no free slot, no shard
+        // space): skip the schedule simulations entirely — they sit on
+        // the per-step hot path.
+        if max_selectable(ctx) == 0 {
+            return Vec::new();
+        }
         let scheduler = HybridScheduler::new();
         let mut scored: Vec<(f64, ExpertKey)> = Vec::new();
 
+        // Pruning bound: the final selection keeps at most `free_slots`
+        // keys, so once that many gains are known, a candidate whose
+        // *upper-bound* gain — the layer's full base makespan, discounted
+        // — is strictly below the `free_slots`'th best can never appear
+        // in the selection; its with-expert simulation is skipped. The
+        // surviving candidates score exactly as before, so the output is
+        // bit-identical to the unpruned plan.
+        let cap = ctx.free_slots;
+        let mut top_gains: Vec<f64> = Vec::new();
+        // The expected-gain floor, in simulated nanoseconds.
+        let floor =
+            self.min_gain_per_transfer * ctx.cost.transfer(&ctx.routed_profile).as_nanos() as f64;
+
         for (distance, predicted) in ctx.lookahead.iter().enumerate() {
-            let discount = self.distance_discount.powi(distance as i32);
+            let discount = confidence_discount(self.distance_discount, ctx, distance);
+            // Base makespan memoized once per predicted layer; every
+            // candidate of the layer shares it.
             let base = simulate_makespan(&scheduler, ctx, predicted, None);
+            let upper_bound = base.as_nanos() as f64 * discount;
+            if upper_bound <= floor {
+                continue; // no candidate of this layer can clear the floor
+            }
             for t in predicted.tasks.iter().filter(|t| !t.cached) {
+                if top_gains.len() >= cap && upper_bound < top_gains[cap - 1] {
+                    continue;
+                }
                 let with = simulate_makespan(&scheduler, ctx, predicted, Some(t.expert));
                 let gain = base.saturating_sub(with).as_nanos() as f64 * discount;
-                if gain > 0.0 {
+                if gain > floor {
                     scored.push((gain, ExpertKey::new(predicted.layer, t.expert)));
+                    let pos = top_gains.partition_point(|&g| g >= gain);
+                    if pos < cap {
+                        top_gains.insert(pos, gain);
+                        top_gains.truncate(cap);
+                    }
                 }
             }
         }
@@ -232,20 +306,138 @@ impl Prefetcher for ImpactDrivenPrefetcher {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1.cmp(&b.1))
         });
-        let cap = prefetch_cap(ctx);
-        scored.into_iter().take(cap).map(|(_, k)| k).collect()
+        select_across_lanes(ctx, scored.into_iter().map(|(_, k)| k))
     }
 }
 
-/// How many prefetches fit the PCIe budget and the free cache slots.
-fn prefetch_cap(ctx: &PrefetchContext<'_>) -> usize {
+/// Default expected-gain floor of the predictive prefetcher, in
+/// transfer-time multiples (see
+/// [`ImpactDrivenPrefetcher::with_min_gain_per_transfer`]).
+///
+/// Learned predictions carry measured (often low) confidence, so the
+/// discounted gains are honest expected values; requiring a candidate to
+/// pay back at least its own transfer time filters the speculative tail
+/// that evicts useful residents without measurably shrinking makespan.
+pub const PREDICTIVE_MIN_GAIN_PER_TRANSFER: f64 = 0.1;
+
+/// Impact-driven ranking over *learned* cross-layer predictions.
+///
+/// The ranking is exactly [`ImpactDrivenPrefetcher`]'s; what changes is
+/// the engine-supplied context: the lookahead comes from an
+/// [`ExpertPredictor`](crate::predict::ExpertPredictor) learning
+/// expert-transition frequencies online (wrapping across the model end,
+/// so prefetch keeps working near the last layers), and
+/// [`PrefetchContext::confidence`] carries the predictor's measured
+/// per-distance accuracy in place of the fixed geometric distance
+/// discount. Because that confidence is a *measured* quantity, the
+/// discounted impact is an honest expected value, and the prefetcher
+/// additionally applies [`PREDICTIVE_MIN_GAIN_PER_TRANSFER`]: candidates
+/// whose expected gain cannot pay for their own transfer are withheld
+/// rather than allowed to displace demand-inserted residents.
+#[derive(Debug, Clone)]
+pub struct PredictivePrefetcher {
+    inner: ImpactDrivenPrefetcher,
+}
+
+impl Default for PredictivePrefetcher {
+    fn default() -> Self {
+        PredictivePrefetcher::new()
+    }
+}
+
+impl PredictivePrefetcher {
+    /// Creates the predictive prefetcher with the default expected-gain
+    /// floor.
+    pub fn new() -> Self {
+        PredictivePrefetcher {
+            inner: ImpactDrivenPrefetcher::new()
+                .with_min_gain_per_transfer(PREDICTIVE_MIN_GAIN_PER_TRANSFER),
+        }
+    }
+
+    /// Overrides the expected-gain floor (`0` disables the filter and
+    /// reproduces the plain impact-driven ranking).
+    pub fn with_min_gain_per_transfer(ratio: f64) -> Self {
+        PredictivePrefetcher {
+            inner: ImpactDrivenPrefetcher::new().with_min_gain_per_transfer(ratio),
+        }
+    }
+}
+
+impl Prefetcher for PredictivePrefetcher {
+    fn name(&self) -> &str {
+        "predictive"
+    }
+
+    fn plan(&self, ctx: &PrefetchContext<'_>) -> Vec<ExpertKey> {
+        self.inner.plan(ctx)
+    }
+}
+
+/// The per-distance gain discount: measured predictor confidence when the
+/// context carries one, the prefetcher's geometric decay otherwise.
+fn confidence_discount(distance_discount: f64, ctx: &PrefetchContext<'_>, distance: usize) -> f64 {
+    ctx.confidence
+        .and_then(|c| c.get(distance))
+        .copied()
+        .unwrap_or_else(|| distance_discount.powi(distance as i32))
+}
+
+/// How many transfers one PCIe lane's budget admits.
+fn per_lane_cap(ctx: &PrefetchContext<'_>) -> usize {
     let per_transfer = ctx.cost.transfer(&ctx.routed_profile);
-    let by_budget = if per_transfer == SimDuration::ZERO {
+    if per_transfer == SimDuration::ZERO {
         usize::MAX
     } else {
         (ctx.budget.as_nanos() / per_transfer.as_nanos()) as usize
-    };
-    by_budget.min(ctx.free_slots)
+    }
+}
+
+/// Upper bound on how many keys [`select_across_lanes`] could return.
+fn max_selectable(ctx: &PrefetchContext<'_>) -> usize {
+    let lanes = ctx.num_gpus.max(1);
+    let by_lanes = per_lane_cap(ctx).saturating_mul(lanes);
+    let by_shards = ctx
+        .shard_free
+        .map_or(usize::MAX, |s| s.iter().copied().sum());
+    ctx.free_slots.min(by_lanes).min(by_shards)
+}
+
+/// Walks `ranked` (best candidate first) admitting keys while capacity
+/// lasts: each GPU shard's PCIe lane has its own transfer budget (a full
+/// lane skips the candidate rather than ending selection, so idle lanes
+/// keep filling), the global `free_slots` bound caps the total, and — when
+/// the context carries per-shard free-slot counts — a candidate whose
+/// affinity shard is out of slots is skipped because its transfer could
+/// never land. With one GPU this degenerates to the classic
+/// `min(budget/transfer, free_slots)` prefix.
+fn select_across_lanes(
+    ctx: &PrefetchContext<'_>,
+    ranked: impl Iterator<Item = ExpertKey>,
+) -> Vec<ExpertKey> {
+    let lanes = ctx.num_gpus.max(1);
+    let per_lane = per_lane_cap(ctx);
+    let mut lane_used = vec![0usize; lanes];
+    let mut shard_left: Option<Vec<usize>> = ctx.shard_free.map(<[usize]>::to_vec);
+    let mut out = Vec::new();
+    for key in ranked {
+        if out.len() >= ctx.free_slots {
+            break;
+        }
+        let lane = shard_of(key.expert, lanes);
+        if lane_used[lane] >= per_lane {
+            continue;
+        }
+        if let Some(left) = shard_left.as_mut() {
+            match left.get_mut(lane) {
+                Some(slots) if *slots > 0 => *slots -= 1,
+                _ => continue,
+            }
+        }
+        lane_used[lane] += 1;
+        out.push(key);
+    }
+    out
 }
 
 /// Simulated makespan of a predicted layer, optionally with one extra
@@ -300,6 +492,8 @@ mod tests {
             shared_profile: None,
             cost,
             num_gpus: 1,
+            confidence: None,
+            shard_free: None,
         }
     }
 
@@ -426,11 +620,146 @@ mod tests {
     }
 
     #[test]
+    fn per_lane_budget_fills_idle_lanes() {
+        let cost = UnitCostModel::paper_fig5(); // transfers take 3us
+                                                // One high-gain expert per layer, on different shards of a
+                                                // 2-GPU platform (expert 0 → shard 0, expert 1 → shard 1).
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+            predicted(2, vec![ExpertTask::uncached(ExpertId(1), 8)]),
+        ];
+        // 5us fits one transfer per lane; a global budget would admit one
+        // total, but each lane fills independently.
+        let mut c = ctx(&look, 8, 5, &cost);
+        c.num_gpus = 2;
+        let picks = ImpactDrivenPrefetcher::new().plan(&c);
+        assert_eq!(picks.len(), 2, "{picks:?}");
+        let lanes: Vec<usize> = picks.iter().map(|k| shard_of(k.expert, 2)).collect();
+        assert!(lanes.contains(&0) && lanes.contains(&1));
+        // Same-shard candidates still respect the one-per-lane cap.
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+            predicted(2, vec![ExpertTask::uncached(ExpertId(2), 8)]),
+            predicted(3, vec![ExpertTask::uncached(ExpertId(4), 8)]),
+        ];
+        let mut c = ctx(&look, 8, 5, &cost);
+        c.num_gpus = 2;
+        let picks = ImpactDrivenPrefetcher::new().plan(&c);
+        assert_eq!(picks.len(), 1, "{picks:?}");
+    }
+
+    #[test]
+    fn full_affinity_shard_skips_candidate() {
+        let cost = UnitCostModel::paper_fig5();
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]), // shard 0
+            predicted(2, vec![ExpertTask::uncached(ExpertId(1), 8)]), // shard 1
+        ];
+        let shard_free = [0usize, 1];
+        let mut c = ctx(&look, 8, 100, &cost);
+        c.num_gpus = 2;
+        c.shard_free = Some(&shard_free);
+        let picks = ImpactDrivenPrefetcher::new().plan(&c);
+        assert_eq!(picks, vec![ExpertKey::new(LayerId(2), ExpertId(1))]);
+        // No shard space at all: the plan early-exits empty.
+        let none = [0usize, 0];
+        c.shard_free = Some(&none);
+        assert!(ImpactDrivenPrefetcher::new().plan(&c).is_empty());
+    }
+
+    #[test]
+    fn confidence_overrides_distance_discount() {
+        let cost = UnitCostModel::paper_fig5();
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+            predicted(2, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+        ];
+        // Measured confidence says the farther layer is the *reliable*
+        // one: the ordering of nearer_layer_wins_on_equal_shape flips.
+        let confidence = [0.1, 1.0];
+        let mut c = ctx(&look, 2, 100, &cost);
+        c.confidence = Some(&confidence);
+        let picks = ImpactDrivenPrefetcher::new().plan(&c);
+        assert_eq!(picks.len(), 2);
+        assert_eq!(picks[0].layer, LayerId(2));
+        assert_eq!(picks[1].layer, LayerId(1));
+    }
+
+    #[test]
+    fn pruning_keeps_the_best_candidate() {
+        let cost = UnitCostModel::paper_fig5();
+        // Several candidates, one slot: the upper-bound pruning must
+        // still select exactly the highest-gain expert (the heavy, near
+        // one) while skipping the simulations of dominated later layers.
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+            predicted(2, vec![ExpertTask::uncached(ExpertId(0), 3)]),
+            predicted(3, vec![ExpertTask::uncached(ExpertId(0), 2)]),
+        ];
+        let picks = ImpactDrivenPrefetcher::new().plan(&ctx(&look, 1, 100, &cost));
+        assert_eq!(picks, vec![ExpertKey::new(LayerId(1), ExpertId(0))]);
+    }
+
+    #[test]
+    fn predictive_delegates_to_impact_ranking() {
+        let cost = UnitCostModel::paper_fig5();
+        let look = [predicted(
+            1,
+            vec![
+                ExpertTask::uncached(ExpertId(0), 8),
+                ExpertTask::uncached(ExpertId(1), 1),
+            ],
+        )];
+        let c = ctx(&look, 2, 100, &cost);
+        // With the floor disabled the ranking is exactly impact-driven's.
+        assert_eq!(
+            PredictivePrefetcher::with_min_gain_per_transfer(0.0).plan(&c),
+            ImpactDrivenPrefetcher::new().plan(&c)
+        );
+    }
+
+    #[test]
+    fn gain_floor_withholds_marginal_candidates() {
+        let cost = UnitCostModel::paper_fig5(); // transfers take 3us
+                                                // One heavy expert per layer; caching either saves one transfer
+                                                // (3us). Confidence scales the farther layer's expected gain to
+                                                // 1.5us — positive, but below half a transfer.
+        let look = [
+            predicted(1, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+            predicted(2, vec![ExpertTask::uncached(ExpertId(0), 8)]),
+        ];
+        let confidence = [1.0, 0.5];
+        let mut c = ctx(&look, 4, 100, &cost);
+        c.confidence = Some(&confidence);
+        // No floor: both expected gains are positive, both are issued.
+        let permissive = ImpactDrivenPrefetcher::new().plan(&c);
+        assert_eq!(permissive.len(), 2, "{permissive:?}");
+        // A half-transfer floor keeps the near candidate (3us > 1.5us)
+        // but withholds the far one (1.5us is not *above* the floor).
+        let gated = ImpactDrivenPrefetcher::new()
+            .with_min_gain_per_transfer(0.5)
+            .plan(&c);
+        assert_eq!(gated, vec![ExpertKey::new(LayerId(1), ExpertId(0))]);
+        // A floor above every gain withholds the whole plan.
+        let all_gated = ImpactDrivenPrefetcher::new()
+            .with_min_gain_per_transfer(2.0)
+            .plan(&c);
+        assert!(all_gated.is_empty(), "{all_gated:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "min gain ratio")]
+    fn bad_min_gain_rejected() {
+        let _ = ImpactDrivenPrefetcher::new().with_min_gain_per_transfer(-1.0);
+    }
+
+    #[test]
     fn prefetcher_names_distinct() {
         let names = [
             NoPrefetcher::new().name().to_owned(),
             NextLayerTopKPrefetcher::new().name().to_owned(),
             ImpactDrivenPrefetcher::new().name().to_owned(),
+            PredictivePrefetcher::new().name().to_owned(),
         ];
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len());

@@ -293,9 +293,69 @@ impl TraceGenerator {
         (prefill, self.stream_from(bundle, rng))
     }
 
+    /// [`TraceGenerator::request`] with the prompt split into
+    /// decode-interleavable chunks of `chunk_size` tokens (ktransformers
+    /// style): each chunk is its own [`TraceStep`] over a contiguous token
+    /// range of the prompt, so a serving layer can run other requests'
+    /// decode steps between chunks. A short remainder is merged into the
+    /// final chunk (every chunk spans `[chunk_size, 2·chunk_size)` tokens)
+    /// so no trailing sliver schedules as a decode-regime batch.
+    ///
+    /// The randomness is drawn in **exactly** the order of
+    /// [`TraceGenerator::request`] and only the forward pass is sliced, so
+    /// every token's latent, routes and captured hidden states are
+    /// bit-identical to the unchunked prefill — chunking changes *when*
+    /// tokens run, never *what* they compute. With `chunk_size >=
+    /// prompt_tokens` the single chunk equals the unchunked prefill step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hybrimoe_model::ModelConfig;
+    /// use hybrimoe_trace::TraceGenerator;
+    ///
+    /// let g = TraceGenerator::new(ModelConfig::tiny_test(), 3);
+    /// let (chunks, _) = g.request_chunked(80, 32);
+    /// let tokens: Vec<u32> = chunks.iter().map(|c| c.tokens).collect();
+    /// assert_eq!(tokens, vec![32, 48]); // 80 = 32 + 48, no 16-token sliver
+    /// ```
+    pub fn request_chunked(
+        &self,
+        prompt_tokens: u32,
+        chunk_size: u32,
+    ) -> (Vec<TraceStep>, DecodeStream) {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bundle = self.model_params(&mut rng);
+
+        let mut prefill_rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_F111);
+        let chunks = self.prefill_chunks_with(&bundle, &mut prefill_rng, prompt_tokens, chunk_size);
+        (chunks, self.stream_from(bundle, rng))
+    }
+
     /// One prefill pass over `tokens` prompt tokens with the given router
     /// parameters, drawing latents from `rng`.
     fn prefill_step_with(&self, bundle: &ModelParams, rng: &mut StdRng, tokens: u32) -> TraceStep {
+        let mut chunks = self.prefill_chunks_with(bundle, rng, tokens, tokens.max(1));
+        debug_assert_eq!(chunks.len(), 1);
+        chunks.pop().expect("a prefill pass has one chunk")
+    }
+
+    /// The shared prefill path: draws the whole prompt's randomness up
+    /// front (topic, per-token latents, per-token per-layer innovations —
+    /// the exact draw order of the unchunked prefill), then runs the
+    /// forward pass once per contiguous `chunk_size` token span.
+    fn prefill_chunks_with(
+        &self,
+        bundle: &ModelParams,
+        rng: &mut StdRng,
+        tokens: u32,
+        chunk_size: u32,
+    ) -> Vec<TraceStep> {
         let d = self.config.latent_dim;
         let cohesion = self.config.prompt_cohesion;
         let layers = self.model.layers as usize;
@@ -317,11 +377,39 @@ impl TraceGenerator {
         let innovations: Vec<Vec<Vec<f64>>> = (0..tokens as usize)
             .map(|_| (0..layers).map(|_| gaussian_vec(rng, d)).collect())
             .collect();
-        let layer_records = self.forward(bundle, &latents, |t, l| innovations[t][l].clone());
-        TraceStep {
-            tokens,
-            layers: layer_records,
+
+        let n = tokens as usize;
+        let size = (chunk_size as usize).max(1);
+        let mut steps = Vec::with_capacity(n / size + 1);
+        let mut start = 0usize;
+        while start < n {
+            let remaining = n - start;
+            // Merge a short remainder into this chunk instead of emitting
+            // a trailing sliver.
+            let take = if remaining < 2 * size {
+                remaining
+            } else {
+                size
+            };
+            let records = self.forward(bundle, &latents[start..start + take], |t, l| {
+                innovations[start + t][l].clone()
+            });
+            steps.push(TraceStep {
+                tokens: take as u32,
+                layers: records,
+            });
+            start += take;
         }
+        if steps.is_empty() {
+            // A zero-token prompt still produces one (empty) forward pass,
+            // matching the unchunked path.
+            let records = self.forward(bundle, &[], |_, _| Vec::new());
+            steps.push(TraceStep {
+                tokens: 0,
+                layers: records,
+            });
+        }
+        steps
     }
 
     /// The per-seed model parameters: router projections (AR(1)-correlated
@@ -626,6 +714,64 @@ mod tests {
         let streamed: Vec<TraceStep> = stream.take(4).collect();
         let reference: Vec<TraceStep> = g.decode_stream().take(4).collect();
         assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn chunked_request_with_one_chunk_equals_request() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 31).with_token_states();
+        let (prefill, mut stream) = g.request(40);
+        let (chunks, mut chunked_stream) = g.request_chunked(40, 64);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], prefill);
+        assert_eq!(chunked_stream.next_step(), stream.next_step());
+    }
+
+    #[test]
+    fn chunked_request_slices_the_same_tokens() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 37).with_token_states();
+        let (prefill, _) = g.request(80);
+        let (chunks, _) = g.request_chunked(80, 32);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].tokens, 32);
+        assert_eq!(chunks[1].tokens, 48);
+        for l in 0..prefill.layers.len() {
+            // Per-token hidden states and routes concatenate back exactly.
+            let full = prefill.layers[l].states.as_ref().unwrap();
+            let mut token = 0usize;
+            for chunk in &chunks {
+                let part = chunk.layers[l].states.as_ref().unwrap();
+                for (i, input) in part.inputs.iter().enumerate() {
+                    assert_eq!(*input, full.inputs[token + i]);
+                    assert_eq!(part.routes[i], full.routes[token + i]);
+                }
+                token += part.inputs.len();
+            }
+            assert_eq!(token, 80);
+            // Integer loads add back to the unchunked routing.
+            let mut loads = vec![0u32; prefill.layers[l].routing.loads().len()];
+            for chunk in &chunks {
+                for (acc, c) in loads.iter_mut().zip(chunk.layers[l].routing.loads()) {
+                    *acc += c;
+                }
+            }
+            assert_eq!(loads, prefill.layers[l].routing.loads());
+        }
+    }
+
+    #[test]
+    fn chunk_remainder_merges_into_last_chunk() {
+        let g = TraceGenerator::new(ModelConfig::tiny_test(), 39);
+        // 100 = 32 + 32 + 36: the 4-token sliver rides with the last chunk.
+        let (chunks, _) = g.request_chunked(100, 32);
+        let tokens: Vec<u32> = chunks.iter().map(|c| c.tokens).collect();
+        assert_eq!(tokens, vec![32, 32, 36]);
+        assert!(tokens.iter().all(|t| *t >= 32 && *t < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_rejected() {
+        let _ = TraceGenerator::new(ModelConfig::tiny_test(), 41).request_chunked(64, 0);
     }
 
     #[test]

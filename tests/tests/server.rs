@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use hybrimoe::serve::server::{
     read_one_chunk, read_response_head, Server, ServerConfig, ServerHandle, ServerMetrics,
 };
-use hybrimoe::{EngineConfig, Framework};
+use hybrimoe::{EngineConfig, Framework, PrefetcherKind};
 use hybrimoe_model::ModelConfig;
 
 /// Starts a tiny-model server with the knobs the tests care about.
@@ -424,5 +424,67 @@ fn metrics_and_healthz_endpoints_answer() {
     let mut reader = BufReader::new(stream);
     let (status, _, _) = read_response_head(&mut reader).expect("response head");
     assert_eq!(status, 200);
+    server.shutdown();
+}
+
+/// `GET /metrics` exposes the engine's prefetch and predictor telemetry:
+/// the raw wire JSON carries the new fields, and on a predictive engine
+/// the parsed snapshot reports a predictor accuracy and per-shard hit
+/// ratios consistent with the prefetch counters.
+#[test]
+fn metrics_expose_prefetch_and_predictor_telemetry() {
+    let mut config = ServerConfig::new(
+        EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
+            .with_prefetcher(PrefetcherKind::Predictive),
+    );
+    config.max_batch = 4;
+    config.queue_depth = 64;
+    config.min_step = Some(Duration::from_millis(5));
+    let server = Server::start(config).expect("server binds a loopback port");
+
+    let (status, _) = generate(server.addr(), "{\"prompt_tokens\":8,\"decode_tokens\":4}");
+    assert_eq!(status, 200);
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, chunked, length) = read_response_head(&mut reader).expect("response head");
+    assert_eq!(status, 200);
+    assert!(!chunked);
+    let mut body = vec![0u8; length];
+    std::io::Read::read_exact(&mut reader, &mut body).expect("read body");
+    let body = std::str::from_utf8(&body).expect("utf-8");
+    for field in [
+        "\"prefetch_issued\"",
+        "\"prefetch_landed\"",
+        "\"prefetch_wasted\"",
+        "\"predictor_topk_accuracy\"",
+        "\"shard_hit_ratio\"",
+    ] {
+        assert!(body.contains(field), "wire JSON lacks {field}: {body}");
+    }
+
+    let metrics: ServerMetrics = serde_json::from_str(body).expect("metrics parse");
+    assert!(metrics.engine_steps > 0, "the request must have stepped");
+    // Every landed or wasted transfer was issued first.
+    assert!(metrics.prefetch_landed + metrics.prefetch_wasted <= metrics.prefetch_issued);
+    // A predictive engine always runs a predictor, so accuracy is
+    // reported (as a ratio), never omitted.
+    let accuracy = metrics
+        .predictor_topk_accuracy
+        .expect("predictive engines report predictor accuracy");
+    assert!((0.0..=1.0).contains(&accuracy), "accuracy {accuracy}");
+    assert!(
+        !metrics.shard_hit_ratio.is_empty(),
+        "per-shard hit ratios are published every step"
+    );
+    assert!(metrics
+        .shard_hit_ratio
+        .iter()
+        .all(|r| (0.0..=1.0).contains(r)));
     server.shutdown();
 }
