@@ -1,8 +1,10 @@
 //! CI perf-regression gates: the serving sweep vs the committed
 //! `BENCH_serve.json` snapshot, the predictive-prefetch sweep vs the
 //! committed `BENCH_prefetch.json` snapshot, the real-backend kernel
-//! sweep vs the committed `BENCH_real.json` snapshot, and the
-//! network-serving load vs the committed `BENCH_server.json` snapshot.
+//! sweep vs the committed `BENCH_real.json` snapshot, the
+//! network-serving load vs the committed `BENCH_server.json` snapshot,
+//! and the distributed-worker sweep vs the committed `BENCH_worker.json`
+//! snapshot.
 //!
 //! ```text
 //! cargo run -p hybrimoe_bench --release --bin bench_check                 # gate vs committed snapshots
@@ -11,13 +13,14 @@
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --prefetch-fresh prefetch_bench.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --real-fresh real_bench.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --server-fresh server_bench.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --worker-fresh worker_bench.json
 //! ```
 //!
 //! `--fresh <path>` / `--prefetch-fresh <path>` / `--real-fresh <path>` /
-//! `--server-fresh <path>` reuse already-computed sweep JSON (e.g. the
-//! artifacts the CI smoke job's `serve_bench` / `prefetch_bench` /
-//! `real_bench` / `load_gen` steps just wrote) instead of re-running the
-//! sweeps.
+//! `--server-fresh <path>` / `--worker-fresh <path>` reuse
+//! already-computed sweep JSON (e.g. the artifacts the CI smoke job's
+//! `serve_bench` / `prefetch_bench` / `real_bench` / `load_gen` /
+//! `worker_bench` steps just wrote) instead of re-running the sweeps.
 //!
 //! **Prefetch gate**: fails if any prefetch-sweep configuration's cache
 //! hit ratio *or* decode throughput at cache ratio 0.25 drops more than
@@ -50,15 +53,27 @@
 //! host speed. Refresh deliberately with
 //! `load_gen --json --out BENCH_server.json`.
 //!
+//! **Worker gate**: two checks over the distributed-worker sweep. First,
+//! each (workers, pipelining) series' *median remote-vs-local speedup* at
+//! batch ≥ [`WORKER_GATE_BATCH`] must not drop more than [`TOLERANCE`]
+//! below the committed snapshot (same median construction as the real
+//! gate — wall-clock points wobble, within-run ratios are portable).
+//! Second, an absolute scaling check on the fresh sweep alone: every
+//! pipelined multi-worker series' median throughput over the
+//! single-worker pipelined series at the gated batch sizes must hold
+//! parity ([`TOLERANCE`]-backed, since a single-core CI host serializes
+//! the workers and gets exactly parity). Refresh deliberately with
+//! `worker_bench --json --out BENCH_worker.json`.
+//!
 //! For the sweep gates, points present in the fresh sweep but absent from
 //! the snapshot are reported and tolerated (they appear when a sweep
 //! grows an axis); snapshot gate points missing from the fresh sweep fail
 //! the gate (the sweep silently shrank).
 
 use hybrimoe_bench::{
-    prefetch_point_key, prefetch_sweep, real_sweep, run_server_bench, same_rate, serve_sweep,
-    PrefetchRow, RealRow, ServeLoad, ServeRow, ServerBenchSummary, ServerLoad, PREFETCH_RATIO,
-    SEED,
+    median_f64, prefetch_point_key, prefetch_sweep, real_sweep, run_server_bench, same_rate,
+    serve_sweep, worker_point_key, worker_sweep, PrefetchRow, RealRow, ServeLoad, ServeRow,
+    ServerBenchSummary, ServerLoad, WorkerRow, PREFETCH_RATIO, SEED, WORKER_GATE_BATCH,
 };
 use hybrimoe_model::ModelConfig;
 
@@ -469,10 +484,180 @@ fn main() {
     );
     let server_compared = 1usize;
 
+    // ---- Worker gate: the distributed-worker sweep's remote-vs-local
+    // speedups must not regress against the snapshot, and pipelined
+    // multi-worker throughput must hold parity with a single worker at
+    // the gated batch sizes. ----
+    let worker_baseline_path =
+        flag_value(&args, "--worker-baseline").unwrap_or_else(|| "BENCH_worker.json".to_owned());
+    let worker_baseline: Vec<WorkerRow> = read_json(&worker_baseline_path, "worker baseline");
+    println!(
+        "bench_check: gating worker speedups at batch >= {WORKER_GATE_BATCH} \
+         (tolerance -{:.0}%) against {worker_baseline_path}",
+        TOLERANCE * 100.0
+    );
+    let worker_fresh: Vec<WorkerRow> = match flag_value(&args, "--worker-fresh") {
+        Some(path) => {
+            println!("bench_check: reusing fresh worker sweep from {path}");
+            read_json(&path, "fresh worker sweep")
+        }
+        None => worker_sweep(SEED),
+    };
+
+    let worker_fresh_gate: Vec<WorkerRow> = worker_fresh
+        .iter()
+        .filter(|r| r.batch >= WORKER_GATE_BATCH)
+        .cloned()
+        .collect();
+    let worker_base_gate: Vec<WorkerRow> = worker_baseline
+        .iter()
+        .filter(|b| b.batch >= WORKER_GATE_BATCH)
+        .cloned()
+        .collect();
+    for row in &worker_fresh_gate {
+        match worker_base_gate
+            .iter()
+            .find(|b| worker_point_key(b) == worker_point_key(row))
+        {
+            Some(base) => {
+                let delta = if base.speedup > 0.0 {
+                    row.speedup / base.speedup - 1.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "  {} worker(s), pipelined {:<5}, batch {:>2}, {} experts: snapshot \
+                     {:>5.2}x, fresh {:>5.2}x ({:+.1}%)",
+                    row.workers,
+                    row.pipelined,
+                    row.batch,
+                    row.experts,
+                    base.speedup,
+                    row.speedup,
+                    delta * 100.0
+                );
+            }
+            None => println!(
+                "  new worker gate point (not in snapshot): {} worker(s), pipelined {}, \
+                 batch {}, {} experts -> {:.2}x",
+                row.workers, row.pipelined, row.batch, row.experts, row.speedup
+            ),
+        }
+    }
+    for base in &worker_base_gate {
+        if !worker_fresh_gate
+            .iter()
+            .any(|r| worker_point_key(r) == worker_point_key(base))
+        {
+            failures.push(format!(
+                "worker gate point {} worker(s), pipelined {}, batch {}, {} experts vanished \
+                 from the sweep",
+                base.workers, base.pipelined, base.batch, base.experts
+            ));
+        }
+    }
+    // Per-series (workers, pipelining) medians over the key intersection,
+    // exactly like the real gate's per-backend medians.
+    let mut worker_series: Vec<(usize, bool)> = worker_base_gate
+        .iter()
+        .map(|b| (b.workers, b.pipelined))
+        .collect();
+    worker_series.sort();
+    worker_series.dedup();
+    let mut worker_compared = 0usize;
+    for (workers, pipelined) in &worker_series {
+        let fresh_common: Vec<f64> = worker_fresh_gate
+            .iter()
+            .filter(|r| {
+                r.workers == *workers
+                    && r.pipelined == *pipelined
+                    && worker_base_gate
+                        .iter()
+                        .any(|b| worker_point_key(b) == worker_point_key(r))
+            })
+            .map(|r| r.speedup)
+            .collect();
+        let base_common: Vec<f64> = worker_base_gate
+            .iter()
+            .filter(|b| {
+                b.workers == *workers
+                    && b.pipelined == *pipelined
+                    && worker_fresh_gate
+                        .iter()
+                        .any(|r| worker_point_key(r) == worker_point_key(b))
+            })
+            .map(|b| b.speedup)
+            .collect();
+        if fresh_common.is_empty() {
+            // Every point of this series vanished — already reported above.
+            continue;
+        }
+        worker_compared += fresh_common.len();
+        let fresh_median = median_f64(&fresh_common);
+        let base_median = median_f64(&base_common);
+        println!(
+            "  {workers} worker(s), pipelined {pipelined}: median speedup over {} shared gate \
+             point(s): {fresh_median:.2}x (snapshot median {base_median:.2}x)",
+            fresh_common.len()
+        );
+        if fresh_median < base_median * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "worker: {workers} worker(s) pipelined {pipelined} median speedup \
+                 {fresh_median:.2}x is {:.1}% below snapshot median {base_median:.2}x",
+                (1.0 - fresh_median / base_median) * 100.0
+            ));
+        }
+    }
+    // Absolute scaling check on the fresh sweep: pipelined multi-worker
+    // throughput vs the single-worker pipelined row at the same point.
+    let single_worker = |batch: usize, experts: u16| {
+        worker_fresh
+            .iter()
+            .find(|r| r.workers == 1 && r.pipelined && r.batch == batch && r.experts == experts)
+            .map(|r| r.remote_tok_s)
+    };
+    let mut multi_counts: Vec<usize> = worker_fresh_gate
+        .iter()
+        .filter(|r| r.workers > 1 && r.pipelined)
+        .map(|r| r.workers)
+        .collect();
+    multi_counts.sort_unstable();
+    multi_counts.dedup();
+    if multi_counts.is_empty() && !worker_fresh_gate.is_empty() {
+        failures.push("worker: sweep has no pipelined multi-worker gate points".to_owned());
+    }
+    for workers in &multi_counts {
+        let ratios: Vec<f64> = worker_fresh_gate
+            .iter()
+            .filter(|r| r.workers == *workers && r.pipelined)
+            .filter_map(|r| single_worker(r.batch, r.experts).map(|s| r.remote_tok_s / s))
+            .collect();
+        let median = median_f64(&ratios);
+        let verdict = if ratios.is_empty() || median < 1.0 - TOLERANCE {
+            failures.push(format!(
+                "worker: {workers} pipelined worker(s) median throughput is {median:.2}x of a \
+                 single worker at batch >= {WORKER_GATE_BATCH} (need >= {:.2}x)",
+                1.0 - TOLERANCE
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  scaling: {workers} pipelined worker(s) vs 1 at batch >= {WORKER_GATE_BATCH}: \
+             median {median:.2}x over {} point(s) {verdict}",
+            ratios.len()
+        );
+    }
+    if worker_compared == 0 && worker_base_gate.is_empty() {
+        eprintln!("bench_check: worker snapshot has no gate points; refresh BENCH_worker.json");
+        std::process::exit(2);
+    }
+
     if failures.is_empty() {
         println!(
             "bench_check: all gates passed ({compared} serve + {prefetch_compared} prefetch + \
-             {real_compared} real + {server_compared} server point(s))"
+             {real_compared} real + {server_compared} server + {worker_compared} worker point(s))"
         );
     } else {
         eprintln!("bench_check: FAILED");

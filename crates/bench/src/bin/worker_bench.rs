@@ -1,0 +1,100 @@
+//! Distributed-worker benchmark: sweeps worker count × pipelining × batch
+//! size over the remote executor (expert batches dispatched to in-thread
+//! workers behind real loopback sockets and the full framed protocol) and
+//! reports the measured tokens/s against the same executor running fully
+//! local on identical inputs and plans.
+//!
+//! ```text
+//! cargo run -p hybrimoe_bench --release --bin worker_bench                         # table + JSON
+//! cargo run -p hybrimoe_bench --release --bin worker_bench -- --json              # JSON only
+//! cargo run -p hybrimoe_bench --release --bin worker_bench -- --json --out x.json # also write a file
+//! ```
+//!
+//! `BENCH_worker.json` at the repo root is the committed snapshot; the
+//! `bench_check` CI gate diffs a fresh run's remote-vs-local *speedups*
+//! against it per (workers, pipelining) series, and additionally checks
+//! that pipelined multi-worker throughput holds at least parity with a
+//! single worker at batch ≥ [`WORKER_GATE_BATCH`] — absolute tokens/s are
+//! machine-dependent, the within-run ratios are not.
+
+use hybrimoe_bench::{
+    median_f64, real_bench_model, worker_sweep, WorkerRow, SEED, WORKER_COUNTS, WORKER_GATE_BATCH,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let out_path = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| {
+                eprintln!("--out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let model = real_bench_model();
+    if !json_only {
+        println!(
+            "Distributed expert workers — {} (hidden {}, inter {}), scalar kernels, \
+             1 thread/side, seed {SEED:#x}\n",
+            model.name,
+            model.routed_shape.hidden(),
+            model.routed_shape.inter()
+        );
+        println!(
+            "{:>8} {:>10} {:>6} {:>8} {:>14} {:>14} {:>9}",
+            "workers", "pipelined", "batch", "experts", "remote t/s", "local t/s", "speedup"
+        );
+    }
+
+    let rows: Vec<WorkerRow> = worker_sweep(SEED);
+
+    if !json_only {
+        for r in &rows {
+            println!(
+                "{:>8} {:>10} {:>6} {:>8} {:>14.1} {:>14.1} {:>8.2}x",
+                r.workers,
+                r.pipelined,
+                r.batch,
+                r.experts,
+                r.remote_tok_s,
+                r.local_tok_s,
+                r.speedup
+            );
+        }
+        // Gate summary: each multi-worker pipelined series' median
+        // throughput ratio over the single-worker pipelined series at the
+        // gated batch sizes (the scaling check `bench_check` enforces).
+        let single = |batch: usize, experts: u16| {
+            rows.iter()
+                .find(|r| r.workers == 1 && r.pipelined && r.batch == batch && r.experts == experts)
+                .map(|r| r.remote_tok_s)
+        };
+        println!();
+        for workers in WORKER_COUNTS.iter().filter(|w| **w > 1) {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.workers == *workers && r.pipelined && r.batch >= WORKER_GATE_BATCH)
+                .filter_map(|r| single(r.batch, r.experts).map(|s| r.remote_tok_s / s))
+                .collect();
+            println!(
+                "{workers} workers: median pipelined throughput vs 1 worker at batch >= \
+                 {WORKER_GATE_BATCH} across {} point(s): {:.2}x",
+                ratios.len(),
+                median_f64(&ratios)
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if !json_only {
+            println!("wrote {path}");
+        }
+    }
+    println!("{json}");
+}

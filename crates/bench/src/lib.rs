@@ -27,14 +27,17 @@ pub use server_bench::{run_server_bench, ServerLoad};
 use std::time::Instant;
 
 use hybrimoe::realexec::{RealExecOptions, RealLayerExecutor};
+use hybrimoe::remote::{RemoteLayerExecutor, RemoteWorkerOptions};
 use hybrimoe::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim, ServeSummary};
 use hybrimoe::{
     Engine, EngineConfig, Framework, PrefetcherKind, StageMetrics, DEFAULT_PREFETCH_LOOKAHEAD,
 };
 use hybrimoe_hw::UnitCostModel;
+use hybrimoe_kernels::KernelBackendKind;
 use hybrimoe_model::{ExpertShape, LayerId, LayerRouting, ModelConfig, RouterOutput};
 use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, SchedulePlan, Scheduler};
 use hybrimoe_trace::TraceGenerator;
+use hybrimoe_worker::{Endpoint, WorkerServer, WorkerServerOptions};
 use serde::{Deserialize, Serialize};
 
 /// Number of decode steps used by the decode experiments.
@@ -529,17 +532,8 @@ fn real_throughput(
 /// percent on shared hosts, but the median of all batched within-run
 /// ratios is stable.
 pub fn median_speedup(rows: &[RealRow]) -> f64 {
-    if rows.is_empty() {
-        return 0.0;
-    }
-    let mut speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
-    speedups.sort_unstable_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
-    let mid = speedups.len() / 2;
-    if speedups.len() % 2 == 1 {
-        speedups[mid]
-    } else {
-        (speedups[mid - 1] + speedups[mid]) / 2.0
-    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    median_f64(&speedups)
 }
 
 /// Runs the real-execution sweep (kernel backend × batch size × expert
@@ -592,6 +586,174 @@ pub fn real_sweep(seed: u64) -> Vec<RealRow> {
                         speedup: expert_major_tok_s / token_major_tok_s,
                     });
                 }
+            }
+        }
+    }
+    rows
+}
+
+/// Worker counts of the distributed-worker sweep (`worker_bench`).
+pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Batch sizes of the distributed-worker sweep; the CI gate watches the
+/// points at [`WORKER_GATE_BATCH`] and above.
+pub const WORKER_BATCH_SIZES: [usize; 3] = [1, 8, 32];
+
+/// Minimum batch size of worker gate points: frame and dispatch overhead
+/// amortizes over a batch, single-token layers stay ungated.
+pub const WORKER_GATE_BATCH: usize = 8;
+
+/// One row of the distributed-worker sweep: measured decode throughput of
+/// the remote executor at one (worker count, pipelining, batch) point,
+/// against the same executor running fully local (no endpoints) on
+/// identical inputs and plans. Written to `BENCH_worker.json` and gated by
+/// `bench_check --worker-fresh`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerRow {
+    /// Expert workers serving shards over the framed wire protocol.
+    pub workers: usize,
+    /// Whether the client dispatched every expert batch before collecting
+    /// any reply (strict-FIFO pipelining).
+    pub pipelined: bool,
+    /// Tokens per layer execution.
+    pub batch: usize,
+    /// Routing width (experts the tokens route among).
+    pub experts: u16,
+    /// Remote path: expert batches over the wire, tokens per second.
+    pub remote_tok_s: f64,
+    /// Fully-local path of the same executor, tokens per second.
+    pub local_tok_s: f64,
+    /// `remote_tok_s / local_tok_s`.
+    pub speedup: f64,
+}
+
+/// The identity of a worker-sweep row within the sweep (what the gate
+/// keys points by).
+pub fn worker_point_key(r: &WorkerRow) -> (usize, bool, usize, u16) {
+    (r.workers, r.pipelined, r.batch, r.experts)
+}
+
+/// Median of a finite sample (empty slice → 0); even lengths average the
+/// two middle values.
+pub fn median_f64(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Measured decode throughput (tokens/s) of the remote executor: best of
+/// three trials after one untimed warmup (which also opens the worker
+/// connections and loads shards). Panics if any batch failed over — a
+/// measurement that silently fell back to local kernels would report the
+/// wrong path.
+fn worker_throughput(
+    exec: &mut RemoteLayerExecutor,
+    plan: &SchedulePlan,
+    inputs: &[Vec<f32>],
+    routes: &[RouterOutput],
+    reps: usize,
+) -> f64 {
+    exec.execute_layer(LayerId(0), plan, inputs, routes)
+        .expect("warmup executes");
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let out = exec
+                .execute_layer(LayerId(0), plan, inputs, routes)
+                .expect("bench executes");
+            std::hint::black_box(&out.output);
+        }
+        let rate = (reps * inputs.len()) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    let health = exec.health();
+    assert_eq!(
+        health.failovers, 0,
+        "worker bench measured a failover; the row would mix remote and local paths"
+    );
+    best
+}
+
+/// Runs the distributed-worker sweep (worker count × pipelining × batch)
+/// that `worker_bench` reports and `bench_check` gates. Workers run
+/// in-thread behind real loopback TCP sockets speaking the full framed
+/// protocol — the same codec and client path as out-of-process workers,
+/// minus the process spawn. Scalar kernels and single compute threads are
+/// pinned on both sides, so the rows measure wire and dispatch structure
+/// rather than SIMD or thread-count differences across hosts. On a
+/// multi-core host the pipelined multi-worker rows show real scaling
+/// (workers compute concurrently); on any host they must hold parity with
+/// a single worker, which is what the CI gate checks.
+pub fn worker_sweep(seed: u64) -> Vec<WorkerRow> {
+    let model = real_bench_model();
+    let experts = model.routed_experts;
+    let exec_options = RealExecOptions {
+        max_threads: 1,
+        kernel_backend: KernelBackendKind::Scalar,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for batch in WORKER_BATCH_SIZES {
+        let (inputs, routes, plan) = real_layer(&model, batch, experts, seed);
+        let reps = (128 / batch).clamp(2, 32);
+        let mut local = RemoteLayerExecutor::new(
+            model.clone(),
+            seed,
+            exec_options,
+            &RemoteWorkerOptions::default(),
+        );
+        let local_tok_s = worker_throughput(&mut local, &plan, &inputs, &routes, reps);
+        for workers in WORKER_COUNTS {
+            let mut handles = Vec::new();
+            let mut endpoints = Vec::new();
+            for _ in 0..workers {
+                let handle = WorkerServer::bind(
+                    &Endpoint::parse("127.0.0.1:0"),
+                    WorkerServerOptions {
+                        threads: 1,
+                        drain_stops_server: false,
+                        ..Default::default()
+                    },
+                )
+                .expect("bind bench worker")
+                .spawn();
+                endpoints.push(handle.endpoint().to_string());
+                handles.push(handle);
+            }
+            for pipelined in [true, false] {
+                let mut remote = RemoteLayerExecutor::new(
+                    model.clone(),
+                    seed,
+                    exec_options,
+                    &RemoteWorkerOptions {
+                        endpoints: endpoints.clone(),
+                        pipeline: pipelined,
+                        ..Default::default()
+                    },
+                );
+                let remote_tok_s = worker_throughput(&mut remote, &plan, &inputs, &routes, reps);
+                assert!(remote.health().requests > 0, "no batch ran remotely");
+                rows.push(WorkerRow {
+                    workers,
+                    pipelined,
+                    batch,
+                    experts,
+                    remote_tok_s,
+                    local_tok_s,
+                    speedup: remote_tok_s / local_tok_s,
+                });
+            }
+            for handle in handles {
+                handle.shutdown();
             }
         }
     }

@@ -28,6 +28,7 @@ use hybrimoe_model::shard_of;
 use hybrimoe_model::LayerId;
 use hybrimoe_sched::{ScheduleContext, SchedulePlan};
 use hybrimoe_trace::TokenStates;
+use hybrimoe_worker::WorkerHealthSnapshot;
 
 use crate::realexec::{RealExecOptions, RealLayerExecutor, RealLayerOutput};
 
@@ -83,6 +84,13 @@ pub trait ExecutionBackend: std::fmt::Debug + Send {
     /// The CPU calibration distilled from every layer executed so far,
     /// if this backend measures real kernels.
     fn calibration(&self) -> Option<CalibrationProfile> {
+        None
+    }
+
+    /// Worker fleet health, if this backend dispatches expert batches to
+    /// out-of-process workers (see [`RemoteBackend`](crate::remote::RemoteBackend)).
+    /// `None` for purely local backends.
+    fn worker_health(&self) -> Option<WorkerHealthSnapshot> {
         None
     }
 }

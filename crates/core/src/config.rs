@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::{ExecutionBackend, RealCpuBackend, SimBackend};
 use crate::realexec::RealExecOptions;
+use crate::remote::{RemoteBackend, RemoteWorkerOptions};
 
 /// Which execution backend runs each layer's schedule (see
 /// [`crate::backend`]).
@@ -24,6 +25,11 @@ pub enum BackendKind {
     /// [`TokenStates`](hybrimoe_trace::TokenStates) and a model that fits
     /// the weight budget in [`EngineConfig::real_exec`].
     RealCpu,
+    /// Real execution with expert batches dispatched to out-of-process
+    /// workers ([`EngineConfig::remote_workers`]), falling back to local
+    /// kernels per expert when a worker is down. Same trace requirements
+    /// as [`BackendKind::RealCpu`].
+    RemoteWorkers,
 }
 
 impl BackendKind {
@@ -36,13 +42,19 @@ impl BackendKind {
                 config.seed,
                 config.real_exec,
             )),
+            BackendKind::RemoteWorkers => Box::new(RemoteBackend::new(
+                config.model.clone(),
+                config.seed,
+                config.real_exec,
+                &config.remote_workers,
+            )),
         }
     }
 
     /// Whether this backend consumes per-token hidden states (so trace
     /// generation must capture them).
     pub fn needs_token_states(self) -> bool {
-        self == BackendKind::RealCpu
+        matches!(self, BackendKind::RealCpu | BackendKind::RemoteWorkers)
     }
 }
 
@@ -258,6 +270,10 @@ pub struct EngineConfig {
     /// Resource limits of the real-execution backend (ignored by
     /// [`BackendKind::Sim`]).
     pub real_exec: RealExecOptions,
+    /// Worker endpoints and wire knobs of the remote-worker backend
+    /// (only [`BackendKind::RemoteWorkers`] reads them; with no
+    /// endpoints the backend degrades to fully-local execution).
+    pub remote_workers: RemoteWorkerOptions,
     /// How many layers ahead the learned predictor projects when
     /// [`PrefetcherKind::Predictive`] is active (other prefetchers take
     /// their lookahead from the trace record). Depth 1 is next-layer only.
@@ -312,6 +328,7 @@ impl EngineConfig {
             num_gpus: 1,
             backend: BackendKind::Sim,
             real_exec: RealExecOptions::default(),
+            remote_workers: RemoteWorkerOptions::default(),
             prefetch_lookahead: DEFAULT_PREFETCH_LOOKAHEAD,
             pipelined_prefetch: false,
             chunked_prefill_size: None,
@@ -425,6 +442,13 @@ impl EngineConfig {
     /// thread cap; only [`BackendKind::RealCpu`] reads them).
     pub fn with_real_exec(mut self, options: RealExecOptions) -> Self {
         self.real_exec = options;
+        self
+    }
+
+    /// Selects the remote-worker backend with the given worker fleet.
+    pub fn with_remote_workers(mut self, options: RemoteWorkerOptions) -> Self {
+        self.backend = BackendKind::RemoteWorkers;
+        self.remote_workers = options;
         self
     }
 

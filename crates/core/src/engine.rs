@@ -269,6 +269,12 @@ impl Engine {
         self.backend.calibration()
     }
 
+    /// Worker fleet health, if the engine runs the remote-worker backend
+    /// ([`crate::BackendKind::RemoteWorkers`]); `None` for local backends.
+    pub fn worker_health(&self) -> Option<hybrimoe_worker::WorkerHealthSnapshot> {
+        self.backend.worker_health()
+    }
+
     /// Cumulative prefetch accounting (issued / landed / wasted) since the
     /// engine was built.
     pub fn prefetch_counters(&self) -> PrefetchCounters {

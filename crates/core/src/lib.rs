@@ -46,6 +46,7 @@ mod config;
 mod engine;
 mod metrics;
 pub mod realexec;
+pub mod remote;
 pub mod report;
 pub mod serve;
 mod session;
@@ -60,6 +61,7 @@ pub use config::{
 pub use engine::{Engine, PrefetchCounters};
 pub use metrics::{StageMetrics, StepMetrics};
 pub use realexec::RealExecOptions;
+pub use remote::{RemoteBackend, RemoteLayerExecutor, RemoteWorkerOptions};
 pub use session::Session;
 
 // Re-export the substrate crates so downstream users need only one
@@ -70,3 +72,4 @@ pub use hybrimoe_kernels as kernels;
 pub use hybrimoe_model as model;
 pub use hybrimoe_sched as sched;
 pub use hybrimoe_trace as trace;
+pub use hybrimoe_worker as worker;

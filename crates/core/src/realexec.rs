@@ -533,7 +533,9 @@ impl RealLayerExecutor {
 
 /// Books one expert's elapsed wall-clock against the device that computed
 /// it (sorted-slice membership; GPU shard looked up by binary search).
-fn account(
+/// Shared with the remote executor ([`crate::remote`]), which books each
+/// expert to its planned device whether the batch ran locally or remotely.
+pub(crate) fn account(
     expert: u16,
     elapsed: Duration,
     cpu: &[u16],

@@ -58,6 +58,37 @@ pub struct StepOutcome {
 /// as their output length is reached — no request waits for an epoch
 /// boundary. Admission is FIFO within a priority class; lower
 /// [`RequestSpec::priority`] values are admitted first.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::serve::{ContinuousBatcher, RequestSpec, DEFAULT_PRIORITY};
+/// use hybrimoe::{EngineConfig, Framework};
+/// use hybrimoe_hw::SimTime;
+/// use hybrimoe_model::ModelConfig;
+///
+/// let config = EngineConfig::preset(Framework::HybriMoe, ModelConfig::deepseek(), 0.25);
+/// let mut batcher = ContinuousBatcher::new(config, 4, 7);
+/// batcher.enqueue(RequestSpec {
+///     id: 0,
+///     arrival: SimTime::ZERO,
+///     prompt_tokens: 16,
+///     decode_tokens: 4,
+///     priority: DEFAULT_PRIORITY,
+/// });
+///
+/// // The caller owns the clock: here each step lands at its modeled
+/// // latency, which is what `ServeSim` does.
+/// let mut now = SimTime::ZERO;
+/// let mut completed = Vec::new();
+/// while !batcher.is_idle() {
+///     let outcome = batcher.step(now, |latency| now + latency);
+///     now = outcome.end;
+///     completed.extend(outcome.completed);
+/// }
+/// assert_eq!(completed.len(), 1);
+/// assert_eq!(completed[0].id, 0);
+/// ```
 #[derive(Debug)]
 pub struct ContinuousBatcher {
     engine: Engine,

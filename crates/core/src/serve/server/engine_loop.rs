@@ -115,6 +115,7 @@ pub(crate) fn run(
                 engine.prefetch_counters(),
                 engine.predictor_accuracy(),
                 engine.shard_hit_ratios(),
+                engine.worker_health(),
             );
         }
         let hung_up = deliver(&outcome, &mut clients, &shared);

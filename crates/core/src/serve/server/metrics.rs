@@ -59,6 +59,18 @@ pub struct ServerMetrics {
     pub predictor_topk_accuracy: Option<f64>,
     /// Expert-cache hit ratio per GPU shard, refreshed every engine step.
     pub shard_hit_ratio: Vec<f64>,
+    /// Remote expert workers configured (zero unless the engine runs the
+    /// remote-worker backend).
+    pub workers_configured: u64,
+    /// Remote workers currently connected.
+    pub workers_up: u64,
+    /// Expert batches dispatched to remote workers since startup.
+    pub worker_requests: u64,
+    /// Expert batches that fell back to local execution after a worker
+    /// failure or while a worker was down.
+    pub worker_failovers: u64,
+    /// Successful worker reconnects after a failure.
+    pub worker_reconnects: u64,
 }
 
 /// Accumulates per-request SLO samples behind a mutex. The engine loop

@@ -150,6 +150,13 @@ pub(crate) struct Shared {
     /// `u64::MAX` (a NaN pattern no real accuracy produces) when the
     /// engine runs no predictor.
     predictor_accuracy_bits: AtomicU64,
+    /// Worker fleet health, mirrored from the engine's backend after
+    /// every step; all-zero unless the remote-worker backend runs.
+    workers_configured: AtomicU64,
+    workers_up: AtomicU64,
+    worker_requests: AtomicU64,
+    worker_failovers: AtomicU64,
+    worker_reconnects: AtomicU64,
     /// Expert-cache hit ratio per GPU shard, refreshed every engine step.
     shard_hit_ratios: Mutex<Vec<f64>>,
     pub slo: SloRecorder,
@@ -177,6 +184,11 @@ impl Shared {
             prefetch_landed: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
             predictor_accuracy_bits: AtomicU64::new(u64::MAX),
+            workers_configured: AtomicU64::new(0),
+            workers_up: AtomicU64::new(0),
+            worker_requests: AtomicU64::new(0),
+            worker_failovers: AtomicU64::new(0),
+            worker_reconnects: AtomicU64::new(0),
             shard_hit_ratios: Mutex::new(Vec::new()),
             slo: SloRecorder::default(),
             origin: Instant::now(),
@@ -201,6 +213,7 @@ impl Shared {
         counters: PrefetchCounters,
         accuracy: Option<f64>,
         shards: Vec<f64>,
+        workers: Option<hybrimoe_worker::WorkerHealthSnapshot>,
     ) {
         self.prefetch_issued
             .store(counters.issued, Ordering::Relaxed);
@@ -210,6 +223,16 @@ impl Shared {
             .store(counters.wasted, Ordering::Relaxed);
         let bits = accuracy.map_or(u64::MAX, f64::to_bits);
         self.predictor_accuracy_bits.store(bits, Ordering::Relaxed);
+        let health = workers.unwrap_or_default();
+        self.workers_configured
+            .store(health.configured, Ordering::Relaxed);
+        self.workers_up.store(health.up, Ordering::Relaxed);
+        self.worker_requests
+            .store(health.requests, Ordering::Relaxed);
+        self.worker_failovers
+            .store(health.failovers, Ordering::Relaxed);
+        self.worker_reconnects
+            .store(health.reconnects, Ordering::Relaxed);
         *self
             .shard_hit_ratios
             .lock()
@@ -258,6 +281,11 @@ impl Shared {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
+            workers_configured: self.workers_configured.load(Ordering::Relaxed),
+            workers_up: self.workers_up.load(Ordering::Relaxed),
+            worker_requests: self.worker_requests.load(Ordering::Relaxed),
+            worker_failovers: self.worker_failovers.load(Ordering::Relaxed),
+            worker_reconnects: self.worker_reconnects.load(Ordering::Relaxed),
         }
     }
 }
@@ -357,6 +385,20 @@ impl Server {
 
 /// A running server. Dropping the handle shuts the server down without
 /// waiting; call [`ServerHandle::shutdown`] for an orderly drain-and-join.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe::serve::server::{Server, ServerConfig};
+/// use hybrimoe::{EngineConfig, Framework};
+/// use hybrimoe_model::ModelConfig;
+///
+/// let engine = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5);
+/// let handle = Server::start(ServerConfig::new(engine)).unwrap();
+/// println!("listening on http://{}", handle.addr()); // OS-assigned port
+/// let metrics = handle.shutdown(); // graceful drain-and-join
+/// assert_eq!(metrics.completed, 0);
+/// ```
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,

@@ -1,0 +1,211 @@
+//! Cost modeling for remote expert workers.
+//!
+//! Scale-out changes nothing about the scheduling math: a remote worker is
+//! a device with a different transfer cost. Where a GPU pays a PCIe
+//! transfer to receive an expert's *weights*, a worker pays a network
+//! round trip to receive an expert's *activations* and return its
+//! outputs. [`RemoteLink`] prices that round trip, and
+//! [`RemoteCostModel`] drops it into the [`CostModel`] slot so every
+//! scheduler in the repo can price a network hop exactly like a PCIe
+//! lane.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostModel, ExpertProfile};
+use crate::time::SimDuration;
+
+/// Identifies one remote expert worker in a deployment. Workers own
+/// experts under the same static affinity map as GPU cache shards:
+/// `expert % num_workers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u16);
+
+/// The network link to one worker: bandwidth plus a per-message latency
+/// floor (syscalls, framing, kernel scheduling).
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::RemoteLink;
+///
+/// let loopback = RemoteLink::loopback();
+/// let ten_gbe = RemoteLink::ten_gbe();
+/// // A 64-token batch of a 2048-wide model, f32 activations each way:
+/// let bytes = 64 * 2048 * 4;
+/// assert!(loopback.round_trip(bytes, bytes) < ten_gbe.round_trip(bytes, bytes));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteLink {
+    /// Link bandwidth in gigabits per second.
+    pub gbps: f64,
+    /// One-way per-message latency floor.
+    pub latency: SimDuration,
+}
+
+impl RemoteLink {
+    /// A same-host loopback/UDS link: memory-bandwidth-limited, tens of
+    /// microseconds of syscall latency.
+    pub fn loopback() -> RemoteLink {
+        RemoteLink {
+            gbps: 50.0,
+            latency: SimDuration::from_micros(20),
+        }
+    }
+
+    /// A datacenter 10 GbE link.
+    pub fn ten_gbe() -> RemoteLink {
+        RemoteLink {
+            gbps: 10.0,
+            latency: SimDuration::from_micros(80),
+        }
+    }
+
+    /// Time to push `bytes` one way over this link.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        let wire_s = bytes as f64 * 8.0 / (self.gbps * 1e9);
+        self.latency + SimDuration::from_secs_f64(wire_s)
+    }
+
+    /// Time for a request/reply exchange carrying `bytes_out` to the
+    /// worker and `bytes_back` home.
+    pub fn round_trip(&self, bytes_out: u64, bytes_back: u64) -> SimDuration {
+        self.transfer(bytes_out) + self.transfer(bytes_back)
+    }
+
+    /// The wire cost of executing one `tokens x hidden` f32 expert batch
+    /// remotely: activations out, outputs back, same shape each way.
+    pub fn execute_batch_cost(&self, tokens: u32, hidden: u32) -> SimDuration {
+        let bytes = tokens as u64 * hidden as u64 * 4;
+        self.round_trip(bytes, bytes)
+    }
+}
+
+/// A [`CostModel`] for expert execution on a remote worker: compute costs
+/// delegate to the worker's own (CPU) model, and the transfer cost prices
+/// the network link instead of a PCIe lane — the scheduler needs no other
+/// change to reason about a worker.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_hw::{
+///     AffineCostModel, CostModel, ExpertProfile, Platform, RemoteCostModel, RemoteLink,
+/// };
+///
+/// let local = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+/// let remote = RemoteCostModel::new(local.clone(), RemoteLink::ten_gbe());
+/// let e = ExpertProfile::new(5_000_000, 17_000_000);
+/// // The worker's CPU is the same CPU; only the "lane" differs.
+/// assert_eq!(remote.cpu_compute(&e, 8, true), local.cpu_compute(&e, 8, true));
+/// assert_ne!(remote.transfer(&e), local.transfer(&e));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteCostModel<M> {
+    /// The worker-local compute model.
+    pub base: M,
+    /// The link to the worker.
+    pub link: RemoteLink,
+    /// Tokens per batch assumed when pricing an expert "transfer" (the
+    /// activations round trip scales with batch size, but the
+    /// [`CostModel::transfer`] signature is per-expert; schedulers that
+    /// know the batch should call [`RemoteLink::execute_batch_cost`]
+    /// directly).
+    pub assumed_batch_tokens: u32,
+}
+
+impl<M> RemoteCostModel<M> {
+    /// Wraps a worker-local compute model with a network link, assuming
+    /// 8-token batches for per-expert transfer pricing.
+    pub fn new(base: M, link: RemoteLink) -> RemoteCostModel<M> {
+        RemoteCostModel {
+            base,
+            link,
+            assumed_batch_tokens: 8,
+        }
+    }
+}
+
+impl<M: CostModel> CostModel for RemoteCostModel<M> {
+    fn cpu_compute(&self, expert: &ExpertProfile, tokens: u32, warm: bool) -> SimDuration {
+        self.base.cpu_compute(expert, tokens, warm)
+    }
+
+    fn gpu_compute(&self, expert: &ExpertProfile, tokens: u32) -> SimDuration {
+        self.base.gpu_compute(expert, tokens)
+    }
+
+    fn transfer(&self, expert: &ExpertProfile) -> SimDuration {
+        // Activations scale with hidden width; approximate hidden from the
+        // expert's per-token FLOPs (three `hidden x inter` matmuls make
+        // `flops = 6 * hidden * inter`, and bytes ≈ 3 * hidden * inter / 2
+        // at ~4.5 bits/weight, so hidden cancels out of neither cleanly —
+        // use the byte-derived estimate, which is exact for the repo's
+        // synthetic experts).
+        let hidden = estimate_hidden(expert);
+        self.link
+            .execute_batch_cost(self.assumed_batch_tokens, hidden)
+    }
+}
+
+/// Estimates the hidden width of an expert from its profile, assuming the
+/// repo's square-ish SwiGLU experts (`inter = 1.5 * hidden`) quantized at
+/// `Q4_0` (~4.5 bits per weight): `bytes ≈ 3 * hidden * inter * 9/16`.
+fn estimate_hidden(expert: &ExpertProfile) -> u32 {
+    let weights = expert.bytes() as f64 * 16.0 / 9.0 / 3.0; // hidden * inter
+    ((weights / 1.5).sqrt().round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AffineCostModel, Platform};
+
+    #[test]
+    fn link_costs_scale_with_bytes_and_latency() {
+        let link = RemoteLink::loopback();
+        assert!(link.transfer(1_000_000) > link.transfer(1_000));
+        // The latency floor dominates tiny messages.
+        assert!(link.transfer(1) >= link.latency);
+        // A round trip pays the floor twice.
+        assert!(link.round_trip(1, 1) >= link.latency * 2);
+    }
+
+    #[test]
+    fn batch_cost_scales_with_tokens() {
+        let link = RemoteLink::ten_gbe();
+        assert!(link.execute_batch_cost(64, 2048) > link.execute_batch_cost(1, 2048));
+    }
+
+    #[test]
+    fn remote_model_delegates_compute() {
+        let base = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let remote = RemoteCostModel::new(base.clone(), RemoteLink::loopback());
+        let e = ExpertProfile::new(4_866_048, 17_301_504);
+        assert_eq!(
+            remote.cpu_compute(&e, 4, false),
+            base.cpu_compute(&e, 4, false)
+        );
+        assert_eq!(remote.gpu_compute(&e, 4), base.gpu_compute(&e, 4));
+    }
+
+    #[test]
+    fn remote_transfer_moves_activations_not_weights() {
+        // Shipping an 8-token activation batch is far cheaper than moving
+        // a Mixtral expert's ~99 MB of weights over the same wire would
+        // be — the whole point of compute-near-weights workers.
+        let base = AffineCostModel::from_platform(&Platform::a6000_xeon10());
+        let link = RemoteLink::ten_gbe();
+        let remote = RemoteCostModel::new(base, link);
+        let e = ExpertProfile::new(99_090_432, 352_321_536);
+        assert!(remote.transfer(&e) < link.transfer(e.bytes()));
+    }
+
+    #[test]
+    fn estimated_hidden_is_exact_for_synthetic_experts() {
+        // tiny_test's routed expert: hidden 64, inter 96 — but packed_bytes
+        // uses the real Q4 layout; accept a loose band.
+        let e = ExpertProfile::new(3 * 64 * 96 * 9 / 16, 6 * 64 * 96);
+        let h = estimate_hidden(&e);
+        assert!((32..=128).contains(&h), "hidden estimate {h}");
+    }
+}

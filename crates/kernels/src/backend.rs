@@ -170,6 +170,24 @@ pub fn available() -> Vec<&'static dyn KernelBackend> {
 /// Implementations are stateless statics; [`KernelBackendKind::resolve`]
 /// hands out `&'static` references, so an executor stores the resolved
 /// backend once and pays one virtual dispatch per weight row.
+///
+/// # Example
+///
+/// ```
+/// use hybrimoe_kernels::{KernelBackendKind, QuantizedMatrix, Q4_BLOCK};
+///
+/// let weights: Vec<f32> = (0..Q4_BLOCK).map(|i| i as f32 / 16.0).collect();
+/// let row = QuantizedMatrix::quantize(&weights, 1, Q4_BLOCK).unwrap();
+///
+/// let backend = KernelBackendKind::Scalar.resolve();
+/// let x = vec![1.0_f32; Q4_BLOCK];
+/// let mut out = [0.0_f32];
+/// backend.qdot_row(&row.data(), &x, Q4_BLOCK, &mut out);
+///
+/// // Same math as dotting the dequantized row.
+/// let reference: f32 = row.dequantize().iter().zip(&x).map(|(w, x)| w * x).sum();
+/// assert!((out[0] - reference).abs() < 1e-3);
+/// ```
 pub trait KernelBackend: fmt::Debug + Send + Sync {
     /// The concrete kind of this implementation.
     fn kind(&self) -> KernelBackendKind;

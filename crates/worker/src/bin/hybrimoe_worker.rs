@@ -1,0 +1,72 @@
+//! The standalone expert-worker process.
+//!
+//! ```text
+//! hybrimoe_worker --listen 127.0.0.1:0 [--threads N] [--fail-after N]
+//! ```
+//!
+//! Binds the endpoint (TCP `host:port`, port 0 allowed, or
+//! `unix:/path.sock`), prints `listening on <endpoint>` on stdout so a
+//! parent process can read back the resolved port, and serves until a
+//! client sends Drain. `--fail-after N` is the fault-injection knob used
+//! by failover demos: the worker crashes mid-request after N executes.
+
+use std::process::ExitCode;
+
+use hybrimoe_worker::{Endpoint, WorkerServer, WorkerServerOptions};
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut options = WorkerServerOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen"),
+            "--threads" => {
+                options.threads = value("--threads").parse().expect("--threads: not a number")
+            }
+            "--fail-after" => {
+                options.fail_after_executes = Some(
+                    value("--fail-after")
+                        .parse()
+                        .expect("--fail-after: not a number"),
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: hybrimoe_worker [--listen ADDR|unix:PATH] [--threads N] [--fail-after N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match WorkerServer::bind(&Endpoint::parse(&listen), options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The parent reads this line to learn the resolved port when
+    // listening on port 0.
+    println!("listening on {}", server.endpoint());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

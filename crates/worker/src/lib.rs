@@ -1,0 +1,131 @@
+//! # hybrimoe-worker
+//!
+//! Out-of-process expert workers for scale-out MoE serving.
+//!
+//! HybriMoE's scheduler treats every compute resource as a queue with a
+//! transfer cost; this crate extends the set of resources past the local
+//! box. A worker owns a deterministic weight shard (the same
+//! `expert % num_workers` affinity map the multi-GPU cache shards use) and
+//! executes each expert's gathered token batch on request, speaking a
+//! compact length-prefixed framed protocol over TCP or Unix-domain
+//! sockets:
+//!
+//! * [`protocol`] — the codec: 14-byte big-endian frame header (magic,
+//!   version, opcode, request id, payload length), typed payloads, and the
+//!   error-reply and version-negotiation rules. Byte-level documentation
+//!   lives in `docs/protocol.md`, kept honest by a round-trip test.
+//! * [`server`] — [`WorkerServer`]: the worker side. Runs in-process on a
+//!   thread (deterministic tests/benches) or standalone via the
+//!   `hybrimoe_worker` bin.
+//! * [`client`] — [`WorkerClient`] (blocking, pipelined, per-request
+//!   deadlines) and [`WorkerClientPool`] (shard-affine routing,
+//!   reconnect-with-backoff, health counters for `/metrics`).
+//!
+//! The engine side lives in the `hybrimoe` core crate: its
+//! `RemoteBackend` gathers tokens expert-major exactly like local
+//! execution, ships each batch to the expert's shard-affine worker, and
+//! falls back to local execution per expert when a worker is down —
+//! outputs are bit-identical either way.
+//!
+//! ## Example
+//!
+//! ```
+//! use hybrimoe_worker::protocol::{ExecuteBatch, LoadShard};
+//! use hybrimoe_worker::{
+//!     ClientOptions, Endpoint, WorkerClient, WorkerServer, WorkerServerOptions,
+//! };
+//!
+//! // A worker in a thread, speaking the real codec over a real socket.
+//! let server = WorkerServer::bind(
+//!     &Endpoint::parse("127.0.0.1:0"),
+//!     WorkerServerOptions::default(),
+//! )
+//! .unwrap();
+//! let handle = server.spawn();
+//!
+//! let mut client =
+//!     WorkerClient::connect(handle.endpoint(), ClientOptions::default()).unwrap();
+//! client
+//!     .load_shard(&LoadShard {
+//!         seed: 42,
+//!         worker: 0,
+//!         num_workers: 1,
+//!         layers: 4,
+//!         routed_experts: 8,
+//!         hidden: 64,
+//!         inter: 96,
+//!         weight_budget_bytes: 64 * 1024 * 1024,
+//!         backend: 1, // scalar
+//!     })
+//!     .unwrap();
+//! let ack = client
+//!     .execute(&ExecuteBatch {
+//!         layer: 0,
+//!         expert: 0,
+//!         tokens: 1,
+//!         hidden: 64,
+//!         data: vec![0.1; 64],
+//!     })
+//!     .unwrap();
+//! assert!(ack.data.iter().all(|v| v.is_finite()));
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use client::{
+    ClientError, ClientOptions, Endpoint, WorkerClient, WorkerClientPool, WorkerHealthSnapshot,
+};
+pub use server::{WorkerHandle, WorkerServer, WorkerServerOptions};
+
+/// The wire encoding of `KernelBackendKind` used by
+/// [`protocol::LoadShard::backend`]: the engine pins the worker's kernel
+/// backend so remote outputs are bit-identical to local ones.
+pub mod wire_backend {
+    use hybrimoe_kernels::KernelBackendKind;
+
+    /// Encodes a kernel backend kind as its wire byte.
+    pub fn to_wire(kind: KernelBackendKind) -> u8 {
+        match kind {
+            KernelBackendKind::Auto => 0,
+            KernelBackendKind::Scalar => 1,
+            KernelBackendKind::Portable => 2,
+            KernelBackendKind::Avx2 => 3,
+        }
+    }
+
+    /// Decodes a wire byte back to a kernel backend kind.
+    pub fn from_wire(byte: u8) -> Option<KernelBackendKind> {
+        Some(match byte {
+            0 => KernelBackendKind::Auto,
+            1 => KernelBackendKind::Scalar,
+            2 => KernelBackendKind::Portable,
+            3 => KernelBackendKind::Avx2,
+            _ => return None,
+        })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn wire_round_trips() {
+            for kind in [
+                KernelBackendKind::Auto,
+                KernelBackendKind::Scalar,
+                KernelBackendKind::Portable,
+                KernelBackendKind::Avx2,
+            ] {
+                assert_eq!(from_wire(to_wire(kind)), Some(kind));
+            }
+            assert_eq!(from_wire(9), None);
+        }
+    }
+}

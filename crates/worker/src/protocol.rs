@@ -1,0 +1,907 @@
+//! The framed wire protocol spoken between the engine and expert workers.
+//!
+//! Every message is one **frame**: a fixed 14-byte header followed by an
+//! opcode-specific payload. All integers are big-endian (network order);
+//! `f32` tensors travel as their IEEE-754 bit patterns, so a round trip is
+//! bit-exact.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        0x48594D57 ("HYMW")
+//! 4       1     version      protocol version (currently 1)
+//! 5       1     opcode       see the opcode table
+//! 6       4     request id   echoed verbatim in the reply
+//! 10      4     payload len  bytes following the header (<= 32 MiB)
+//! ```
+//!
+//! The byte-level layout, the opcode table, and the version-negotiation and
+//! error-reply semantics are documented in `docs/protocol.md`, which a test
+//! keeps in sync by round-tripping its example frames through this codec.
+//!
+//! # Example
+//!
+//! ```
+//! use hybrimoe_worker::protocol::{decode_frame, encode_frame, Opcode, HEADER_LEN};
+//!
+//! let mut wire = Vec::new();
+//! encode_frame(Opcode::Heartbeat, 7, &[], &mut wire);
+//! assert_eq!(wire.len(), HEADER_LEN);
+//! let (header, payload) = decode_frame(&wire).unwrap();
+//! assert_eq!(header.opcode, Opcode::Heartbeat);
+//! assert_eq!(header.request_id, 7);
+//! assert!(payload.is_empty());
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The frame magic, ASCII `HYMW`.
+pub const MAGIC: u32 = 0x4859_4D57;
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// The oldest protocol version this build still understands.
+pub const MIN_VERSION: u8 = 1;
+
+/// Frame header length in bytes: magic + version + opcode + request id +
+/// payload length.
+pub const HEADER_LEN: usize = 14;
+
+/// Upper bound on a frame's payload. A 32 MiB ceiling bounds worker memory
+/// against corrupt or hostile length fields while leaving room for a
+/// 2048-token batch of an 4096-wide model.
+pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+
+/// Frame opcodes. Requests use odd values, their acknowledgments the next
+/// even value; [`Opcode::Error`] answers any request that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Version negotiation; first frame on every connection.
+    Hello = 0x01,
+    /// Accepts a [`Opcode::Hello`], carrying the negotiated version.
+    HelloAck = 0x02,
+    /// Instructs the worker to materialize its weight shard.
+    LoadShard = 0x03,
+    /// Acknowledges a shard load with the number of experts owned.
+    LoadShardAck = 0x04,
+    /// One expert's gathered token batch to execute.
+    ExecuteBatch = 0x05,
+    /// The batch's outputs, same shape as the request tensor.
+    ExecuteBatchAck = 0x06,
+    /// Liveness probe.
+    Heartbeat = 0x07,
+    /// Answers a probe with the worker's execution counters.
+    HeartbeatAck = 0x08,
+    /// Asks the worker to finish in-flight work and close.
+    Drain = 0x09,
+    /// Acknowledges a drain; the worker closes the connection after.
+    DrainAck = 0x0A,
+    /// Error reply to any request (see [`ErrorCode`]).
+    Error = 0x0F,
+}
+
+impl Opcode {
+    /// Parses a wire opcode byte.
+    pub fn from_u8(byte: u8) -> Option<Opcode> {
+        Some(match byte {
+            0x01 => Opcode::Hello,
+            0x02 => Opcode::HelloAck,
+            0x03 => Opcode::LoadShard,
+            0x04 => Opcode::LoadShardAck,
+            0x05 => Opcode::ExecuteBatch,
+            0x06 => Opcode::ExecuteBatchAck,
+            0x07 => Opcode::Heartbeat,
+            0x08 => Opcode::HeartbeatAck,
+            0x09 => Opcode::Drain,
+            0x0A => Opcode::DrainAck,
+            0x0F => Opcode::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Why an [`Opcode::Error`] reply was sent (the payload's leading `u16`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// No overlap between the client's and the worker's version ranges.
+    /// The worker closes the connection after this reply.
+    VersionMismatch = 1,
+    /// The requested expert is not in this worker's shard.
+    NotMyShard = 2,
+    /// The payload failed to decode or its dimensions are inconsistent.
+    BadPayload = 3,
+    /// The worker's weight budget cannot materialize the expert.
+    WeightBudget = 4,
+    /// The worker is draining and accepts no new work.
+    Draining = 5,
+    /// A request arrived before [`Opcode::LoadShard`] configured the worker.
+    NotLoaded = 6,
+    /// Any other worker-side failure; the message names it.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Parses a wire error code.
+    pub fn from_u16(raw: u16) -> Option<ErrorCode> {
+        Some(match raw {
+            1 => ErrorCode::VersionMismatch,
+            2 => ErrorCode::NotMyShard,
+            3 => ErrorCode::BadPayload,
+            4 => ErrorCode::WeightBudget,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::NotLoaded,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// What went wrong while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The first four bytes were not [`MAGIC`]; the stream is not speaking
+    /// this protocol (or has desynchronized) and must be closed.
+    BadMagic(u32),
+    /// The frame's version byte is outside `MIN_VERSION..=VERSION`.
+    UnsupportedVersion(u8),
+    /// The opcode byte names no known opcode.
+    UnknownOpcode(u8),
+    /// The header announces a payload longer than [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+        /// The enforced ceiling ([`MAX_PAYLOAD`]).
+        max: u32,
+    },
+    /// The stream ended inside a header or announced payload.
+    Truncated,
+    /// The payload decoded structurally but its contents are inconsistent.
+    BadPayload(String),
+    /// An I/O error on the underlying stream.
+    Io(io::Error),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadMagic(got) => {
+                write!(f, "bad frame magic {got:#010x} (expected {MAGIC:#010x})")
+            }
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (speak {MIN_VERSION}..={VERSION})"
+                )
+            }
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds the {max}-byte ceiling")
+            }
+            ProtocolError::Truncated => f.write_str("stream ended mid-frame"),
+            ProtocolError::BadPayload(why) => write!(f, "bad payload: {why}"),
+            ProtocolError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame's protocol version byte.
+    pub version: u8,
+    /// What the frame carries.
+    pub opcode: Opcode,
+    /// Correlates a reply with its request under pipelining.
+    pub request_id: u32,
+    /// Payload bytes following the header.
+    pub len: u32,
+}
+
+/// Appends one whole frame (header + payload) to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — callers build payloads and
+/// are expected to respect the ceiling they enforce on the receive side.
+pub fn encode_frame(opcode: Opcode, request_id: u32, payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "payload of {} bytes exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.push(opcode as u8);
+    out.extend_from_slice(&request_id.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decodes the 14-byte header at the start of `bytes`.
+pub fn decode_header(bytes: &[u8]) -> Result<FrameHeader, ProtocolError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ProtocolError::Truncated);
+    }
+    let magic = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    let version = bytes[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    let opcode = Opcode::from_u8(bytes[5]).ok_or(ProtocolError::UnknownOpcode(bytes[5]))?;
+    let request_id = u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    let len = u32::from_be_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    Ok(FrameHeader {
+        version,
+        opcode,
+        request_id,
+        len,
+    })
+}
+
+/// Decodes one whole frame from a byte buffer, returning its header and a
+/// view of the payload. Fails with [`ProtocolError::Truncated`] if the
+/// buffer ends inside the announced payload.
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), ProtocolError> {
+    let header = decode_header(bytes)?;
+    let end = HEADER_LEN + header.len as usize;
+    if bytes.len() < end {
+        return Err(ProtocolError::Truncated);
+    }
+    Ok((header, &bytes[HEADER_LEN..end]))
+}
+
+/// Reads exactly one frame from a blocking stream. The payload lands in
+/// `payload` (cleared first, so the buffer is reusable across calls).
+pub fn read_frame<R: Read>(
+    stream: &mut R,
+    payload: &mut Vec<u8>,
+) -> Result<FrameHeader, ProtocolError> {
+    let mut head = [0u8; HEADER_LEN];
+    stream.read_exact(&mut head)?;
+    let header = decode_header(&head)?;
+    payload.clear();
+    payload.resize(header.len as usize, 0);
+    stream.read_exact(payload)?;
+    Ok(header)
+}
+
+/// Writes one frame to a blocking stream.
+pub fn write_frame<W: Write>(
+    stream: &mut W,
+    opcode: Opcode,
+    request_id: u32,
+    payload: &[u8],
+) -> Result<(), ProtocolError> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame(opcode, request_id, payload, &mut buf);
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    Ok(())
+}
+
+// ---- payload codecs ----
+
+/// A little bounds-checked big-endian reader over a payload slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ProtocolError::BadPayload("payload shorter than announced".into()))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::BadPayload(format!(
+                "{} trailing bytes",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Version negotiation, the first frame of every connection: the client
+/// names the version range it speaks; the worker acknowledges with the
+/// highest version both sides share, or answers
+/// [`ErrorCode::VersionMismatch`] and closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Oldest protocol version the client accepts.
+    pub min_version: u8,
+    /// Newest protocol version the client speaks.
+    pub max_version: u8,
+}
+
+impl Hello {
+    /// The hello this build sends.
+    pub fn current() -> Hello {
+        Hello {
+            min_version: MIN_VERSION,
+            max_version: VERSION,
+        }
+    }
+
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.min_version);
+        out.push(self.max_version);
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<Hello, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let hello = Hello {
+            min_version: r.u8()?,
+            max_version: r.u8()?,
+        };
+        r.finish()?;
+        Ok(hello)
+    }
+
+    /// The version a worker speaking `MIN_VERSION..=VERSION` negotiates
+    /// with this hello, if any overlap exists.
+    pub fn negotiate(&self) -> Option<u8> {
+        let high = self.max_version.min(VERSION);
+        (high >= self.min_version && high >= MIN_VERSION).then_some(high)
+    }
+}
+
+/// Accepts a [`Hello`] with the negotiated version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The protocol version both sides will speak.
+    pub version: u8,
+}
+
+impl HelloAck {
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.version);
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<HelloAck, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let ack = HelloAck { version: r.u8()? };
+        r.finish()?;
+        Ok(ack)
+    }
+}
+
+/// Instructs a worker to deterministically materialize its weight shard:
+/// the same `(seed, shape)` inputs the engine's local
+/// `WeightStore` uses, plus the `(worker, num_workers)` affinity pair that
+/// selects which experts this worker owns (`expert % num_workers ==
+/// worker`, the PR-4 shard map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadShard {
+    /// Weight-generation seed (must match the engine's).
+    pub seed: u64,
+    /// This worker's index in the deployment.
+    pub worker: u16,
+    /// Total workers in the deployment.
+    pub num_workers: u16,
+    /// MoE layers of the model.
+    pub layers: u16,
+    /// Routed experts per layer.
+    pub routed_experts: u16,
+    /// Hidden (model) dimension of each routed expert.
+    pub hidden: u32,
+    /// Intermediate dimension of each routed expert.
+    pub inter: u32,
+    /// Weight-budget bytes of the worker's store.
+    pub weight_budget_bytes: u64,
+    /// Kernel backend the worker must execute with, as a
+    /// `KernelBackendKind` name (`auto`/`scalar`/`portable`/`avx2`). The
+    /// engine pins this so remote outputs are bit-identical to local ones.
+    pub backend: u8,
+}
+
+impl LoadShard {
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seed.to_be_bytes());
+        out.extend_from_slice(&self.worker.to_be_bytes());
+        out.extend_from_slice(&self.num_workers.to_be_bytes());
+        out.extend_from_slice(&self.layers.to_be_bytes());
+        out.extend_from_slice(&self.routed_experts.to_be_bytes());
+        out.extend_from_slice(&self.hidden.to_be_bytes());
+        out.extend_from_slice(&self.inter.to_be_bytes());
+        out.extend_from_slice(&self.weight_budget_bytes.to_be_bytes());
+        out.push(self.backend);
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<LoadShard, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let spec = LoadShard {
+            seed: r.u64()?,
+            worker: r.u16()?,
+            num_workers: r.u16()?,
+            layers: r.u16()?,
+            routed_experts: r.u16()?,
+            hidden: r.u32()?,
+            inter: r.u32()?,
+            weight_budget_bytes: r.u64()?,
+            backend: r.u8()?,
+        };
+        r.finish()?;
+        if spec.num_workers == 0 {
+            return Err(ProtocolError::BadPayload("num_workers must be >= 1".into()));
+        }
+        if spec.worker >= spec.num_workers {
+            return Err(ProtocolError::BadPayload(format!(
+                "worker {} out of range for {} workers",
+                spec.worker, spec.num_workers
+            )));
+        }
+        if spec.hidden == 0 || spec.inter == 0 {
+            return Err(ProtocolError::BadPayload("zero expert dimension".into()));
+        }
+        Ok(spec)
+    }
+}
+
+/// Acknowledges a [`LoadShard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadShardAck {
+    /// Experts per layer this worker owns under the shard map.
+    pub experts_owned: u32,
+}
+
+impl LoadShardAck {
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.experts_owned.to_be_bytes());
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<LoadShardAck, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let ack = LoadShardAck {
+            experts_owned: r.u32()?,
+        };
+        r.finish()?;
+        Ok(ack)
+    }
+}
+
+/// One expert's gathered token batch: the engine gathers the expert's
+/// routed tokens into a contiguous `tokens x hidden` tensor (expert-major,
+/// exactly like the local batched path) and ships it to the expert's
+/// shard-affine worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteBatch {
+    /// The MoE layer of the expert.
+    pub layer: u16,
+    /// The expert to execute.
+    pub expert: u16,
+    /// Tokens in the batch.
+    pub tokens: u32,
+    /// Hidden dimension (redundant with [`LoadShard`]; cross-checked).
+    pub hidden: u32,
+    /// The batch, `tokens x hidden` row-major.
+    pub data: Vec<f32>,
+}
+
+impl ExecuteBatch {
+    /// Serializes the header fields and the tensor (IEEE-754 bit patterns,
+    /// big-endian — bit-exact on the wire).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.layer.to_be_bytes());
+        out.extend_from_slice(&self.expert.to_be_bytes());
+        out.extend_from_slice(&self.tokens.to_be_bytes());
+        out.extend_from_slice(&self.hidden.to_be_bytes());
+        out.reserve(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_bits().to_be_bytes());
+        }
+    }
+
+    /// Deserializes the payload, checking the tensor length against the
+    /// announced `tokens * hidden`.
+    pub fn decode(payload: &[u8]) -> Result<ExecuteBatch, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let layer = r.u16()?;
+        let expert = r.u16()?;
+        let tokens = r.u32()?;
+        let hidden = r.u32()?;
+        let data = decode_tensor(&mut r, tokens, hidden)?;
+        r.finish()?;
+        Ok(ExecuteBatch {
+            layer,
+            expert,
+            tokens,
+            hidden,
+            data,
+        })
+    }
+}
+
+/// The outputs of an [`ExecuteBatch`], same shape as the request tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteBatchAck {
+    /// Tokens in the batch (echoed).
+    pub tokens: u32,
+    /// Hidden dimension (echoed).
+    pub hidden: u32,
+    /// The expert outputs, `tokens x hidden` row-major.
+    pub data: Vec<f32>,
+}
+
+impl ExecuteBatchAck {
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tokens.to_be_bytes());
+        out.extend_from_slice(&self.hidden.to_be_bytes());
+        out.reserve(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_bits().to_be_bytes());
+        }
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<ExecuteBatchAck, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let tokens = r.u32()?;
+        let hidden = r.u32()?;
+        let data = decode_tensor(&mut r, tokens, hidden)?;
+        r.finish()?;
+        Ok(ExecuteBatchAck {
+            tokens,
+            hidden,
+            data,
+        })
+    }
+}
+
+/// Reads a `tokens x hidden` f32 tensor, validating the element count
+/// against the payload before allocating.
+fn decode_tensor(r: &mut Reader<'_>, tokens: u32, hidden: u32) -> Result<Vec<f32>, ProtocolError> {
+    let elems = (tokens as u64)
+        .checked_mul(hidden as u64)
+        .filter(|&n| n.checked_mul(4).is_some_and(|b| b <= MAX_PAYLOAD as u64))
+        .ok_or_else(|| ProtocolError::BadPayload("tensor dimensions overflow".into()))?
+        as usize;
+    let bytes = r.take(elems * 4)?;
+    let mut data = Vec::with_capacity(elems);
+    for chunk in bytes.chunks_exact(4) {
+        data.push(f32::from_bits(u32::from_be_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3],
+        ])));
+    }
+    Ok(data)
+}
+
+/// Answers a [`Opcode::Heartbeat`] with the worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatAck {
+    /// Expert batches executed on this connection since [`LoadShard`].
+    pub executed: u64,
+    /// Requests currently being processed (always 0 on the sequential
+    /// reference worker; reserved for concurrent implementations).
+    pub inflight: u32,
+}
+
+impl HeartbeatAck {
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.executed.to_be_bytes());
+        out.extend_from_slice(&self.inflight.to_be_bytes());
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<HeartbeatAck, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let ack = HeartbeatAck {
+            executed: r.u64()?,
+            inflight: r.u32()?,
+        };
+        r.finish()?;
+        Ok(ack)
+    }
+}
+
+/// An error reply: a [`ErrorCode`] and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Why the request failed.
+    pub code: ErrorCode,
+    /// Worker-authored description.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Creates an error reply.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorReply {
+        ErrorReply {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes the payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.code as u16).to_be_bytes());
+        out.extend_from_slice(self.message.as_bytes());
+    }
+
+    /// Deserializes the payload.
+    pub fn decode(payload: &[u8]) -> Result<ErrorReply, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let raw = r.u16()?;
+        let code = ErrorCode::from_u16(raw)
+            .ok_or_else(|| ProtocolError::BadPayload(format!("unknown error code {raw}")))?;
+        let message = String::from_utf8_lossy(r.take(payload.len() - 2)?).into_owned();
+        Ok(ErrorReply { code, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::ExecuteBatch, 0xDEAD_BEEF, &[1, 2, 3], &mut wire);
+        let (header, payload) = decode_frame(&wire).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert_eq!(header.opcode, Opcode::ExecuteBatch);
+        assert_eq!(header.request_id, 0xDEAD_BEEF);
+        assert_eq!(header.len, 3);
+        assert_eq!(payload, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::Heartbeat, 1, &[], &mut wire);
+        wire[0] = 0x00;
+        assert!(matches!(
+            decode_frame(&wire),
+            Err(ProtocolError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::Heartbeat, 1, &[], &mut wire);
+        wire[4] = 99;
+        assert!(matches!(
+            decode_frame(&wire),
+            Err(ProtocolError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::Heartbeat, 1, &[], &mut wire);
+        wire[5] = 0x7E;
+        assert!(matches!(
+            decode_frame(&wire),
+            Err(ProtocolError::UnknownOpcode(0x7E))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::ExecuteBatch, 1, &[9; 16], &mut wire);
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 7] {
+            assert!(
+                matches!(decode_frame(&wire[..cut]), Err(ProtocolError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::ExecuteBatch, 1, &[], &mut wire);
+        wire[10..14].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert!(matches!(
+            decode_header(&wire),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn read_frame_maps_eof_to_truncated() {
+        let mut wire = Vec::new();
+        encode_frame(Opcode::ExecuteBatch, 1, &[5; 32], &mut wire);
+        wire.truncate(HEADER_LEN + 10);
+        let mut cursor = io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut payload),
+            Err(ProtocolError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn hello_negotiates_highest_shared_version() {
+        assert_eq!(Hello::current().negotiate(), Some(VERSION));
+        assert_eq!(
+            Hello {
+                min_version: VERSION,
+                max_version: 200
+            }
+            .negotiate(),
+            Some(VERSION)
+        );
+        assert_eq!(
+            Hello {
+                min_version: VERSION + 1,
+                max_version: VERSION + 5
+            }
+            .negotiate(),
+            None
+        );
+    }
+
+    #[test]
+    fn payloads_round_trip() {
+        let mut buf = Vec::new();
+        let hello = Hello::current();
+        hello.encode(&mut buf);
+        assert_eq!(Hello::decode(&buf).unwrap(), hello);
+
+        buf.clear();
+        let spec = LoadShard {
+            seed: 7,
+            worker: 1,
+            num_workers: 4,
+            layers: 4,
+            routed_experts: 8,
+            hidden: 64,
+            inter: 96,
+            weight_budget_bytes: 1 << 20,
+            backend: 1,
+        };
+        spec.encode(&mut buf);
+        assert_eq!(LoadShard::decode(&buf).unwrap(), spec);
+
+        buf.clear();
+        let batch = ExecuteBatch {
+            layer: 2,
+            expert: 5,
+            tokens: 3,
+            hidden: 2,
+            data: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 1e30, -0.0],
+        };
+        batch.encode(&mut buf);
+        let back = ExecuteBatch::decode(&buf).unwrap();
+        assert_eq!(back, batch);
+        // Bit-exactness, not just value equality.
+        for (a, b) in back.data.iter().zip(batch.data.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        buf.clear();
+        let err = ErrorReply::new(ErrorCode::NotMyShard, "expert 3 lives on worker 1");
+        err.encode(&mut buf);
+        assert_eq!(ErrorReply::decode(&buf).unwrap(), err);
+    }
+
+    #[test]
+    fn inconsistent_tensor_dimensions_rejected() {
+        let mut buf = Vec::new();
+        let batch = ExecuteBatch {
+            layer: 0,
+            expert: 0,
+            tokens: 2,
+            hidden: 2,
+            data: vec![0.0; 4],
+        };
+        batch.encode(&mut buf);
+        // Announce more tokens than the tensor carries.
+        buf[4..8].copy_from_slice(&3u32.to_be_bytes());
+        assert!(matches!(
+            ExecuteBatch::decode(&buf),
+            Err(ProtocolError::BadPayload(_))
+        ));
+        // Dimension overflow must not allocate.
+        buf[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        buf[8..12].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            ExecuteBatch::decode(&buf),
+            Err(ProtocolError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn load_shard_validates_affinity() {
+        let mut buf = Vec::new();
+        LoadShard {
+            seed: 0,
+            worker: 4,
+            num_workers: 4,
+            layers: 1,
+            routed_experts: 8,
+            hidden: 8,
+            inter: 8,
+            weight_budget_bytes: 1024,
+            backend: 0,
+        }
+        .encode(&mut buf);
+        assert!(matches!(
+            LoadShard::decode(&buf),
+            Err(ProtocolError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        Hello::current().encode(&mut buf);
+        buf.push(0xFF);
+        assert!(matches!(
+            Hello::decode(&buf),
+            Err(ProtocolError::BadPayload(_))
+        ));
+    }
+}

@@ -1,0 +1,423 @@
+//! The worker server: owns a weight shard and executes expert batches.
+//!
+//! A [`WorkerServer`] listens on a TCP address or a Unix-domain socket,
+//! accepts engine connections, and serves the framed protocol of
+//! [`crate::protocol`]: version negotiation, [`LoadShard`] to materialize
+//! its deterministic weight shard, then a stream of pipelined
+//! [`ExecuteBatch`] requests answered strictly in order. The same server
+//! runs in-process (behind [`WorkerServer::spawn`]) for deterministic tests
+//! and benches, and as a standalone process via the `hybrimoe_worker` bin.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use hybrimoe_kernels::{backend::KernelBackend, ExecScratch, WorkerPool};
+use hybrimoe_model::{
+    ids::shard_of, ExpertId, ExpertKey, ExpertShape, LayerId, ModelConfig, WeightStore,
+    WeightStoreError,
+};
+
+use crate::client::Endpoint;
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ErrorReply, ExecuteBatch, ExecuteBatchAck, HeartbeatAck,
+    Hello, HelloAck, LoadShard, LoadShardAck, Opcode, ProtocolError,
+};
+use crate::transport::{BoundListener, WireStream};
+use crate::wire_backend;
+
+/// Tuning and fault-injection knobs of a [`WorkerServer`].
+#[derive(Debug, Clone)]
+pub struct WorkerServerOptions {
+    /// Kernel threads of the worker's compute pool.
+    pub threads: usize,
+    /// Fault injection for failover tests: after this many
+    /// [`ExecuteBatch`] requests have been *received* (across all
+    /// connections), the worker drops the triggering connection without
+    /// replying and stops accepting — a deterministic mid-request crash.
+    pub fail_after_executes: Option<u64>,
+    /// Whether a [`Opcode::Drain`] also stops the accept loop (the
+    /// standalone bin's exit path). Defaults to `true`.
+    pub drain_stops_server: bool,
+}
+
+impl Default for WorkerServerOptions {
+    fn default() -> Self {
+        WorkerServerOptions {
+            threads: 2,
+            fail_after_executes: None,
+            drain_stops_server: true,
+        }
+    }
+}
+
+/// An expert worker serving the framed protocol on one endpoint.
+#[derive(Debug)]
+pub struct WorkerServer {
+    listener: BoundListener,
+    endpoint: Endpoint,
+    options: WorkerServerOptions,
+    shutdown: Arc<AtomicBool>,
+    executed: Arc<AtomicU64>,
+}
+
+impl WorkerServer {
+    /// Binds to `endpoint` without accepting yet. A TCP endpoint may use
+    /// port `0`; [`WorkerServer::endpoint`] reports the resolved port.
+    pub fn bind(endpoint: &Endpoint, options: WorkerServerOptions) -> io::Result<WorkerServer> {
+        let listener = BoundListener::bind(endpoint)?;
+        let endpoint = listener.local_endpoint()?;
+        Ok(WorkerServer {
+            listener,
+            endpoint,
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            executed: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound endpoint, with any TCP port-0 resolved.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle
+    /// that can stop it. This is the worker-in-a-thread mode tests and
+    /// benches use to exercise the real codec without process management.
+    pub fn spawn(self) -> WorkerHandle {
+        let endpoint = self.endpoint.clone();
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = thread::spawn(move || {
+            let _ = self.run();
+        });
+        WorkerHandle {
+            endpoint,
+            shutdown,
+            join: Some(join),
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until shut down (or, if
+    /// `drain_stops_server`, until a client drains the worker).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok(stream) => {
+                    stream.set_nonblocking(false)?;
+                    let options = self.options.clone();
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let executed = Arc::clone(&self.executed);
+                    thread::spawn(move || {
+                        let _ = serve_connection(stream, options, shutdown, executed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Controls a [`WorkerServer`] running on a background thread.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The endpoint the worker is serving on.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection threads finish their current request and exit when
+    /// their peer disconnects.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Everything a connection holds after a successful [`LoadShard`].
+struct Loaded {
+    spec: LoadShard,
+    store: WeightStore,
+    pool: WorkerPool,
+    scratch: ExecScratch,
+    backend: &'static dyn KernelBackend,
+    output: Vec<f32>,
+}
+
+/// Serves one engine connection: handshake, then a request loop that
+/// answers every frame in arrival order (the wire-level FIFO the client's
+/// pipelining relies on).
+fn serve_connection(
+    mut stream: WireStream,
+    options: WorkerServerOptions,
+    shutdown: Arc<AtomicBool>,
+    executed: Arc<AtomicU64>,
+) -> Result<(), ProtocolError> {
+    let mut payload = Vec::new();
+
+    // Handshake: the first frame must be a Hello with an overlapping
+    // version range. A frame-level version outside our range is answered
+    // with the same VersionMismatch error a failed negotiation gets.
+    let header = match read_frame(&mut stream, &mut payload) {
+        Ok(h) => h,
+        Err(ProtocolError::UnsupportedVersion(v)) => {
+            return reply_error(
+                &mut stream,
+                0,
+                ErrorCode::VersionMismatch,
+                format!("frame version {v} unsupported"),
+            );
+        }
+        Err(e) => return Err(e),
+    };
+    if header.opcode != Opcode::Hello {
+        return reply_error(
+            &mut stream,
+            header.request_id,
+            ErrorCode::BadPayload,
+            "expected Hello as the first frame",
+        );
+    }
+    let hello = Hello::decode(&payload)?;
+    let version = match hello.negotiate() {
+        Some(v) => v,
+        None => {
+            return reply_error(
+                &mut stream,
+                header.request_id,
+                ErrorCode::VersionMismatch,
+                format!(
+                    "no shared version in client range {}..={}",
+                    hello.min_version, hello.max_version
+                ),
+            );
+        }
+    };
+    let mut buf = Vec::new();
+    HelloAck { version }.encode(&mut buf);
+    write_frame(&mut stream, Opcode::HelloAck, header.request_id, &buf)?;
+
+    let mut loaded: Option<Loaded> = None;
+
+    loop {
+        let header = match read_frame(&mut stream, &mut payload) {
+            Ok(h) => h,
+            // Peer hung up between requests: normal teardown.
+            Err(ProtocolError::Truncated) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let id = header.request_id;
+        match header.opcode {
+            Opcode::Hello => {
+                // Idempotent: re-acknowledge the already-negotiated version.
+                buf.clear();
+                HelloAck { version }.encode(&mut buf);
+                write_frame(&mut stream, Opcode::HelloAck, id, &buf)?;
+            }
+            Opcode::LoadShard => match LoadShard::decode(&payload) {
+                Ok(spec) => {
+                    loaded = Some(load_shard(&spec, &options));
+                    let owned = (0..spec.routed_experts)
+                        .filter(|&e| {
+                            shard_of(ExpertId(e), spec.num_workers as usize) == spec.worker as usize
+                        })
+                        .count() as u32;
+                    buf.clear();
+                    LoadShardAck {
+                        experts_owned: owned,
+                    }
+                    .encode(&mut buf);
+                    write_frame(&mut stream, Opcode::LoadShardAck, id, &buf)?;
+                }
+                Err(e) => {
+                    reply_error(&mut stream, id, ErrorCode::BadPayload, e.to_string())?;
+                }
+            },
+            Opcode::ExecuteBatch => {
+                if let Some(limit) = options.fail_after_executes {
+                    // fetch_add returns the prior count, so requests
+                    // 1..=limit succeed and request limit+1 trips the fault.
+                    if executed.fetch_add(1, Ordering::Relaxed) >= limit {
+                        shutdown.store(true, Ordering::Relaxed);
+                        // Drop the stream without a reply: the client sees
+                        // a mid-request disconnect.
+                        return Ok(());
+                    }
+                } else {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                }
+                let Some(state) = loaded.as_mut() else {
+                    reply_error(&mut stream, id, ErrorCode::NotLoaded, "no shard loaded")?;
+                    continue;
+                };
+                match ExecuteBatch::decode(&payload) {
+                    Ok(batch) => match execute_batch(state, &batch) {
+                        Ok(()) => {
+                            buf.clear();
+                            ExecuteBatchAck {
+                                tokens: batch.tokens,
+                                hidden: batch.hidden,
+                                data: state.output.clone(),
+                            }
+                            .encode(&mut buf);
+                            write_frame(&mut stream, Opcode::ExecuteBatchAck, id, &buf)?;
+                        }
+                        Err((code, msg)) => {
+                            reply_error(&mut stream, id, code, msg)?;
+                        }
+                    },
+                    Err(e) => {
+                        reply_error(&mut stream, id, ErrorCode::BadPayload, e.to_string())?;
+                    }
+                }
+            }
+            Opcode::Heartbeat => {
+                buf.clear();
+                HeartbeatAck {
+                    executed: executed.load(Ordering::Relaxed),
+                    inflight: 0,
+                }
+                .encode(&mut buf);
+                write_frame(&mut stream, Opcode::HeartbeatAck, id, &buf)?;
+            }
+            Opcode::Drain => {
+                // Pipelined requests are answered strictly FIFO, so every
+                // request sent before the Drain has already been replied
+                // to by the time this frame is read — draining never
+                // abandons in-flight work.
+                write_frame(&mut stream, Opcode::DrainAck, id, &[])?;
+                if options.drain_stops_server {
+                    shutdown.store(true, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            // Reply opcodes arriving as requests are a protocol violation;
+            // answer and keep the connection (the client can resync).
+            Opcode::HelloAck
+            | Opcode::LoadShardAck
+            | Opcode::ExecuteBatchAck
+            | Opcode::HeartbeatAck
+            | Opcode::DrainAck
+            | Opcode::Error => {
+                reply_error(
+                    &mut stream,
+                    id,
+                    ErrorCode::BadPayload,
+                    format!("{:?} is a reply opcode, not a request", header.opcode),
+                )?;
+            }
+        }
+    }
+}
+
+/// Materializes connection state from a [`LoadShard`] spec. The store is
+/// built over exactly the engine's deterministic weight construction
+/// (same seed, same shapes), so worker outputs match local ones.
+fn load_shard(spec: &LoadShard, options: &WorkerServerOptions) -> Loaded {
+    let config = ModelConfig {
+        name: format!("worker{}-shard", spec.worker),
+        layers: spec.layers,
+        shared_experts: 0,
+        routed_experts: spec.routed_experts,
+        activated_experts: 1,
+        shared_shape: None,
+        routed_shape: ExpertShape::new(spec.hidden, spec.inter),
+    };
+    Loaded {
+        store: WeightStore::new(config, spec.seed, spec.weight_budget_bytes),
+        pool: WorkerPool::new(options.threads.max(1)),
+        scratch: ExecScratch::new(),
+        backend: wire_backend::from_wire(spec.backend)
+            .unwrap_or_default()
+            .resolve(),
+        output: Vec::new(),
+        spec: *spec,
+    }
+}
+
+/// Runs one expert batch, leaving the outputs in `state.output`.
+fn execute_batch(state: &mut Loaded, batch: &ExecuteBatch) -> Result<(), (ErrorCode, String)> {
+    let spec = &state.spec;
+    if shard_of(ExpertId(batch.expert), spec.num_workers as usize) != spec.worker as usize {
+        return Err((
+            ErrorCode::NotMyShard,
+            format!(
+                "expert {} maps to worker {}, this is worker {}",
+                batch.expert,
+                shard_of(ExpertId(batch.expert), spec.num_workers as usize),
+                spec.worker
+            ),
+        ));
+    }
+    if batch.hidden != spec.hidden {
+        return Err((
+            ErrorCode::BadPayload,
+            format!("hidden {} != shard hidden {}", batch.hidden, spec.hidden),
+        ));
+    }
+    let key = ExpertKey::new(LayerId(batch.layer), ExpertId(batch.expert));
+    let tokens = batch.tokens as usize;
+    state.output.clear();
+    state.output.resize(tokens * batch.hidden as usize, 0.0);
+    if tokens == 0 {
+        return Ok(());
+    }
+    let ffn = match state.store.expert(key) {
+        Ok(ffn) => ffn,
+        Err(WeightStoreError::BudgetExceeded { needed, budget }) => {
+            return Err((
+                ErrorCode::WeightBudget,
+                format!("need {needed} bytes, budget {budget}"),
+            ));
+        }
+        Err(e) => return Err((ErrorCode::BadPayload, e.to_string())),
+    };
+    ffn.forward_batch_into(
+        &batch.data,
+        tokens,
+        &mut state.output,
+        &mut state.scratch,
+        &state.pool,
+        state.backend,
+    );
+    Ok(())
+}
+
+/// Sends an [`Opcode::Error`] reply.
+fn reply_error(
+    stream: &mut WireStream,
+    request_id: u32,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> Result<(), ProtocolError> {
+    let mut buf = Vec::new();
+    ErrorReply::new(code, message).encode(&mut buf);
+    write_frame(stream, Opcode::Error, request_id, &buf)
+}

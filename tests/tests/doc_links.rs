@@ -1,0 +1,133 @@
+//! Markdown documentation link checker.
+//!
+//! Every relative link in the repo's hand-written markdown (README,
+//! ARCHITECTURE, everything under `docs/`) must resolve to a file that
+//! exists, so the docs cannot silently rot as files move. External
+//! (`http://`, `https://`, `mailto:`) and in-page `#anchor` links are
+//! out of scope.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The markdown files covered by the checker, relative to the repo root.
+fn documents() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs = vec![
+        root.join("README.md"),
+        root.join("ARCHITECTURE.md"),
+        root.join("ROADMAP.md"),
+    ];
+    let docs_dir = root.join("docs");
+    if let Ok(entries) = fs::read_dir(&docs_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                docs.push(path);
+            }
+        }
+    }
+    docs
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..")
+}
+
+/// Extracts the `target` of every inline markdown link `[text](target)`
+/// in `source`. Skips fenced code blocks, where `](` is almost always
+/// code rather than a link.
+fn extract_links(source: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in source.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](").map(|p| p + i) {
+            // Walk back to the matching '[' for sanity; if there is none
+            // on this line, treat it as prose and move on.
+            let has_bracket = line[..open].contains('[');
+            let start = open + 2;
+            if let Some(close) = line[start..].find(')').map(|p| p + start) {
+                if has_bracket && bytes[start..close].iter().all(|b| !b.is_ascii_whitespace()) {
+                    links.push(line[start..close].to_string());
+                }
+                i = close + 1;
+            } else {
+                break;
+            }
+        }
+    }
+    links
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for doc in documents() {
+        let text = fs::read_to_string(&doc)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+        let base = doc.parent().expect("doc has a parent directory");
+        for link in extract_links(&text) {
+            if link.starts_with("http://")
+                || link.starts_with("https://")
+                || link.starts_with("mailto:")
+                || link.starts_with('#')
+            {
+                continue;
+            }
+            // Strip an in-page anchor from a file link: `path.md#section`.
+            let path_part = link.split('#').next().unwrap_or(&link);
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let target = base.join(path_part);
+            if !target.exists() {
+                failures.push(format!(
+                    "{}: broken link `{link}` (no file at {})",
+                    doc.display(),
+                    target.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked >= 2,
+        "link extraction found only {checked} relative link(s); \
+         the checker may have stopped parsing anything"
+    );
+    assert!(
+        failures.is_empty(),
+        "broken markdown links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn architecture_doc_is_linked_from_readme_and_names_real_crates() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("read README.md");
+    assert!(
+        readme.contains("ARCHITECTURE.md"),
+        "README.md must link to ARCHITECTURE.md"
+    );
+    let arch = fs::read_to_string(root.join("ARCHITECTURE.md")).expect("read ARCHITECTURE.md");
+    // Every crate directory must be described in the crate map, and every
+    // path the map names must exist.
+    for entry in fs::read_dir(root.join("crates")).expect("list crates/") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        assert!(
+            arch.contains(&format!("crates/{name}")),
+            "ARCHITECTURE.md crate map is missing crates/{name}"
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Out-of-process worker suite: socket-level protocol robustness (a raw
+//! client driving a real worker over loopback TCP with hand-crafted
+//! frames), failover integration (a worker that crashes mid-request must
+//! degrade to local execution without failing any in-flight request),
+//! remote ≡ local bit-identity (property-tested across worker counts,
+//! pipelining and routing), and the `docs/protocol.md` example frames
+//! round-tripped through the real codec.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hybrimoe::realexec::{RealExecOptions, RealLayerExecutor};
+use hybrimoe::remote::{RemoteLayerExecutor, RemoteWorkerOptions};
+use hybrimoe::{Engine, EngineConfig, Framework};
+use hybrimoe_kernels::KernelBackendKind;
+use hybrimoe_model::{LayerId, LayerRouting, ModelConfig, RouterOutput};
+use hybrimoe_sched::{ExpertTask, HybridScheduler, ScheduleContext, Scheduler};
+use hybrimoe_trace::TraceGenerator;
+use hybrimoe_worker::protocol::{
+    encode_frame, read_frame, ErrorCode, ErrorReply, ExecuteBatch, ExecuteBatchAck, FrameHeader,
+    HeartbeatAck, Hello, HelloAck, LoadShard, LoadShardAck, Opcode, HEADER_LEN, MAX_PAYLOAD,
+    VERSION,
+};
+use hybrimoe_worker::{Endpoint, WorkerHandle, WorkerServer, WorkerServerOptions};
+use proptest::prelude::*;
+
+/// Spawns an in-thread worker on a loopback port.
+fn spawn_worker(options: WorkerServerOptions) -> WorkerHandle {
+    WorkerServer::bind(&Endpoint::parse("127.0.0.1:0"), options)
+        .expect("bind a loopback worker")
+        .spawn()
+}
+
+/// Connects a raw TCP client to a worker.
+fn connect(worker: &WorkerHandle) -> TcpStream {
+    let addr = worker
+        .endpoint()
+        .to_string()
+        .strip_prefix("tcp:")
+        .map(str::to_owned)
+        .unwrap_or_else(|| worker.endpoint().to_string());
+    let stream = TcpStream::connect(addr).expect("connect to worker");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+}
+
+/// Writes one frame and returns the next reply `(header, payload)`.
+fn roundtrip(
+    stream: &mut TcpStream,
+    opcode: Opcode,
+    id: u32,
+    payload: &[u8],
+) -> (FrameHeader, Vec<u8>) {
+    let mut wire = Vec::new();
+    encode_frame(opcode, id, payload, &mut wire);
+    stream.write_all(&wire).expect("write frame");
+    let mut reply = Vec::new();
+    let header = read_frame(stream, &mut reply).expect("read reply");
+    (header, reply)
+}
+
+/// Performs the Hello handshake on a fresh connection.
+fn handshake(stream: &mut TcpStream) {
+    let mut payload = Vec::new();
+    Hello::current().encode(&mut payload);
+    let (header, reply) = roundtrip(stream, Opcode::Hello, 0, &payload);
+    assert_eq!(header.opcode, Opcode::HelloAck);
+    assert_eq!(
+        HelloAck::decode(&reply).expect("hello ack").version,
+        VERSION
+    );
+}
+
+/// Asserts the stream is closed: the next read returns EOF or a reset
+/// (the worker may close with bytes still unread in its receive buffer,
+/// which surfaces as ECONNRESET instead of a clean FIN).
+fn assert_closed(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => {}
+        Ok(_) => panic!("expected EOF, worker sent more bytes"),
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("expected EOF or reset, got {e}"),
+    }
+}
+
+#[test]
+fn version_mismatch_is_answered_then_closed() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    // A client from the future: its whole version range is above ours.
+    let mut payload = Vec::new();
+    Hello {
+        min_version: VERSION + 1,
+        max_version: VERSION + 5,
+    }
+    .encode(&mut payload);
+    let (header, reply) = roundtrip(&mut stream, Opcode::Hello, 4, &payload);
+    assert_eq!(header.opcode, Opcode::Error);
+    assert_eq!(header.request_id, 4, "error echoes the request id");
+    let err = ErrorReply::decode(&reply).expect("error reply");
+    assert_eq!(err.code, ErrorCode::VersionMismatch);
+    assert_closed(&mut stream);
+    worker.shutdown();
+}
+
+#[test]
+fn unsupported_frame_version_is_answered_then_closed() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    let mut payload = Vec::new();
+    Hello::current().encode(&mut payload);
+    let mut wire = Vec::new();
+    encode_frame(Opcode::Hello, 0, &payload, &mut wire);
+    wire[4] = 99; // frame-level version byte outside MIN_VERSION..=VERSION
+    stream.write_all(&wire).expect("write frame");
+    let mut reply = Vec::new();
+    let header = read_frame(&mut stream, &mut reply).expect("read reply");
+    assert_eq!(header.opcode, Opcode::Error);
+    let err = ErrorReply::decode(&reply).expect("error reply");
+    assert_eq!(err.code, ErrorCode::VersionMismatch);
+    assert_closed(&mut stream);
+    worker.shutdown();
+}
+
+#[test]
+fn bad_magic_closes_the_connection_without_a_reply() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    handshake(&mut stream);
+    // Garbage where a header should be: the stream has desynchronized and
+    // there is no way to find the next frame boundary, so the worker must
+    // hang up rather than answer.
+    stream.write_all(&[0u8; HEADER_LEN]).expect("write garbage");
+    assert_closed(&mut stream);
+    worker.shutdown();
+}
+
+#[test]
+fn oversized_payload_length_closes_the_connection() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    handshake(&mut stream);
+    // A hostile length field: headers above MAX_PAYLOAD must be rejected
+    // before any allocation, and the connection dropped.
+    let mut wire = Vec::new();
+    encode_frame(Opcode::Heartbeat, 1, &[], &mut wire);
+    wire[10..14].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+    stream.write_all(&wire).expect("write frame");
+    assert_closed(&mut stream);
+    worker.shutdown();
+}
+
+#[test]
+fn truncated_frame_is_a_clean_teardown() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    handshake(&mut stream);
+    // Announce a 64-byte payload, deliver 10 bytes, hang up mid-frame.
+    let mut wire = Vec::new();
+    encode_frame(Opcode::ExecuteBatch, 1, &[0u8; 64], &mut wire);
+    stream
+        .write_all(&wire[..HEADER_LEN + 10])
+        .expect("write partial frame");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("close write half");
+    // The worker treats mid-frame EOF as a disconnect, not a protocol
+    // error: no reply, no panic, just a close.
+    assert_closed(&mut stream);
+    worker.shutdown();
+}
+
+#[test]
+fn requests_before_load_shard_get_not_loaded_and_the_connection_survives() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    handshake(&mut stream);
+    let mut payload = Vec::new();
+    ExecuteBatch {
+        layer: 0,
+        expert: 0,
+        tokens: 1,
+        hidden: 2,
+        data: vec![0.0, 0.0],
+    }
+    .encode(&mut payload);
+    let (header, reply) = roundtrip(&mut stream, Opcode::ExecuteBatch, 5, &payload);
+    assert_eq!(header.opcode, Opcode::Error);
+    let err = ErrorReply::decode(&reply).expect("error reply");
+    assert_eq!(err.code, ErrorCode::NotLoaded);
+    // The connection is still usable after the error.
+    let (header, reply) = roundtrip(&mut stream, Opcode::Heartbeat, 6, &[]);
+    assert_eq!(header.opcode, Opcode::HeartbeatAck);
+    assert!(HeartbeatAck::decode(&reply).is_ok());
+    worker.shutdown();
+}
+
+#[test]
+fn wrong_shard_and_reply_opcodes_get_error_replies() {
+    let worker = spawn_worker(WorkerServerOptions::default());
+    let mut stream = connect(&worker);
+    handshake(&mut stream);
+    let mut payload = Vec::new();
+    LoadShard {
+        seed: 7,
+        worker: 0,
+        num_workers: 2,
+        layers: 1,
+        routed_experts: 4,
+        hidden: 4,
+        inter: 8,
+        weight_budget_bytes: 1 << 20,
+        backend: 1,
+    }
+    .encode(&mut payload);
+    let (header, reply) = roundtrip(&mut stream, Opcode::LoadShard, 1, &payload);
+    assert_eq!(header.opcode, Opcode::LoadShardAck);
+    // Worker 0 of 2 owns the even experts of 4.
+    assert_eq!(LoadShardAck::decode(&reply).expect("ack").experts_owned, 2);
+
+    // Expert 1 maps to worker 1 under the shard map: NotMyShard, and the
+    // engine's client fails that batch over to local execution.
+    payload.clear();
+    ExecuteBatch {
+        layer: 0,
+        expert: 1,
+        tokens: 1,
+        hidden: 4,
+        data: vec![0.0; 4],
+    }
+    .encode(&mut payload);
+    let (header, reply) = roundtrip(&mut stream, Opcode::ExecuteBatch, 2, &payload);
+    assert_eq!(header.opcode, Opcode::Error);
+    assert_eq!(
+        ErrorReply::decode(&reply).expect("error").code,
+        ErrorCode::NotMyShard
+    );
+
+    // A reply opcode sent as a request is a violation but survivable.
+    let (header, reply) = roundtrip(&mut stream, Opcode::ExecuteBatchAck, 3, &[]);
+    assert_eq!(header.opcode, Opcode::Error);
+    assert_eq!(
+        ErrorReply::decode(&reply).expect("error").code,
+        ErrorCode::BadPayload
+    );
+    let (header, _) = roundtrip(&mut stream, Opcode::Heartbeat, 4, &[]);
+    assert_eq!(header.opcode, Opcode::HeartbeatAck);
+    worker.shutdown();
+}
+
+/// A worker that crashes mid-request (drops the connection without
+/// replying) must degrade to local execution without failing a single
+/// in-flight engine step, and the degraded outputs must stay
+/// bit-identical to a fully-local run.
+#[test]
+fn mid_request_crash_fails_over_without_failing_requests() {
+    let model = ModelConfig::tiny_test();
+    let steps = 6;
+    let crashing = spawn_worker(WorkerServerOptions {
+        threads: 1,
+        fail_after_executes: Some(2),
+        drain_stops_server: true,
+    });
+    let healthy = spawn_worker(WorkerServerOptions {
+        threads: 1,
+        ..Default::default()
+    });
+    let endpoints = vec![
+        crashing.endpoint().to_string(),
+        healthy.endpoint().to_string(),
+    ];
+
+    let exec = RealExecOptions {
+        max_threads: 1,
+        kernel_backend: KernelBackendKind::Scalar,
+        ..Default::default()
+    };
+    let base = EngineConfig::preset(Framework::KTransformers, model.clone(), 0.25)
+        .with_real_exec(exec)
+        .with_max_inflight(0);
+    let remote_config = base.clone().with_remote_workers(RemoteWorkerOptions {
+        endpoints,
+        deadline_ms: 2_000,
+        ..Default::default()
+    });
+    let local_config = base.with_remote_workers(RemoteWorkerOptions::default());
+
+    let trace = TraceGenerator::new(model, 11)
+        .with_token_states()
+        .decode_trace(steps);
+
+    let mut local = Engine::new(local_config);
+    let mut reference = Vec::new();
+    for step in &trace.steps {
+        local.step(step);
+        reference.push(local.take_real_outputs());
+    }
+
+    let mut engine = Engine::new(remote_config);
+    for (i, step) in trace.steps.iter().enumerate() {
+        engine.step(step);
+        let outputs = engine.take_real_outputs();
+        assert_eq!(outputs.len(), reference[i].len());
+        for (a, b) in outputs.iter().zip(reference[i].iter()) {
+            assert_eq!(a.output, b.output, "step {i} diverged from local");
+        }
+    }
+    let health = engine.worker_health().expect("remote backend has health");
+    assert!(health.requests > 0, "no batch ever ran remotely");
+    assert!(health.failovers > 0, "the crash must register as failover");
+    healthy.shutdown();
+    crashing.shutdown();
+}
+
+/// Deterministic token inputs and routes for one tiny-model layer.
+fn layer_tokens(
+    model: &ModelConfig,
+    tokens: usize,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<RouterOutput>) {
+    let hidden = model.routed_shape.hidden() as usize;
+    let experts = model.routed_experts as usize;
+    let k = model.activated_experts as usize;
+    (0..tokens)
+        .map(|t| {
+            let x: Vec<f32> = (0..hidden)
+                .map(|i| (((t as u64 * 131 + i as u64 * 7 + seed) % 100) as f32 / 50.0 - 1.0) * 0.1)
+                .collect();
+            let logits: Vec<f32> = (0..experts)
+                .map(|e| (((t + e * 13 + seed as usize) % 17) as f32) / 4.0)
+                .collect();
+            (x, RouterOutput::route(&logits, k))
+        })
+        .unzip()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Remote execution is bit-identical to the local expert-major path
+    /// across worker counts, pipelining, batch sizes and random
+    /// placements. Scalar kernels are pinned on both sides (LoadShard
+    /// carries the backend), and the engine accumulates experts in
+    /// ascending id order regardless of which worker computed them, so
+    /// float non-associativity never enters.
+    #[test]
+    fn remote_execution_is_bit_identical_to_local(
+        seed in 0u64..500,
+        tokens in 1usize..8,
+        workers in 1usize..4,
+        pipeline in any::<bool>(),
+        cached_mask in any::<u8>(),
+    ) {
+        let model = ModelConfig::tiny_test();
+        let (inputs, routes) = layer_tokens(&model, tokens, seed);
+        let routing = LayerRouting::from_tokens(LayerId(0), model.routed_experts, &routes);
+        let tasks: Vec<ExpertTask> = routing
+            .activated()
+            .into_iter()
+            .map(|(e, load)| ExpertTask {
+                expert: e,
+                load,
+                cached: cached_mask & (1 << (e.0 % 8)) != 0,
+            })
+            .collect();
+        let cost = hybrimoe_hw::UnitCostModel::paper_fig5();
+        let ctx = ScheduleContext::for_test(LayerId(0), &tasks, &cost);
+        let plan = HybridScheduler::new().schedule(&ctx);
+
+        let options = RealExecOptions {
+            max_threads: 1,
+            kernel_backend: KernelBackendKind::Scalar,
+            ..Default::default()
+        };
+        let mut reference = RealLayerExecutor::with_options(model.clone(), 7, options);
+        let expected = reference
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .expect("local execution");
+
+        let handles: Vec<WorkerHandle> = (0..workers)
+            .map(|_| spawn_worker(WorkerServerOptions { threads: 1, ..Default::default() }))
+            .collect();
+        let endpoints = handles.iter().map(|h| h.endpoint().to_string()).collect();
+        let mut remote = RemoteLayerExecutor::new(
+            model,
+            7,
+            options,
+            &RemoteWorkerOptions { endpoints, pipeline, ..Default::default() },
+        );
+        let got = remote
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .expect("remote execution");
+        prop_assert_eq!(&got.output, &expected.output);
+        let health = remote.health();
+        prop_assert_eq!(health.failovers, 0, "healthy workers must not fail over");
+        prop_assert!(health.requests > 0);
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Re-encodes every example frame of `docs/protocol.md` through the real
+/// codec and asserts the documented hex matches — the byte-level doc can
+/// never drift from the implementation.
+#[test]
+fn protocol_doc_examples_round_trip() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../docs/protocol.md"))
+        .expect("docs/protocol.md exists");
+    let hex = |wire: &[u8]| -> String { wire.iter().map(|b| format!("{b:02x}")).collect() };
+    let assert_documented = |name: &str, wire: &[u8]| {
+        assert!(
+            doc.contains(&hex(wire)),
+            "docs/protocol.md is out of sync: the {name} example frame should be {}",
+            hex(wire)
+        );
+    };
+
+    let mut wire = Vec::new();
+    let mut payload = Vec::new();
+    Hello::current().encode(&mut payload);
+    encode_frame(Opcode::Hello, 1, &payload, &mut wire);
+    assert_documented("Hello", &wire);
+
+    wire.clear();
+    payload.clear();
+    HelloAck { version: VERSION }.encode(&mut payload);
+    encode_frame(Opcode::HelloAck, 1, &payload, &mut wire);
+    assert_documented("HelloAck", &wire);
+
+    wire.clear();
+    payload.clear();
+    LoadShard {
+        seed: 42,
+        worker: 0,
+        num_workers: 2,
+        layers: 2,
+        routed_experts: 4,
+        hidden: 8,
+        inter: 16,
+        weight_budget_bytes: 1 << 20,
+        backend: 1,
+    }
+    .encode(&mut payload);
+    encode_frame(Opcode::LoadShard, 2, &payload, &mut wire);
+    assert_documented("LoadShard", &wire);
+
+    wire.clear();
+    payload.clear();
+    ExecuteBatch {
+        layer: 0,
+        expert: 3,
+        tokens: 1,
+        hidden: 2,
+        data: vec![1.0, -2.0],
+    }
+    .encode(&mut payload);
+    encode_frame(Opcode::ExecuteBatch, 3, &payload, &mut wire);
+    assert_documented("ExecuteBatch", &wire);
+
+    wire.clear();
+    payload.clear();
+    ExecuteBatchAck {
+        tokens: 1,
+        hidden: 2,
+        data: vec![0.5, 0.25],
+    }
+    .encode(&mut payload);
+    encode_frame(Opcode::ExecuteBatchAck, 3, &payload, &mut wire);
+    assert_documented("ExecuteBatchAck", &wire);
+
+    wire.clear();
+    encode_frame(Opcode::Heartbeat, 7, &[], &mut wire);
+    assert_documented("Heartbeat", &wire);
+
+    wire.clear();
+    payload.clear();
+    ErrorReply::new(ErrorCode::VersionMismatch, "no shared version").encode(&mut payload);
+    encode_frame(Opcode::Error, 9, &payload, &mut wire);
+    assert_documented("Error", &wire);
+}
