@@ -14,6 +14,7 @@
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --real-fresh real_bench.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --server-fresh server_bench.json
 //! cargo run -p hybrimoe_bench --release --bin bench_check -- --worker-fresh worker_bench.json
+//! cargo run -p hybrimoe_bench --release --bin bench_check -- --chaos-fresh chaos_bench.json
 //! ```
 //!
 //! `--fresh <path>` / `--prefetch-fresh <path>` / `--real-fresh <path>` /
@@ -65,15 +66,25 @@
 //! the workers and gets exactly parity). Refresh deliberately with
 //! `worker_bench --json --out BENCH_worker.json`.
 //!
+//! **Chaos gate**: pure invariants on one chaos run (`BENCH_chaos.json`
+//! or `--chaos-fresh`): every soak request terminated (completed +
+//! timed_out + cancelled + failed == requests) with zero leaked slots,
+//! and the real-server phase's booleans (all requests terminated, final
+//! metrics balance, `/healthz` consistent) all hold. Determinism is
+//! checked separately by CI, which runs `chaos_bench` twice and diffs the
+//! JSON byte for byte. Refresh deliberately with
+//! `chaos_bench --json --out BENCH_chaos.json`.
+//!
 //! For the sweep gates, points present in the fresh sweep but absent from
 //! the snapshot are reported and tolerated (they appear when a sweep
 //! grows an axis); snapshot gate points missing from the fresh sweep fail
 //! the gate (the sweep silently shrank).
 
 use hybrimoe_bench::{
-    median_f64, prefetch_point_key, prefetch_sweep, real_sweep, run_server_bench, same_rate,
-    serve_sweep, worker_point_key, worker_sweep, PrefetchRow, RealRow, ServeLoad, ServeRow,
-    ServerBenchSummary, ServerLoad, WorkerRow, PREFETCH_RATIO, SEED, WORKER_GATE_BATCH,
+    median_f64, prefetch_point_key, prefetch_sweep, real_sweep, run_chaos_bench, run_server_bench,
+    same_rate, serve_sweep, worker_point_key, worker_sweep, ChaosSummary, PrefetchRow, RealRow,
+    ServeLoad, ServeRow, ServerBenchSummary, ServerLoad, WorkerRow, PREFETCH_RATIO, SEED,
+    WORKER_GATE_BATCH,
 };
 use hybrimoe_model::ModelConfig;
 
@@ -654,10 +665,61 @@ fn main() {
         std::process::exit(2);
     }
 
+    // ---- Chaos gate: every admitted request terminates, no slot leaks,
+    // the real server under faults keeps its books and stays alive. ----
+    let chaos_fresh: ChaosSummary = match flag_value(&args, "--chaos-fresh") {
+        Some(path) => {
+            println!("bench_check: reusing fresh chaos run from {path}");
+            read_json(&path, "fresh chaos run")
+        }
+        None => run_chaos_bench(SEED),
+    };
+    println!(
+        "bench_check: chaos gate — soak {} requests: {} completed, {} timed out, {} cancelled, \
+         {} failed, {} panic(s) contained, {} leaked slot(s)",
+        chaos_fresh.soak_requests,
+        chaos_fresh.soak_completed,
+        chaos_fresh.soak_timed_out,
+        chaos_fresh.soak_cancelled,
+        chaos_fresh.soak_failed,
+        chaos_fresh.soak_panics_contained,
+        chaos_fresh.soak_leaked_slots
+    );
+    let soak_terminal = chaos_fresh.soak_completed
+        + chaos_fresh.soak_timed_out
+        + chaos_fresh.soak_cancelled
+        + chaos_fresh.soak_failed;
+    if soak_terminal != chaos_fresh.soak_requests {
+        failures.push(format!(
+            "chaos: soak terminal outcomes {soak_terminal} != {} admitted requests",
+            chaos_fresh.soak_requests
+        ));
+    }
+    if chaos_fresh.soak_leaked_slots != 0 {
+        failures.push(format!(
+            "chaos: soak leaked {} batch slot(s)",
+            chaos_fresh.soak_leaked_slots
+        ));
+    }
+    if chaos_fresh.soak_panics_contained == 0 {
+        failures.push("chaos: soak contained no panics — the fault plan injected nothing".into());
+    }
+    if !chaos_fresh.server_all_terminated {
+        failures.push("chaos: a server-phase request never reached a terminal outcome".into());
+    }
+    if !chaos_fresh.server_accounted {
+        failures.push("chaos: server metrics do not balance after the storm".into());
+    }
+    if !chaos_fresh.server_healthz_consistent {
+        failures.push("chaos: /healthz was unreachable or disagreed with the metrics".into());
+    }
+    let chaos_compared = 1usize;
+
     if failures.is_empty() {
         println!(
             "bench_check: all gates passed ({compared} serve + {prefetch_compared} prefetch + \
-             {real_compared} real + {server_compared} server + {worker_compared} worker point(s))"
+             {real_compared} real + {server_compared} server + {worker_compared} worker + \
+             {chaos_compared} chaos point(s))"
         );
     } else {
         eprintln!("bench_check: FAILED");

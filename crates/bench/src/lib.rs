@@ -20,8 +20,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod server_bench;
 
+pub use chaos::{run_chaos_bench, ChaosSummary};
 pub use server_bench::{run_server_bench, ServerLoad};
 
 use std::time::Instant;

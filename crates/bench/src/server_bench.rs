@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hybrimoe::serve::server::{read_one_chunk, read_response_head, Server, ServerConfig};
+use hybrimoe::serve::server::{read_one_chunk, read_response_head_full, Server, ServerConfig};
 use hybrimoe::{EngineConfig, Framework};
 use hybrimoe_model::ModelConfig;
 use serde::Value;
@@ -78,6 +78,15 @@ const TRANSPORT_ATTEMPTS: usize = 4;
 /// for the acceptor to drain a burst, short next to any TTFT of interest.
 const RETRY_BACKOFF: Duration = Duration::from_millis(20);
 
+/// Total admission attempts when a 503 carries `Retry-After`: the server
+/// marked the rejection retryable, so the client honors the wait once
+/// before counting the request as rejected.
+const ADMISSION_ATTEMPTS: usize = 2;
+
+/// Safety cap on an honored `Retry-After` wait, so a misbehaving server
+/// cannot stall the load generator indefinitely.
+const MAX_RETRY_AFTER: Duration = Duration::from_secs(2);
+
 /// One completed stream, timed by the client's clock.
 struct Sample {
     ttft_ms: f64,
@@ -94,8 +103,10 @@ struct Tally {
 }
 
 enum RequestError {
-    /// The server said 503 (admission control did its job).
-    Rejected,
+    /// The server said 503 (admission control did its job), carrying the
+    /// `Retry-After` seconds when the rejection was retryable (shed or
+    /// queue-full — not draining).
+    Rejected(Option<u64>),
     /// Transport failed before the server read the request (connect or
     /// request write). Nothing was admitted, so the request is safe to
     /// retry on a fresh connection.
@@ -161,7 +172,7 @@ pub fn run_server_bench(addr: Option<SocketAddr>, load: ServerLoad) -> ServerBen
                 let mut tally = tally.lock().expect("tally lock poisoned");
                 match outcome {
                     Ok(sample) => tally.samples.push(sample),
-                    Err(RequestError::Rejected) => tally.rejected += 1,
+                    Err(RequestError::Rejected(_)) => tally.rejected += 1,
                     Err(_) => tally.failed += 1,
                 }
             });
@@ -225,20 +236,30 @@ fn summarize(
 }
 
 /// Streams one request, retrying pre-admission transport failures with a
-/// doubling backoff. Rejections and post-admission failures pass through
-/// unretried — those count against the server.
+/// doubling backoff and honoring `Retry-After` on retryable 503s (once,
+/// waiting the advertised seconds up to [`MAX_RETRY_AFTER`]). A 503
+/// without `Retry-After` (draining) and post-admission failures pass
+/// through unretried — those count against the server.
 fn request_with_retry(addr: SocketAddr, prompt: u32, decode: u32) -> Result<Sample, RequestError> {
     let mut backoff = RETRY_BACKOFF;
-    for attempt in 1.. {
+    let mut transport_attempts = 0usize;
+    let mut admission_attempts = 0usize;
+    loop {
         match one_request(addr, prompt, decode) {
-            Err(RequestError::Transport) if attempt < TRANSPORT_ATTEMPTS => {
+            Err(RequestError::Transport) if transport_attempts + 1 < TRANSPORT_ATTEMPTS => {
+                transport_attempts += 1;
                 thread::sleep(backoff);
                 backoff *= 2;
+            }
+            Err(RequestError::Rejected(Some(secs)))
+                if admission_attempts + 1 < ADMISSION_ATTEMPTS =>
+            {
+                admission_attempts += 1;
+                thread::sleep(Duration::from_secs(secs).min(MAX_RETRY_AFTER));
             }
             outcome => return outcome,
         }
     }
-    unreachable!("loop returns by TRANSPORT_ATTEMPTS at the latest")
 }
 
 /// Streams one request, timing TTFT and end-to-end latency client-side.
@@ -269,17 +290,17 @@ fn one_request(addr: SocketAddr, prompt: u32, decode: u32) -> Result<Sample, Req
     })?;
 
     let mut reader = BufReader::new(stream);
-    let (status, chunked, _) = read_response_head(&mut reader).map_err(|e| {
+    let head = read_response_head_full(&mut reader).map_err(|e| {
         debug_log("response head", e);
         RequestError::Failed
     })?;
-    if status == 503 {
-        return Err(RequestError::Rejected);
+    if head.status == 503 {
+        return Err(RequestError::Rejected(head.retry_after));
     }
-    if status != 200 || !chunked {
+    if head.status != 200 || !head.chunked {
         debug_log(
             "response",
-            format_args!("status {status} chunked {chunked}"),
+            format_args!("status {} chunked {}", head.status, head.chunked),
         );
         return Err(RequestError::Failed);
     }

@@ -1,6 +1,7 @@
 //! Engine configuration and framework presets.
 
 use hybrimoe_cache::{CachePolicy, Lfu, Lru, Mrs};
+use hybrimoe_fault::FaultPlan;
 use hybrimoe_hw::Platform;
 use hybrimoe_model::ModelConfig;
 use hybrimoe_sched::baselines::{FixedMappingScheduler, GpuOnlyScheduler, StaticSplitScheduler};
@@ -297,6 +298,13 @@ pub struct EngineConfig {
     /// can add on top of concurrent decodes; `u32::MAX` leaves the legacy
     /// unbounded behavior.
     pub max_deferred_experts_per_token: u32,
+    /// Deterministic fault-injection plan. The engine reads the
+    /// `spike_ppm`/`spike_ms` and `panic_ppm` knobs (per-step latency
+    /// spikes and injected step panics, drawn from the seeded
+    /// `engine.step` stream); the remaining knobs target the worker and
+    /// client layers. [`FaultPlan::off`] (the default) injects nothing
+    /// and costs one branch per step.
+    pub fault_plan: FaultPlan,
 }
 
 /// Default bound on queued background transfers.
@@ -333,6 +341,7 @@ impl EngineConfig {
             pipelined_prefetch: false,
             chunked_prefill_size: None,
             max_deferred_experts_per_token: u32::MAX,
+            fault_plan: FaultPlan::off(),
         };
         match framework {
             Framework::HybriMoe => base,
@@ -493,6 +502,13 @@ impl EngineConfig {
     /// [`EngineConfig::max_deferred_experts_per_token`]).
     pub fn with_max_deferred_experts(mut self, cap: u32) -> Self {
         self.max_deferred_experts_per_token = cap;
+        self
+    }
+
+    /// Arms the deterministic fault injector (see
+    /// [`EngineConfig::fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 

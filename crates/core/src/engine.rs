@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use hybrimoe_cache::{CacheStats, InsertOutcome, ShardedExpertCache};
+use hybrimoe_fault::{FaultRates, FaultStream};
 use hybrimoe_hw::{
     device_count, AffineCostModel, CalibrationProfile, CostModel, Device, SimDuration,
 };
@@ -102,6 +103,19 @@ pub struct Engine {
     scratch: ScheduleScratch,
     /// The currently open stage, if any.
     stage: Option<StageAccum>,
+    /// Seeded fault injector for the step loop, present only when the
+    /// configured [`EngineConfig::fault_plan`] arms an engine knob
+    /// (`spike_ppm` or `panic_ppm`) — the off path costs one branch.
+    faults: Option<EngineFaults>,
+}
+
+/// Deterministic engine-step fault state: the plan's rates plus the
+/// `engine.step` roll stream (advances once per armed knob per step, so
+/// outcomes are bit-reproducible from the plan seed regardless of timing).
+#[derive(Debug)]
+struct EngineFaults {
+    rates: FaultRates,
+    stream: FaultStream,
 }
 
 /// One background PCIe transfer in flight.
@@ -165,6 +179,13 @@ impl Engine {
             )
         });
 
+        let faults = (config.fault_plan.rates.spike_ppm > 0
+            || config.fault_plan.rates.panic_ppm > 0)
+            .then(|| EngineFaults {
+                rates: config.fault_plan.rates,
+                stream: config.fault_plan.stream("engine.step"),
+            });
+
         Engine {
             scheduler: config.scheduler.build(),
             prefetcher: config.prefetcher.build(),
@@ -180,6 +201,7 @@ impl Engine {
             counters: PrefetchCounters::default(),
             scratch: ScheduleScratch::new(),
             stage: None,
+            faults,
         }
     }
 
@@ -453,6 +475,24 @@ impl Engine {
             self.config.model.layers as usize,
             "trace was generated for a different model"
         );
+        // Injected faults roll before any work so a panicking step never
+        // half-mutates engine state beyond what a real mid-step panic
+        // could. A spike lands on both clocks: the modeled latency (for
+        // sim-driven soaks) and wall time (for live-server SLOs).
+        let spike = match self.faults.as_mut() {
+            None => SimDuration::ZERO,
+            Some(chaos) => {
+                if chaos.stream.roll_ppm(chaos.rates.panic_ppm) {
+                    panic!("injected engine fault: step panic");
+                }
+                if chaos.stream.roll_ppm(chaos.rates.spike_ppm) {
+                    std::thread::sleep(std::time::Duration::from_millis(chaos.rates.spike_ms));
+                    SimDuration::from_millis(chaos.rates.spike_ms)
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+        };
         let tokens = step.tokens;
         self.backend.begin_step();
         // Profiles and counts are Copy; no need to clone the model config
@@ -464,7 +504,7 @@ impl Engine {
         let max_inflight = self.config.max_inflight;
         let num_gpus = self.config.num_gpus.max(1);
 
-        let mut latency = SimDuration::ZERO;
+        let mut latency = spike;
         let mut busy = vec![SimDuration::ZERO; device_count(num_gpus)];
         let mut cpu_experts = 0u32;
         let mut gpu_experts = 0u32;

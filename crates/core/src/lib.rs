@@ -46,8 +46,10 @@ mod config;
 mod engine;
 mod metrics;
 pub mod realexec;
+#[deny(clippy::unwrap_used)]
 pub mod remote;
 pub mod report;
+#[deny(clippy::unwrap_used)]
 pub mod serve;
 mod session;
 
@@ -67,6 +69,7 @@ pub use session::Session;
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use hybrimoe_cache as cache;
+pub use hybrimoe_fault as fault;
 pub use hybrimoe_hw as hw;
 pub use hybrimoe_kernels as kernels;
 pub use hybrimoe_model as model;

@@ -24,7 +24,12 @@
 //!   (reconnect-with-backoff in [`WorkerClientPool`]) and the affected
 //!   experts — including any whose pipelined replies died with the
 //!   connection — fall back to the executor's own local weights. An
-//!   in-flight layer never fails because a worker did.
+//!   in-flight layer never fails because a worker did. A per-worker
+//!   circuit breaker trips after
+//!   [`RemoteWorkerOptions::breaker_threshold`] consecutive failures:
+//!   while open, experts route straight to the local fallback without
+//!   paying connect or deadline cost, until a half-open heartbeat probe
+//!   after the cooldown finds the worker healthy again.
 //!
 //! [`RemoteBackend`] wraps the executor as an
 //! [`ExecutionBackend`], accounting outcomes
@@ -56,6 +61,8 @@ use crate::realexec::{account, RealExecError, RealExecOptions, RealLayerOutput};
 /// assert!(opts.endpoints.is_empty()); // degraded: everything runs locally
 /// assert_eq!(opts.deadline_ms, 5_000);
 /// assert!(opts.pipeline);
+/// assert_eq!(opts.breaker_threshold, 4);
+/// assert_eq!(opts.breaker_cooldown_ms, 500);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RemoteWorkerOptions {
@@ -69,6 +76,15 @@ pub struct RemoteWorkerOptions {
     /// Dispatch every expert's batch before collecting any reply (the
     /// workers answer strictly FIFO). Off sends one request at a time.
     pub pipeline: bool,
+    /// Consecutive send/collect failures that trip a worker's circuit
+    /// breaker. While open, experts owned by that worker route straight
+    /// to the local fallback — no connect attempt, no deadline wait —
+    /// until a half-open heartbeat probe succeeds after the cooldown.
+    /// `0` disables the breaker (every dispatch retries the worker).
+    pub breaker_threshold: u32,
+    /// Minimum time a tripped breaker stays open before the next
+    /// dispatch decision probes the worker with a heartbeat.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for RemoteWorkerOptions {
@@ -77,6 +93,8 @@ impl Default for RemoteWorkerOptions {
             endpoints: Vec::new(),
             deadline_ms: 5_000,
             pipeline: true,
+            breaker_threshold: 4,
+            breaker_cooldown_ms: 500,
         }
     }
 }
@@ -90,6 +108,33 @@ impl RemoteWorkerOptions {
             ..ClientOptions::default()
         }
     }
+}
+
+/// One worker's circuit-breaker state (see
+/// [`RemoteWorkerOptions::breaker_threshold`]).
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    /// Dispatch allowed; counts consecutive failures.
+    Closed {
+        /// Consecutive failures since the last success.
+        failures: u32,
+    },
+    /// Dispatch suspended; no probe before `until`.
+    Open {
+        /// Earliest next half-open probe.
+        until: Instant,
+    },
+    /// Cooldown expired; the in-progress dispatch decision is probing.
+    HalfOpen,
+}
+
+/// A per-worker circuit breaker with trip accounting for `/metrics`.
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// Cumulative closed→open transitions (half-open re-opens after a
+    /// failed probe do not count a new trip).
+    trips: u64,
 }
 
 /// Where one planned expert's batch is headed.
@@ -136,6 +181,10 @@ pub struct RemoteLayerExecutor {
     workers: WorkerClientPool,
     scratch: RemoteScratch,
     ffn_scratch: ExecScratch,
+    /// One circuit breaker per configured worker.
+    breakers: Vec<Breaker>,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
 }
 
 impl RemoteLayerExecutor {
@@ -169,6 +218,14 @@ impl RemoteLayerExecutor {
             workers: WorkerClientPool::new(&remote.endpoints, base, remote.client_options()),
             scratch: RemoteScratch::default(),
             ffn_scratch: ExecScratch::new(),
+            breakers: (0..remote.endpoints.len())
+                .map(|_| Breaker {
+                    state: BreakerState::Closed { failures: 0 },
+                    trips: 0,
+                })
+                .collect(),
+            breaker_threshold: remote.breaker_threshold,
+            breaker_cooldown: Duration::from_millis(remote.breaker_cooldown_ms),
         }
     }
 
@@ -177,9 +234,16 @@ impl RemoteLayerExecutor {
         self.store.config()
     }
 
-    /// Current worker fleet health.
+    /// Current worker fleet health, including circuit-breaker state.
     pub fn health(&self) -> WorkerHealthSnapshot {
-        self.workers.health()
+        let mut health = self.workers.health();
+        health.breaker_open = self
+            .breakers
+            .iter()
+            .filter(|b| matches!(b.state, BreakerState::Open { .. }))
+            .count() as u64;
+        health.breaker_trips = self.breakers.iter().map(|b| b.trips).sum();
+        health
     }
 
     /// Drains every connected worker (best-effort; used at shutdown).
@@ -249,6 +313,18 @@ impl RemoteLayerExecutor {
                 let worker = self
                     .workers
                     .worker_for_expert(hybrimoe_model::ExpertId(expert));
+                if !Self::breaker_allows(
+                    &mut self.breakers,
+                    &mut self.workers,
+                    self.breaker_threshold,
+                    self.breaker_cooldown,
+                    worker,
+                ) {
+                    // Open breaker: route straight to the local fallback
+                    // without paying connect or deadline cost.
+                    self.workers.note_failover();
+                    continue;
+                }
                 let batch = ExecuteBatch {
                     layer: layer.0,
                     expert,
@@ -268,6 +344,12 @@ impl RemoteLayerExecutor {
                     // is gone: earlier experts dispatched to this worker
                     // fail over too.
                     self.workers.fail(worker);
+                    Self::breaker_fail(
+                        &mut self.breakers,
+                        self.breaker_threshold,
+                        self.breaker_cooldown,
+                        worker,
+                    );
                     self.workers.note_failover();
                     for d in scratch.dispatch[..i].iter_mut() {
                         if *d == Dispatch::Remote(worker) {
@@ -304,10 +386,18 @@ impl RemoteLayerExecutor {
                     list,
                     &mut output,
                 );
-                if !collected {
+                if collected {
+                    Self::breaker_ok(&mut self.breakers, worker);
+                } else {
                     // The reply (and the connection's whole FIFO) is
                     // lost: this expert and every later one still
                     // expecting a reply from this worker run locally.
+                    Self::breaker_fail(
+                        &mut self.breakers,
+                        self.breaker_threshold,
+                        self.breaker_cooldown,
+                        worker,
+                    );
                     self.workers.note_failover();
                     for d in scratch.dispatch[i..].iter_mut() {
                         if *d == Dispatch::Remote(worker) {
@@ -320,36 +410,58 @@ impl RemoteLayerExecutor {
                 let worker = self
                     .workers
                     .worker_for_expert(hybrimoe_model::ExpertId(expert));
-                let sent = match self.workers.client(worker) {
-                    Some(client) => client
-                        .send_execute(&ExecuteBatch {
-                            layer: layer.0,
-                            expert,
-                            tokens: batch as u32,
-                            hidden: hidden as u32,
-                            data: gather_batch(&mut scratch.gather, list, inputs, hidden).to_vec(),
-                        })
-                        .is_ok(),
-                    None => false,
-                };
-                if sent {
-                    self.workers.note_request();
-                    collected = Self::collect_remote(
-                        &mut self.workers,
-                        worker,
-                        batch,
-                        hidden,
-                        list,
-                        &mut output,
-                    );
-                }
-                if !collected {
-                    // A failed send marks the worker down here; a failed
-                    // receive was already marked down by collect_remote.
-                    if !sent {
-                        self.workers.fail(worker);
-                    }
+                if !Self::breaker_allows(
+                    &mut self.breakers,
+                    &mut self.workers,
+                    self.breaker_threshold,
+                    self.breaker_cooldown,
+                    worker,
+                ) {
+                    // Open breaker: local fallback without touching the
+                    // worker (`collected` stays false).
                     self.workers.note_failover();
+                } else {
+                    let sent = match self.workers.client(worker) {
+                        Some(client) => client
+                            .send_execute(&ExecuteBatch {
+                                layer: layer.0,
+                                expert,
+                                tokens: batch as u32,
+                                hidden: hidden as u32,
+                                data: gather_batch(&mut scratch.gather, list, inputs, hidden)
+                                    .to_vec(),
+                            })
+                            .is_ok(),
+                        None => false,
+                    };
+                    if sent {
+                        self.workers.note_request();
+                        collected = Self::collect_remote(
+                            &mut self.workers,
+                            worker,
+                            batch,
+                            hidden,
+                            list,
+                            &mut output,
+                        );
+                    }
+                    if collected {
+                        Self::breaker_ok(&mut self.breakers, worker);
+                    } else {
+                        // A failed send marks the worker down here; a
+                        // failed receive was already marked down by
+                        // collect_remote.
+                        if !sent {
+                            self.workers.fail(worker);
+                        }
+                        Self::breaker_fail(
+                            &mut self.breakers,
+                            self.breaker_threshold,
+                            self.breaker_cooldown,
+                            worker,
+                        );
+                        self.workers.note_failover();
+                    }
                 }
             }
 
@@ -391,6 +503,85 @@ impl RemoteLayerExecutor {
             cpu_tasks: scratch.cpu.len(),
             gpu_tasks: scratch.gpu.len(),
         })
+    }
+
+    /// Decides whether dispatch to `worker` is allowed right now. Closed
+    /// breakers pass; open ones inside the cooldown refuse instantly; an
+    /// open breaker past its cooldown runs a half-open heartbeat probe —
+    /// success closes the breaker, failure re-opens it for another
+    /// cooldown without counting a new trip. The probe cannot
+    /// desynchronize pipelined replies: a breaker only opens after the
+    /// failing connection was dropped, so the probe's (re)connection
+    /// starts with an empty FIFO.
+    fn breaker_allows(
+        breakers: &mut [Breaker],
+        workers: &mut WorkerClientPool,
+        threshold: u32,
+        cooldown: Duration,
+        worker: usize,
+    ) -> bool {
+        if threshold == 0 {
+            return true;
+        }
+        let breaker = &mut breakers[worker];
+        match breaker.state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } if Instant::now() < until => false,
+            _ => {
+                breaker.state = BreakerState::HalfOpen;
+                let alive = match workers.client(worker) {
+                    Some(client) => client.heartbeat().is_ok(),
+                    None => false,
+                };
+                if alive {
+                    breakers[worker].state = BreakerState::Closed { failures: 0 };
+                    true
+                } else {
+                    workers.fail(worker);
+                    breakers[worker].state = BreakerState::Open {
+                        until: Instant::now() + cooldown,
+                    };
+                    false
+                }
+            }
+        }
+    }
+
+    /// Counts one successful collect: consecutive-failure tracking resets.
+    fn breaker_ok(breakers: &mut [Breaker], worker: usize) {
+        if let Some(breaker) = breakers.get_mut(worker) {
+            breaker.state = BreakerState::Closed { failures: 0 };
+        }
+    }
+
+    /// Counts one send/collect failure; at `threshold` consecutive
+    /// failures the breaker trips open for `cooldown`.
+    fn breaker_fail(breakers: &mut [Breaker], threshold: u32, cooldown: Duration, worker: usize) {
+        if threshold == 0 {
+            return;
+        }
+        let breaker = &mut breakers[worker];
+        match breaker.state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= threshold {
+                    breaker.trips += 1;
+                    breaker.state = BreakerState::Open {
+                        until: Instant::now() + cooldown,
+                    };
+                } else {
+                    breaker.state = BreakerState::Closed { failures };
+                }
+            }
+            // A failure during (or right after) a half-open probe re-opens
+            // without a new trip.
+            BreakerState::HalfOpen => {
+                breaker.state = BreakerState::Open {
+                    until: Instant::now() + cooldown,
+                };
+            }
+            BreakerState::Open { .. } => {}
+        }
     }
 
     /// Receives one pipelined reply from `worker` and scatters it. Returns
@@ -640,6 +831,7 @@ impl ExecutionBackend for RemoteBackend {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::realexec::RealLayerExecutor;
@@ -846,6 +1038,42 @@ mod tests {
         let health = exec.health();
         assert_eq!(health.up, 0);
         assert!(health.failovers > 0);
+    }
+
+    #[test]
+    fn breaker_opens_on_dead_worker_and_reprobes_after_cooldown() {
+        let model = ModelConfig::tiny_test();
+        let (inputs, routes) = token_inputs(&model, 2, 3);
+        let plan = plan_for(&model, &routes);
+        let reference = local_reference(&model, &plan, &inputs, &routes);
+
+        let remote = RemoteWorkerOptions {
+            endpoints: vec!["127.0.0.1:1".to_owned()], // nothing listening
+            breaker_threshold: 1,
+            breaker_cooldown_ms: 1,
+            ..Default::default()
+        };
+        let mut exec = RemoteLayerExecutor::new(model, 7, scalar_options(), &remote);
+        let out = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+        assert_eq!(out.output, reference);
+        let health = exec.health();
+        assert_eq!(health.breaker_open, 1);
+        assert_eq!(health.breaker_trips, 1);
+        assert!(health.failovers > 0);
+
+        // Cooldown expired: the next layer's dispatch probes the (still
+        // dead) worker, the probe fails, and the breaker re-opens without
+        // counting a new trip. Output stays bit-identical throughout.
+        std::thread::sleep(Duration::from_millis(5));
+        let out = exec
+            .execute_layer(LayerId(0), &plan, &inputs, &routes)
+            .unwrap();
+        assert_eq!(out.output, reference);
+        let health = exec.health();
+        assert_eq!(health.breaker_open, 1);
+        assert_eq!(health.breaker_trips, 1);
     }
 
     #[test]

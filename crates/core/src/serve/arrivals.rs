@@ -152,6 +152,7 @@ impl ArrivalProcess {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

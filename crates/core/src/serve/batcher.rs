@@ -47,6 +47,13 @@ pub struct StepOutcome {
     pub decoded: Vec<(u32, u32)>,
     /// Requests that completed with this step, in batch order.
     pub completed: Vec<RequestMetrics>,
+    /// Ids of waiting requests dropped before admission because their
+    /// [`RequestSpec::deadline`] had passed at the step's start.
+    pub expired_waiting: Vec<u32>,
+    /// Ids of running requests terminated at the step's start because
+    /// their deadline had passed — their batch slots freed before
+    /// admission, so an expired request never consumes another step.
+    pub expired_running: Vec<u32>,
 }
 
 /// The join/admit/step/leave core of continuous batching.
@@ -75,6 +82,7 @@ pub struct StepOutcome {
 ///     prompt_tokens: 16,
 ///     decode_tokens: 4,
 ///     priority: DEFAULT_PRIORITY,
+///     deadline: None,
 /// });
 ///
 /// // The caller owns the clock: here each step lands at its modeled
@@ -213,6 +221,47 @@ impl ContinuousBatcher {
     pub fn step(&mut self, now: SimTime, land: impl FnOnce(SimDuration) -> SimTime) -> StepOutcome {
         assert!(!self.is_idle(), "step on an idle batcher");
 
+        // Expire deadlined requests first: waiting ones drop before they
+        // can take a slot, running ones free their slot for this step's
+        // admissions. An expired request is terminal — it never runs
+        // another token.
+        let mut expired_waiting = Vec::new();
+        self.waiting.retain(|s| match s.deadline {
+            Some(d) if d <= now => {
+                expired_waiting.push(s.id);
+                false
+            }
+            _ => true,
+        });
+        let mut expired_running = Vec::new();
+        self.running.retain(|r| match r.spec.deadline {
+            Some(d) if d <= now => {
+                expired_running.push(r.spec.id);
+                false
+            }
+            _ => true,
+        });
+        // Expiry may have emptied the batcher: report it without running
+        // a zero-part engine step.
+        if self.is_idle() {
+            return StepOutcome {
+                stat: StepStat {
+                    start: now,
+                    batch: 0,
+                    prefills: 0,
+                    tokens: 0,
+                    latency: SimDuration::ZERO,
+                },
+                end: now,
+                admitted: Vec::new(),
+                first_tokens: Vec::new(),
+                decoded: Vec::new(),
+                completed: Vec::new(),
+                expired_waiting,
+                expired_running,
+            };
+        }
+
         // Admit waiting requests into free batch slots (FIFO within each
         // priority class); their first prefill chunk merges into this step
         // and any remaining chunks queue on the request.
@@ -334,6 +383,8 @@ impl ContinuousBatcher {
             first_tokens,
             decoded,
             completed,
+            expired_waiting,
+            expired_running,
         }
     }
 }
@@ -345,6 +396,7 @@ fn request_seed(seed: u64, id: u32) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::serve::DEFAULT_PRIORITY;
@@ -358,6 +410,7 @@ mod tests {
             prompt_tokens: 8,
             decode_tokens: 2,
             priority,
+            deadline: None,
         }
     }
 
@@ -472,6 +525,53 @@ mod tests {
     fn stepping_an_idle_batcher_panics() {
         let mut b = batcher(2);
         let _ = b.step(SimTime::ZERO, |lat| SimTime::ZERO + lat);
+    }
+
+    #[test]
+    fn deadlines_expire_waiting_and_running_requests() {
+        use hybrimoe_hw::SimDuration;
+
+        let mut b = batcher(1);
+        let mut doomed = spec(0, 0);
+        doomed.deadline = Some(SimTime::ZERO + SimDuration::from_millis(1));
+        b.enqueue(doomed);
+        b.enqueue(spec(1, 0));
+        // The deadlined request expires before admission; the other takes
+        // the freed slot in the same step.
+        let now = SimTime::ZERO + SimDuration::from_millis(2);
+        let out = b.step(now, |lat| now + lat);
+        assert_eq!(out.expired_waiting, vec![0]);
+        assert!(out.expired_running.is_empty());
+        assert_eq!(out.admitted, vec![1]);
+        assert_eq!(b.running_len(), 1);
+
+        // A running request past its deadline is terminated at the next
+        // step boundary; with nothing else to run, the outcome is empty
+        // (no engine step) and the batcher goes idle.
+        let mut slow = spec(2, 0);
+        slow.decode_tokens = 100;
+        slow.deadline = Some(out.end); // expires as soon as it would decode
+        b.cancel(1);
+        b.enqueue(slow);
+        let now = out.end;
+        let out = b.step(now, |lat| now + lat); // admitted: deadline == now drops it first
+        assert_eq!(out.expired_waiting, vec![2]);
+        assert_eq!(out.stat.batch, 0);
+        assert_eq!(out.stat.latency, SimDuration::ZERO);
+        assert_eq!(out.end, now);
+        assert!(b.is_idle());
+
+        // And a request that makes it into the batch expires mid-decode.
+        let mut mid = spec(3, 0);
+        mid.decode_tokens = 100;
+        mid.deadline = Some(now + SimDuration::from_nanos(1));
+        b.enqueue(mid);
+        let out = b.step(now, |lat| now + lat); // admits: deadline still ahead
+        assert_eq!(out.admitted, vec![3]);
+        let later = out.end.max(mid.deadline.unwrap());
+        let out = b.step(later, |lat| later + lat);
+        assert_eq!(out.expired_running, vec![3]);
+        assert!(b.is_idle());
     }
 
     #[test]

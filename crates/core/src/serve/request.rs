@@ -26,6 +26,13 @@ pub struct RequestSpec {
     /// front-end's load-shed watermark only sheds classes above
     /// [`DEFAULT_PRIORITY`].
     pub priority: u8,
+    /// Absolute completion deadline on the simulated clock, or `None` for
+    /// no deadline. The batcher expires deadlined requests at every step
+    /// boundary — waiting requests are dropped before admission, running
+    /// ones are terminated and their batch slot freed — and the serving
+    /// front-end rejects requests whose deadline already passed at
+    /// admission with a 504.
+    pub deadline: Option<SimTime>,
 }
 
 /// The realized latency profile of one completed request.
@@ -176,6 +183,7 @@ mod tests {
                 prompt_tokens: 4,
                 decode_tokens: 1,
                 priority: DEFAULT_PRIORITY,
+                deadline: None,
             },
             stream,
             admitted: SimTime::ZERO,

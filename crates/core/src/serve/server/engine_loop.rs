@@ -6,6 +6,7 @@
 //! batch, deliver tokens — stamping every step with real wall-clock time.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -33,6 +34,9 @@ pub(crate) struct Submission {
     pub prompt_tokens: u32,
     pub decode_tokens: u32,
     pub priority: u8,
+    /// Absolute completion deadline on the server clock, if any; the
+    /// batcher expires the request at the first step boundary past it.
+    pub deadline: Option<SimTime>,
     /// Where the handler listens for this request's tokens.
     pub events: Sender<StreamEvent>,
 }
@@ -44,12 +48,25 @@ pub(crate) enum StreamEvent {
     Token { index: u32 },
     /// The request finished; the stream is complete.
     Done { metrics: RequestMetrics },
+    /// The request expired past its deadline; the stream ends with a
+    /// terminal `timed_out` chunk.
+    TimedOut,
+    /// An engine panic killed the request in flight; the stream ends
+    /// with a terminal `failed` chunk while the engine is rebuilt.
+    Failed,
 }
 
 /// Runs the engine loop until shutdown: all submitters gone, or a drain
 /// was requested and every accepted request has completed.
+///
+/// `make_batcher` rebuilds the batcher (and its engine) after a step
+/// panic: an injected (or real) engine panic is contained with
+/// `catch_unwind`, the requests in flight fail with a terminal event,
+/// and a fresh engine replaces the poisoned one — the listener and every
+/// other connection never notice.
 pub(crate) fn run(
     mut batcher: ContinuousBatcher,
+    make_batcher: impl Fn() -> ContinuousBatcher,
     submissions: Receiver<Submission>,
     shared: Arc<Shared>,
     min_step: Option<Duration>,
@@ -85,26 +102,64 @@ pub(crate) fn run(
 
         let started = Instant::now();
         let now = shared.now();
-        let outcome = batcher.step(now, |_latency| {
-            // Tokens land when the step *actually* finished, plus any
-            // configured pacing floor — not when the model says it should
-            // have. SLOs measure the real server.
-            if let Some(floor) = min_step {
-                let elapsed = started.elapsed();
-                if elapsed < floor {
-                    std::thread::sleep(floor - elapsed);
+        let stepped = catch_unwind(AssertUnwindSafe(|| {
+            batcher.step(now, |_latency| {
+                // Tokens land when the step *actually* finished, plus any
+                // configured pacing floor — not when the model says it
+                // should have. SLOs measure the real server.
+                if let Some(floor) = min_step {
+                    let elapsed = started.elapsed();
+                    if elapsed < floor {
+                        std::thread::sleep(floor - elapsed);
+                    }
                 }
+                shared.now()
+            })
+        }));
+        let outcome = match stepped {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // The engine panicked mid-step. Fail every request in
+                // flight with a terminal event, forget the poisoned
+                // batcher, and re-arm with a fresh engine — the listener
+                // and the submission channel live on.
+                shared
+                    .queued
+                    .fetch_sub(batcher.waiting_len(), Ordering::AcqRel);
+                shared
+                    .failed
+                    .fetch_add(clients.len() as u64, Ordering::Relaxed);
+                for (_, events) in clients.drain() {
+                    let _ = events.send(StreamEvent::Failed);
+                }
+                shared.engine_restarts.fetch_add(1, Ordering::Relaxed);
+                batcher = make_batcher();
+                shared.running.store(0, Ordering::Relaxed);
+                shared.store_oldest_wait(None);
+                continue;
             }
-            shared.now()
-        });
+        };
         // Publish the admission bookkeeping BEFORE delivering tokens: a
         // client acts the moment its first chunk lands, and the shed
         // gate must not still see the stamp of a request that already
         // left the waiting queue.
         shared.steps.fetch_add(1, Ordering::Relaxed);
-        shared
-            .queued
-            .fetch_sub(outcome.admitted.len(), Ordering::AcqRel);
+        shared.queued.fetch_sub(
+            outcome.admitted.len() + outcome.expired_waiting.len(),
+            Ordering::AcqRel,
+        );
+        // Deadline expiries are terminal: close their streams with a
+        // typed event and drop their handlers before token delivery.
+        for id in outcome
+            .expired_waiting
+            .iter()
+            .chain(&outcome.expired_running)
+        {
+            shared.timed_out.fetch_add(1, Ordering::Relaxed);
+            if let Some(events) = clients.remove(id) {
+                let _ = events.send(StreamEvent::TimedOut);
+            }
+        }
         shared
             .running
             .store(batcher.running_len(), Ordering::Relaxed);
@@ -155,6 +210,7 @@ fn admit(
         prompt_tokens: sub.prompt_tokens,
         decode_tokens: sub.decode_tokens,
         priority: sub.priority,
+        deadline: sub.deadline,
     });
     shared.admitted.fetch_add(1, Ordering::Relaxed);
     shared.store_oldest_wait(batcher.oldest_waiting_arrival());

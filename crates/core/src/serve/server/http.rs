@@ -24,6 +24,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Per-request deadline from the `X-Deadline-Ms` header, if sent:
+    /// milliseconds from arrival to required completion. Overrides the
+    /// server's configured default; an unparseable value is a 400.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Reads one head line as raw bytes, bounded by the remaining head
@@ -83,6 +87,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
 
     // Headers until the blank line.
     let mut content_length = 0u64;
+    let mut deadline_ms = None;
     loop {
         if read_head_line(&mut reader, &mut line, &mut budget)? == 0 {
             return Err(bad("connection closed mid-headers"));
@@ -104,6 +109,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
                     .parse::<u64>()
                     .map_err(|_| bad("unparseable Content-Length"))?;
             }
+            if name.eq_ignore_ascii_case("x-deadline-ms") {
+                deadline_ms = Some(
+                    value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| bad("unparseable X-Deadline-Ms"))?,
+                );
+            }
         }
     }
 
@@ -112,7 +125,12 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
     }
     let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body)?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        deadline_ms,
+    }))
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -127,6 +145,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
@@ -134,12 +153,27 @@ fn reason(status: u16) -> &'static str {
 /// Writes a complete JSON response with `Content-Length` and closes the
 /// logical exchange (`Connection: close` — one request per connection).
 pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond_json_with(stream, status, body, &[])
+}
+
+/// [`respond_json`] with extra response headers (name, value) — the
+/// retryable 503s attach `Retry-After` this way.
+pub fn respond_json_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
         body.len(),
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "Connection: close\r\n\r\n{body}")?;
     stream.flush()
 }
 
@@ -194,9 +228,32 @@ pub fn read_chunks<R: BufRead>(reader: &mut R) -> io::Result<Vec<String>> {
     Ok(chunks)
 }
 
+/// A parsed client-side view of a response head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// Whether the body is chunked-encoded.
+    pub chunked: bool,
+    /// The declared `Content-Length` (0 when absent or chunked).
+    pub content_length: usize,
+    /// Seconds from the `Retry-After` header, when the server sent one
+    /// (the retryable 503s do; clients should back off that long).
+    pub retry_after: Option<u64>,
+}
+
 /// Client-side helper: reads an HTTP response head, returning the status
 /// code and whether the body is chunked; leaves the reader at the body.
+/// Thin wrapper over [`read_response_head_full`] for callers that don't
+/// care about `Retry-After`.
 pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, bool, usize)> {
+    let head = read_response_head_full(reader)?;
+    Ok((head.status, head.chunked, head.content_length))
+}
+
+/// Client-side helper: reads and fully parses an HTTP response head;
+/// leaves the reader at the body.
+pub fn read_response_head_full<R: BufRead>(reader: &mut R) -> io::Result<ResponseHead> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Err(bad("connection closed before status line"));
@@ -206,8 +263,12 @@ pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, bool, 
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("unparseable status line"))?;
-    let mut chunked = false;
-    let mut content_length = 0usize;
+    let mut head = ResponseHead {
+        status,
+        chunked: false,
+        content_length: 0,
+        retry_after: None,
+    };
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -215,16 +276,19 @@ pub fn read_response_head<R: BufRead>(reader: &mut R) -> io::Result<(u16, bool, 
         }
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
-            return Ok((status, chunked, content_length));
+            return Ok(head);
         }
         if let Some((name, value)) = trimmed.split_once(':') {
             if name.eq_ignore_ascii_case("transfer-encoding")
                 && value.trim().eq_ignore_ascii_case("chunked")
             {
-                chunked = true;
+                head.chunked = true;
             }
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                head.content_length = value.trim().parse().unwrap_or(0);
+            }
+            if name.eq_ignore_ascii_case("retry-after") {
+                head.retry_after = value.trim().parse().ok();
             }
         }
     }

@@ -19,12 +19,22 @@ pub struct ServerMetrics {
     /// Requests cancelled because the client hung up mid-stream (their
     /// batch slot was reclaimed at the next step boundary).
     pub cancelled: u64,
+    /// Admitted requests expired past their deadline (waiting or
+    /// mid-decode); each got a terminal `timed_out` chunk and freed its
+    /// slot at the next step boundary.
+    pub timed_out: u64,
+    /// Admitted requests failed by an engine panic; each got a terminal
+    /// `failed` chunk while the engine was rebuilt.
+    pub failed: u64,
     /// Requests rejected because the waiting queue was full.
     pub rejected_queue_full: u64,
     /// Requests shed because queue delay exceeded the watermark.
     pub rejected_shed: u64,
     /// Requests rejected because the server was draining.
     pub rejected_draining: u64,
+    /// Requests rejected at admission because their deadline had already
+    /// passed (or was zero) — answered 504 without queueing.
+    pub rejected_deadline: u64,
     /// Requests currently waiting for a batch slot.
     pub queued: u64,
     /// Requests currently decoding in the batch.
@@ -71,6 +81,15 @@ pub struct ServerMetrics {
     pub worker_failovers: u64,
     /// Successful worker reconnects after a failure.
     pub worker_reconnects: u64,
+    /// Remote workers whose circuit breaker is currently open (their
+    /// experts route local until a half-open probe succeeds).
+    pub worker_breaker_open: u64,
+    /// Cumulative circuit-breaker trips across the worker fleet.
+    pub worker_breaker_trips: u64,
+    /// Times the engine was rebuilt after a step panic. The listener and
+    /// every connection survive a restart; only the requests in flight at
+    /// the panic fail.
+    pub engine_restarts: u64,
 }
 
 /// Accumulates per-request SLO samples behind a mutex. The engine loop
@@ -122,6 +141,7 @@ impl SloRecorder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use hybrimoe_hw::SimTime;

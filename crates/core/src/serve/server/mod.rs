@@ -6,11 +6,19 @@
 //! * `POST /v1/generate` with a JSON body
 //!   `{"prompt_tokens": N, "decode_tokens": M, "priority": P}` streams one
 //!   chunk per output token (`{"token": i}` lines), ending with a
-//!   `{"done": true, ...}` chunk carrying the request's realized SLO
-//!   numbers. `priority` is optional; see [`Server`] for its semantics.
+//!   terminal chunk: `{"done": true, ...}` with the request's realized
+//!   SLO numbers, `{"timed_out": true}` when the request expired past its
+//!   deadline, or `{"failed": true, ...}` when an engine panic killed it.
+//!   `priority` is optional; see [`Server`] for its semantics. An
+//!   `X-Deadline-Ms` header (or [`ServerConfig::default_deadline`]) sets
+//!   a completion deadline; a request whose deadline already passed is
+//!   answered `504` without queueing.
 //! * `GET /metrics` returns a [`ServerMetrics`] JSON snapshot: counters
 //!   plus queue-wait/TTFT/TPOT percentiles over completed requests.
-//! * `GET /healthz` answers liveness probes.
+//! * `GET /healthz` answers liveness probes: `{"ok":true,"status":"ok"}`
+//!   normally, `"status":"degraded"` (with reasons, still HTTP 200) once
+//!   the engine has been restarted after a panic or a worker circuit
+//!   breaker is open.
 //! * `POST /admin/drain` starts a graceful drain (admission closes,
 //!   accepted requests run to completion).
 //!
@@ -32,12 +40,18 @@
 //!    rides through overload at the cost of deeper queues.
 //! 3. **Queue depth**: at most [`ServerConfig::queue_depth`] requests may
 //!    wait for a batch slot; beyond that the queue is full.
+//!
+//! Load-shed and queue-full rejections are retryable and carry a
+//! `Retry-After` header; draining and expired-deadline rejections are
+//! not retryable on this server and don't.
 
 mod engine_loop;
 mod http;
 mod metrics;
 
-pub use http::{read_chunks, read_one_chunk, read_response_head};
+pub use http::{
+    read_chunks, read_one_chunk, read_response_head, read_response_head_full, ResponseHead,
+};
 pub use metrics::ServerMetrics;
 
 use std::io;
@@ -96,6 +110,12 @@ pub struct ServerConfig {
     /// time. `None` free-runs. Useful to make overload reproducible in
     /// tests and to emulate slower hardware.
     pub min_step: Option<Duration>,
+    /// Default end-to-end deadline for requests that send no
+    /// `X-Deadline-Ms` header. A request past its deadline is expired at
+    /// the next step boundary (terminal `timed_out` chunk, slot freed);
+    /// one whose deadline has already passed at admission is rejected
+    /// with `504`. `None` means no deadline.
+    pub default_deadline: Option<Duration>,
     /// Seed for per-request synthetic traces.
     pub seed: u64,
 }
@@ -112,6 +132,7 @@ impl ServerConfig {
             max_decode_tokens: 512,
             max_prompt_tokens: 4096,
             min_step: None,
+            default_deadline: None,
             seed: 0,
         }
     }
@@ -133,9 +154,16 @@ pub(crate) struct Shared {
     pub completed: AtomicU64,
     /// Requests evicted because their client hung up mid-stream.
     pub cancelled: AtomicU64,
+    /// Admitted requests expired past their deadline.
+    pub timed_out: AtomicU64,
+    /// Admitted requests failed by an engine panic.
+    pub failed: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_shed: AtomicU64,
     rejected_draining: AtomicU64,
+    rejected_deadline: AtomicU64,
+    /// Times the engine loop rebuilt its engine after a step panic.
+    pub engine_restarts: AtomicU64,
     pub steps: AtomicU64,
     pub output_tokens: AtomicU64,
     /// Arrival stamp (nanos on the server clock) of the oldest request in
@@ -157,6 +185,8 @@ pub(crate) struct Shared {
     worker_requests: AtomicU64,
     worker_failovers: AtomicU64,
     worker_reconnects: AtomicU64,
+    workers_breaker_open: AtomicU64,
+    workers_breaker_trips: AtomicU64,
     /// Expert-cache hit ratio per GPU shard, refreshed every engine step.
     shard_hit_ratios: Mutex<Vec<f64>>,
     pub slo: SloRecorder,
@@ -174,9 +204,13 @@ impl Shared {
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
             rejected_shed: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            engine_restarts: AtomicU64::new(0),
             steps: AtomicU64::new(0),
             output_tokens: AtomicU64::new(0),
             oldest_wait_nanos: AtomicU64::new(u64::MAX),
@@ -189,6 +223,8 @@ impl Shared {
             worker_requests: AtomicU64::new(0),
             worker_failovers: AtomicU64::new(0),
             worker_reconnects: AtomicU64::new(0),
+            workers_breaker_open: AtomicU64::new(0),
+            workers_breaker_trips: AtomicU64::new(0),
             shard_hit_ratios: Mutex::new(Vec::new()),
             slo: SloRecorder::default(),
             origin: Instant::now(),
@@ -233,6 +269,10 @@ impl Shared {
             .store(health.failovers, Ordering::Relaxed);
         self.worker_reconnects
             .store(health.reconnects, Ordering::Relaxed);
+        self.workers_breaker_open
+            .store(health.breaker_open, Ordering::Relaxed);
+        self.workers_breaker_trips
+            .store(health.breaker_trips, Ordering::Relaxed);
         *self
             .shard_hit_ratios
             .lock()
@@ -255,9 +295,12 @@ impl Shared {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_shed: self.rejected_shed.load(Ordering::Relaxed),
             rejected_draining: self.rejected_draining.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed) as u64,
             running: self.running.load(Ordering::Relaxed) as u64,
             engine_steps: self.steps.load(Ordering::Relaxed),
@@ -286,6 +329,9 @@ impl Shared {
             worker_requests: self.worker_requests.load(Ordering::Relaxed),
             worker_failovers: self.worker_failovers.load(Ordering::Relaxed),
             worker_reconnects: self.worker_reconnects.load(Ordering::Relaxed),
+            worker_breaker_open: self.workers_breaker_open.load(Ordering::Relaxed),
+            worker_breaker_trips: self.workers_breaker_trips.load(Ordering::Relaxed),
+            engine_restarts: self.engine_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -296,6 +342,8 @@ struct Limits {
     shed_watermark: Option<SimDuration>,
     max_decode_tokens: u32,
     max_prompt_tokens: u32,
+    /// Deadline applied to requests without an `X-Deadline-Ms` header.
+    default_deadline: Option<Duration>,
 }
 
 /// The serving front-end. See the [module docs](self) for the API and
@@ -324,9 +372,18 @@ impl Server {
         let engine = {
             let shared = Arc::clone(&shared);
             let min_step = config.min_step;
+            let engine_cfg = config.engine.clone();
+            let max_batch = config.max_batch;
+            let seed = config.seed;
             thread::Builder::new()
                 .name("hybrimoe-engine".to_owned())
-                .spawn(move || engine_loop::run(batcher, submissions, shared, min_step))?
+                .spawn(move || {
+                    // The factory re-arms the loop with a fresh engine
+                    // after a contained step panic.
+                    let make_batcher =
+                        move || ContinuousBatcher::new(engine_cfg.clone(), max_batch, seed);
+                    engine_loop::run(batcher, make_batcher, submissions, shared, min_step)
+                })?
         };
 
         let limits = Arc::new(Limits {
@@ -336,6 +393,7 @@ impl Server {
                 .map(|d| SimDuration::from_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))),
             max_decode_tokens: config.max_decode_tokens,
             max_prompt_tokens: config.max_prompt_tokens,
+            default_deadline: config.default_deadline,
         });
 
         let acceptor = {
@@ -479,15 +537,13 @@ fn handle_connection(
     };
     let path = request.path.split('?').next().unwrap_or("");
     let result = match (request.method.as_str(), path) {
-        ("POST", "/v1/generate") => {
-            handle_generate(&mut stream, &request.body, shared, submit, limits)
-        }
+        ("POST", "/v1/generate") => handle_generate(&mut stream, &request, shared, submit, limits),
         ("GET", "/metrics") => {
             let body = serde_json::to_string(&shared.metrics())
                 .unwrap_or_else(|_| error_body("metrics serialization failed"));
             http::respond_json(&mut stream, 200, &body)
         }
-        ("GET", "/healthz") => http::respond_json(&mut stream, 200, "{\"ok\":true}"),
+        ("GET", "/healthz") => http::respond_json(&mut stream, 200, &healthz_body(shared)),
         ("POST", "/admin/drain") => {
             shared.draining.store(true, Ordering::Release);
             http::respond_json(&mut stream, 200, "{\"draining\":true}")
@@ -501,39 +557,75 @@ fn handle_connection(
     drop(result);
 }
 
+/// The `/healthz` body: `ok` until the server has visibly degraded —
+/// the engine was restarted after a panic, or a worker circuit breaker
+/// is open. Degraded stays HTTP 200 (the server is alive and serving);
+/// orchestration that wants to act on degradation reads `status`.
+fn healthz_body(shared: &Shared) -> String {
+    let restarts = shared.engine_restarts.load(Ordering::Relaxed);
+    let breakers = shared.workers_breaker_open.load(Ordering::Relaxed);
+    if restarts == 0 && breakers == 0 {
+        return "{\"ok\":true,\"status\":\"ok\"}".to_owned();
+    }
+    let mut reasons = Vec::new();
+    if restarts > 0 {
+        reasons.push(format!("\"engine restarted {restarts} time(s)\""));
+    }
+    if breakers > 0 {
+        reasons.push(format!("\"{breakers} worker circuit breaker(s) open\""));
+    }
+    format!(
+        "{{\"ok\":true,\"status\":\"degraded\",\"reasons\":[{}]}}",
+        reasons.join(",")
+    )
+}
+
 /// `POST /v1/generate`: admission control, then stream tokens until the
 /// request completes.
 fn handle_generate(
     stream: &mut TcpStream,
-    body: &[u8],
+    request: &http::Request,
     shared: &Shared,
     submit: &SyncSender<Submission>,
     limits: &Limits,
 ) -> io::Result<()> {
-    let generate = match parse_generate(body, limits) {
+    let generate = match parse_generate(&request.body, limits) {
         Ok(generate) => generate,
         Err(msg) => return http::respond_json(stream, 400, &error_body(&msg)),
     };
+    // The per-request header wins over the configured default.
+    let deadline_budget = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(limits.default_deadline);
 
+    // Gate 0: a deadline of zero has already passed — don't queue work
+    // that must miss.
+    if deadline_budget == Some(Duration::ZERO) {
+        shared.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        return http::respond_json(stream, 504, &error_body("deadline already expired"));
+    }
     // Gate 1: a draining server admits nothing.
     if shared.draining.load(Ordering::Acquire) {
         shared.rejected_draining.fetch_add(1, Ordering::Relaxed);
         return http::respond_json(stream, 503, &error_body("draining"));
     }
-    // Gate 2: overload sheds best-effort traffic by queue delay.
+    // Gate 2: overload sheds best-effort traffic by queue delay. Shed is
+    // transient, so the 503 invites a retry.
     if generate.priority > DEFAULT_PRIORITY {
         if let Some(watermark) = limits.shed_watermark {
             if shared.queue_delay() > watermark {
                 shared.rejected_shed.fetch_add(1, Ordering::Relaxed);
-                return http::respond_json(
+                return http::respond_json_with(
                     stream,
                     503,
                     &error_body("shed: queue delay over watermark"),
+                    &[("Retry-After", "1")],
                 );
             }
         }
     }
-    // Gate 3: reserve a waiting-queue slot or reject.
+    // Gate 3: reserve a waiting-queue slot or reject (also retryable).
     let reserved = shared
         .queued
         .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| {
@@ -541,27 +633,41 @@ fn handle_generate(
         });
     if reserved.is_err() {
         shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-        return http::respond_json(stream, 503, &error_body("queue full"));
+        return http::respond_json_with(
+            stream,
+            503,
+            &error_body("queue full"),
+            &[("Retry-After", "1")],
+        );
     }
 
     let (events_tx, events_rx) = mpsc::channel::<StreamEvent>();
+    let arrival = shared.now();
     let submission = Submission {
-        arrival: shared.now(),
+        arrival,
         prompt_tokens: generate.prompt_tokens,
         decode_tokens: generate.decode_tokens,
         priority: generate.priority,
+        deadline: deadline_budget.map(|d| {
+            arrival + SimDuration::from_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        }),
         events: events_tx,
     };
     if let Err(err) = submit.try_send(submission) {
         shared.queued.fetch_sub(1, Ordering::AcqRel);
-        let (counter, msg) = match err {
+        let (counter, msg, retryable) = match err {
             // Unreachable by construction (reservation bounds the channel),
             // but never silently drop an accepted request.
-            TrySendError::Full(_) => (&shared.rejected_queue_full, "queue full"),
-            TrySendError::Disconnected(_) => (&shared.rejected_draining, "shutting down"),
+            TrySendError::Full(_) => (&shared.rejected_queue_full, "queue full", true),
+            TrySendError::Disconnected(_) => (&shared.rejected_draining, "shutting down", false),
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        return http::respond_json(stream, 503, &error_body(msg));
+        let headers: &[(&str, &str)] = if retryable {
+            &[("Retry-After", "1")]
+        } else {
+            &[]
+        };
+        return http::respond_json_with(stream, 503, &error_body(msg), headers);
     }
 
     stream_events(stream, &events_rx)
@@ -587,6 +693,14 @@ fn stream_events(stream: &mut TcpStream, events: &mpsc::Receiver<StreamEvent>) -
                         metrics.latency().as_millis_f64(),
                     ),
                 )?;
+                return http::end_chunks(stream);
+            }
+            Ok(StreamEvent::TimedOut) => {
+                http::write_chunk(stream, "{\"timed_out\":true}\n")?;
+                return http::end_chunks(stream);
+            }
+            Ok(StreamEvent::Failed) => {
+                http::write_chunk(stream, "{\"failed\":true,\"error\":\"engine restarted\"}\n")?;
                 return http::end_chunks(stream);
             }
             // The engine loop is gone mid-request: terminate the stream
@@ -662,6 +776,7 @@ fn error_body(msg: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -671,6 +786,7 @@ mod tests {
             shed_watermark: None,
             max_decode_tokens: 64,
             max_prompt_tokens: 128,
+            default_deadline: None,
         }
     }
 

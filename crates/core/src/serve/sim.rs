@@ -122,6 +122,7 @@ impl ServeSim {
                 prompt_tokens: cfg.prompt_tokens,
                 decode_tokens: cfg.decode_tokens,
                 priority: DEFAULT_PRIORITY,
+                deadline: None,
             })
             .collect();
         let mut completed: Vec<RequestMetrics> = Vec::new();

@@ -176,6 +176,7 @@ fn per_second(count: u64, seconds: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -325,6 +325,13 @@ pub struct WorkerHealthSnapshot {
     pub failovers: u64,
     /// Successful reconnects after a worker was marked down.
     pub reconnects: u64,
+    /// Workers whose circuit breaker is currently open (remote dispatch
+    /// suspended; traffic routes local until a half-open probe succeeds).
+    /// Filled by the engine-side executor — the pool itself tracks
+    /// connections, not breakers.
+    pub breaker_open: u64,
+    /// Cumulative closed→open breaker transitions across the fleet.
+    pub breaker_trips: u64,
 }
 
 /// The per-worker connection state machine.
@@ -492,6 +499,8 @@ impl WorkerClientPool {
             requests: self.requests,
             failovers: self.failovers,
             reconnects: self.reconnects,
+            breaker_open: 0,
+            breaker_trips: 0,
         }
     }
 

@@ -83,6 +83,7 @@ pub use client::{
     ClientError, ClientOptions, Endpoint, WorkerClient, WorkerClientPool, WorkerHealthSnapshot,
 };
 pub use server::{WorkerHandle, WorkerServer, WorkerServerOptions};
+pub use transport::{FrameFate, FrameInjector, NoFaults};
 
 /// The wire encoding of `KernelBackendKind` used by
 /// [`protocol::LoadShard::backend`]: the engine pins the worker's kernel

@@ -20,12 +20,14 @@ use hybrimoe_model::{
     WeightStoreError,
 };
 
+use hybrimoe_fault::{FaultPlan, FaultRates, FaultStream};
+
 use crate::client::Endpoint;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ErrorReply, ExecuteBatch, ExecuteBatchAck, HeartbeatAck,
-    Hello, HelloAck, LoadShard, LoadShardAck, Opcode, ProtocolError,
+    encode_frame, read_frame, write_frame, ErrorCode, ErrorReply, ExecuteBatch, ExecuteBatchAck,
+    HeartbeatAck, Hello, HelloAck, LoadShard, LoadShardAck, Opcode, ProtocolError,
 };
-use crate::transport::{BoundListener, WireStream};
+use crate::transport::{write_through, BoundListener, FrameFate, FrameInjector, WireStream};
 use crate::wire_backend;
 
 /// Tuning and fault-injection knobs of a [`WorkerServer`].
@@ -37,10 +39,17 @@ pub struct WorkerServerOptions {
     /// [`ExecuteBatch`] requests have been *received* (across all
     /// connections), the worker drops the triggering connection without
     /// replying and stops accepting — a deterministic mid-request crash.
+    /// Equivalent to `fault_plan.rates.fail_after`, which it overrides
+    /// when both are set.
     pub fail_after_executes: Option<u64>,
     /// Whether a [`Opcode::Drain`] also stops the accept loop (the
     /// standalone bin's exit path). Defaults to `true`.
     pub drain_stops_server: bool,
+    /// Seeded fault plan for chaos runs: per-reply connection drops,
+    /// delays, and corrupt/truncated frames on [`Opcode::ExecuteBatchAck`]
+    /// replies, each connection drawing its own deterministic decision
+    /// stream. Defaults to [`FaultPlan::off`].
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for WorkerServerOptions {
@@ -49,6 +58,58 @@ impl Default for WorkerServerOptions {
             threads: 2,
             fail_after_executes: None,
             drain_stops_server: true,
+            fault_plan: FaultPlan::off(),
+        }
+    }
+}
+
+impl WorkerServerOptions {
+    /// The crash-after-N-executes limit in force: the explicit legacy
+    /// knob wins, else the fault plan's folded `fail_after` rate.
+    fn effective_fail_after(&self) -> Option<u64> {
+        self.fail_after_executes
+            .or(self.fault_plan.rates.fail_after)
+    }
+}
+
+/// Per-connection reply-frame injector driven by a [`FaultPlan`].
+///
+/// One Bernoulli roll per fault class per frame, always in the same
+/// order, so the decision sequence of connection `i` under seed `s` is
+/// identical on every run.
+struct PlanInjector {
+    rates: FaultRates,
+    stream: FaultStream,
+}
+
+impl PlanInjector {
+    fn new(plan: &FaultPlan, connection: u64) -> Self {
+        PlanInjector {
+            rates: plan.rates,
+            stream: plan.stream(&format!("worker.conn.{connection}")),
+        }
+    }
+}
+
+impl FrameInjector for PlanInjector {
+    fn fate(&mut self, frame_len: usize) -> FrameFate {
+        let drop = self.stream.roll_ppm(self.rates.conn_drop_ppm);
+        let truncate = self.stream.roll_ppm(self.rates.truncate_ppm);
+        let corrupt = self.stream.roll_ppm(self.rates.corrupt_ppm);
+        let delay = self.stream.roll_ppm(self.rates.reply_delay_ppm);
+        let noise = self.stream.next_u64() as usize;
+        if drop {
+            FrameFate::Drop
+        } else if truncate {
+            FrameFate::Truncate {
+                keep: noise % frame_len.max(1),
+            }
+        } else if corrupt {
+            FrameFate::Corrupt { offset: noise }
+        } else if delay {
+            FrameFate::Delay(Duration::from_millis(self.rates.reply_delay_ms))
+        } else {
+            FrameFate::Deliver
         }
     }
 }
@@ -103,6 +164,7 @@ impl WorkerServer {
     /// `drain_stops_server`, until a client drains the worker).
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let mut connections: u64 = 0;
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 break;
@@ -113,8 +175,10 @@ impl WorkerServer {
                     let options = self.options.clone();
                     let shutdown = Arc::clone(&self.shutdown);
                     let executed = Arc::clone(&self.executed);
+                    let connection = connections;
+                    connections += 1;
                     thread::spawn(move || {
-                        let _ = serve_connection(stream, options, shutdown, executed);
+                        let _ = serve_connection(stream, options, shutdown, executed, connection);
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -179,8 +243,15 @@ fn serve_connection(
     options: WorkerServerOptions,
     shutdown: Arc<AtomicBool>,
     executed: Arc<AtomicU64>,
+    connection: u64,
 ) -> Result<(), ProtocolError> {
     let mut payload = Vec::new();
+    // The chaos seam: execute replies of a faulty worker route through a
+    // per-connection injector. Handshake and shard loading stay clean so
+    // a chaos run still exercises the execute path, not just setup.
+    let mut injector =
+        (!options.fault_plan.is_off()).then(|| PlanInjector::new(&options.fault_plan, connection));
+    let mut frame = Vec::new();
 
     // Handshake: the first frame must be a Hello with an overlapping
     // version range. A frame-level version outside our range is answered
@@ -261,7 +332,7 @@ fn serve_connection(
                 }
             },
             Opcode::ExecuteBatch => {
-                if let Some(limit) = options.fail_after_executes {
+                if let Some(limit) = options.effective_fail_after() {
                     // fetch_add returns the prior count, so requests
                     // 1..=limit succeed and request limit+1 trips the fault.
                     if executed.fetch_add(1, Ordering::Relaxed) >= limit {
@@ -287,7 +358,21 @@ fn serve_connection(
                                 data: state.output.clone(),
                             }
                             .encode(&mut buf);
-                            write_frame(&mut stream, Opcode::ExecuteBatchAck, id, &buf)?;
+                            match injector.as_mut() {
+                                None => {
+                                    write_frame(&mut stream, Opcode::ExecuteBatchAck, id, &buf)?;
+                                }
+                                Some(chaos) => {
+                                    frame.clear();
+                                    encode_frame(Opcode::ExecuteBatchAck, id, &buf, &mut frame);
+                                    if !write_through(&mut stream, chaos, &frame)? {
+                                        // The injector dropped (or truncated)
+                                        // the connection: the client sees a
+                                        // mid-request disconnect.
+                                        return Ok(());
+                                    }
+                                }
+                            }
                         }
                         Err((code, msg)) => {
                             reply_error(&mut stream, id, code, msg)?;

@@ -1,0 +1,152 @@
+//! Property-based slot-conservation invariants on the continuous
+//! batcher: under any interleaving of arrivals, deadline expiries,
+//! mid-flight cancels (client hangups) and injected engine-step panics,
+//! every enqueued request reaches exactly one terminal outcome and no
+//! batch slot leaks.
+
+use hybrimoe::fault::{FaultPlan, FaultRates, FaultStream};
+use hybrimoe::serve::{ContinuousBatcher, RequestSpec};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_hw::{SimDuration, SimTime};
+use hybrimoe_model::ModelConfig;
+use proptest::prelude::*;
+
+/// Drives one randomized scenario to drain and returns
+/// `(completed, timed_out, cancelled, failed, leaked)`.
+fn drive(
+    seed: u64,
+    requests: u64,
+    max_batch: usize,
+    panic_ppm: u32,
+    ops_seed: u64,
+) -> (u64, u64, u64, u64, u64) {
+    let engine = EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5)
+        .with_seed(seed)
+        .with_fault_plan(FaultPlan {
+            seed,
+            rates: FaultRates {
+                panic_ppm,
+                ..FaultRates::default()
+            },
+        });
+    let make = || ContinuousBatcher::new(engine.clone(), max_batch, seed);
+    let mut batcher = make();
+    let mut rng = FaultStream::new(ops_seed);
+
+    let (mut completed, mut timed_out, mut cancelled, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    let mut live: Vec<u32> = Vec::new();
+    let mut issued = 0u64;
+    let mut next_id = 0u32;
+    let mut now = SimTime::ZERO;
+    // A generous step bound: every scenario drains far sooner, and a
+    // leak (a request neither terminating nor draining) trips the
+    // assertion below instead of hanging the test.
+    for _ in 0..10_000 {
+        if issued >= requests && batcher.is_idle() {
+            break;
+        }
+        while issued < requests && rng.below(100) < 50 {
+            let deadline = match rng.below(4) {
+                // Tight enough that queueing behind a full batch (or
+                // plain step latency) expires some of these...
+                0 => Some(now + SimDuration::from_micros(rng.next_u64() % 5_000)),
+                // ...an already-passed deadline expires immediately...
+                1 => Some(now),
+                // ...and the rest run without one.
+                _ => None,
+            };
+            batcher.enqueue(RequestSpec {
+                id: next_id,
+                arrival: now,
+                prompt_tokens: 1 + (rng.next_u64() % 16) as u32,
+                decode_tokens: 1 + (rng.next_u64() % 8) as u32,
+                priority: (rng.next_u64() % 2) as u8,
+                deadline,
+            });
+            live.push(next_id);
+            next_id += 1;
+            issued += 1;
+        }
+        if !live.is_empty() && rng.roll_ppm(150_000) {
+            let victim = live[rng.below(live.len() as u64) as usize];
+            if batcher.cancel(victim) {
+                cancelled += 1;
+                live.retain(|id| *id != victim);
+            }
+        }
+        if batcher.is_idle() {
+            now += SimDuration::from_millis(1);
+            continue;
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batcher.step(now, |latency| now + latency)
+        })) {
+            Ok(outcome) => {
+                completed += outcome.completed.len() as u64;
+                for m in &outcome.completed {
+                    live.retain(|id| *id != m.id);
+                }
+                for id in outcome
+                    .expired_waiting
+                    .iter()
+                    .chain(&outcome.expired_running)
+                {
+                    timed_out += 1;
+                    live.retain(|l| l != id);
+                }
+                now = outcome.end;
+            }
+            Err(_) => {
+                // Contained like the serving engine loop: in-flight
+                // requests fail, a fresh batcher takes over.
+                failed += live.len() as u64;
+                live.clear();
+                batcher = make();
+                now += SimDuration::from_millis(1);
+            }
+        }
+    }
+    let leaked = (batcher.waiting_len() + batcher.running_len()) as u64;
+    (completed, timed_out, cancelled, failed, leaked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Slot conservation: terminal outcomes partition the admitted set
+    /// and the drained batcher holds nothing, for any interleaving of
+    /// completion, deadline expiry, cancellation and panic containment.
+    #[test]
+    fn every_request_terminates_and_no_slot_leaks(
+        seed in 0u64..50,
+        requests in 1u64..40,
+        max_batch in 1usize..5,
+        inject_panics in any::<bool>(),
+        ops_seed in any::<u64>(),
+    ) {
+        let panic_ppm = if inject_panics { 20_000 } else { 0 };
+        let (completed, timed_out, cancelled, failed, leaked) =
+            drive(seed, requests, max_batch, panic_ppm, ops_seed);
+        prop_assert_eq!(leaked, 0, "drained batcher still holds slots");
+        prop_assert_eq!(
+            completed + timed_out + cancelled + failed,
+            requests,
+            "terminal outcomes must partition the admitted set \
+             (completed {} + timed_out {} + cancelled {} + failed {})",
+            completed, timed_out, cancelled, failed
+        );
+    }
+
+    /// The same scenario replayed is bit-identical: fault injection and
+    /// the storm shape are pure functions of their seeds.
+    #[test]
+    fn scenarios_replay_identically(
+        seed in 0u64..50,
+        requests in 1u64..24,
+        ops_seed in any::<u64>(),
+    ) {
+        let a = drive(seed, requests, 3, 20_000, ops_seed);
+        let b = drive(seed, requests, 3, 20_000, ops_seed);
+        prop_assert_eq!(a, b);
+    }
+}

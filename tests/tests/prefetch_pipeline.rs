@@ -210,6 +210,7 @@ fn chunked_prefill_keeps_decode_tpot_flat_under_a_long_prompt() {
             prompt_tokens: 8,
             decode_tokens: 48,
             priority: 0,
+            deadline: None,
         });
         let mut now = SimTime::ZERO;
         for _ in 0..4 {
@@ -222,6 +223,7 @@ fn chunked_prefill_keeps_decode_tpot_flat_under_a_long_prompt() {
             prompt_tokens: 1024,
             decode_tokens: 4,
             priority: 1,
+            deadline: None,
         });
         // Worst and median step latency among steps where the neighbor
         // decoded while the long request was still prefilling or decoding.

@@ -265,6 +265,7 @@ fn mid_request_crash_fails_over_without_failing_requests() {
         threads: 1,
         fail_after_executes: Some(2),
         drain_stops_server: true,
+        ..Default::default()
     });
     let healthy = spawn_worker(WorkerServerOptions {
         threads: 1,
