@@ -1,0 +1,56 @@
+//! Scratch review test: does a contained engine panic leak the `queued`
+//! gauge when the panicking step admitted requests?
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hybrimoe::fault::{FaultPlan, FaultRates};
+use hybrimoe::serve::server::{read_one_chunk, read_response_head_full, Server, ServerConfig};
+use hybrimoe::{EngineConfig, Framework};
+use hybrimoe_model::ModelConfig;
+
+#[test]
+fn queued_gauge_after_panic() {
+    let mut config = ServerConfig::new(
+        EngineConfig::preset(Framework::HybriMoe, ModelConfig::tiny_test(), 0.5).with_fault_plan(
+            FaultPlan {
+                seed: 7,
+                rates: FaultRates {
+                    panic_ppm: 1_000_000,
+                    ..FaultRates::default()
+                },
+            },
+        ),
+    );
+    config.max_batch = 2;
+    config.queue_depth = 8;
+    config.min_step = Some(Duration::from_millis(1));
+    let server = Server::start(config).expect("server starts");
+    let addr = server.addr();
+
+    let body = "{\"prompt_tokens\":4,\"decode_tokens\":4}";
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/generate HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let head = read_response_head_full(&mut reader).expect("head");
+    assert_eq!(head.status, 200);
+    while let Ok(Some(chunk)) = read_one_chunk(&mut reader) {
+        eprintln!("chunk: {chunk}");
+    }
+
+    let metrics = server.shutdown();
+    eprintln!(
+        "queued={} admitted={} failed={} restarts={}",
+        metrics.queued, metrics.admitted, metrics.failed, metrics.engine_restarts
+    );
+    assert_eq!(metrics.queued, 0, "queued gauge leaked");
+}
